@@ -1,0 +1,16 @@
+package repro
+
+import "repro/internal/core"
+
+// Shared fixtures for bench_test.go.
+
+var wireMsgForBench = core.WireMsg{
+	Kind: core.KindRequest,
+	Op:   "benchmark-operation",
+	Seq:  42,
+	Data: make([]byte, 256),
+}
+
+func decodeWireForBench(buf []byte) (*core.WireMsg, int, error) {
+	return core.DecodeWire(buf)
+}

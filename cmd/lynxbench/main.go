@@ -1,0 +1,71 @@
+// Command lynxbench regenerates the paper's evaluation: every table and
+// figure, as the experiments E1-E11 catalogued in DESIGN.md.
+//
+// Usage:
+//
+//	lynxbench              # run all experiments
+//	lynxbench -e E3        # run one experiment
+//	lynxbench -list        # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expt"
+)
+
+var experiments = []struct{ id, title string }{
+	{"E1", "Charlotte simple remote operation latency (§3.3)"},
+	{"E2", "Charlotte link-enclosure protocol (figure 2)"},
+	{"E3", "SODA vs Charlotte latency sweep and crossover (§4.3)"},
+	{"E4", "Chrysalis simple remote operation latency (§5.3)"},
+	{"E5", "Run-time package size and special-case inventory"},
+	{"E6", "Link moving at both ends simultaneously (figure 1)"},
+	{"E7", "Unwanted messages and NAK traffic (§6 claim 2)"},
+	{"E8", "Fate of enclosures in aborted messages (§3.2.2)"},
+	{"E9", "Chrysalis tuning ablation (§5.3)"},
+	{"E10", "SODA hint repair: cache → discover → freeze (§4.2)"},
+	{"E11", "Queue fairness under saturation (§2.1)"},
+	{"E12", "EXT: per-pair request limits under many links (§4.2.1)"},
+	{"E13", "EXT: discover success vs broadcast loss (§4.2)"},
+}
+
+func main() {
+	one := flag.String("e", "", "run a single experiment by id (E1..E13)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	if *one != "" {
+		r := expt.ByID(*one)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "lynxbench: unknown experiment %q\n", *one)
+			os.Exit(2)
+		}
+		fmt.Print(r.Render())
+		if !r.Pass {
+			os.Exit(1)
+		}
+		return
+	}
+	fail := 0
+	for _, r := range expt.All() {
+		fmt.Print(r.Render())
+		fmt.Println()
+		if !r.Pass {
+			fail++
+		}
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "lynxbench: %d experiment(s) did not match the paper's shape\n", fail)
+		os.Exit(1)
+	}
+	fmt.Println("all experiments match the paper's shape")
+}

@@ -1,0 +1,240 @@
+// Command lynxsim is a configurable workload generator for the LYNX
+// reproduction: it assembles a topology of LYNX processes on a chosen
+// kernel substrate, drives a workload through it, and reports latency,
+// throughput, and kernel/protocol statistics.
+//
+// Examples:
+//
+//	lynxsim                                    # default echo workload
+//	lynxsim -substrate soda -clients 4 -ops 50
+//	lynxsim -mode sweep -payloads 0,256,1024,4096
+//	lynxsim -mode mesh -procs 8 -ops 40 -seed 3
+//	lynxsim -substrate charlotte -mode echo -payload 1000 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/lynx"
+)
+
+func main() {
+	var (
+		subName  = flag.String("substrate", "chrysalis", "charlotte|soda|chrysalis|ideal")
+		mode     = flag.String("mode", "echo", "echo|sweep|mesh")
+		clients  = flag.Int("clients", 2, "echo: number of client processes")
+		procs    = flag.Int("procs", 6, "mesh: number of peer processes")
+		ops      = flag.Int("ops", 20, "operations per client/peer")
+		payload  = flag.Int("payload", 0, "echo/mesh: payload bytes per direction")
+		payloads = flag.String("payloads", "0,128,512,1024,2048,4096", "sweep: payload list")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		stats    = flag.Bool("stats", false, "print kernel/binding statistics")
+	)
+	flag.Parse()
+
+	sub, ok := map[string]lynx.Substrate{
+		"charlotte": lynx.Charlotte,
+		"soda":      lynx.SODA,
+		"chrysalis": lynx.Chrysalis,
+		"ideal":     lynx.Ideal,
+	}[*subName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lynxsim: unknown substrate %q\n", *subName)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "echo":
+		runEcho(sub, *clients, *ops, *payload, *seed, *stats)
+	case "sweep":
+		runSweep(sub, *payloads, *ops, *seed)
+	case "mesh":
+		runMesh(sub, *procs, *ops, *payload, *seed, *stats)
+	default:
+		fmt.Fprintf(os.Stderr, "lynxsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// latencySummary prints percentile stats over per-op RTTs.
+func latencySummary(rtts []lynx.Duration) string {
+	if len(rtts) == 0 {
+		return "no samples"
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	pick := func(q float64) lynx.Duration {
+		i := int(q * float64(len(rtts)-1))
+		return rtts[i]
+	}
+	var sum lynx.Duration
+	for _, d := range rtts {
+		sum += d
+	}
+	return fmt.Sprintf("n=%d min=%.2fms p50=%.2fms p95=%.2fms max=%.2fms mean=%.2fms",
+		len(rtts), rtts[0].Milliseconds(), pick(0.5).Milliseconds(),
+		pick(0.95).Milliseconds(), rtts[len(rtts)-1].Milliseconds(),
+		(sum / lynx.Duration(len(rtts))).Milliseconds())
+}
+
+// runEcho: N clients hammer one server over private links.
+func runEcho(sub lynx.Substrate, clients, ops, payload int, seed uint64, showStats bool) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: seed})
+	var rtts []lynx.Duration
+	server := sys.Spawn("server", func(t *lynx.Thread, boot []*lynx.End) {
+		for _, e := range boot {
+			t.Serve(e, func(st *lynx.Thread, req *lynx.Request) {
+				st.Reply(req, lynx.Msg{Data: req.Data()})
+			})
+		}
+	})
+	data := make([]byte, payload)
+	for i := 0; i < clients; i++ {
+		cl := sys.Spawn(fmt.Sprint("client", i), func(t *lynx.Thread, boot []*lynx.End) {
+			for j := 0; j < ops; j++ {
+				start := t.Now()
+				if _, err := t.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
+					fmt.Fprintf(os.Stderr, "client op failed: %v\n", err)
+					return
+				}
+				rtts = append(rtts, lynx.Duration(t.Now()-start))
+			}
+			t.Destroy(boot[0])
+		})
+		sys.Join(cl, server)
+	}
+	if err := sys.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lynxsim: %v\n", err)
+		os.Exit(1)
+	}
+	total := sys.Now()
+	fmt.Printf("echo on %v: %d clients x %d ops, %dB payload\n", sub, clients, ops, payload)
+	fmt.Printf("  latency: %s\n", latencySummary(rtts))
+	fmt.Printf("  virtual time: %v  throughput: %.1f ops/s (virtual)\n",
+		total, float64(clients*ops)/(float64(total)/1e9))
+	if showStats {
+		printStats(sys, server)
+	}
+}
+
+// runSweep: the E3-style payload sweep on one substrate.
+func runSweep(sub lynx.Substrate, payloadList string, ops int, seed uint64) {
+	fmt.Printf("payload sweep on %v (%d ops per point)\n", sub, ops)
+	fmt.Printf("  %-10s %-12s\n", "bytes/dir", "mean RTT (ms)")
+	for _, f := range strings.Split(payloadList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lynxsim: bad payload %q\n", f)
+			os.Exit(2)
+		}
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: seed, BufCap: n + 256})
+		var sum lynx.Duration
+		count := 0
+		data := make([]byte, n)
+		c := sys.Spawn("c", func(t *lynx.Thread, boot []*lynx.End) {
+			for j := 0; j < ops; j++ {
+				start := t.Now()
+				if _, err := t.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
+					return
+				}
+				sum += lynx.Duration(t.Now() - start)
+				count++
+			}
+			t.Destroy(boot[0])
+		})
+		s := sys.Spawn("s", func(t *lynx.Thread, boot []*lynx.End) {
+			t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+				st.Reply(req, lynx.Msg{Data: req.Data()})
+			})
+		})
+		sys.Join(c, s)
+		if err := sys.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "lynxsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-10d %-12.2f\n", n, (sum / lynx.Duration(max(count, 1))).Milliseconds())
+	}
+}
+
+// runMesh: peers in a ring+chords exchanging echoes and moving links.
+func runMesh(sub lynx.Substrate, procs, ops, payload int, seed uint64, showStats bool) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: seed})
+	refs := make([]*lynx.ProcRef, procs)
+	var oks, errs int
+	data := make([]byte, payload)
+	for i := 0; i < procs; i++ {
+		refs[i] = sys.Spawn(fmt.Sprint("peer", i), func(t *lynx.Thread, boot []*lynx.End) {
+			for _, e := range boot {
+				t.Serve(e, func(st *lynx.Thread, req *lynx.Request) {
+					for _, l := range req.Links() {
+						t.Process().ServeEnd(l, func(st2 *lynx.Thread, r2 *lynx.Request) {
+							st2.Reply(r2, lynx.Msg{Data: r2.Data()})
+						})
+					}
+					st.Reply(req, lynx.Msg{Data: req.Data()})
+				})
+			}
+			for j := 0; j < ops; j++ {
+				e := boot[j%len(boot)]
+				if e.Dead() {
+					continue
+				}
+				if _, err := t.Connect(e, "echo", lynx.Msg{Data: data}); err != nil {
+					errs++
+				} else {
+					oks++
+				}
+			}
+			t.Sleep(100 * lynx.Millisecond)
+			for _, e := range boot {
+				if !e.Dead() {
+					t.Destroy(e)
+				}
+			}
+		})
+	}
+	for i := 0; i < procs; i++ {
+		sys.Join(refs[i], refs[(i+1)%procs])
+	}
+	for i := 0; i+2 < procs; i += 2 {
+		sys.Join(refs[i], refs[i+2])
+	}
+	if err := sys.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lynxsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mesh on %v: %d peers x %d ops: %d ok, %d errors (link teardown races), %v virtual\n",
+		sub, procs, ops, oks, errs, sys.Now())
+	if showStats {
+		printStats(sys, refs...)
+	}
+}
+
+// printStats dumps kernel and binding counters.
+func printStats(sys *lynx.System, procs ...*lynx.ProcRef) {
+	if ks := sys.CharlotteKernelStats(); ks != nil {
+		fmt.Printf("  charlotte kernel: msgs=%d bytes=%d enclosures=%d destroys=%d\n",
+			ks.Messages, ks.Bytes, ks.Enclosures, ks.Destroys)
+		for _, p := range procs {
+			if bs := p.CharlotteStats(); bs != nil && (bs.UnwantedMessages+bs.Retries+bs.Forbids) > 0 {
+				fmt.Printf("  %s: unwanted=%d retries=%d forbids=%d allows=%d goaheads=%d enc=%d\n",
+					p.Name(), bs.UnwantedMessages, bs.Retries, bs.Forbids, bs.Allows, bs.Goaheads, bs.EncPackets)
+			}
+		}
+	}
+	if ks := sys.SODAKernelStats(); ks != nil {
+		fmt.Printf("  soda kernel: requests=%d accepts=%d interrupts=%d discovers=%d bytes=%d\n",
+			ks.Requests, ks.Accepts, ks.Interrupts, ks.Discovers, ks.Bytes)
+	}
+	if ks := sys.ChrysalisKernelStats(); ks != nil {
+		fmt.Printf("  chrysalis kernel: atomics=%d enq=%d deq=%d posts=%d waits=%d maps=%d bytes=%d torn=%d\n",
+			ks.AtomicOps, ks.Enqueues, ks.Dequeues, ks.EventPosts, ks.EventWaits, ks.Maps, ks.BytesMoved, ks.TornReads)
+	}
+	if n := sys.Network(); n != nil {
+		fmt.Printf("  network (%s): %v\n", n.Name(), n.Stats())
+	}
+}

@@ -1,0 +1,145 @@
+// Command lynxtrace replays the paper's two figures as annotated
+// virtual-time protocol traces:
+//
+//	lynxtrace -fig 1                # link moving at both ends (figure 1)
+//	lynxtrace -fig 2 -enclosures 3  # the enclosure protocol (figure 2)
+//	lynxtrace -fig 2 -substrate soda
+//
+// The trace shows every kernel call and protocol message with its
+// virtual timestamp, making the difference between the substrates'
+// protocols directly visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/lynx"
+)
+
+func main() {
+	fig := flag.Int("fig", 2, "figure to replay (1 or 2)")
+	encl := flag.Int("enclosures", 3, "enclosures to move (figure 2)")
+	subName := flag.String("substrate", "charlotte", "charlotte|soda|chrysalis|ideal")
+	flag.Parse()
+
+	var sub lynx.Substrate
+	switch *subName {
+	case "charlotte":
+		sub = lynx.Charlotte
+	case "soda":
+		sub = lynx.SODA
+	case "chrysalis":
+		sub = lynx.Chrysalis
+	case "ideal":
+		sub = lynx.Ideal
+	default:
+		fmt.Fprintf(os.Stderr, "lynxtrace: unknown substrate %q\n", *subName)
+		os.Exit(2)
+	}
+
+	switch *fig {
+	case 1:
+		figure1(sub)
+	case 2:
+		figure2(sub, *encl)
+	default:
+		fmt.Fprintf(os.Stderr, "lynxtrace: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// figure2 traces one request moving k link ends (and its reply).
+func figure2(sub lynx.Substrate, k int) {
+	fmt.Printf("figure 2 on %v: request moving %d link end(s)\n\n", sub, k)
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
+	sys.Env().SetTracer(&sim.WriterTracer{W: os.Stdout})
+	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
+		var give []*lynx.End
+		for i := 0; i < k; i++ {
+			_, o, err := th.NewLink()
+			if err != nil {
+				return
+			}
+			give = append(give, o)
+		}
+		sys.Env().Trace("A", ">>> connect with %d enclosures", k)
+		if _, err := th.Connect(boot[0], "move", lynx.Msg{Links: give}); err != nil {
+			sys.Env().Trace("A", "connect failed: %v", err)
+			return
+		}
+		sys.Env().Trace("A", "<<< reply received")
+		th.Destroy(boot[0])
+	})
+	b := sys.Spawn("B", func(th *lynx.Thread, boot []*lynx.End) {
+		th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+			sys.Env().Trace("B", "request %q arrived with %d links", req.Op(), len(req.Links()))
+			st.Reply(req, lynx.Msg{})
+		})
+	})
+	sys.Join(a, b)
+	if err := sys.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
+		os.Exit(1)
+	}
+	if cs := a.CharlotteStats(); cs != nil {
+		fmt.Printf("\nprotocol summary: kernel sends=%d goaheads(B)=%d enc packets=%d\n",
+			cs.KernelSends, b.CharlotteStats().Goaheads, cs.EncPackets)
+	}
+}
+
+// figure1 traces both ends of link 3 moving simultaneously.
+func figure1(sub lynx.Substrate) {
+	fmt.Printf("figure 1 on %v: link 3 moving at both ends (A->B and D->C)\n\n", sub)
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
+	sys.Env().SetTracer(&sim.WriterTracer{W: os.Stdout})
+	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
+		sys.Env().Trace("A", "moving link3 end to B")
+		th.Connect(boot[0], "take3a", lynx.Msg{Links: []*lynx.End{boot[1]}})
+		th.Destroy(boot[0])
+	})
+	d := sys.Spawn("D", func(th *lynx.Thread, boot []*lynx.End) {
+		sys.Env().Trace("D", "moving link3 end to C")
+		th.Connect(boot[0], "take3d", lynx.Msg{Links: []*lynx.End{boot[1]}})
+		th.Destroy(boot[0])
+	})
+	b := sys.Spawn("B", func(th *lynx.Thread, boot []*lynx.End) {
+		req, err := th.Receive(boot[0])
+		if err != nil {
+			return
+		}
+		l3 := req.Links()[0]
+		th.Reply(req, lynx.Msg{})
+		sys.Env().Trace("B", "got link3 end; calling through it")
+		reply, err := th.Connect(l3, "hello", lynx.Msg{Data: []byte("B")})
+		if err != nil {
+			sys.Env().Trace("B", "call failed: %v", err)
+			return
+		}
+		sys.Env().Trace("B", "reply: %q (link3 now connects B and C)", reply.Data)
+		th.Destroy(l3)
+	})
+	c := sys.Spawn("C", func(th *lynx.Thread, boot []*lynx.End) {
+		req, err := th.Receive(boot[0])
+		if err != nil {
+			return
+		}
+		l3 := req.Links()[0]
+		th.Reply(req, lynx.Msg{})
+		sys.Env().Trace("C", "got link3 end; serving on it")
+		r2, err := th.Receive(l3)
+		if err != nil {
+			return
+		}
+		th.Reply(r2, lynx.Msg{Data: append(r2.Data(), []byte("-seen-by-C")...)})
+	})
+	sys.Join(a, b)
+	sys.Join(d, c)
+	sys.Join(a, d)
+	if err := sys.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
+		os.Exit(1)
+	}
+}

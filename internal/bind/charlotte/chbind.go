@@ -1,0 +1,804 @@
+// Package chbind implements the LYNX run-time package's kernel-specific
+// half for the Charlotte kernel — the implementation §3.2 of the paper
+// describes, with all of its hard-won complications:
+//
+//   - request and reply queues are multiplexed onto Charlotte's single
+//     receive activity per link end, so the binding can receive messages
+//     it does not want and must bounce them back with RETRY (negative
+//     acknowledgment) or FORBID/ALLOW (suppressing request traffic while
+//     a reply is awaited);
+//   - a Charlotte message can enclose at most ONE link end, so a LYNX
+//     message moving several links is packetized: first packet (data +
+//     first enclosure), a GOAHEAD from the receiver (requests only, so
+//     the sender knows the request is wanted before committing more
+//     ends), then one ENC message per remaining enclosure;
+//   - Cancel of a posted receive can fail if a message snuck in, which
+//     is exactly how unwanted messages arise;
+//   - replies are always accepted; a reply whose coroutine has aborted
+//     is silently discarded, because a top-level acknowledgment for
+//     every reply "would increase message traffic by 50%" — so, unlike
+//     the SODA and Chrysalis bindings, this transport CANNOT raise
+//     ErrUnwantedReply at the server (Capabilities reflect that).
+//
+// Concurrency discipline: binding code runs in two simproc contexts —
+// the LYNX process itself (core-facing methods) and the completion pump.
+// Kernel calls park the calling context, so every function that can make
+// a kernel call takes the charging proc explicitly, and binding state is
+// made consistent BEFORE each parking call so the other context can
+// interleave safely.
+package chbind
+
+import (
+	"fmt"
+
+	"repro/internal/charlotte"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ctrl is the binding-level message type carried in the first payload
+// byte of every kernel message.
+type ctrl byte
+
+// Binding protocol message types (§3.2.1, §3.2.2).
+const (
+	ctrlData    ctrl = iota // first packet of a LYNX request or reply
+	ctrlEnc                 // additional enclosure packet
+	ctrlGoahead             // receiver wants the rest of a multi-enclosure request
+	ctrlRetry               // negative ack: resend later (kernel will delay)
+	ctrlForbid              // stop sending requests (reply still welcome)
+	ctrlAllow               // requests welcome again
+)
+
+func (c ctrl) String() string {
+	switch c {
+	case ctrlData:
+		return "data"
+	case ctrlEnc:
+		return "enc"
+	case ctrlGoahead:
+		return "goahead"
+	case ctrlRetry:
+		return "retry"
+	case ctrlForbid:
+		return "forbid"
+	case ctrlAllow:
+		return "allow"
+	default:
+		return fmt.Sprintf("ctrl(%d)", byte(c))
+	}
+}
+
+// Stats counts binding-level protocol activity — the special-case
+// traffic that exists only because of the kernel interface mismatch
+// (E2/E5/E7 read these).
+type Stats struct {
+	KernelSends      int64
+	UnwantedMessages int64 // received messages we had to bounce or drop
+	Retries          int64 // RETRY messages sent
+	Forbids          int64 // FORBID messages sent
+	Allows           int64 // ALLOW messages sent
+	Goaheads         int64 // GOAHEAD messages sent
+	EncPackets       int64 // ENC messages sent
+	DroppedReplies   int64 // unwanted replies silently discarded
+	ResentRequests   int64 // requests resent after RETRY/ALLOW
+	FailedCancels    int64 // kernel Cancel calls that failed
+}
+
+// Transport is one LYNX process's Charlotte binding.
+type Transport struct {
+	env   *sim.Env
+	kp    *charlotte.Process
+	sink  func(core.Event)
+	proc  *sim.Proc // the LYNX process's simproc
+	pump  *sim.Proc
+	stats Stats
+
+	ends map[charlotte.EndRef]*endState
+	// bufCap is the receive buffer capacity posted with every kernel
+	// Receive (the run-time package uses maximum-size buffers).
+	bufCap int
+	dead   bool
+}
+
+var _ core.Transport = (*Transport)(nil)
+var _ core.Capable = (*Transport)(nil)
+
+// endState is the binding's per-link-end protocol state.
+type endState struct {
+	ref     charlotte.EndRef
+	dead    bool
+	wantReq bool
+	wantRep bool
+
+	// recvPosted: a kernel receive activity is outstanding.
+	recvPosted bool
+	// recvBusy: a context is mid-Receive/Cancel kernel call; re-entrant
+	// adjustReceive must back off and reconverge later.
+	recvBusy bool
+	// sendBusy: a kernel send activity is outstanding on this end.
+	sendBusy bool
+	// sendQ: kernel messages waiting for the send slot, FIFO. Control
+	// messages jump the queue.
+	sendQ []*kmsg
+	// curSend is the kernel message occupying the send slot.
+	curSend *kmsg
+
+	// Outbound LYNX messages in protocol flight (at most one per kind,
+	// by core's stop-and-wait).
+	outbound map[core.MsgKind]*outMsg
+
+	// Inbound multi-enclosure assembly.
+	partial *inAssembly
+
+	// bounceable maps request seq -> outMsg for requests the kernel has
+	// delivered but whose LYNX-level acceptance is still unknown: a
+	// RETRY/FORBID naming that seq means the receiver bounced it and it
+	// must be resent; an incoming reply with that seq confirms it.
+	bounceable map[uint64]*outMsg
+
+	// weForbade: we sent FORBID and owe an ALLOW once our request queue
+	// opens or we have no receive posted.
+	weForbade bool
+	// peerForbade: peer sent FORBID; requests wait for ALLOW.
+	peerForbade bool
+	// stashed requests forbidden or retried, to resend.
+	stashed []*outMsg
+}
+
+// kmsg is one kernel message queued for the end's send slot.
+type kmsg struct {
+	payload   []byte
+	enclosure charlotte.EndRef
+	isData    bool // first packet of a LYNX message (cancellable)
+	// onSent runs when the kernel reports the send activity complete
+	// (the far side received it).
+	onSent func(p *sim.Proc, ok bool)
+}
+
+// outMsg tracks one LYNX message through the multi-packet protocol.
+type outMsg struct {
+	wire *core.WireMsg
+	tag  uint64
+	encl []charlotte.EndRef
+	// state
+	firstSent    bool
+	awaitGoahead bool
+	nextEnc      int // index of next enclosure to ship (≥1; #0 rode the first packet)
+	cancelled    bool
+	delivered    bool
+}
+
+// inAssembly collects a multi-enclosure message on the receive side.
+type inAssembly struct {
+	wire     *core.WireMsg
+	needEncl int
+	gotEncl  []charlotte.EndRef
+}
+
+// New creates the binding for one LYNX process hosted on the given
+// Charlotte kernel process. bufCap is the maximum message size.
+func New(env *sim.Env, kp *charlotte.Process, bufCap int) *Transport {
+	return &Transport{
+		env:    env,
+		kp:     kp,
+		ends:   make(map[charlotte.EndRef]*endState),
+		bufCap: bufCap,
+	}
+}
+
+// Stats returns the binding's protocol counters.
+func (tr *Transport) Stats() *Stats { return &tr.stats }
+
+// KernelProcess returns the underlying Charlotte process (harness use).
+func (tr *Transport) KernelProcess() *charlotte.Process { return tr.kp }
+
+// Capabilities implements core.Capable: Charlotte cannot reject unwanted
+// replies (no final acknowledgment) nor guarantee enclosure recovery
+// across crashes (§3.2.2).
+func (tr *Transport) Capabilities() core.Capabilities {
+	return core.Capabilities{}
+}
+
+// SetSink implements core.Transport and starts the completion pump: a
+// helper context that performs the process's kernel Wait calls and runs
+// the protocol state machine on each completion.
+func (tr *Transport) SetSink(sink func(core.Event), sp *sim.Proc) {
+	tr.sink = sink
+	tr.proc = sp
+	tr.pump = tr.env.Spawn(fmt.Sprintf("chbind.pump.p%d", tr.kp.ID()), func(p *sim.Proc) {
+		for {
+			d := tr.kp.Wait(p)
+			tr.handleCompletion(p, d)
+		}
+	})
+}
+
+// AdoptBootEnd registers an end assigned before startup (loader wiring).
+func (tr *Transport) AdoptBootEnd(ref charlotte.EndRef) core.TransEnd {
+	tr.ensureEnd(ref)
+	return ref
+}
+
+func (tr *Transport) ensureEnd(ref charlotte.EndRef) *endState {
+	es, ok := tr.ends[ref]
+	if !ok {
+		es = &endState{
+			ref:        ref,
+			outbound:   make(map[core.MsgKind]*outMsg),
+			bounceable: make(map[uint64]*outMsg),
+		}
+		tr.ends[ref] = es
+	}
+	return es
+}
+
+// MakeLink implements core.Transport.
+func (tr *Transport) MakeLink() (core.TransEnd, core.TransEnd, error) {
+	e1, e2, st := tr.kp.MakeLink(tr.proc)
+	if st != charlotte.OK {
+		return nil, nil, fmt.Errorf("chbind: MakeLink: %v", st)
+	}
+	tr.ensureEnd(e1)
+	tr.ensureEnd(e2)
+	return e1, e2, nil
+}
+
+// Destroy implements core.Transport.
+func (tr *Transport) Destroy(te core.TransEnd) error {
+	ref := te.(charlotte.EndRef)
+	es := tr.ensureEnd(ref)
+	es.dead = true
+	st := tr.kp.Destroy(tr.proc, ref)
+	if st != charlotte.OK && st != charlotte.Destroyed {
+		return fmt.Errorf("chbind: Destroy: %v", st)
+	}
+	return nil
+}
+
+// SetInterest implements core.Transport: adjust the posted kernel
+// receive to match what the run-time package currently wants, cancelling
+// it when nothing is wanted (the Cancel may fail — that is how unwanted
+// messages happen).
+func (tr *Transport) SetInterest(te core.TransEnd, wantRequests, wantReplies bool) {
+	ref := te.(charlotte.EndRef)
+	es := tr.ensureEnd(ref)
+	es.wantReq, es.wantRep = wantRequests, wantReplies
+	if es.dead {
+		return
+	}
+	// Owing an ALLOW and now willing to receive requests? Send it.
+	if es.weForbade && es.wantReq {
+		tr.sendAllow(tr.proc, es)
+	}
+	tr.adjustReceive(tr.proc, es)
+}
+
+// sendAllow lifts a FORBID we issued earlier.
+func (tr *Transport) sendAllow(p *sim.Proc, es *endState) {
+	if !es.weForbade || es.dead {
+		return
+	}
+	es.weForbade = false
+	tr.stats.Allows++
+	tr.sendCtrl(p, es, ctrlAllow, charlotte.EndRef{}, nil)
+}
+
+// adjustReceive posts or cancels the kernel receive according to current
+// interest and protocol obligations. It reconverges until stable (the
+// desired state can change while a kernel call parks us).
+func (tr *Transport) adjustReceive(p *sim.Proc, es *endState) {
+	for {
+		if es.dead || es.recvBusy {
+			return
+		}
+		want := es.wantReq || es.wantRep || es.peerForbade || es.partial != nil || tr.expectingCtrl(es)
+		if want == es.recvPosted {
+			return
+		}
+		es.recvBusy = true
+		if want {
+			// Mark posted optimistically; roll back on failure.
+			es.recvPosted = true
+			st := tr.kp.Receive(p, es.ref, tr.bufCap)
+			es.recvBusy = false
+			if st != charlotte.OK {
+				es.recvPosted = false
+				if st == charlotte.Destroyed {
+					tr.endDied(es)
+				}
+				return
+			}
+		} else {
+			st := tr.kp.Cancel(p, es.ref, charlotte.RecvDir)
+			es.recvBusy = false
+			if st == charlotte.OK {
+				es.recvPosted = false
+				// With no receive posted the kernel delays senders; any
+				// FORBID we owe can be lifted (retransmissions are
+				// delayed anyway).
+				if es.weForbade {
+					tr.sendAllow(p, es)
+				}
+			} else {
+				// Cancel failed: a message is on its way in. The
+				// completion handler will deal with it (and likely
+				// bounce it).
+				tr.stats.FailedCancels++
+				return
+			}
+		}
+	}
+}
+
+// expectingCtrl reports whether this end awaits a protocol message
+// (goahead for an outbound multi-enclosure request, or an ALLOW after
+// the peer forbade us while we still have stashed traffic).
+func (tr *Transport) expectingCtrl(es *endState) bool {
+	for _, om := range es.outbound {
+		if om.awaitGoahead {
+			return true
+		}
+	}
+	return len(es.stashed) > 0
+}
+
+// StartSend implements core.Transport.
+func (tr *Transport) StartSend(te core.TransEnd, m *core.WireMsg, tag uint64) error {
+	ref := te.(charlotte.EndRef)
+	es := tr.ensureEnd(ref)
+	if es.dead {
+		return core.ErrLinkDestroyed
+	}
+	encl := make([]charlotte.EndRef, len(m.Encl))
+	for i, e := range m.Encl {
+		encl[i] = e.(charlotte.EndRef)
+	}
+	om := &outMsg{wire: m, tag: tag, encl: encl}
+	es.outbound[m.Kind] = om
+	// An enclosed end must have no outstanding kernel activities: the
+	// run-time package "never tries to send on a moving end"; it also
+	// withdraws its posted receives before the move (SetInterest will
+	// repost if the move fails).
+	for _, ref := range encl {
+		ees := tr.ensureEnd(ref)
+		if ees.recvPosted && !ees.recvBusy {
+			if st := tr.kp.Cancel(tr.proc, ref, charlotte.RecvDir); st == charlotte.OK {
+				ees.recvPosted = false
+			} else {
+				tr.stats.FailedCancels++
+			}
+		}
+		if ees.sendBusy || ees.recvPosted || len(ees.sendQ) > 0 {
+			// A message is arriving on (or leaving) the end being moved:
+			// the move cannot proceed right now. Surface a retryable
+			// failure instead of wedging the kernel.
+			delete(es.outbound, m.Kind)
+			return core.ErrEndMoving
+		}
+	}
+	if m.Kind == core.KindRequest && es.peerForbade {
+		// Requests are forbidden: stash until ALLOW.
+		es.stashed = append(es.stashed, om)
+		return nil
+	}
+	tr.shipFirstPacket(tr.proc, es, om)
+	return nil
+}
+
+// shipFirstPacket queues the first kernel packet of a LYNX message.
+func (tr *Transport) shipFirstPacket(p *sim.Proc, es *endState, om *outMsg) {
+	payload, err := om.wire.Encode()
+	if err == nil && len(payload)+1 > tr.bufCap {
+		err = fmt.Errorf("chbind: message %dB exceeds buffer capacity %dB", len(payload)+1, tr.bufCap)
+	}
+	if err != nil {
+		delete(es.outbound, om.wire.Kind)
+		tr.sink(core.Event{Kind: core.EvSendFailed, End: es.ref, Tag: om.tag, Err: err})
+		return
+	}
+	buf := append([]byte{byte(ctrlData)}, payload...)
+	var enc charlotte.EndRef
+	if len(om.encl) > 0 {
+		enc = om.encl[0]
+	}
+	km := &kmsg{payload: buf, enclosure: enc, isData: true, onSent: func(p *sim.Proc, ok bool) {
+		if om.cancelled {
+			return
+		}
+		if !ok {
+			// The kernel rejected or the link died mid-protocol; tell the
+			// run-time package so the sending coroutine unblocks.
+			if !om.delivered {
+				delete(es.outbound, om.wire.Kind)
+				tr.sink(core.Event{Kind: core.EvSendFailed, End: es.ref, Tag: om.tag, Err: core.ErrLinkDestroyed})
+			}
+			return
+		}
+		om.firstSent = true
+		switch {
+		case len(om.encl) > 1 && om.wire.Kind == core.KindRequest:
+			// Wait for GOAHEAD before shipping more enclosures (the
+			// receiver must prove it wants the request).
+			om.awaitGoahead = true
+			tr.adjustReceive(p, es)
+		case len(om.encl) > 1:
+			// Replies are always wanted: no goahead needed (figure 2).
+			om.nextEnc = 1
+			tr.shipNextEnc(p, es, om)
+		default:
+			tr.deliverComplete(p, es, om)
+		}
+	}}
+	tr.enqueueKernel(p, es, km)
+}
+
+// shipNextEnc sends the next ENC packet, or completes the message.
+func (tr *Transport) shipNextEnc(p *sim.Proc, es *endState, om *outMsg) {
+	if om.nextEnc >= len(om.encl) {
+		tr.deliverComplete(p, es, om)
+		return
+	}
+	idx := om.nextEnc
+	om.nextEnc++
+	tr.stats.EncPackets++
+	km := &kmsg{
+		payload:   []byte{byte(ctrlEnc), byte(om.wire.Kind)},
+		enclosure: om.encl[idx],
+		onSent: func(p *sim.Proc, ok bool) {
+			if !ok || om.cancelled {
+				return
+			}
+			tr.shipNextEnc(p, es, om)
+		},
+	}
+	tr.enqueueKernel(p, es, km)
+}
+
+// deliverComplete reports the whole LYNX message received. For requests
+// the kernel-level completion is only a provisional acknowledgment: the
+// receiver may still bounce the message with RETRY/FORBID, so the record
+// stays bounceable until a reply with its seq arrives. EvDelivered fires
+// only once; resends after a bounce are invisible to the run-time
+// package (its reply matching is by seq, so transparency is safe).
+func (tr *Transport) deliverComplete(p *sim.Proc, es *endState, om *outMsg) {
+	if om.wire.Kind == core.KindRequest && !om.cancelled {
+		es.bounceable[om.wire.Seq] = om
+	}
+	if om.delivered {
+		return
+	}
+	om.delivered = true
+	delete(es.outbound, om.wire.Kind)
+	tr.sink(core.Event{Kind: core.EvDelivered, End: es.ref, Tag: om.tag})
+	tr.adjustReceive(p, es)
+}
+
+// enqueueKernel queues a kernel message for the end's single send slot.
+func (tr *Transport) enqueueKernel(p *sim.Proc, es *endState, km *kmsg) {
+	es.sendQ = append(es.sendQ, km)
+	tr.pumpSend(p, es)
+}
+
+// sendCtrl queues a control message at the front of the send queue.
+// extra carries protocol payload (the bounced request's seq for
+// RETRY/FORBID).
+func (tr *Transport) sendCtrl(p *sim.Proc, es *endState, c ctrl, enclosure charlotte.EndRef, extra []byte) {
+	km := &kmsg{payload: append([]byte{byte(c)}, extra...), enclosure: enclosure, onSent: func(*sim.Proc, bool) {}}
+	// Control messages preempt queued data packets.
+	es.sendQ = append([]*kmsg{km}, es.sendQ...)
+	tr.pumpSend(p, es)
+}
+
+// pumpSend starts the next kernel send if the slot is free. State is
+// updated before the (parking) kernel call so interleaved contexts see a
+// busy slot.
+func (tr *Transport) pumpSend(p *sim.Proc, es *endState) {
+	if es.sendBusy || es.dead || len(es.sendQ) == 0 {
+		return
+	}
+	km := es.sendQ[0]
+	es.sendQ = es.sendQ[0:copy(es.sendQ, es.sendQ[1:])]
+	es.sendBusy = true
+	es.curSend = km
+	st := tr.kp.Send(p, es.ref, km.payload, km.enclosure)
+	if st != charlotte.OK {
+		es.sendBusy = false
+		es.curSend = nil
+		km.onSent(p, false)
+		if st == charlotte.Destroyed {
+			tr.endDied(es)
+		}
+		return
+	}
+	tr.stats.KernelSends++
+}
+
+// handleCompletion is the pump's dispatcher for kernel Wait results.
+func (tr *Transport) handleCompletion(p *sim.Proc, d charlotte.Description) {
+	es, ok := tr.ends[d.End]
+	if !ok {
+		return
+	}
+	if d.Dir == charlotte.SendDir {
+		es.sendBusy = false
+		km := es.curSend
+		es.curSend = nil
+		if d.Status == charlotte.Destroyed {
+			tr.endDied(es)
+			return
+		}
+		if km != nil {
+			km.onSent(p, d.Status == charlotte.OK)
+		}
+		tr.pumpSend(p, es)
+		return
+	}
+	// Receive completion.
+	es.recvPosted = false
+	if d.Status == charlotte.Destroyed {
+		tr.endDied(es)
+		return
+	}
+	if d.Status == charlotte.OK || d.Status == charlotte.Truncated {
+		tr.handleInbound(p, es, d)
+	}
+	tr.adjustReceive(p, es)
+}
+
+// endDied propagates link death into the run-time package.
+func (tr *Transport) endDied(es *endState) {
+	if es.dead {
+		return
+	}
+	es.dead = true
+	for _, om := range es.outbound {
+		if !om.delivered {
+			tr.sink(core.Event{Kind: core.EvSendFailed, End: es.ref, Tag: om.tag, Err: core.ErrLinkDestroyed})
+		}
+	}
+	es.outbound = make(map[core.MsgKind]*outMsg)
+	es.stashed = nil
+	es.bounceable = make(map[uint64]*outMsg)
+	tr.sink(core.Event{Kind: core.EvLinkDead, End: es.ref, Err: core.ErrLinkDestroyed})
+}
+
+// handleInbound runs the receive-side protocol.
+func (tr *Transport) handleInbound(p *sim.Proc, es *endState, d charlotte.Description) {
+	if len(d.Data) == 0 {
+		return
+	}
+	c := ctrl(d.Data[0])
+	body := d.Data[1:]
+	switch c {
+	case ctrlData:
+		tr.handleDataPacket(p, es, d, body)
+	case ctrlEnc:
+		tr.handleEncPacket(es, d)
+	case ctrlGoahead:
+		for _, om := range es.outbound {
+			if om.awaitGoahead {
+				om.awaitGoahead = false
+				om.nextEnc = 1
+				tr.shipNextEnc(p, es, om)
+				break
+			}
+		}
+	case ctrlRetry:
+		// Our request came back; the peer has no receive posted now, so
+		// resending will be delayed by the kernel until it re-opens.
+		tr.recoverReturnedEnclosure(d)
+		tr.requeueBouncedRequest(es, parseSeq(body))
+		tr.resendStashed(p, es)
+	case ctrlForbid:
+		es.peerForbade = true
+		tr.recoverReturnedEnclosure(d)
+		tr.requeueBouncedRequest(es, parseSeq(body))
+	case ctrlAllow:
+		es.peerForbade = false
+		tr.resendStashed(p, es)
+	}
+}
+
+// requeueBouncedRequest pulls the bounced request (identified by seq in
+// the RETRY/FORBID payload) back into the stash for resending.
+func (tr *Transport) requeueBouncedRequest(es *endState, seq uint64) {
+	om := es.bounceable[seq]
+	if om == nil {
+		// Maybe still protocol-in-flight (multi-enclosure awaiting
+		// goahead that turned into a bounce instead).
+		if o, ok := es.outbound[core.KindRequest]; ok && o.wire.Seq == seq {
+			om = o
+			om.awaitGoahead = false
+		}
+	}
+	if om == nil || om.cancelled {
+		return
+	}
+	delete(es.bounceable, seq)
+	for _, s := range es.stashed {
+		if s == om {
+			return
+		}
+	}
+	om.firstSent = false
+	es.stashed = append(es.stashed, om)
+}
+
+// seqBytes encodes a request seq for a bounce payload.
+func seqBytes(seq uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seq >> (8 * i))
+	}
+	return b
+}
+
+// parseSeq decodes a bounce payload.
+func parseSeq(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < len(b) && i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// handleDataPacket processes the first packet of a LYNX message.
+func (tr *Transport) handleDataPacket(p *sim.Proc, es *endState, d charlotte.Description, body []byte) {
+	wire, nencl, err := core.DecodeWire(body)
+	if err != nil {
+		return
+	}
+	if wire.Kind == core.KindReply {
+		// The reply is the request's true top-level acknowledgment: the
+		// request with this seq can no longer bounce.
+		delete(es.bounceable, wire.Seq)
+	}
+	wanted := (wire.Kind == core.KindRequest && es.wantReq) ||
+		(wire.Kind == core.KindReply && es.wantRep)
+	if !wanted {
+		tr.stats.UnwantedMessages++
+		if wire.Kind == core.KindReply {
+			// Replies can always be discarded if unwanted (§3.2.1); no
+			// acknowledgment exists to tell the sender.
+			tr.stats.DroppedReplies++
+			return
+		}
+		// Unwanted request: bounce it. If we are awaiting a reply we
+		// must keep our receive posted, so a bare RETRY would invite
+		// endless retransmission — send FORBID instead.
+		if es.wantRep {
+			tr.stats.Forbids++
+			es.weForbade = true
+			tr.sendCtrl(p, es, ctrlForbid, d.Enclosure, seqBytes(wire.Seq))
+		} else {
+			tr.stats.Retries++
+			tr.sendCtrl(p, es, ctrlRetry, d.Enclosure, seqBytes(wire.Seq))
+		}
+		return
+	}
+	var got []charlotte.EndRef
+	if !d.Enclosure.Nil() {
+		got = append(got, d.Enclosure)
+	}
+	if nencl > len(got) {
+		// Multi-enclosure: assemble, and for requests tell the sender to
+		// go ahead with the remaining ends.
+		es.partial = &inAssembly{wire: wire, needEncl: nencl, gotEncl: got}
+		if wire.Kind == core.KindRequest {
+			tr.stats.Goaheads++
+			tr.sendCtrl(p, es, ctrlGoahead, charlotte.EndRef{}, nil)
+		}
+		return
+	}
+	tr.finishInbound(es, wire, got)
+}
+
+// handleEncPacket attaches one more enclosure to the partial message.
+func (tr *Transport) handleEncPacket(es *endState, d charlotte.Description) {
+	pa := es.partial
+	if pa == nil || d.Enclosure.Nil() {
+		return
+	}
+	pa.gotEncl = append(pa.gotEncl, d.Enclosure)
+	if len(pa.gotEncl) >= pa.needEncl {
+		es.partial = nil
+		tr.finishInbound(es, pa.wire, pa.gotEncl)
+	}
+}
+
+// finishInbound surfaces a complete wanted message to the run-time
+// package.
+func (tr *Transport) finishInbound(es *endState, wire *core.WireMsg, encl []charlotte.EndRef) {
+	wire.Encl = make([]core.TransEnd, len(encl))
+	for i, ref := range encl {
+		tr.ensureEnd(ref)
+		wire.Encl[i] = ref
+	}
+	tr.sink(core.Event{Kind: core.EvIncoming, End: es.ref, Msg: wire})
+}
+
+// recoverReturnedEnclosure re-adopts an end the peer sent back in a
+// RETRY/FORBID bounce.
+func (tr *Transport) recoverReturnedEnclosure(d charlotte.Description) {
+	if !d.Enclosure.Nil() {
+		tr.ensureEnd(d.Enclosure)
+	}
+}
+
+// resendStashed re-ships bounced requests.
+func (tr *Transport) resendStashed(p *sim.Proc, es *endState) {
+	if es.peerForbade {
+		return
+	}
+	stash := es.stashed
+	es.stashed = nil
+	for _, om := range stash {
+		// delivered does NOT disqualify: a bounced request has already
+		// had its (provisional) EvDelivered and must still be resent.
+		if om.cancelled {
+			continue
+		}
+		tr.stats.ResentRequests++
+		tr.shipFirstPacket(p, es, om)
+	}
+}
+
+// CancelSend implements core.Transport.
+func (tr *Transport) CancelSend(te core.TransEnd, tag uint64) bool {
+	ref := te.(charlotte.EndRef)
+	es := tr.ensureEnd(ref)
+	for kind, om := range es.outbound {
+		if om.tag != tag {
+			continue
+		}
+		om.cancelled = true
+		delete(es.outbound, kind)
+		// Remove from stash if bounced.
+		for i, s := range es.stashed {
+			if s == om {
+				es.stashed = append(es.stashed[:i], es.stashed[i+1:]...)
+				break
+			}
+		}
+		if om.firstSent {
+			// First packet already received by the peer: too late.
+			tr.stats.FailedCancels++
+			return false
+		}
+		// Maybe still occupying our kernel send slot: try to recall it.
+		if es.sendBusy && es.curSend != nil && es.curSend.isData {
+			st := tr.kp.Cancel(tr.proc, es.ref, charlotte.SendDir)
+			if st == charlotte.OK {
+				es.sendBusy = false
+				es.curSend = nil
+				tr.pumpSend(tr.proc, es)
+				return true
+			}
+			tr.stats.FailedCancels++
+			return false
+		}
+		// Still in the binding queue: remove it.
+		for i, km := range es.sendQ {
+			if km.isData {
+				es.sendQ = append(es.sendQ[:i], es.sendQ[i+1:]...)
+				break
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Shutdown implements core.Transport: kernel-level process termination
+// destroys all links; the pump is stopped.
+func (tr *Transport) Shutdown() {
+	if tr.dead {
+		return
+	}
+	tr.dead = true
+	tr.kp.Terminate()
+	if tr.pump != nil {
+		tr.pump.Kill()
+	}
+}

@@ -1,0 +1,446 @@
+package chbind_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	chbind "repro/internal/bind/charlotte"
+	"repro/internal/calib"
+	"repro/internal/charlotte"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// rig assembles a Charlotte kernel plus two LYNX processes joined by a
+// boot link.
+type rig struct {
+	env    *sim.Env
+	kernel *charlotte.Kernel
+	trA    *chbind.Transport
+	trB    *chbind.Transport
+}
+
+func newRig() (*rig, charlotte.EndRef, charlotte.EndRef) {
+	env := sim.NewEnv(1)
+	net := netsim.NewTokenRing(20)
+	k := charlotte.NewKernel(env, net, calib.DefaultCharlotte())
+	kpA := k.NewProcess(0)
+	kpB := k.NewProcess(1)
+	ea, eb := k.BootLink(kpA, kpB)
+	r := &rig{
+		env:    env,
+		kernel: k,
+		trA:    chbind.New(env, kpA, 4096),
+		trB:    chbind.New(env, kpB, 4096),
+	}
+	return r, ea, eb
+}
+
+// newPair builds the rig and both processes in one call.
+func newPair(t *testing.T, mainA, mainB func(*core.Thread, *core.End)) (*rig, *core.Process, *core.Process) {
+	r, ea, eb := newRig()
+	costs := calib.DefaultCharlotteRuntime()
+	pa := core.NewProcess(r.env, "A", r.trA, costs, func(th *core.Thread) {
+		mainA(th, th.AdoptBootEnd(r.trA.AdoptBootEnd(ea)))
+	})
+	pb := core.NewProcess(r.env, "B", r.trB, costs, func(th *core.Thread) {
+		mainB(th, th.AdoptBootEnd(r.trB.AdoptBootEnd(eb)))
+	})
+	return r, pa, pb
+}
+
+func TestCharlotteSimpleRPC(t *testing.T) {
+	var rtt sim.Duration
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			start := th.Now()
+			reply, err := th.Connect(e, "echo", core.Msg{Data: []byte("ping")})
+			if err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			rtt = sim.Duration(th.Now() - start)
+			if string(reply.Data) != "ping" {
+				t.Errorf("reply %q", reply.Data)
+			}
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				st.Reply(req, core.Msg{Data: req.Data()})
+			})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ms := rtt.Milliseconds()
+	// Paper: simple remote operation ≈ 57 ms under LYNX on Charlotte.
+	if ms < 50 || ms > 64 {
+		t.Fatalf("LYNX/Charlotte RTT = %.2f ms, want ≈ 57 ms", ms)
+	}
+}
+
+func TestCharlottePayloadSlope(t *testing.T) {
+	// 1000 bytes each way should land near the paper's 65 ms.
+	var rtt sim.Duration
+	payload := make([]byte, 1000)
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			start := th.Now()
+			if _, err := th.Connect(e, "echo", core.Msg{Data: payload}); err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			rtt = sim.Duration(th.Now() - start)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				st.Reply(req, core.Msg{Data: req.Data()})
+			})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ms := rtt.Milliseconds()
+	if ms < 58 || ms > 72 {
+		t.Fatalf("LYNX/Charlotte 1000B RTT = %.2f ms, want ≈ 65 ms", ms)
+	}
+}
+
+func TestCharlotteSingleEnclosureMove(t *testing.T) {
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			mine, theirs, err := th.NewLink()
+			if err != nil {
+				t.Errorf("NewLink: %v", err)
+				return
+			}
+			if _, err := th.Connect(e, "take", core.Msg{Links: []*core.End{theirs}}); err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			reply, err := th.Connect(mine, "over-moved", core.Msg{Data: []byte("x")})
+			if err != nil {
+				t.Errorf("Connect over moved link: %v", err)
+				return
+			}
+			if string(reply.Data) != "x!" {
+				t.Errorf("reply %q", reply.Data)
+			}
+			th.Destroy(mine)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			req, err := th.Receive(e)
+			if err != nil {
+				t.Errorf("Receive: %v", err)
+				return
+			}
+			if len(req.Links()) != 1 {
+				t.Errorf("enclosures: %d", len(req.Links()))
+				return
+			}
+			th.Serve(req.Links()[0], func(st *core.Thread, r2 *core.Request) {
+				st.Reply(r2, core.Msg{Data: append(r2.Data(), '!')})
+			})
+			th.Reply(req, core.Msg{})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharlotteMultiEnclosureUsesGoaheadAndEnc(t *testing.T) {
+	// Moving 3 ends in one request: first packet + goahead + 2 enc
+	// packets (figure 2).
+	const nLinks = 3
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			var keep, give []*core.End
+			for i := 0; i < nLinks; i++ {
+				m, tother, err := th.NewLink()
+				if err != nil {
+					t.Errorf("NewLink: %v", err)
+					return
+				}
+				keep = append(keep, m)
+				give = append(give, tother)
+			}
+			if _, err := th.Connect(e, "takeN", core.Msg{Links: give}); err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			// All three moved links must work.
+			for i, m := range keep {
+				reply, err := th.Connect(m, "ping", core.Msg{Data: []byte{byte(i)}})
+				if err != nil {
+					t.Errorf("link %d: %v", i, err)
+					continue
+				}
+				if len(reply.Data) != 1 || reply.Data[0] != byte(i)+1 {
+					t.Errorf("link %d reply %v", i, reply.Data)
+				}
+			}
+			for _, m := range keep {
+				th.Destroy(m)
+			}
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			req, err := th.Receive(e)
+			if err != nil {
+				t.Errorf("Receive: %v", err)
+				return
+			}
+			if len(req.Links()) != nLinks {
+				t.Errorf("got %d enclosures, want %d", len(req.Links()), nLinks)
+			}
+			for _, l := range req.Links() {
+				th.Serve(l, func(st *core.Thread, r2 *core.Request) {
+					st.Reply(r2, core.Msg{Data: []byte{r2.Data()[0] + 1}})
+				})
+			}
+			th.Reply(req, core.Msg{})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.trA.Stats()
+	if st.EncPackets != nLinks-1 {
+		t.Errorf("enc packets = %d, want %d", st.EncPackets, nLinks-1)
+	}
+	if r.trB.Stats().Goaheads != 1 {
+		t.Errorf("goaheads = %d, want 1", r.trB.Stats().Goaheads)
+	}
+}
+
+func TestCharlotteMultiEnclosureReplyNoGoahead(t *testing.T) {
+	// Replies with several enclosures need no goahead (always wanted).
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			reply, err := th.Connect(e, "gimme", core.Msg{})
+			if err != nil {
+				t.Errorf("Connect: %v", err)
+				return
+			}
+			if len(reply.Links) != 2 {
+				t.Errorf("reply enclosures = %d", len(reply.Links))
+			}
+			for _, l := range reply.Links {
+				th.Destroy(l)
+			}
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				_, g1, _ := st.NewLink()
+				_, g2, _ := st.NewLink()
+				st.Reply(req, core.Msg{Links: []*core.End{g1, g2}})
+			})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.trB.Stats().EncPackets != 1 {
+		t.Errorf("enc packets = %d, want 1", r.trB.Stats().EncPackets)
+	}
+	if r.trA.Stats().Goaheads != 0 {
+		t.Errorf("goaheads = %d, want 0", r.trA.Stats().Goaheads)
+	}
+}
+
+func TestCharlotteUnwantedRequestBounced(t *testing.T) {
+	// B requests an operation on the same link in the reverse direction
+	// while A awaits a reply with its request queue closed: A receives
+	// B's request unintentionally and must FORBID (§3.2.1 scenario 1).
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			// A connects; its request queue stays closed.
+			if _, err := th.Connect(e, "svc", core.Msg{}); err != nil {
+				t.Errorf("A connect: %v", err)
+			}
+			// Now open the queue and serve B's reverse request.
+			req, err := th.Receive(e)
+			if err != nil {
+				t.Errorf("A receive: %v", err)
+				return
+			}
+			if err := th.Reply(req, core.Msg{Data: []byte("late-ok")}); err != nil {
+				t.Errorf("A reply: %v", err)
+			}
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			// B: serve A's request, but first fire a reverse request from
+			// another coroutine so it races ahead of the reply.
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				st.Sleep(200 * sim.Millisecond) // let the reverse request go first
+				st.Reply(req, core.Msg{})
+			})
+			rep, err := th.Connect(e, "reverse", core.Msg{})
+			if err != nil {
+				t.Errorf("B reverse connect: %v", err)
+				return
+			}
+			if string(rep.Data) != "late-ok" {
+				t.Errorf("reverse reply %q", rep.Data)
+			}
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A must have bounced at least one unwanted message with FORBID
+	// (it was awaiting a reply, so RETRY alone would not suppress
+	// retransmission).
+	if r.trA.Stats().UnwantedMessages == 0 {
+		t.Error("no unwanted messages recorded at A")
+	}
+	if r.trA.Stats().Forbids == 0 {
+		t.Error("no FORBID sent by A")
+	}
+	if r.trA.Stats().Allows == 0 {
+		t.Error("no ALLOW sent by A")
+	}
+	if r.trB.Stats().ResentRequests == 0 {
+		t.Error("B never resent the forbidden request")
+	}
+}
+
+func TestCharlotteDestroyNotifiesPeer(t *testing.T) {
+	var errB error
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			th.Sleep(10 * sim.Millisecond)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			_, errB = th.Connect(e, "op", core.Msg{})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errB, core.ErrLinkDestroyed) {
+		t.Fatalf("B error = %v, want ErrLinkDestroyed", errB)
+	}
+}
+
+func TestCharlotteCrashDestroysLinks(t *testing.T) {
+	var errA error
+	r, _, pb := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			_, errA = th.Connect(e, "op", core.Msg{})
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Sleep(5 * sim.Millisecond)
+			th.Process().Crash()
+			th.Sleep(time1)
+		},
+	)
+	_ = pb
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errA, core.ErrLinkDestroyed) {
+		t.Fatalf("A error = %v, want ErrLinkDestroyed", errA)
+	}
+}
+
+const time1 = sim.Millisecond
+
+func TestCharlotteManySequentialOps(t *testing.T) {
+	const n = 20
+	got := 0
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			for i := 0; i < n; i++ {
+				reply, err := th.Connect(e, "add", core.Msg{Data: []byte{byte(i)}})
+				if err != nil {
+					t.Errorf("op %d: %v", i, err)
+					return
+				}
+				if reply.Data[0] != byte(i+1) {
+					t.Errorf("op %d: got %d", i, reply.Data[0])
+				}
+				got++
+			}
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				st.Reply(req, core.Msg{Data: []byte{req.Data()[0] + 1}})
+			})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("completed %d/%d ops", got, n)
+	}
+	// Two kernel messages per op in the simple case (plus boot noise).
+	perOp := float64(r.kernel.Stats().Messages) / float64(n)
+	if perOp > 2.5 {
+		t.Errorf("%.1f kernel messages per simple op, want ≈ 2", perOp)
+	}
+}
+
+func TestCharlotteAbortedConnectorDropsReply(t *testing.T) {
+	// The client coroutine aborts after its request is received; the
+	// client keeps a receive posted (its request queue is open), so the
+	// no-longer-wanted reply is physically received and silently
+	// discarded — and the server's Reply completes WITHOUT an exception.
+	// This is §3.2.2's documented Charlotte deviation: "the server should
+	// feel an exception... Such exceptions are not provided under
+	// Charlotte".
+	var replyErr error
+	replied := false
+	r, _, _ := newPair(t,
+		func(th *core.Thread, e *core.End) {
+			victim := th.Fork("victim", func(tv *core.Thread) {
+				tv.Connect(e, "slow", core.Msg{})
+			})
+			th.Sleep(100 * sim.Millisecond) // request delivered; server replying slowly
+			th.Abort(victim)
+			// Keep a kernel receive posted so the unwanted reply actually
+			// arrives (open request queue).
+			th.OpenRequests(e)
+			th.Sleep(400 * sim.Millisecond) // reply arrives, gets dropped
+			th.CloseRequests(e)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				st.Sleep(150 * sim.Millisecond)
+				replyErr = st.Reply(req, core.Msg{})
+				replied = true
+			})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !replied {
+		t.Fatal("server never completed its reply")
+	}
+	if replyErr != nil {
+		t.Fatalf("server felt %v; Charlotte must NOT deliver reply exceptions", replyErr)
+	}
+	if r.trA.Stats().DroppedReplies == 0 {
+		t.Fatal("reply was not recorded as dropped")
+	}
+}
+
+func TestCharlotteStatsString(t *testing.T) {
+	var s chbind.Stats
+	_ = fmt.Sprintf("%+v", s)
+}

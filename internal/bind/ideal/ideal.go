@@ -1,0 +1,305 @@
+// Package ideal implements the core.Transport contract over a perfect
+// in-memory fabric: reliable, screening-aware, multi-enclosure message
+// delivery with configurable latency.
+//
+// §6 of the paper observes that "the 'ideal operating system' probably
+// lies at one of two extremes: it either provides everything the
+// language needs, or else provides almost nothing, but in a flexible and
+// efficient form". This binding is the first extreme, built as a
+// perfectly-fitting kernel for LYNX. It serves two purposes: a reference
+// implementation of the Transport contract for the core runtime's tests,
+// and the "everything the language needs" baseline column in the
+// experiment harness.
+package ideal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Fabric is the shared medium connecting ideal transports: the analogue
+// of one kernel instance.
+type Fabric struct {
+	env      *sim.Env
+	nextLink int
+	links    map[int]*link
+	// Latency is the fixed one-way message latency; PerByte adds a
+	// payload-proportional component.
+	Latency sim.Duration
+	PerByte sim.Duration
+}
+
+// NewFabric creates a fabric with the given base latency.
+func NewFabric(env *sim.Env, latency sim.Duration, perByte sim.Duration) *Fabric {
+	return &Fabric{
+		env:     env,
+		links:   make(map[int]*link),
+		Latency: latency,
+		PerByte: perByte,
+	}
+}
+
+// EndID is the fabric's transport-end handle (comparable, as core
+// requires).
+type EndID struct {
+	Link int
+	Side int
+}
+
+func (e EndID) String() string { return fmt.Sprintf("ideal<%d.%d>", e.Link, e.Side) }
+
+type link struct {
+	id   int
+	dead bool
+	ends [2]endState
+}
+
+type endState struct {
+	owner    *Transport
+	wantReq  bool
+	wantRep  bool
+	inFlight map[uint64]*flight // tag -> undelivered send FROM this end
+	// held are arrived-but-unwanted messages parked at the receiving
+	// side until interest opens (the ideal kernel screens perfectly, so
+	// they are invisible to the far process).
+	held []*flight
+}
+
+type flight struct {
+	msg       *core.WireMsg
+	tag       uint64
+	from      *Transport
+	fromEnd   EndID
+	delivered bool
+	cancelled bool
+}
+
+// Transport is one process's view of the fabric.
+type Transport struct {
+	f     *Fabric
+	name  string
+	sink  func(core.Event)
+	owned map[EndID]bool
+}
+
+var _ core.Transport = (*Transport)(nil)
+var _ core.Capable = (*Transport)(nil)
+
+// NewTransport creates a process's transport.
+func (f *Fabric) NewTransport(name string) *Transport {
+	return &Transport{
+		f:     f,
+		name:  name,
+		owned: make(map[EndID]bool),
+	}
+}
+
+// SetSink implements core.Transport. The ideal fabric charges no kernel
+// CPU, so the simproc is unused.
+func (tr *Transport) SetSink(sink func(core.Event), _ *sim.Proc) { tr.sink = sink }
+
+// Capabilities reports the full feature set: the ideal kernel does
+// everything the language needs.
+func (tr *Transport) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		RejectsUnwantedReplies:    true,
+		RecoversAbortedEnclosures: true,
+	}
+}
+
+// MakeLink implements core.Transport.
+func (tr *Transport) MakeLink() (core.TransEnd, core.TransEnd, error) {
+	f := tr.f
+	f.nextLink++
+	l := &link{id: f.nextLink}
+	for i := range l.ends {
+		l.ends[i].owner = tr
+		l.ends[i].inFlight = make(map[uint64]*flight)
+	}
+	f.links[l.id] = l
+	a, b := EndID{l.id, 0}, EndID{l.id, 1}
+	tr.owned[a] = true
+	tr.owned[b] = true
+	return a, b, nil
+}
+
+func (tr *Transport) end(te core.TransEnd) (*link, EndID, *endState, error) {
+	id, ok := te.(EndID)
+	if !ok {
+		return nil, EndID{}, nil, fmt.Errorf("ideal: bad TransEnd %T", te)
+	}
+	l, ok := tr.f.links[id.Link]
+	if !ok {
+		return nil, id, nil, core.ErrLinkDestroyed
+	}
+	return l, id, &l.ends[id.Side], nil
+}
+
+// Destroy implements core.Transport.
+func (tr *Transport) Destroy(te core.TransEnd) error {
+	l, id, _, err := tr.end(te)
+	if err != nil {
+		return err
+	}
+	tr.destroyLink(l, id)
+	return nil
+}
+
+func (tr *Transport) destroyLink(l *link, cause EndID) {
+	if l.dead {
+		return
+	}
+	l.dead = true
+	for side := range l.ends {
+		es := &l.ends[side]
+		owner := es.owner
+		delete(owner.owned, EndID{l.id, side})
+		// Fail every undelivered send from this side.
+		for tag, fl := range es.inFlight {
+			fl.cancelled = true
+			delete(es.inFlight, tag)
+			owner.sink(core.Event{Kind: core.EvSendFailed, End: EndID{l.id, side}, Tag: tag, Err: core.ErrLinkDestroyed})
+		}
+		es.held = nil
+		// The destroying end learns synchronously (core handles it);
+		// every other end is notified by event.
+		if (EndID{l.id, side}) != cause {
+			owner.sink(core.Event{Kind: core.EvLinkDead, End: EndID{l.id, side}, Err: core.ErrLinkDestroyed})
+		}
+	}
+}
+
+// StartSend implements core.Transport: the message (with all enclosures)
+// crosses the fabric in one piece and is delivered as soon as the far
+// side's interest admits its kind.
+func (tr *Transport) StartSend(te core.TransEnd, m *core.WireMsg, tag uint64) error {
+	l, id, es, err := tr.end(te)
+	if err != nil {
+		return err
+	}
+	if l.dead {
+		return core.ErrLinkDestroyed
+	}
+	if es.owner != tr {
+		return core.ErrNotOwner
+	}
+	fl := &flight{msg: m, tag: tag, from: tr, fromEnd: id}
+	es.inFlight[tag] = fl
+	delay := tr.f.Latency + sim.Duration(len(m.Data))*tr.f.PerByte
+	tr.f.env.After(delay, func() {
+		if fl.cancelled || l.dead {
+			return
+		}
+		far := &l.ends[1-id.Side]
+		far.held = append(far.held, fl)
+		tr.f.flush(l, 1-id.Side)
+	})
+	return nil
+}
+
+// flush delivers held messages on l's given side that are now wanted.
+func (f *Fabric) flush(l *link, side int) {
+	es := &l.ends[side]
+	farEnd := EndID{l.id, side}
+	kept := es.held[:0]
+	for _, fl := range es.held {
+		wanted := (fl.msg.Kind == core.KindRequest && es.wantReq) ||
+			(fl.msg.Kind == core.KindReply && es.wantRep)
+		if !wanted {
+			if fl.msg.Kind == core.KindReply && !es.wantRep {
+				// The ideal kernel tells the replier immediately that
+				// the reply is unwanted, returning its enclosures.
+				src := &l.ends[fl.fromEnd.Side]
+				delete(src.inFlight, fl.tag)
+				fl.from.sink(core.Event{
+					Kind: core.EvSendFailed, End: fl.fromEnd, Tag: fl.tag,
+					Err: core.ErrUnwantedReply,
+				})
+				continue
+			}
+			kept = append(kept, fl)
+			continue
+		}
+		fl.delivered = true
+		src := &l.ends[fl.fromEnd.Side]
+		delete(src.inFlight, fl.tag)
+		// Move enclosure ownership across transports.
+		for _, enc := range fl.msg.Encl {
+			id := enc.(EndID)
+			el, ok := f.links[id.Link]
+			if !ok {
+				continue
+			}
+			ees := &el.ends[id.Side]
+			delete(ees.owner.owned, id)
+			ees.owner = es.owner
+			es.owner.owned[id] = true
+		}
+		es.owner.sink(core.Event{Kind: core.EvIncoming, End: farEnd, Msg: fl.msg})
+		fl.from.sink(core.Event{Kind: core.EvDelivered, End: fl.fromEnd, Tag: fl.tag})
+	}
+	es.held = kept
+}
+
+// CancelSend implements core.Transport: succeeds unless delivered.
+func (tr *Transport) CancelSend(te core.TransEnd, tag uint64) bool {
+	_, _, es, err := tr.end(te)
+	if err != nil {
+		return true // link gone: nothing will be received
+	}
+	fl, ok := es.inFlight[tag]
+	if !ok || fl.delivered {
+		return false
+	}
+	fl.cancelled = true
+	delete(es.inFlight, tag)
+	// Remove from the far side's held list if it already arrived there.
+	l := tr.f.links[te.(EndID).Link]
+	far := &l.ends[1-te.(EndID).Side]
+	for i, h := range far.held {
+		if h == fl {
+			far.held = append(far.held[:i], far.held[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// SetInterest implements core.Transport.
+func (tr *Transport) SetInterest(te core.TransEnd, wantRequests, wantReplies bool) {
+	l, id, es, err := tr.end(te)
+	if err != nil {
+		return
+	}
+	es.wantReq, es.wantRep = wantRequests, wantReplies
+	tr.f.flush(l, id.Side)
+}
+
+// Shutdown implements core.Transport: destroy everything still owned.
+// Must not block (it runs from kill hooks).
+func (tr *Transport) Shutdown() {
+	for id := range tr.owned {
+		if l, ok := tr.f.links[id.Link]; ok {
+			tr.destroyLink(l, id)
+		}
+	}
+}
+
+// MoveOwnership transfers a link end between transports outside any
+// message — boot-time wiring for tests and examples (the loader handing
+// a newborn process its initial links).
+func MoveOwnership(f *Fabric, from, to *Transport, id EndID) {
+	l, ok := f.links[id.Link]
+	if !ok {
+		return
+	}
+	es := &l.ends[id.Side]
+	if es.owner != from {
+		return
+	}
+	delete(from.owned, id)
+	es.owner = to
+	to.owned[id] = true
+}

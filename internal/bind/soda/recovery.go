@@ -1,0 +1,218 @@
+package sodabind
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+// This file implements §4.2's hint-failure machinery: lazy repair from
+// move caches (handled inline in sodabind.go), the discover broadcast,
+// and the freeze/unfreeze absolute search that "has the considerable
+// disadvantage of bringing every LYNX process in existence to a
+// temporary halt".
+
+// freezeNameOf is the well-known freeze name every process advertises
+// ("SODA makes it easy to guess their ids").
+func freezeNameOf(pid soda.ProcID) soda.Name {
+	return soda.Name(uint64(1)<<48 | uint64(pid))
+}
+
+// scheduleRecovery hands a stale-hint episode to the janitor, which may
+// block on discover and freeze searches. ps, when non-nil, is the data
+// put to re-post once the hint is fixed.
+func (tr *Transport) scheduleRecovery(es *endState, ps *pendingSend) {
+	if es.dead {
+		if ps != nil {
+			tr.releaseEnclosures(nil, ps)
+			tr.emit(core.Event{Kind: core.EvSendFailed, End: es.myName, Tag: ps.tag, Err: core.ErrLinkDestroyed})
+		}
+		return
+	}
+	tr.janitorWork.Put(func(p *sim.Proc) { tr.recoverHint(p, es, ps) })
+}
+
+// recoverHint runs in janitor context: discover first, then the freeze
+// search, and if everything fails the link "must be assumed destroyed".
+func (tr *Transport) recoverHint(p *sim.Proc, es *endState, ps *pendingSend) {
+	if es.dead || tr.dead {
+		return
+	}
+	for i := 0; i < tr.cfg.DiscoverRetries; i++ {
+		tr.stats.Discovers++
+		id, st := tr.kp.Discover(p, es.farName)
+		if st == soda.OK {
+			tr.hintFixed(p, es, ps, id)
+			return
+		}
+	}
+	if tr.cfg.EnableFreeze {
+		if id, ok := tr.freezeSearch(p, es.farName); ok {
+			tr.hintFixed(p, es, ps, id)
+			return
+		}
+	}
+	// "A process that is unable to find the far end of a link must
+	// assume it has been destroyed."
+	if ps != nil {
+		tr.releaseEnclosures(p, ps)
+	}
+	tr.linkDead(es)
+}
+
+// hintFixed applies a repaired hint and resumes stalled traffic.
+func (tr *Transport) hintFixed(p *sim.Proc, es *endState, ps *pendingSend, id soda.ProcID) {
+	if es.dead {
+		return
+	}
+	es.hint = id
+	tr.stats.HintFixes++
+	if ps != nil && !ps.cancel && !ps.done {
+		tr.post(p, ps)
+	}
+	if es.watch == 0 && (es.wantReq || es.wantRep) {
+		tr.postWatch(p, es)
+	}
+}
+
+// freezeSearch runs §4.2's absolute algorithm from janitor context:
+// freeze every live process, collect hints from their unfreeze
+// requests' out-of-band data, then accept the unfreeze requests so
+// everyone resumes.
+func (tr *Transport) freezeSearch(p *sim.Proc, target soda.Name) (soda.ProcID, bool) {
+	tr.stats.Freezes++
+	if tr.searchWait == nil {
+		tr.searchWait = sim.NewWaitQueue(tr.env, "sodabind.search")
+	}
+	tr.searchActive = true
+	tr.searchHint = 0
+	tr.searchLeft = 0
+	payload := binary.LittleEndian.AppendUint64(nil, uint64(target))
+	for _, id := range tr.kernel.LiveIDs() {
+		if id == tr.kp.ID() {
+			continue
+		}
+		if _, st := tr.kp.Request(p, id, freezeNameOf(id), packOOB(oobFreeze, 0), payload, 0); st == soda.OK {
+			tr.searchLeft++
+		}
+	}
+	// Wait for answers (with a straggler deadline: frozen processes that
+	// die never answer).
+	deadline := false
+	tr.env.After(2*sim.Second, func() {
+		deadline = true
+		tr.searchWait.WakeAll()
+	})
+	for tr.searchLeft > 0 && tr.searchHint == 0 && !deadline {
+		tr.searchWait.Wait(p)
+	}
+	tr.searchActive = false
+	tr.thawOthers()
+	return tr.searchHint, tr.searchHint != 0
+}
+
+// onFreeze is the frozen side: accept the freeze immediately (reading
+// the sought name from the payload), halt, and post an unfreeze request
+// whose out-of-band data carries our hint (or zero).
+func (tr *Transport) onFreeze(ir soda.Interrupt) {
+	got, st := tr.kp.Accept(nil, ir.Req, packOOB(oobFreeze, 0), nil, 16)
+	if st != soda.OK {
+		return
+	}
+	var name soda.Name
+	if len(got) >= 8 {
+		name = soda.Name(binary.LittleEndian.Uint64(got))
+	}
+	var hint soda.ProcID
+	if _, ok := tr.ends[name]; ok {
+		hint = tr.kp.ID() // it is ours
+	} else if to, ok := tr.moveCache[name]; ok {
+		hint = to
+	}
+	tr.freezeSelf()
+	id, st := tr.kp.Request(nil, ir.From, freezeNameOf(ir.From), packOOB(oobUnfreeze, uint64(hint)), nil, 0)
+	if st != soda.OK {
+		tr.thawSelf() // searcher vanished; resume
+		return
+	}
+	tr.unfreezePending[id] = true
+}
+
+// freezeSelf halts language-level progress: events are held, the
+// counter permits multiple concurrent searches.
+func (tr *Transport) freezeSelf() {
+	tr.stats.FreezeHalts++
+	if tr.frozen == 0 {
+		tr.frozeAt = tr.env.Now()
+	}
+	tr.frozen++
+}
+
+// thawSelf decrements the freeze counter and, at zero, releases held
+// events.
+func (tr *Transport) thawSelf() {
+	if tr.frozen == 0 {
+		return
+	}
+	tr.frozen--
+	if tr.frozen == 0 {
+		tr.stats.FrozenTime += sim.Duration(tr.env.Now() - tr.frozeAt)
+		held := tr.heldEvents
+		tr.heldEvents = nil
+		for _, ev := range held {
+			tr.sink(ev)
+		}
+	}
+}
+
+// onUnfreezeArrived records a frozen process's answer during our search.
+// Called from the interrupt handler; the request itself is accepted only
+// when the search finishes (thawOthers), keeping the sender frozen.
+func (tr *Transport) onUnfreezeArrived(ir soda.Interrupt) {
+	_, arg := unpackOOB(ir.OOB)
+	tr.unfreezeReq[ir.Req] = true
+	if tr.searchActive {
+		tr.searchLeft--
+		if arg != 0 && tr.searchHint == 0 {
+			tr.searchHint = soda.ProcID(arg)
+		}
+		tr.searchWait.WakeAll()
+		return
+	}
+	tr.thawOthers()
+}
+
+// thawOthers accepts all held unfreeze requests, releasing their
+// senders.
+func (tr *Transport) thawOthers() {
+	if tr.searchActive {
+		return
+	}
+	for req := range tr.unfreezeReq {
+		delete(tr.unfreezeReq, req)
+		tr.kp.Accept(nil, req, packOOB(oobOK, 0), nil, 0)
+	}
+}
+
+// onUnfreezeAccepted is the frozen side's resume path: our unfreeze
+// request was accepted (or the searcher crashed).
+func (tr *Transport) onUnfreezeAccepted(req soda.ReqID) bool {
+	if !tr.unfreezePending[req] {
+		return false
+	}
+	delete(tr.unfreezePending, req)
+	tr.thawSelf()
+	return true
+}
+
+// onSearchAnswer absorbs completions that are not tracked sends: freeze
+// request completions (the target accepted our freeze — no action; the
+// hint arrives via its unfreeze request).
+func (tr *Transport) onSearchAnswer(ir soda.Interrupt) {
+	if tr.onUnfreezeAccepted(ir.Req) {
+		return
+	}
+	// Freeze-accept completions and other stragglers need no action.
+}

@@ -1,0 +1,903 @@
+// Package sodabind implements the LYNX run-time package's kernel-specific
+// half for the SODA kernel — the design §4.2 of the paper describes (and
+// never built; we build it):
+//
+//   - a link is a pair of names, one per end; the owner of an end
+//     advertises its name and keeps a HINT naming the process it believes
+//     owns the far end. Hints can be wrong; they are fixed lazily;
+//   - a LYNX message is a SODA put to the hinted process; the enclosed
+//     link ends travel as (name, far-name, hint) records in the payload.
+//     "When the message is SODA-accepted by the receiver, the ends are
+//     understood to have moved";
+//   - screening is the application's own interrupt handler: an unwanted
+//     request is simply not accepted until it becomes wanted, so every
+//     received message is wanted and no RETRY/FORBID machinery exists;
+//   - a process that wants traffic on an end posts a status SIGNAL to
+//     the hinted owner; the signal is held unaccepted and is used by the
+//     far side to announce destruction (accept with DESTROYED) or
+//     movement (accept with MOVED + new owner);
+//   - a process that moves or destroys an end must accept all pending
+//     requests on it, redirecting (MOVED) or killing (DESTROYED) them;
+//   - stale hints are repaired from the movers' caches (moved names stay
+//     advertised and answer MOVED), then by unreliable-broadcast
+//     discover, and finally by the freeze/unfreeze absolute search that
+//     halts every process (§4.2's fallback; expensive, measured in E10).
+package sodabind
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+// OOB verb layout: verb in the low byte, argument (a ProcID or a kind)
+// in the remaining 40 bits.
+const (
+	oobData      = 1 // data put: arg = kind | seqLow32<<8
+	oobWatch     = 2 // status signal
+	oobOK        = 3 // accept: delivered
+	oobMoved     = 4 // accept: end moved, arg = new owner pid
+	oobDestroyed = 5 // accept: link destroyed
+	oobRejected  = 6 // accept: reply no longer wanted
+	oobFreeze    = 7 // freeze request (absolute search)
+	oobUnfreeze  = 8 // unfreeze request posted by a frozen process
+)
+
+func packOOB(verb byte, arg uint64) soda.OOB {
+	return soda.OOBFromUint64(uint64(verb) | arg<<8)
+}
+
+func unpackOOB(o soda.OOB) (verb byte, arg uint64) {
+	v := o.Uint64()
+	return byte(v & 0xFF), v >> 8
+}
+
+// packDataArg encodes message kind and seq (low 31 bits) for the data
+// put's OOB: the 48-bit limit §4.2.1 worries about forces truncation;
+// the full seq rides in the payload and is recovered after accept.
+func packDataArg(kind core.MsgKind, seq uint64) uint64 {
+	return uint64(kind) | (seq&0x7FFF_FFFF)<<8
+}
+
+func unpackDataArg(arg uint64) (core.MsgKind, uint64) {
+	return core.MsgKind(arg & 0xFF), arg >> 8
+}
+
+// enclRecord is the 24-byte payload record moving one link end.
+type enclRecord struct {
+	name    soda.Name
+	farName soda.Name
+	hint    soda.ProcID
+}
+
+const enclRecordLen = 24
+
+func encodeEncl(buf []byte, recs []enclRecord) []byte {
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.name))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.farName))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.hint))
+	}
+	return buf
+}
+
+func decodeEncl(buf []byte, n int) ([]enclRecord, error) {
+	if len(buf) != n*enclRecordLen {
+		return nil, fmt.Errorf("sodabind: enclosure block %dB for %d ends", len(buf), n)
+	}
+	recs := make([]enclRecord, n)
+	for i := range recs {
+		off := i * enclRecordLen
+		recs[i].name = soda.Name(binary.LittleEndian.Uint64(buf[off:]))
+		recs[i].farName = soda.Name(binary.LittleEndian.Uint64(buf[off+8:]))
+		recs[i].hint = soda.ProcID(binary.LittleEndian.Uint64(buf[off+16:]))
+	}
+	return recs, nil
+}
+
+// Stats counts binding-level activity (E5/E7/E10 read these).
+type Stats struct {
+	Puts            int64
+	Accepts         int64
+	SavedRequests   int64 // wanted-later requests held unaccepted
+	RejectedReplies int64 // replies NAKed with REJECTED (server feels it)
+	MovedForwards   int64 // MOVED redirections answered from the cache
+	HintFixes       int64 // hints repaired via MOVED/cache
+	Discovers       int64
+	Freezes         int64 // freeze searches initiated
+	FreezeHalts     int64 // process-freezes suffered (times this process froze)
+	FrozenTime      sim.Duration
+	LinkMoves       int64
+	CacheEvictions  int64
+	// PairLimitRetries counts puts re-posted after the kernel's per-pair
+	// outstanding-request limit rejected them (§4.2.1).
+	PairLimitRetries int64
+}
+
+// Config tunes the hint machinery.
+type Config struct {
+	// BufCap is the maximum LYNX message size.
+	BufCap int
+	// CacheSize bounds the move cache ("a cache of links it has known
+	// about recently"); 0 disables forwarding.
+	CacheSize int
+	// HintTimeout is how long a put may stay unaccepted before hint
+	// recovery starts.
+	HintTimeout sim.Duration
+	// DiscoverRetries is how many discover broadcasts to attempt before
+	// falling back to the freeze search.
+	DiscoverRetries int
+	// EnableFreeze enables the absolute-search fallback.
+	EnableFreeze bool
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig() Config {
+	return Config{
+		BufCap:          4096,
+		CacheSize:       64,
+		HintTimeout:     250 * sim.Millisecond,
+		DiscoverRetries: 3,
+		EnableFreeze:    true,
+	}
+}
+
+// Transport is one LYNX process's SODA binding.
+type Transport struct {
+	env    *sim.Env
+	kernel *soda.Kernel
+	kp     *soda.Process
+	sink   func(core.Event)
+	screen core.ScreenFunc
+	proc   *sim.Proc
+	cfg    Config
+	stats  Stats
+
+	ends map[soda.Name]*endState
+	// moveCache: forwarding addresses for ends we moved away; their
+	// names stay advertised so we can answer MOVED.
+	moveCache map[soda.Name]soda.ProcID
+	cacheFIFO []soda.Name
+
+	// pending: our outstanding puts/signals by request id.
+	pending map[soda.ReqID]*pendingSend
+	// saved: inbound wanted-later data requests by end name.
+	saved map[soda.Name][]savedReq
+
+	// janitor runs blocking recovery work (discover, freeze).
+	janitor     *sim.Proc
+	janitorWork *sim.Mailbox
+
+	// freeze state.
+	frozen     int
+	frozeAt    sim.Time
+	heldEvents []core.Event
+	// unfreezeReq: unfreeze requests arrived at us (the searcher), held
+	// unaccepted until our search finishes.
+	unfreezeReq map[soda.ReqID]bool
+	// unfreezePending: unfreeze requests we posted while frozen, keyed
+	// for the resume completion.
+	unfreezePending map[soda.ReqID]bool
+	freezeName      soda.Name
+	searchActive    bool
+	searchWait      *sim.WaitQueue
+	searchHint      soda.ProcID
+	searchLeft      int
+
+	dead bool
+}
+
+var _ core.Transport = (*Transport)(nil)
+var _ core.Capable = (*Transport)(nil)
+var _ core.Screened = (*Transport)(nil)
+
+// endState is the binding's view of one owned link end.
+type endState struct {
+	myName  soda.Name
+	farName soda.Name
+	hint    soda.ProcID
+	dead    bool
+	moving  bool
+	// movingTo is the believed destination while moving: incoming
+	// traffic is redirected there instead of being held, which breaks
+	// cross-move cycles (two processes moving ends over each other's
+	// moving links would otherwise deadlock).
+	movingTo soda.ProcID
+	wantReq  bool
+	wantRep  bool
+
+	// watch: our posted status signal's request id (0 = none).
+	watch soda.ReqID
+	// peerWatch: the far end's status signal, held unaccepted.
+	peerWatch soda.ReqID
+	// outstanding maps a request's low-31 seq bits to the full seq (the
+	// OOB field is too small for the whole thing — §4.2.1).
+	outstanding map[uint64]uint64
+}
+
+// savedReq is an inbound request held unaccepted until wanted.
+type savedReq struct {
+	req  soda.ReqID
+	from soda.ProcID
+	kind core.MsgKind
+	seq  uint64 // truncated (low 31 bits)
+}
+
+// pendingSend tracks one posted put/signal.
+type pendingSend struct {
+	end      *endState
+	isWatch  bool
+	wire     *core.WireMsg // data puts only
+	payload  []byte
+	tag      uint64
+	encl     []*endState
+	enclRecs []enclRecord
+	done     bool
+	cancel   bool
+	// gen counts re-posts (MOVED redirects, recoveries); each post's
+	// hint timeout is valid only for its own generation.
+	gen int
+}
+
+// New creates the binding for one LYNX process on the given SODA node.
+func New(env *sim.Env, kernel *soda.Kernel, kp *soda.Process, cfg Config) *Transport {
+	tr := &Transport{
+		env:         env,
+		kernel:      kernel,
+		kp:          kp,
+		cfg:         cfg,
+		ends:        make(map[soda.Name]*endState),
+		moveCache:   make(map[soda.Name]soda.ProcID),
+		pending:     make(map[soda.ReqID]*pendingSend),
+		saved:       make(map[soda.Name][]savedReq),
+		unfreezeReq: make(map[soda.ReqID]bool),
+	}
+	tr.unfreezePending = make(map[soda.ReqID]bool)
+	tr.freezeName = soda.Name(uint64(1)<<48 | uint64(kp.ID()))
+	return tr
+}
+
+// Stats returns the binding's counters.
+func (tr *Transport) Stats() *Stats { return &tr.stats }
+
+// KernelProcess returns the underlying SODA process (harness use).
+func (tr *Transport) KernelProcess() *soda.Process { return tr.kp }
+
+// Capabilities implements core.Capable: SODA detects all the exceptional
+// conditions in the language definition without extra acknowledgments.
+func (tr *Transport) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		RejectsUnwantedReplies:    true,
+		RecoversAbortedEnclosures: true,
+	}
+}
+
+// SetScreen implements core.Screened.
+func (tr *Transport) SetScreen(s core.ScreenFunc) { tr.screen = s }
+
+// SetSink implements core.Transport: installs the interrupt handler and
+// starts the janitor.
+func (tr *Transport) SetSink(sink func(core.Event), sp *sim.Proc) {
+	tr.sink = sink
+	tr.proc = sp
+	tr.kp.SetHandler(tr.interrupt)
+	tr.kp.Advertise(nil, tr.freezeName)
+	tr.janitorWork = sim.NewMailbox(tr.env, fmt.Sprintf("sodabind.janitor.p%d", tr.kp.ID()))
+	tr.janitor = tr.env.Spawn(fmt.Sprintf("sodabind.janitor.p%d", tr.kp.ID()), func(p *sim.Proc) {
+		for {
+			task := tr.janitorWork.Get(p).(func(*sim.Proc))
+			task(p)
+		}
+	})
+}
+
+// emit delivers an event unless the process is frozen, in which case the
+// event is held until thaw ("ceases execution of everything but its own
+// searches").
+func (tr *Transport) emit(ev core.Event) {
+	if tr.frozen > 0 {
+		tr.heldEvents = append(tr.heldEvents, ev)
+		return
+	}
+	tr.sink(ev)
+}
+
+// BootLink creates a link between two bindings before their processes
+// start: loader wiring.
+func BootLink(a, b *Transport) (core.TransEnd, core.TransEnd) {
+	a.kernel.Env() // same kernel assumed
+	nameA := soda.Name(uint64(2)<<48 | uint64(a.kp.ID())<<16 | uint64(len(a.ends)))
+	nameB := soda.Name(uint64(3)<<48 | uint64(b.kp.ID())<<16 | uint64(len(b.ends)))
+	esA := &endState{myName: nameA, farName: nameB, hint: b.kp.ID(), outstanding: map[uint64]uint64{}}
+	esB := &endState{myName: nameB, farName: nameA, hint: a.kp.ID(), outstanding: map[uint64]uint64{}}
+	a.ends[nameA] = esA
+	b.ends[nameB] = esB
+	a.kp.Advertise(nil, nameA)
+	b.kp.Advertise(nil, nameB)
+	return nameA, nameB
+}
+
+// MakeLink implements core.Transport: both ends local, hints self.
+func (tr *Transport) MakeLink() (core.TransEnd, core.TransEnd, error) {
+	n1 := tr.kp.NewName(tr.proc)
+	n2 := tr.kp.NewName(tr.proc)
+	self := tr.kp.ID()
+	e1 := &endState{myName: n1, farName: n2, hint: self, outstanding: map[uint64]uint64{}}
+	e2 := &endState{myName: n2, farName: n1, hint: self, outstanding: map[uint64]uint64{}}
+	tr.ends[n1] = e1
+	tr.ends[n2] = e2
+	tr.kp.Advertise(tr.proc, n1)
+	tr.kp.Advertise(tr.proc, n2)
+	return n1, n2, nil
+}
+
+func (tr *Transport) end(te core.TransEnd) (*endState, bool) {
+	es, ok := tr.ends[te.(soda.Name)]
+	return es, ok
+}
+
+// Destroy implements core.Transport: accept the far end's held signal
+// and any saved puts with DESTROYED, then forget the end.
+func (tr *Transport) Destroy(te core.TransEnd) error {
+	es, ok := tr.end(te)
+	if !ok || es.dead {
+		return core.ErrLinkDestroyed
+	}
+	tr.killEnd(tr.proc, es, true)
+	return nil
+}
+
+// killEnd tears down an end. If announce is set, held requests are
+// accepted with DESTROYED so the far side learns.
+func (tr *Transport) killEnd(p *sim.Proc, es *endState, announce bool) {
+	if es.dead {
+		return
+	}
+	es.dead = true
+	if announce {
+		if es.peerWatch != 0 {
+			tr.kp.Accept(p, es.peerWatch, packOOB(oobDestroyed, 0), nil, 0)
+			es.peerWatch = 0
+		}
+		for _, sr := range tr.saved[es.myName] {
+			tr.kp.Accept(p, sr.req, packOOB(oobDestroyed, 0), nil, 0)
+		}
+	}
+	delete(tr.saved, es.myName)
+	if es.watch != 0 {
+		tr.kp.Withdraw(p, es.watch)
+		es.watch = 0
+	}
+	tr.kp.Unadvertise(p, es.myName)
+	delete(tr.ends, es.myName)
+}
+
+// SetInterest implements core.Transport.
+func (tr *Transport) SetInterest(te core.TransEnd, wantRequests, wantReplies bool) {
+	es, ok := tr.end(te)
+	if !ok || es.dead {
+		return
+	}
+	es.wantReq, es.wantRep = wantRequests, wantReplies
+	// Post or withdraw the status signal: we watch the far end whenever
+	// we expect traffic from it.
+	if (wantRequests || wantReplies) && es.watch == 0 {
+		tr.postWatch(tr.proc, es)
+	} else if !wantRequests && !wantReplies && es.watch != 0 {
+		tr.kp.Withdraw(tr.proc, es.watch)
+		delete(tr.pending, es.watch)
+		es.watch = 0
+	}
+	// Newly-wanted saved requests can be accepted now.
+	if wantRequests {
+		tr.drainSaved(tr.proc, es)
+	}
+}
+
+// ensureWatch posts the status signal if interest exists, none is
+// posted yet, and the far owner is known (a freshly-created end's hint
+// is self until the first peer message fixes it — the watch follows).
+func (tr *Transport) ensureWatch(p *sim.Proc, es *endState) {
+	if es.watch == 0 && (es.wantReq || es.wantRep) {
+		tr.postWatch(p, es)
+	}
+}
+
+// postWatch posts the status signal to the hinted far-end owner.
+func (tr *Transport) postWatch(p *sim.Proc, es *endState) {
+	if es.dead || es.hint == tr.kp.ID() {
+		return // both ends local: no watch needed
+	}
+	id, st := tr.kp.Request(p, es.hint, es.farName, packOOB(oobWatch, 0), nil, 0)
+	if st != soda.OK {
+		if st == soda.DeadProc || st == soda.NoSuchProc {
+			tr.scheduleRecovery(es, nil)
+		}
+		return
+	}
+	es.watch = id
+	tr.pending[id] = &pendingSend{end: es, isWatch: true}
+}
+
+// drainSaved accepts saved requests that the screen now wants.
+func (tr *Transport) drainSaved(p *sim.Proc, es *endState) {
+	if es.moving {
+		return // resolved at move completion or failure
+	}
+	list := tr.saved[es.myName]
+	if len(list) == 0 {
+		return
+	}
+	var keep []savedReq
+	for _, sr := range list {
+		if es.dead || !tr.wantSaved(es, sr) {
+			keep = append(keep, sr)
+			continue
+		}
+		tr.acceptData(p, es, sr.req)
+	}
+	if len(keep) > 0 {
+		tr.saved[es.myName] = keep
+	} else {
+		delete(tr.saved, es.myName)
+	}
+}
+
+// wantSaved screens a saved request.
+func (tr *Transport) wantSaved(es *endState, sr savedReq) bool {
+	if sr.kind == core.KindRequest {
+		return tr.screen(es.myName, core.KindRequest, 0)
+	}
+	full, ok := es.outstanding[sr.seq]
+	if !ok {
+		return false
+	}
+	return tr.screen(es.myName, core.KindReply, full)
+}
+
+// StartSend implements core.Transport.
+func (tr *Transport) StartSend(te core.TransEnd, m *core.WireMsg, tag uint64) error {
+	es, ok := tr.end(te)
+	if !ok || es.dead {
+		return core.ErrLinkDestroyed
+	}
+	payload, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	var encl []*endState
+	var recs []enclRecord
+	for _, e := range m.Encl {
+		ees, ok := tr.end(e)
+		if !ok || ees.dead {
+			return core.ErrLinkDestroyed
+		}
+		ees.moving = true
+		ees.movingTo = es.hint
+		encl = append(encl, ees)
+		recs = append(recs, enclRecord{name: ees.myName, farName: ees.farName, hint: ees.hint})
+	}
+	payload = encodeEncl(payload, recs)
+	if len(payload) > tr.cfg.BufCap {
+		for _, e := range encl {
+			e.moving = false
+		}
+		return fmt.Errorf("sodabind: message %dB exceeds buffer capacity %dB", len(payload), tr.cfg.BufCap)
+	}
+	ps := &pendingSend{end: es, wire: m, payload: payload, tag: tag, encl: encl, enclRecs: recs}
+	if m.Kind == core.KindRequest {
+		es.outstanding[m.Seq&0x7FFF_FFFF] = m.Seq
+	}
+	tr.post(tr.proc, ps)
+	return nil
+}
+
+// post issues the put for ps to the current hint and arms the hint
+// timeout.
+func (tr *Transport) post(p *sim.Proc, ps *pendingSend) {
+	es := ps.end
+	if es.dead {
+		tr.releaseEnclosures(p, ps)
+		tr.emit(core.Event{Kind: core.EvSendFailed, End: es.myName, Tag: ps.tag, Err: core.ErrLinkDestroyed})
+		return
+	}
+	for _, e := range ps.encl {
+		e.movingTo = es.hint
+	}
+	arg := packDataArg(ps.wire.Kind, ps.wire.Seq)
+	ps.gen++
+	id, st := tr.kp.Request(p, es.hint, es.farName, packOOB(oobData, arg), ps.payload, 0)
+	switch st {
+	case soda.OK:
+		tr.stats.Puts++
+		tr.pending[id] = ps
+		tr.armTimeout(ps, id)
+	case soda.DeadProc, soda.NoSuchProc:
+		tr.scheduleRecovery(es, ps)
+	case soda.TooManyRequests:
+		// Per-pair limit (§4.2.1): retry shortly. The paper worries this
+		// could deadlock; backing off and retrying turns it into latency.
+		tr.stats.PairLimitRetries++
+		tr.env.After(10*sim.Millisecond, func() {
+			if !ps.cancel && !ps.done {
+				tr.post(nil, ps)
+			}
+		})
+	default:
+		tr.releaseEnclosures(p, ps)
+		tr.emit(core.Event{Kind: core.EvSendFailed, End: es.myName, Tag: ps.tag, Err: fmt.Errorf("sodabind: put: %v", st)})
+	}
+}
+
+// armTimeout starts hint-staleness detection for a posted put.
+func (tr *Transport) armTimeout(ps *pendingSend, id soda.ReqID) {
+	if tr.cfg.HintTimeout <= 0 {
+		return
+	}
+	gen := ps.gen
+	tr.env.After(tr.cfg.HintTimeout, func() {
+		if ps.done || ps.cancel || ps.gen != gen {
+			return
+		}
+		if tr.kp.RequestDelivered(id) {
+			// The target saw it and is simply not accepting yet (its
+			// queue is closed): normal stop-and-wait blocking, not a
+			// stale hint.
+			return
+		}
+		// Undeliverable: the hinted process no longer advertises the
+		// name. Withdraw and repair the hint.
+		tr.kp.Withdraw(nil, id)
+		delete(tr.pending, id)
+		tr.scheduleRecovery(ps.end, ps)
+	})
+}
+
+// CancelSend implements core.Transport: withdraw the put if unaccepted.
+func (tr *Transport) CancelSend(te core.TransEnd, tag uint64) bool {
+	for id, ps := range tr.pending {
+		if ps.tag != tag || ps.isWatch {
+			continue
+		}
+		if tr.kp.Withdraw(tr.proc, id) == soda.OK {
+			ps.cancel = true
+			delete(tr.pending, id)
+			tr.releaseEnclosures(tr.proc, ps)
+			return true
+		}
+		return false
+	}
+	// Not currently posted (mid-recovery): cancellable.
+	return true
+}
+
+// interrupt is the process's single software-interrupt handler — the
+// screening function the kernel upcalls (lesson two).
+func (tr *Transport) interrupt(ir soda.Interrupt) {
+	if tr.dead {
+		return
+	}
+	switch ir.IKind {
+	case soda.IntRequest:
+		tr.onRequest(ir)
+	case soda.IntCompletion:
+		tr.onCompletion(ir)
+	case soda.IntCrash:
+		tr.onCrash(ir)
+	}
+}
+
+// onRequest handles an inbound SODA request descriptor.
+func (tr *Transport) onRequest(ir soda.Interrupt) {
+	verb, arg := unpackOOB(ir.OOB)
+	switch verb {
+	case oobFreeze:
+		tr.onFreeze(ir)
+		return
+	case oobUnfreeze:
+		// A frozen process answers; its hint rides in the OOB. Held
+		// unaccepted until our search finishes.
+		tr.onUnfreezeArrived(ir)
+		return
+	}
+	// Forwarding: a request for an end we moved away.
+	if dst, ok := tr.moveCache[ir.Name]; ok {
+		tr.stats.MovedForwards++
+		tr.kp.Accept(nil, ir.Req, packOOB(oobMoved, uint64(dst)), nil, 0)
+		return
+	}
+	es, ok := tr.ends[ir.Name]
+	if !ok {
+		// Not ours and not cached: should not have been advertised;
+		// ignore (the kernel will keep it pending harmlessly).
+		return
+	}
+	switch verb {
+	case oobWatch:
+		if es.dead {
+			tr.kp.Accept(nil, ir.Req, packOOB(oobDestroyed, 0), nil, 0)
+			return
+		}
+		if es.moving {
+			// "A process that moves a link end must accept any
+			// previously-posted SODA request from the other end…
+			// telling the other process where it moved its end."
+			tr.kp.Accept(nil, ir.Req, packOOB(oobMoved, uint64(es.movingTo)), nil, 0)
+			return
+		}
+		es.peerWatch = ir.Req
+		// The watch also fixes OUR hint: its sender owns the far end.
+		if es.hint != ir.From {
+			es.hint = ir.From
+			tr.stats.HintFixes++
+			tr.ensureWatch(nil, es)
+		}
+	case oobData:
+		kind, seqLow := unpackDataArg(arg)
+		if es.moving {
+			// The end is being enclosed elsewhere: redirect the sender
+			// toward the destination rather than holding the message
+			// (holding can deadlock when two moves cross). If the move
+			// later fails, the sender's put to the wrong process times
+			// out and discover leads it back here.
+			tr.stats.MovedForwards++
+			tr.kp.Accept(nil, ir.Req, packOOB(oobMoved, uint64(es.movingTo)), nil, 0)
+			return
+		}
+		if es.hint != ir.From {
+			es.hint = ir.From
+			tr.stats.HintFixes++
+			tr.ensureWatch(nil, es)
+		}
+		sr := savedReq{req: ir.Req, from: ir.From, kind: kind, seq: seqLow}
+		if kind == core.KindReply && !tr.wantSaved(es, sr) {
+			// An unwanted reply: NAK it so the server feels the
+			// exception — SODA *can* do this without extra traffic.
+			tr.stats.RejectedReplies++
+			tr.kp.Accept(nil, ir.Req, packOOB(oobRejected, 0), nil, 0)
+			return
+		}
+		if kind == core.KindRequest && !tr.screen(es.myName, core.KindRequest, 0) {
+			// Unwanted request: simply don't accept yet. No bounce
+			// traffic; the sender's coroutine stays blocked, which is
+			// exactly LYNX's stop-and-wait semantics.
+			tr.stats.SavedRequests++
+			tr.saved[es.myName] = append(tr.saved[es.myName], sr)
+			return
+		}
+		tr.acceptData(nil, es, ir.Req)
+	}
+}
+
+// acceptData accepts a data put, decodes the LYNX message, adopts any
+// enclosed ends, and surfaces EvIncoming after the transfer time.
+func (tr *Transport) acceptData(p *sim.Proc, es *endState, req soda.ReqID) {
+	got, st := tr.kp.Accept(p, req, packOOB(oobOK, 0), nil, tr.cfg.BufCap)
+	if st != soda.OK {
+		return
+	}
+	tr.stats.Accepts++
+	wire, nencl, err := core.DecodeWire(got[:len(got)-nenclTrailer(got)])
+	if err != nil {
+		// Re-derive split: payload is wire||enclRecords; decode needs
+		// the exact boundary, recover via trailer helper below.
+		return
+	}
+	recs, err := decodeEncl(got[len(got)-nencl*enclRecordLen:], nencl)
+	if err != nil {
+		return
+	}
+	if wire.Kind == core.KindReply {
+		delete(es.outstanding, wire.Seq&0x7FFF_FFFF)
+	}
+	wire.Encl = make([]core.TransEnd, 0, len(recs))
+	for _, r := range recs {
+		tr.adoptEnd(p, r)
+		wire.Encl = append(wire.Encl, r.name)
+	}
+	// The payload physically crosses the bus at accept time; surface the
+	// message after its transfer time so latency accounting holds.
+	delay := tr.kernel.DataDelay(len(got))
+	endName := es.myName
+	tr.env.After(delay, func() {
+		tr.emit(core.Event{Kind: core.EvIncoming, End: endName, Msg: wire})
+	})
+}
+
+// nenclTrailer computes the enclosure-block length at the payload tail.
+func nenclTrailer(got []byte) int {
+	if len(got) < 2 {
+		return 0
+	}
+	// Byte 1 of the wire encoding is the enclosure count.
+	return int(got[1]) * enclRecordLen
+}
+
+// adoptEnd takes ownership of a moved end.
+func (tr *Transport) adoptEnd(p *sim.Proc, r enclRecord) {
+	tr.stats.LinkMoves++
+	es := &endState{myName: r.name, farName: r.farName, hint: r.hint, outstanding: map[uint64]uint64{}}
+	tr.ends[r.name] = es
+	tr.kp.Advertise(p, r.name)
+	delete(tr.moveCache, r.name) // it came back to us
+}
+
+// onCompletion handles an accept of one of our requests.
+func (tr *Transport) onCompletion(ir soda.Interrupt) {
+	ps, ok := tr.pending[ir.Req]
+	if !ok {
+		// A freeze-search answer, perhaps.
+		tr.onSearchAnswer(ir)
+		return
+	}
+	delete(tr.pending, ir.Req)
+	verb, arg := unpackOOB(ir.OOB)
+	es := ps.end
+	if ps.isWatch {
+		es.watch = 0
+		switch verb {
+		case oobMoved:
+			es.hint = soda.ProcID(arg)
+			tr.stats.HintFixes++
+			tr.postWatch(nil, es)
+		case oobDestroyed:
+			tr.linkDead(es)
+		}
+		return
+	}
+	ps.done = true
+	switch verb {
+	case oobOK:
+		// The far run-time package took the message: true receipt.
+		tr.completeMove(ps, ir.From)
+		// Make sure we watch the (possibly newly-learned) owner: without
+		// a watch its later destroy/death would be invisible while we
+		// await the reply.
+		if es.hint != ir.From && !es.dead {
+			es.hint = ir.From
+			tr.stats.HintFixes++
+		}
+		tr.ensureWatch(nil, es)
+		tr.emit(core.Event{Kind: core.EvDelivered, End: es.myName, Tag: ps.tag})
+	case oobMoved:
+		es.hint = soda.ProcID(arg)
+		tr.stats.HintFixes++
+		tr.ensureWatch(nil, es)
+		ps.done = false
+		tr.post(nil, ps)
+	case oobDestroyed:
+		tr.releaseEnclosures(nil, ps)
+		tr.emit(core.Event{Kind: core.EvSendFailed, End: es.myName, Tag: ps.tag, Err: core.ErrLinkDestroyed})
+		tr.linkDead(es)
+	case oobRejected:
+		tr.releaseEnclosures(nil, ps)
+		tr.emit(core.Event{Kind: core.EvSendFailed, End: es.myName, Tag: ps.tag, Err: core.ErrUnwantedReply})
+	}
+}
+
+// releaseEnclosures undoes the moving mark after a failed or cancelled
+// move and re-examines any traffic that was held while the ends were in
+// motion (otherwise saved requests on them would be stranded forever).
+func (tr *Transport) releaseEnclosures(p *sim.Proc, ps *pendingSend) {
+	for _, e := range ps.encl {
+		if e.dead {
+			continue
+		}
+		e.moving = false
+		e.movingTo = 0
+		tr.drainSaved(p, e)
+	}
+}
+
+// completeMove finalizes enclosure transfer after a successful put: the
+// moved ends leave this process; held traffic on them is redirected to
+// newOwner (the process that accepted the message).
+func (tr *Transport) completeMove(ps *pendingSend, newOwner soda.ProcID) {
+	if len(ps.encl) == 0 {
+		return
+	}
+	for _, e := range ps.encl {
+		if e.dead {
+			continue
+		}
+		if cur, ok := tr.ends[e.myName]; ok && cur != e {
+			// Self-move: the message travelled a loopback link and our
+			// own accept already re-adopted the end (a fresh endState).
+			// Nothing left to hand over or forward.
+			continue
+		}
+		if newOwner == tr.kp.ID() {
+			// Self-move whose adoption kept the same record: keep it.
+			e.moving = false
+			tr.drainSaved(nil, e)
+			continue
+		}
+		if e.watch != 0 {
+			// We no longer own the end; stop watching its far side.
+			tr.kp.Withdraw(nil, e.watch)
+			delete(tr.pending, e.watch)
+			e.watch = 0
+		}
+		if e.peerWatch != 0 {
+			tr.kp.Accept(nil, e.peerWatch, packOOB(oobMoved, uint64(newOwner)), nil, 0)
+			e.peerWatch = 0
+		}
+		for _, sr := range tr.saved[e.myName] {
+			tr.kp.Accept(nil, sr.req, packOOB(oobMoved, uint64(newOwner)), nil, 0)
+		}
+		delete(tr.saved, e.myName)
+		tr.cacheMove(e.myName, newOwner)
+		delete(tr.ends, e.myName)
+		// NOTE: the name stays advertised so the cache can forward.
+	}
+}
+
+// cacheMove records a forwarding address, evicting FIFO beyond capacity
+// (evicted names are unadvertised and forgotten — the discover/freeze
+// path must find them).
+func (tr *Transport) cacheMove(name soda.Name, to soda.ProcID) {
+	if tr.cfg.CacheSize <= 0 {
+		tr.kp.Unadvertise(nil, name)
+		return
+	}
+	tr.moveCache[name] = to
+	tr.cacheFIFO = append(tr.cacheFIFO, name)
+	for len(tr.moveCache) > tr.cfg.CacheSize && len(tr.cacheFIFO) > 0 {
+		old := tr.cacheFIFO[0]
+		tr.cacheFIFO = tr.cacheFIFO[0:copy(tr.cacheFIFO, tr.cacheFIFO[1:])]
+		if _, ok := tr.moveCache[old]; ok {
+			delete(tr.moveCache, old)
+			tr.kp.Unadvertise(nil, old)
+			tr.stats.CacheEvictions++
+		}
+	}
+}
+
+// onCrash handles the kernel's crash notification for a pending request.
+func (tr *Transport) onCrash(ir soda.Interrupt) {
+	if tr.onUnfreezeAccepted(ir.Req) {
+		return // the searcher crashed; we resume
+	}
+	ps, ok := tr.pending[ir.Req]
+	if !ok {
+		return
+	}
+	delete(tr.pending, ir.Req)
+	if ps.isWatch {
+		ps.end.watch = 0
+	}
+	// The hinted owner died. The end may have moved on before the
+	// crash: try recovery before declaring the link dead.
+	tr.scheduleRecovery(ps.end, psIfData(ps))
+}
+
+func psIfData(ps *pendingSend) *pendingSend {
+	if ps.isWatch {
+		return nil
+	}
+	return ps
+}
+
+// linkDead marks an end destroyed and tells the run-time package.
+func (tr *Transport) linkDead(es *endState) {
+	if es.dead {
+		return
+	}
+	tr.killEnd(nil, es, false)
+	tr.emit(core.Event{Kind: core.EvLinkDead, End: es.myName, Err: core.ErrLinkDestroyed})
+}
+
+// Shutdown implements core.Transport.
+func (tr *Transport) Shutdown() {
+	if tr.dead {
+		return
+	}
+	tr.dead = true
+	tr.kp.Terminate()
+	if tr.janitor != nil {
+		tr.janitor.Kill()
+	}
+}

@@ -1,0 +1,86 @@
+package calib
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// These tests lock the *relationships* the calibration encodes: the
+// absolute values are asserted end-to-end by internal/expt, but the
+// structural facts below must hold for the fits to make sense at all.
+
+func TestCharlotteFitStructure(t *testing.T) {
+	c := DefaultCharlotte()
+	rt := DefaultCharlotteRuntime()
+	if c.KernelCall <= 0 || c.MessagePath <= 0 || c.PerByte <= 0 {
+		t.Fatal("non-positive Charlotte cost")
+	}
+	// The kernel message path dominates the kernel call (that is why
+	// Charlotte is slow end-to-end even for tight call loops).
+	if c.MessagePath < c.KernelCall {
+		t.Error("MessagePath should exceed KernelCall")
+	}
+	// Moving a link costs extra kernel work.
+	if c.MoveAgreement <= 0 {
+		t.Error("MoveAgreement must be positive")
+	}
+	// The runtime adds ~2ms per op in the paper; ours is of that order.
+	if rt.PerOperation < sim.Millisecond || rt.PerOperation > 10*sim.Millisecond {
+		t.Errorf("Charlotte runtime PerOperation = %v", rt.PerOperation)
+	}
+}
+
+func TestSODAFitStructure(t *testing.T) {
+	s := DefaultSODA()
+	ch := DefaultCharlotte()
+	// SODA's kernel-processor path must be substantially cheaper than
+	// Charlotte's per-message path (the 3x small-message claim).
+	if s.RequestPath >= ch.MessagePath {
+		t.Errorf("SODA RequestPath %v >= Charlotte MessagePath %v", s.RequestPath, ch.MessagePath)
+	}
+	// But SODA's per-byte cost must be higher (slow bus + copies), so the
+	// crossover exists.
+	if s.PerByte <= ch.PerByte {
+		t.Errorf("SODA PerByte %v <= Charlotte PerByte %v: no crossover possible", s.PerByte, ch.PerByte)
+	}
+	// The client processor is not multiprogrammed and proceeds during
+	// kernel work: its call cost is small.
+	if s.ClientCall >= s.RequestPath {
+		t.Error("ClientCall should be well below RequestPath")
+	}
+}
+
+func TestChrysalisFitStructure(t *testing.T) {
+	c := DefaultChrysalis()
+	ch := DefaultCharlotte()
+	// Microcoded primitives are orders of magnitude below kernel calls.
+	if c.AtomicOp >= ch.KernelCall/10 {
+		t.Errorf("AtomicOp %v not ≪ Charlotte KernelCall %v", c.AtomicOp, ch.KernelCall)
+	}
+	// Atomic flag ops are cheaper than queue operations, which include
+	// the microcode's bookkeeping.
+	if c.AtomicOp >= c.Enqueue {
+		t.Error("AtomicOp should be below Enqueue")
+	}
+	// The non-atomic wide write is cheap — that is WHY it is non-atomic.
+	if c.WideWrite >= c.Enqueue {
+		t.Error("WideWrite should be below Enqueue")
+	}
+	if ChrysalisTunedFactor <= 0.5 || ChrysalisTunedFactor >= 1.0 {
+		t.Errorf("tuned factor %v outside (0.5, 1.0)", ChrysalisTunedFactor)
+	}
+}
+
+func TestRuntimeCostOrdering(t *testing.T) {
+	// The three run-time packages have the same structure; their
+	// magnitudes order by processor generation: VAX C (Charlotte) ≥
+	// predicted SODA ≥ 68000-with-cheap-kernel (Chrysalis).
+	chr := DefaultCharlotteRuntime()
+	so := DefaultSODARuntime()
+	bf := DefaultChrysalisRuntime()
+	if !(chr.PerOperation >= so.PerOperation && so.PerOperation >= bf.PerOperation) {
+		t.Errorf("per-op ordering violated: %v %v %v",
+			chr.PerOperation, so.PerOperation, bf.PerOperation)
+	}
+}

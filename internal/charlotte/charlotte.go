@@ -1,0 +1,581 @@
+// Package charlotte reimplements the Charlotte distributed operating
+// system kernel (Artsy, Chang & Finkel; U. Wisconsin) as described in §3
+// of the paper, running on the sim/netsim substrate.
+//
+// Charlotte is the paper's *high-level* kernel: links are a kernel
+// abstraction. The kernel interface is exactly the paper's:
+//
+//	MakeLink(end1, end2)             create a link, return both ends
+//	Destroy(myend)                   destroy the link with a given end
+//	Send(L, buffer, enclosure)       start a send activity (≤1 enclosure)
+//	Receive(L, buffer)               start a receive activity
+//	Cancel(L, direction)             attempt to cancel an activity
+//	Wait() description               block for an activity completion
+//
+// The kernel matches send and receive activities on opposite ends of a
+// link; it allows only one outstanding activity in each direction on a
+// given end, and a completion must be reported by Wait before another
+// similar activity can be started. All calls but Wait complete in
+// bounded time. Process termination destroys all the process's links,
+// and any attempt to use a destroyed link fails with a status code.
+//
+// Link movement follows Charlotte's three-party agreement discipline: an
+// end being enclosed in a message is unusable ("moving") until the
+// transfer completes, and enclosing an end that has outstanding
+// activities is rejected — these are the kernel-interface rules that §3.2
+// of the paper has to program around.
+package charlotte
+
+import (
+	"fmt"
+
+	"repro/internal/calib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Status is the result code returned by every kernel call and carried in
+// every completion description.
+type Status int
+
+// Kernel call and completion status codes.
+const (
+	OK Status = iota
+	// Destroyed: the link was destroyed (by the far end, the near end,
+	// or process termination).
+	Destroyed
+	// Moving: the end is enclosed in an in-flight message and cannot be
+	// used until the move completes.
+	Moving
+	// NotOwner: the calling process does not own the end.
+	NotOwner
+	// Busy: an activity in that direction is already outstanding.
+	Busy
+	// NoActivity: Cancel found nothing to cancel.
+	NoActivity
+	// CancelFailed: the activity has already matched or completed; its
+	// completion will still be reported by Wait.
+	CancelFailed
+	// EnclosureBusy: the enclosed end has outstanding activities or is
+	// already moving.
+	EnclosureBusy
+	// EnclosureSelf: a message may not enclose an end of the link it is
+	// sent on.
+	EnclosureSelf
+	// Truncated: the received message was longer than the posted buffer.
+	Truncated
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case Destroyed:
+		return "DESTROYED"
+	case Moving:
+		return "MOVING"
+	case NotOwner:
+		return "NOT_OWNER"
+	case Busy:
+		return "BUSY"
+	case NoActivity:
+		return "NO_ACTIVITY"
+	case CancelFailed:
+		return "CANCEL_FAILED"
+	case EnclosureBusy:
+		return "ENCLOSURE_BUSY"
+	case EnclosureSelf:
+		return "ENCLOSURE_SELF"
+	case Truncated:
+		return "TRUNCATED"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Direction distinguishes send and receive activities.
+type Direction int
+
+// Activity directions.
+const (
+	SendDir Direction = iota
+	RecvDir
+)
+
+func (d Direction) String() string {
+	if d == SendDir {
+		return "send"
+	}
+	return "recv"
+}
+
+// EndRef is a capability for one end of a link. The zero EndRef is "no
+// end" (used for absent enclosures).
+type EndRef struct {
+	link int
+	side int // 0 or 1
+}
+
+// Nil reports whether the reference denotes no end.
+func (e EndRef) Nil() bool { return e.link == 0 }
+
+func (e EndRef) String() string {
+	if e.Nil() {
+		return "end<nil>"
+	}
+	return fmt.Sprintf("end<%d.%d>", e.link, e.side)
+}
+
+// peer returns the reference for the opposite end of the same link.
+func (e EndRef) peer() EndRef { return EndRef{link: e.link, side: 1 - e.side} }
+
+// Description reports one completed activity, as returned by Wait.
+type Description struct {
+	End       EndRef
+	Dir       Direction
+	Status    Status
+	Length    int    // bytes transferred
+	Data      []byte // receive completions only
+	Enclosure EndRef // moved end, if any (receive completions only)
+}
+
+// Stats counts kernel activity for the experiment harness.
+type Stats struct {
+	Calls      map[string]int64
+	Messages   int64 // kernel messages delivered
+	Bytes      int64
+	Enclosures int64 // link ends moved
+	Destroys   int64
+}
+
+// Kernel is the (logically replicated) Charlotte kernel. One Kernel
+// value serves all nodes; per-node CPU costs are charged to the calling
+// process's simproc and internode wire time to the netsim model.
+type Kernel struct {
+	env   *sim.Env
+	net   netsim.Network
+	costs calib.CharlotteCosts
+
+	links    map[int]*link
+	nextLink int
+	nextPID  int
+	stats    Stats
+}
+
+// NewKernel creates a Charlotte kernel over the given network model.
+func NewKernel(env *sim.Env, net netsim.Network, costs calib.CharlotteCosts) *Kernel {
+	return &Kernel{
+		env:   env,
+		net:   net,
+		costs: costs,
+		links: make(map[int]*link),
+		stats: Stats{Calls: make(map[string]int64)},
+	}
+}
+
+// Env returns the simulation environment the kernel runs in.
+func (k *Kernel) Env() *sim.Env { return k.env }
+
+// Stats returns the kernel's activity counters.
+func (k *Kernel) Stats() *Stats { return &k.stats }
+
+// link is the kernel's record of a link: two ends, each with at most one
+// outstanding activity per direction.
+type link struct {
+	id        int
+	destroyed bool
+	ends      [2]endState
+}
+
+type endState struct {
+	owner    *Process
+	moving   bool // enclosed in an in-flight message
+	send     *activity
+	recv     *activity
+	sendSeq  int64 // per-end send ordering (trace/debug)
+	deadSeen bool  // destruction already reported via a completion
+}
+
+type activity struct {
+	dir       Direction
+	data      []byte // send: payload
+	capacity  int    // recv: buffer capacity
+	enclosure EndRef
+	matched   bool // transfer in flight; Cancel must fail
+}
+
+// Process is a Charlotte process: the unit of link ownership and the
+// target of activity-completion notifications.
+type Process struct {
+	k           *Kernel
+	id          int
+	node        netsim.NodeID
+	completions *sim.Mailbox
+	dead        bool
+	ends        map[EndRef]bool
+}
+
+// NewProcess registers a process living on the given node. The returned
+// Process's kernel calls must be made from simproc context (they charge
+// virtual CPU time via p).
+func (k *Kernel) NewProcess(node netsim.NodeID) *Process {
+	k.nextPID++
+	pr := &Process{
+		k:           k,
+		id:          k.nextPID,
+		node:        node,
+		completions: sim.NewMailbox(k.env, fmt.Sprintf("charlotte.p%d.completions", k.nextPID)),
+		ends:        make(map[EndRef]bool),
+	}
+	return pr
+}
+
+// ID returns the process id.
+func (pr *Process) ID() int { return pr.id }
+
+// Node returns the process's node.
+func (pr *Process) Node() netsim.NodeID { return pr.node }
+
+// Owns reports whether the process currently owns the given end.
+func (pr *Process) Owns(e EndRef) bool { return pr.ends[e] }
+
+// PendingCompletions reports how many completions are queued for Wait.
+func (pr *Process) PendingCompletions() int { return pr.completions.Len() }
+
+// charge spends one kernel-call's CPU on the calling simproc.
+func (pr *Process) charge(p *sim.Proc, what string) {
+	pr.k.stats.Calls[what]++
+	p.Delay(pr.k.costs.KernelCall)
+}
+
+// MakeLink creates a new link with both ends owned by the caller.
+func (pr *Process) MakeLink(p *sim.Proc) (end1, end2 EndRef, st Status) {
+	pr.charge(p, "MakeLink")
+	if pr.dead {
+		return EndRef{}, EndRef{}, Destroyed
+	}
+	pr.k.nextLink++
+	l := &link{id: pr.k.nextLink}
+	l.ends[0].owner = pr
+	l.ends[1].owner = pr
+	pr.k.links[l.id] = l
+	e1 := EndRef{link: l.id, side: 0}
+	e2 := EndRef{link: l.id, side: 1}
+	pr.ends[e1] = true
+	pr.ends[e2] = true
+	pr.k.env.Trace("charlotte", "p%d MakeLink -> %v,%v", pr.id, e1, e2)
+	return e1, e2, OK
+}
+
+// BootLink creates a link with one end owned by each of two processes,
+// without charging kernel time: the loader's initial wiring, performed
+// before the simulation starts.
+func (k *Kernel) BootLink(a, b *Process) (EndRef, EndRef) {
+	k.nextLink++
+	l := &link{id: k.nextLink}
+	l.ends[0].owner = a
+	l.ends[1].owner = b
+	k.links[l.id] = l
+	e1 := EndRef{link: l.id, side: 0}
+	e2 := EndRef{link: l.id, side: 1}
+	a.ends[e1] = true
+	b.ends[e2] = true
+	return e1, e2
+}
+
+// lookup validates that e names a live link end owned by pr and returns
+// the link. It maps every failure to the status the real kernel returns.
+func (pr *Process) lookup(e EndRef) (*link, Status) {
+	l, ok := pr.k.links[e.link]
+	if !ok {
+		return nil, Destroyed
+	}
+	if l.destroyed {
+		return l, Destroyed
+	}
+	es := &l.ends[e.side]
+	if es.owner != pr {
+		if es.moving {
+			return l, Moving
+		}
+		return l, NotOwner
+	}
+	if es.moving {
+		return l, Moving
+	}
+	return l, OK
+}
+
+// Send starts a send activity on end e carrying data, optionally
+// enclosing one other link end. It returns immediately; completion is
+// reported by Wait.
+func (pr *Process) Send(p *sim.Proc, e EndRef, data []byte, enclosure EndRef) Status {
+	pr.charge(p, "Send")
+	l, st := pr.lookup(e)
+	if st != OK {
+		return st
+	}
+	es := &l.ends[e.side]
+	if es.send != nil {
+		return Busy
+	}
+	if !enclosure.Nil() {
+		if enclosure.link == e.link {
+			return EnclosureSelf
+		}
+		el, est := pr.lookup(enclosure)
+		if est != OK {
+			return est
+		}
+		ees := &el.ends[enclosure.side]
+		if ees.send != nil || ees.recv != nil || ees.moving {
+			return EnclosureBusy
+		}
+		// The end is now moving: the three-party agreement begins. It
+		// stays unusable until delivery (or send failure).
+		ees.moving = true
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	es.send = &activity{dir: SendDir, data: buf, enclosure: enclosure}
+	es.sendSeq++
+	pr.k.env.Trace("charlotte", "p%d Send %v len=%d enc=%v", pr.id, e, len(data), enclosure)
+	pr.k.tryMatch(l, e.side)
+	return OK
+}
+
+// Receive starts a receive activity on end e with the given buffer
+// capacity. Completion is reported by Wait.
+func (pr *Process) Receive(p *sim.Proc, e EndRef, capacity int) Status {
+	pr.charge(p, "Receive")
+	l, st := pr.lookup(e)
+	if st != OK {
+		return st
+	}
+	es := &l.ends[e.side]
+	if es.recv != nil {
+		return Busy
+	}
+	es.recv = &activity{dir: RecvDir, capacity: capacity}
+	pr.k.env.Trace("charlotte", "p%d Receive %v cap=%d", pr.id, e, capacity)
+	// A send may be waiting on the far end.
+	pr.k.tryMatch(l, 1-e.side)
+	return OK
+}
+
+// Cancel attempts to cancel the outstanding activity in direction d on
+// end e. It fails with CancelFailed if the activity has already matched
+// (its completion will still arrive via Wait).
+func (pr *Process) Cancel(p *sim.Proc, e EndRef, d Direction) Status {
+	pr.charge(p, "Cancel")
+	l, st := pr.lookup(e)
+	if st != OK {
+		return st
+	}
+	es := &l.ends[e.side]
+	var slot **activity
+	if d == SendDir {
+		slot = &es.send
+	} else {
+		slot = &es.recv
+	}
+	if *slot == nil {
+		return NoActivity
+	}
+	if (*slot).matched {
+		return CancelFailed
+	}
+	if d == SendDir && !(*slot).enclosure.Nil() {
+		// Release the moving end: the move never happened.
+		if el, ok := pr.k.links[(*slot).enclosure.link]; ok {
+			el.ends[(*slot).enclosure.side].moving = false
+		}
+	}
+	*slot = nil
+	pr.k.env.Trace("charlotte", "p%d Cancel %v %v -> OK", pr.id, e, d)
+	return OK
+}
+
+// Wait blocks until an activity completes and returns its description.
+func (pr *Process) Wait(p *sim.Proc) Description {
+	pr.k.stats.Calls["Wait"]++
+	d := pr.completions.Get(p).(Description)
+	p.Delay(pr.k.costs.KernelCall)
+	pr.k.env.Trace("charlotte", "p%d Wait -> %v %v %v len=%d", pr.id, d.End, d.Dir, d.Status, d.Length)
+	return d
+}
+
+// TryWait returns a completion if one is queued, without blocking.
+func (pr *Process) TryWait(p *sim.Proc) (Description, bool) {
+	v, ok := pr.completions.TryGet()
+	if !ok {
+		return Description{}, false
+	}
+	pr.k.stats.Calls["Wait"]++
+	p.Delay(pr.k.costs.KernelCall)
+	return v.(Description), true
+}
+
+// Destroy destroys the link with the given end. Outstanding activities
+// on both ends complete with Destroyed status; the far end's owner also
+// receives an unsolicited Destroyed notification if it had no activity
+// posted (Charlotte guarantees destruction is eventually visible).
+func (pr *Process) Destroy(p *sim.Proc, e EndRef) Status {
+	pr.charge(p, "Destroy")
+	l, st := pr.lookup(e)
+	if st == Destroyed {
+		return Destroyed
+	}
+	if st != OK {
+		return st
+	}
+	pr.k.destroyLink(l)
+	return OK
+}
+
+// Terminate destroys all links attached to the process, as the kernel
+// does when a process dies. Safe to call from OnKill hooks.
+func (pr *Process) Terminate() {
+	if pr.dead {
+		return
+	}
+	pr.dead = true
+	pr.k.env.Trace("charlotte", "p%d terminate", pr.id)
+	for e := range pr.ends {
+		if l, ok := pr.k.links[e.link]; ok && !l.destroyed {
+			pr.k.destroyLink(l)
+		}
+	}
+}
+
+// destroyLink marks the link destroyed and flushes completions.
+func (k *Kernel) destroyLink(l *link) {
+	l.destroyed = true
+	k.stats.Destroys++
+	k.env.Trace("charlotte", "link %d destroyed", l.id)
+	for side := 0; side < 2; side++ {
+		es := &l.ends[side]
+		owner := es.owner
+		if owner == nil {
+			continue
+		}
+		notified := false
+		if es.send != nil {
+			if !es.send.enclosure.Nil() {
+				// The move never completes; the enclosed end is released
+				// back to the sender (best case; E8 explores the crash
+				// case where even this is impossible).
+				if el, ok := k.links[es.send.enclosure.link]; ok {
+					el.ends[es.send.enclosure.side].moving = false
+				}
+			}
+			owner.complete(Description{End: EndRef{l.id, side}, Dir: SendDir, Status: Destroyed})
+			es.send = nil
+			notified = true
+		}
+		if es.recv != nil {
+			owner.complete(Description{End: EndRef{l.id, side}, Dir: RecvDir, Status: Destroyed})
+			es.recv = nil
+			notified = true
+		}
+		if !notified && !owner.dead {
+			// Unsolicited destruction notice so the owner eventually
+			// learns; modeled as a zero-length recv completion.
+			owner.complete(Description{End: EndRef{l.id, side}, Dir: RecvDir, Status: Destroyed})
+		}
+		delete(owner.ends, EndRef{l.id, side})
+		es.owner = nil
+	}
+}
+
+// complete queues a description for Wait.
+func (pr *Process) complete(d Description) {
+	if pr.dead {
+		return
+	}
+	pr.completions.Put(d)
+}
+
+// tryMatch checks whether the send pending on l.ends[sendSide] can match
+// a receive on the opposite end, and if so starts the transfer.
+func (k *Kernel) tryMatch(l *link, sendSide int) {
+	if l.destroyed {
+		return
+	}
+	snd := &l.ends[sendSide]
+	rcv := &l.ends[1-sendSide]
+	if snd.send == nil || snd.send.matched || rcv.recv == nil || rcv.recv.matched {
+		return
+	}
+	if snd.owner == nil || rcv.owner == nil || snd.moving || rcv.moving {
+		return
+	}
+	snd.send.matched = true
+	rcv.recv.matched = true
+
+	n := len(snd.send.data)
+	cost := k.costs.MessagePath + sim.Duration(n)*k.costs.PerByte
+	if !snd.send.enclosure.Nil() {
+		cost += k.costs.MoveAgreement
+	}
+	var wire sim.Duration
+	if snd.owner.node != rcv.owner.node {
+		wire = k.net.SendTime(k.env.Now(), snd.owner.node, rcv.owner.node, n)
+	} else {
+		wire = sim.Duration(n) * 100 * sim.Nanosecond // local loopback copy
+	}
+	sendEnd := EndRef{l.id, sendSide}
+	k.env.After(cost+wire, func() { k.deliver(l, sendEnd) })
+}
+
+// deliver completes a matched transfer: payload and enclosure reach the
+// receiver, and both parties get completion descriptions.
+func (k *Kernel) deliver(l *link, sendEnd EndRef) {
+	snd := &l.ends[sendEnd.side]
+	rcv := &l.ends[1-sendEnd.side]
+	act := snd.send
+	ract := rcv.recv
+	if act == nil || ract == nil {
+		return // link destroyed while in flight; completions already sent
+	}
+	if l.destroyed {
+		return
+	}
+	sender, receiver := snd.owner, rcv.owner
+	snd.send = nil
+	rcv.recv = nil
+
+	st := OK
+	n := len(act.data)
+	data := act.data
+	if n > ract.capacity {
+		st = Truncated
+		n = ract.capacity
+		data = data[:n]
+	}
+	k.stats.Messages++
+	k.stats.Bytes += int64(n)
+
+	// Move the enclosure: ownership passes to the receiver; the
+	// three-party agreement concludes.
+	if !act.enclosure.Nil() {
+		if el, ok := k.links[act.enclosure.link]; ok {
+			ees := &el.ends[act.enclosure.side]
+			ees.moving = false
+			if ees.owner != nil {
+				delete(ees.owner.ends, act.enclosure)
+			}
+			ees.owner = receiver
+			receiver.ends[act.enclosure] = true
+			k.stats.Enclosures++
+			k.env.Trace("charlotte", "enclosure %v moved p%d -> p%d",
+				act.enclosure, sender.id, receiver.id)
+		}
+	}
+
+	sender.complete(Description{End: sendEnd, Dir: SendDir, Status: OK, Length: n})
+	receiver.complete(Description{
+		End: sendEnd.peer(), Dir: RecvDir, Status: st,
+		Length: n, Data: data, Enclosure: act.enclosure,
+	})
+}

@@ -1,0 +1,611 @@
+// Package chrysalis reimplements the BBN Butterfly's Chrysalis operating
+// system primitives as described in §5 of the paper, on the sim/netsim
+// substrate.
+//
+// Chrysalis is the paper's lowest-level interface: it provides no
+// messages at all. Its (largely microcoded) abstractions are:
+//
+//   - memory objects, mappable into the address spaces of arbitrarily
+//     many processes, with kernel reference counts and reclamation;
+//   - event blocks: binary semaphores whose V carries a 32-bit datum
+//     returned by a subsequent P; only the owner may wait, but any
+//     process that knows the name may post;
+//   - dual queues: bounded buffers of 32-bit data that, once drained,
+//     flip into queues of event-block names — a dequeue on an empty
+//     queue enqueues the caller's event block, and an enqueue on a queue
+//     of event names posts the oldest event instead of buffering.
+//
+// Atomic operations on 16-bit quantities are microcoded and cheap;
+// atomic updates wider than 16 bits are costly, so wide writes are
+// non-atomic. The simulation makes the resulting torn-read window real:
+// Write32 writes two halves separated by virtual time, and a concurrent
+// Read32 can observe the mix, exactly the hazard §5.2 tiptoes around
+// when a moved link's dual-queue name is updated.
+package chrysalis
+
+import (
+	"fmt"
+
+	"repro/internal/calib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Status is the result of a Chrysalis call.
+type Status int
+
+// Call status codes.
+const (
+	OK Status = iota
+	// NoSuchObject: the name denotes no live memory object.
+	NoSuchObject
+	// NotMapped: the process has not mapped the object.
+	NotMapped
+	// NotOwner: only the owner may wait on an event block.
+	NotOwner
+	// OverPost: V on an already-posted event block.
+	OverPost
+	// QueueFull: the dual queue's data buffer is full.
+	QueueFull
+	// NoSuchEvent: the name denotes no live event block.
+	NoSuchEvent
+	// NoSuchQueue: the name denotes no live dual queue.
+	NoSuchQueue
+	// BadAccess: out-of-range object offset.
+	BadAccess
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case NoSuchObject:
+		return "NO_SUCH_OBJECT"
+	case NotMapped:
+		return "NOT_MAPPED"
+	case NotOwner:
+		return "NOT_OWNER"
+	case OverPost:
+		return "OVER_POST"
+	case QueueFull:
+		return "QUEUE_FULL"
+	case NoSuchEvent:
+		return "NO_SUCH_EVENT"
+	case NoSuchQueue:
+		return "NO_SUCH_QUEUE"
+	case BadAccess:
+		return "BAD_ACCESS"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ObjName is the address-space-independent name of a memory object.
+type ObjName uint32
+
+// EventName names an event block.
+type EventName uint32
+
+// QueueName names a dual queue. Queue names are wider than 16 bits,
+// which is why the paper's link objects update them non-atomically.
+type QueueName uint32
+
+// Stats counts kernel activity for the experiment harness.
+type Stats struct {
+	AtomicOps  int64
+	Enqueues   int64
+	Dequeues   int64
+	EventPosts int64
+	EventWaits int64
+	Maps       int64
+	Unmaps     int64
+	BytesMoved int64
+	Reclaimed  int64
+	TornReads  int64
+}
+
+// Kernel is the Chrysalis instance shared by all processors of one
+// Butterfly machine.
+type Kernel struct {
+	env   *sim.Env
+	bp    *netsim.Backplane
+	costs calib.ChrysalisCosts
+
+	objects map[ObjName]*memObject
+	events  map[EventName]*eventBlock
+	queues  map[QueueName]*dualQueue
+	nextID  uint32
+	nextPID int
+	stats   Stats
+	// TuneFactor scales fixed primitive costs (1.0 = paper's measured
+	// system; calib.ChrysalisTunedFactor = with the optimizations §5.3
+	// says were under development). It does not change per-byte costs.
+	TuneFactor float64
+}
+
+// NewKernel creates a Chrysalis kernel over the given backplane.
+func NewKernel(env *sim.Env, bp *netsim.Backplane, costs calib.ChrysalisCosts) *Kernel {
+	return &Kernel{
+		env:        env,
+		bp:         bp,
+		costs:      costs,
+		objects:    make(map[ObjName]*memObject),
+		events:     make(map[EventName]*eventBlock),
+		queues:     make(map[QueueName]*dualQueue),
+		TuneFactor: 1.0,
+	}
+}
+
+// Env returns the simulation environment.
+func (k *Kernel) Env() *sim.Env { return k.env }
+
+// Stats returns the kernel's counters.
+func (k *Kernel) Stats() *Stats { return &k.stats }
+
+func (k *Kernel) cost(d sim.Duration) sim.Duration {
+	return sim.Duration(float64(d) * k.TuneFactor)
+}
+
+// charge spends CPU on the calling simproc; calls made from scheduler
+// context (boot wiring, notice pumps mid-callback) pass nil and are not
+// charged.
+func charge(p *sim.Proc, d sim.Duration) {
+	if p != nil {
+		p.Delay(d)
+	}
+}
+
+func (k *Kernel) newID() uint32 {
+	k.nextID++
+	return k.nextID
+}
+
+// memObject is a kernel memory object.
+type memObject struct {
+	name ObjName
+	data []byte
+	// words shadows 16-bit atomic flags and 32-bit fields; both views
+	// alias data.
+	refs         int
+	freeWhenZero bool
+	home         netsim.NodeID // memory module holding the object
+	// midWrite marks a 32-bit field currently half-written: offset -> old
+	// high half. Read32 during the window returns the torn mix.
+	midWrite map[int]uint16
+}
+
+// eventBlock is a binary semaphore with a 32-bit datum.
+type eventBlock struct {
+	name   EventName
+	owner  *Process
+	posted bool
+	datum  uint32
+	wq     *sim.WaitQueue
+}
+
+// dualQueue holds either data or event-block names.
+type dualQueue struct {
+	name     QueueName
+	capacity int
+	data     []uint32
+	waiters  []EventName // event names enqueued by dequeues-on-empty
+	dead     bool
+}
+
+// Process is a Chrysalis process: an address space plus owned event
+// blocks.
+type Process struct {
+	k      *Kernel
+	id     int
+	node   netsim.NodeID
+	mapped map[ObjName]bool
+	dead   bool
+}
+
+// NewProcess registers a process on the given node.
+func (k *Kernel) NewProcess(node netsim.NodeID) *Process {
+	k.nextPID++
+	return &Process{k: k, id: k.nextPID, node: node, mapped: make(map[ObjName]bool)}
+}
+
+// ID returns the process id.
+func (pr *Process) ID() int { return pr.id }
+
+// Node returns the processor node.
+func (pr *Process) Node() netsim.NodeID { return pr.node }
+
+// AllocObject creates a memory object of the given size, mapped into the
+// caller's address space with reference count 1. The object's memory
+// lives on the caller's node.
+func (pr *Process) AllocObject(p *sim.Proc, size int) ObjName {
+	charge(p, pr.k.cost(pr.k.costs.MapObject))
+	name := ObjName(pr.k.newID())
+	pr.k.objects[name] = &memObject{
+		name:     name,
+		data:     make([]byte, size),
+		refs:     1,
+		home:     pr.node,
+		midWrite: make(map[int]uint16),
+	}
+	pr.mapped[name] = true
+	pr.k.stats.Maps++
+	return name
+}
+
+// Map maps the named object into the caller's address space,
+// incrementing its reference count.
+func (pr *Process) Map(p *sim.Proc, name ObjName) Status {
+	charge(p, pr.k.cost(pr.k.costs.MapObject))
+	o, ok := pr.k.objects[name]
+	if !ok {
+		return NoSuchObject
+	}
+	if !pr.mapped[name] {
+		o.refs++
+		pr.mapped[name] = true
+	}
+	pr.k.stats.Maps++
+	return OK
+}
+
+// Unmap removes the object from the caller's address space, decrementing
+// the reference count and reclaiming the object if it hits zero with
+// free-when-unreferenced set.
+func (pr *Process) Unmap(p *sim.Proc, name ObjName) Status {
+	if p != nil {
+		charge(p, pr.k.cost(pr.k.costs.MapObject/2))
+	}
+	o, ok := pr.k.objects[name]
+	if !ok {
+		return NoSuchObject
+	}
+	if !pr.mapped[name] {
+		return NotMapped
+	}
+	delete(pr.mapped, name)
+	o.refs--
+	pr.k.stats.Unmaps++
+	pr.k.maybeReclaim(o)
+	return OK
+}
+
+// FreeWhenUnreferenced tells the kernel to reclaim the object when its
+// reference count reaches zero.
+func (pr *Process) FreeWhenUnreferenced(p *sim.Proc, name ObjName) Status {
+	o, ok := pr.k.objects[name]
+	if !ok {
+		return NoSuchObject
+	}
+	o.freeWhenZero = true
+	pr.k.maybeReclaim(o)
+	return OK
+}
+
+func (k *Kernel) maybeReclaim(o *memObject) {
+	if o.refs <= 0 && o.freeWhenZero {
+		delete(k.objects, o.name)
+		k.stats.Reclaimed++
+		k.env.Trace("chrysalis", "object %d reclaimed", o.name)
+	}
+}
+
+// Refs reports the object's reference count (tests and invariants).
+func (k *Kernel) Refs(name ObjName) (int, bool) {
+	o, ok := k.objects[name]
+	if !ok {
+		return 0, false
+	}
+	return o.refs, true
+}
+
+// obj validates access and returns the object.
+func (pr *Process) obj(name ObjName) (*memObject, Status) {
+	o, ok := pr.k.objects[name]
+	if !ok {
+		return nil, NoSuchObject
+	}
+	if !pr.mapped[name] {
+		return nil, NotMapped
+	}
+	return o, OK
+}
+
+// remoteCost returns the backplane charge for touching n bytes of an
+// object homed on another node.
+func (pr *Process) remoteCost(o *memObject, n int) sim.Duration {
+	if o.home == pr.node {
+		return 0
+	}
+	return pr.k.bp.SendTime(pr.k.env.Now(), pr.node, o.home, n)
+}
+
+// SetFlag16 atomically sets a 16-bit flag word at offset (microcoded,
+// cheap). Returns the previous value.
+func (pr *Process) SetFlag16(p *sim.Proc, name ObjName, offset int, v uint16) (uint16, Status) {
+	o, st := pr.obj(name)
+	if st != OK {
+		return 0, st
+	}
+	if offset < 0 || offset+2 > len(o.data) {
+		return 0, BadAccess
+	}
+	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
+	pr.k.stats.AtomicOps++
+	old := uint16(o.data[offset]) | uint16(o.data[offset+1])<<8
+	o.data[offset] = byte(v)
+	o.data[offset+1] = byte(v >> 8)
+	return old, OK
+}
+
+// OrFlag16 atomically ORs bits into a 16-bit flag word, returning the
+// previous value (one microcoded atomic op).
+func (pr *Process) OrFlag16(p *sim.Proc, name ObjName, offset int, bits uint16) (uint16, Status) {
+	o, st := pr.obj(name)
+	if st != OK {
+		return 0, st
+	}
+	if offset < 0 || offset+2 > len(o.data) {
+		return 0, BadAccess
+	}
+	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
+	pr.k.stats.AtomicOps++
+	old := uint16(o.data[offset]) | uint16(o.data[offset+1])<<8
+	v := old | bits
+	o.data[offset] = byte(v)
+	o.data[offset+1] = byte(v >> 8)
+	return old, OK
+}
+
+// AndFlag16 atomically ANDs a mask into a 16-bit flag word, returning
+// the previous value.
+func (pr *Process) AndFlag16(p *sim.Proc, name ObjName, offset int, mask uint16) (uint16, Status) {
+	o, st := pr.obj(name)
+	if st != OK {
+		return 0, st
+	}
+	if offset < 0 || offset+2 > len(o.data) {
+		return 0, BadAccess
+	}
+	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
+	pr.k.stats.AtomicOps++
+	old := uint16(o.data[offset]) | uint16(o.data[offset+1])<<8
+	v := old & mask
+	o.data[offset] = byte(v)
+	o.data[offset+1] = byte(v >> 8)
+	return old, OK
+}
+
+// Flag16 atomically reads a 16-bit flag word.
+func (pr *Process) Flag16(p *sim.Proc, name ObjName, offset int) (uint16, Status) {
+	o, st := pr.obj(name)
+	if st != OK {
+		return 0, st
+	}
+	if offset < 0 || offset+2 > len(o.data) {
+		return 0, BadAccess
+	}
+	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
+	pr.k.stats.AtomicOps++
+	return uint16(o.data[offset]) | uint16(o.data[offset+1])<<8, OK
+}
+
+// Write32 writes a 32-bit field non-atomically: the low half lands, a
+// torn window of WideWrite virtual time passes, then the high half
+// lands. A concurrent Read32 during the window sees the mix.
+func (pr *Process) Write32(p *sim.Proc, name ObjName, offset int, v uint32) Status {
+	o, st := pr.obj(name)
+	if st != OK {
+		return st
+	}
+	if offset < 0 || offset+4 > len(o.data) {
+		return BadAccess
+	}
+	oldHigh := uint16(o.data[offset+2]) | uint16(o.data[offset+3])<<8
+	o.midWrite[offset] = oldHigh
+	o.data[offset] = byte(v)
+	o.data[offset+1] = byte(v >> 8)
+	charge(p, pr.k.cost(pr.k.costs.WideWrite)+pr.remoteCost(o, 4))
+	o.data[offset+2] = byte(v >> 16)
+	o.data[offset+3] = byte(v >> 24)
+	delete(o.midWrite, offset)
+	return OK
+}
+
+// Read32 reads a 32-bit field non-atomically; a read racing a Write32
+// observes the torn mix (counted in stats).
+func (pr *Process) Read32(p *sim.Proc, name ObjName, offset int) (uint32, Status) {
+	o, st := pr.obj(name)
+	if st != OK {
+		return 0, st
+	}
+	if offset < 0 || offset+4 > len(o.data) {
+		return 0, BadAccess
+	}
+	charge(p, pr.k.cost(pr.k.costs.WideWrite/2)+pr.remoteCost(o, 4))
+	if _, torn := o.midWrite[offset]; torn {
+		pr.k.stats.TornReads++
+	}
+	return uint32(o.data[offset]) | uint32(o.data[offset+1])<<8 |
+		uint32(o.data[offset+2])<<16 | uint32(o.data[offset+3])<<24, OK
+}
+
+// WriteBytes copies buf into the object at offset (block copy, charged
+// per byte plus backplane time for remote objects).
+func (pr *Process) WriteBytes(p *sim.Proc, name ObjName, offset int, buf []byte) Status {
+	o, st := pr.obj(name)
+	if st != OK {
+		return st
+	}
+	if offset < 0 || offset+len(buf) > len(o.data) {
+		return BadAccess
+	}
+	charge(p, sim.Duration(len(buf))*pr.k.costs.BufferCopy+pr.remoteCost(o, len(buf)))
+	copy(o.data[offset:], buf)
+	pr.k.stats.BytesMoved += int64(len(buf))
+	return OK
+}
+
+// ReadBytes copies n bytes out of the object at offset.
+func (pr *Process) ReadBytes(p *sim.Proc, name ObjName, offset, n int) ([]byte, Status) {
+	o, st := pr.obj(name)
+	if st != OK {
+		return nil, st
+	}
+	if offset < 0 || offset+n > len(o.data) {
+		return nil, BadAccess
+	}
+	charge(p, sim.Duration(n)*pr.k.costs.BufferCopy+pr.remoteCost(o, n))
+	out := make([]byte, n)
+	copy(out, o.data[offset:])
+	pr.k.stats.BytesMoved += int64(n)
+	return out, OK
+}
+
+// NewEvent allocates an event block owned by the caller.
+func (pr *Process) NewEvent(p *sim.Proc) EventName {
+	charge(p, pr.k.cost(pr.k.costs.EventPost))
+	name := EventName(pr.k.newID())
+	pr.k.events[name] = &eventBlock{
+		name:  name,
+		owner: pr,
+		wq:    sim.NewWaitQueue(pr.k.env, fmt.Sprintf("chrysalis.ev%d", name)),
+	}
+	return name
+}
+
+// EventPost performs V: it posts the event with a 32-bit datum, waking
+// the owner if it is waiting. Any process that knows the name may post.
+func (pr *Process) EventPost(p *sim.Proc, name EventName, datum uint32) Status {
+	ev, ok := pr.k.events[name]
+	if !ok {
+		return NoSuchEvent
+	}
+	if p != nil {
+		charge(p, pr.k.cost(pr.k.costs.EventPost))
+	}
+	if ev.posted {
+		return OverPost
+	}
+	pr.k.stats.EventPosts++
+	ev.posted = true
+	ev.datum = datum
+	ev.wq.WakeValue(datum)
+	return OK
+}
+
+// EventWait performs P: the owner blocks until the event is posted and
+// receives the datum. Only the owner may wait.
+func (pr *Process) EventWait(p *sim.Proc, name EventName) (uint32, Status) {
+	ev, ok := pr.k.events[name]
+	if !ok {
+		return 0, NoSuchEvent
+	}
+	if ev.owner != pr {
+		return 0, NotOwner
+	}
+	charge(p, pr.k.cost(pr.k.costs.EventWait))
+	pr.k.stats.EventWaits++
+	if ev.posted {
+		ev.posted = false
+		return ev.datum, OK
+	}
+	v := ev.wq.Wait(p).(uint32)
+	ev.posted = false
+	return v, OK
+}
+
+// EventPosted reports whether the event is currently posted (tests).
+func (k *Kernel) EventPosted(name EventName) bool {
+	ev, ok := k.events[name]
+	return ok && ev.posted
+}
+
+// NewDualQueue allocates a dual queue with the given data capacity.
+func (pr *Process) NewDualQueue(p *sim.Proc, capacity int) QueueName {
+	charge(p, pr.k.cost(pr.k.costs.Enqueue))
+	name := QueueName(pr.k.newID())
+	pr.k.queues[name] = &dualQueue{name: name, capacity: capacity}
+	return name
+}
+
+// Enqueue adds a 32-bit datum to the queue — unless the queue holds
+// event-block names, in which case the oldest event is posted with the
+// datum instead ("an enqueue operation on a queue containing event block
+// names actually posts a queued event").
+func (pr *Process) Enqueue(p *sim.Proc, name QueueName, datum uint32) Status {
+	q, ok := pr.k.queues[name]
+	if !ok || q.dead {
+		return NoSuchQueue
+	}
+	if p != nil {
+		charge(p, pr.k.cost(pr.k.costs.Enqueue))
+	}
+	pr.k.stats.Enqueues++
+	if len(q.waiters) > 0 {
+		evName := q.waiters[0]
+		q.waiters = q.waiters[0:copy(q.waiters, q.waiters[1:])]
+		if ev, ok := pr.k.events[evName]; ok && !ev.posted {
+			pr.k.stats.EventPosts++
+			ev.posted = true
+			ev.datum = datum
+			ev.wq.WakeValue(datum)
+		}
+		return OK
+	}
+	if len(q.data) >= q.capacity {
+		return QueueFull
+	}
+	q.data = append(q.data, datum)
+	return OK
+}
+
+// Dequeue removes the oldest datum. If the queue is empty, the caller's
+// event block name is enqueued instead and ok=false is returned; the
+// caller should then EventWait on that block ("once a queue becomes
+// empty, subsequent dequeue operations actually enqueue event block
+// names").
+func (pr *Process) Dequeue(p *sim.Proc, name QueueName, ev EventName) (uint32, bool, Status) {
+	q, ok := pr.k.queues[name]
+	if !ok || q.dead {
+		return 0, false, NoSuchQueue
+	}
+	charge(p, pr.k.cost(pr.k.costs.Dequeue))
+	pr.k.stats.Dequeues++
+	if len(q.data) > 0 {
+		v := q.data[0]
+		q.data = q.data[0:copy(q.data, q.data[1:])]
+		return v, true, OK
+	}
+	q.waiters = append(q.waiters, ev)
+	return 0, false, OK
+}
+
+// QueueLen reports buffered data count (tests).
+func (k *Kernel) QueueLen(name QueueName) int {
+	if q, ok := k.queues[name]; ok {
+		return len(q.data)
+	}
+	return 0
+}
+
+// Terminate releases the process's address space: every mapped object is
+// unmapped (running reclamation). Chrysalis lets dying processes run
+// cleanup handlers first; callers model that by destroying links before
+// calling Terminate.
+func (pr *Process) Terminate() {
+	if pr.dead {
+		return
+	}
+	pr.dead = true
+	pr.k.env.Trace("chrysalis", "p%d terminate", pr.id)
+	for name := range pr.mapped {
+		if o, ok := pr.k.objects[name]; ok {
+			o.refs--
+			pr.k.maybeReclaim(o)
+		}
+	}
+	pr.mapped = make(map[ObjName]bool)
+}
+
+// Dead reports whether the process terminated.
+func (pr *Process) Dead() bool { return pr.dead }

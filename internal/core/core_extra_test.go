@@ -1,0 +1,413 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bind/ideal"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Additional core tests: abort variants, accessor coverage, destroy
+// behavior with queued senders, explicit-open receive paths.
+
+func TestAbortBlockedReceiver(t *testing.T) {
+	r := newRig()
+	var recvErr error
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			victim := th.Fork("victim", func(tv *core.Thread) {
+				_, recvErr = tv.Receive(e)
+			})
+			th.Sleep(5 * sim.Millisecond)
+			th.Abort(victim)
+			th.Sleep(5 * sim.Millisecond)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Sleep(20 * sim.Millisecond) // never sends
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(recvErr, core.ErrAborted) {
+		t.Fatalf("recv err = %v, want ErrAborted", recvErr)
+	}
+}
+
+func TestAbortQueuedSenderBeforeFlight(t *testing.T) {
+	// Two coroutines send on the same end; the second's message is queued
+	// behind the first (stop-and-wait). Aborting the second must remove
+	// it from the local queue without touching the first.
+	r := newRig()
+	var err1, err2 error
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			th.Fork("first", func(tv *core.Thread) {
+				_, err1 = tv.Connect(e, "slow", core.Msg{})
+			})
+			second := th.Fork("second", func(tv *core.Thread) {
+				_, err2 = tv.Connect(e, "second", core.Msg{})
+			})
+			th.Yield() // let both start their sends
+			th.Abort(second)
+			th.Sleep(80 * sim.Millisecond)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				st.Sleep(10 * sim.Millisecond)
+				st.Reply(req, core.Msg{Data: []byte(req.Op())})
+			})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err1 != nil {
+		t.Fatalf("first sender: %v", err1)
+	}
+	if !errors.Is(err2, core.ErrAborted) {
+		t.Fatalf("second sender: %v, want ErrAborted", err2)
+	}
+}
+
+func TestAbortRunningThreadDeliveredAtNextBlock(t *testing.T) {
+	r := newRig()
+	var sleepErr error
+	reached := false
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			worker := th.Fork("worker", func(tv *core.Thread) {
+				// Running (not blocked) when aborted; the exception
+				// surfaces at the next block point.
+				tv.Delay(2 * sim.Millisecond)
+				sleepErr = tv.Sleep(50 * sim.Millisecond)
+				reached = true
+			})
+			th.Yield()       // worker starts running and holds the processor
+			th.Abort(worker) // worker is mid-Delay: abort is pending
+			th.Sleep(100 * sim.Millisecond)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Fatal("worker never resumed after its block point")
+	}
+	if !errors.Is(sleepErr, core.ErrAborted) {
+		t.Fatalf("sleep err = %v, want ErrAborted", sleepErr)
+	}
+}
+
+func TestDestroyWithMultipleQueuedSenders(t *testing.T) {
+	// Several coroutines blocked sending on one end; destroying the end
+	// must wake all of them with ErrLinkDestroyed.
+	r := newRig()
+	errs := make([]error, 3)
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			for i := 0; i < 3; i++ {
+				i := i
+				th.Fork("s", func(tv *core.Thread) {
+					_, errs[i] = tv.Connect(e, "op", core.Msg{})
+				})
+			}
+			th.Yield()
+			th.Sleep(2 * sim.Millisecond)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Sleep(50 * sim.Millisecond) // never serves
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, core.ErrLinkDestroyed) {
+			t.Errorf("sender %d: %v, want ErrLinkDestroyed", i, err)
+		}
+	}
+}
+
+func TestReceiveFromExplicitlyOpenedQueue(t *testing.T) {
+	// Requests queue while the receiver computes with the queue open;
+	// Receive later drains them in order without blocking.
+	r := newRig()
+	var got []string
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			for _, op := range []string{"a", "b"} {
+				if _, err := th.Connect(e, op, core.Msg{}); err != nil {
+					t.Errorf("connect %s: %v", op, err)
+				}
+			}
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.OpenRequests(e)
+			th.Sleep(30 * sim.Millisecond) // both requests arrive and queue
+			for i := 0; i < 2; i++ {
+				req, err := th.Receive(e)
+				if err != nil {
+					t.Errorf("receive %d: %v", i, err)
+					return
+				}
+				got = append(got, req.Op())
+				th.Reply(req, core.Msg{})
+			}
+			th.CloseRequests(e)
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "a,b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDoubleReplyRejected(t *testing.T) {
+	r := newRig()
+	var second error
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			th.Connect(e, "op", core.Msg{})
+			th.Sleep(10 * sim.Millisecond)
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			req, err := th.Receive(e)
+			if err != nil {
+				return
+			}
+			th.Reply(req, core.Msg{})
+			second = th.Reply(req, core.Msg{})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second == nil {
+		t.Fatal("second Reply succeeded")
+	}
+}
+
+func TestDestroyDeadEndErrors(t *testing.T) {
+	r := newRig()
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			if err := th.Destroy(e); err != nil {
+				t.Errorf("first destroy: %v", err)
+			}
+			if err := th.Destroy(e); !errors.Is(err, core.ErrLinkDestroyed) {
+				t.Errorf("second destroy: %v", err)
+			}
+			if _, err := th.Connect(e, "op", core.Msg{}); !errors.Is(err, core.ErrLinkDestroyed) {
+				t.Errorf("connect after destroy: %v", err)
+			}
+			if _, err := th.Receive(e); !errors.Is(err, core.ErrLinkDestroyed) {
+				t.Errorf("receive after destroy: %v", err)
+			}
+		},
+		func(th *core.Thread, e *core.End) {},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotOwnerErrors(t *testing.T) {
+	// Using another process's End is rejected cleanly.
+	env := sim.NewEnv(1)
+	fab := ideal.NewFabric(env, sim.Millisecond, 0)
+	trA := fab.NewTransport("A")
+	trB := fab.NewTransport("B")
+	ea, eb, _ := trA.MakeLink()
+	ideal.MoveOwnership(fab, trA, trB, eb.(ideal.EndID))
+	var bEnd *core.End
+	ready := sim.NewWaitQueue(env, "ready")
+	core.NewProcess(env, "B", trB, cheapCosts(), func(th *core.Thread) {
+		bEnd = th.AdoptBootEnd(eb)
+		ready.WakeAll()
+		th.Sleep(20 * sim.Millisecond)
+		th.Destroy(bEnd)
+	})
+	core.NewProcess(env, "A", trA, cheapCosts(), func(th *core.Thread) {
+		e := th.AdoptBootEnd(ea)
+		th.Sleep(sim.Millisecond) // bEnd assigned by now
+		if _, err := th.Connect(bEnd, "op", core.Msg{}); !errors.Is(err, core.ErrNotOwner) {
+			t.Errorf("connect on foreign end: %v", err)
+		}
+		if err := th.Destroy(bEnd); !errors.Is(err, core.ErrNotOwner) {
+			t.Errorf("destroy foreign end: %v", err)
+		}
+		if _, err := th.Connect(e, "op", core.Msg{Links: []*core.End{bEnd}}); !errors.Is(err, core.ErrNotOwner) {
+			t.Errorf("enclose foreign end: %v", err)
+		}
+		th.Destroy(e)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := newRig()
+	r.spawnPair(
+		func(th *core.Thread, e *core.End) {
+			if th.ID() == 0 || th.Name() != "main" {
+				t.Errorf("thread accessors: id=%d name=%q", th.ID(), th.Name())
+			}
+			pr := th.Process()
+			if pr.Name() != "A" {
+				t.Errorf("process name %q", pr.Name())
+			}
+			if pr.Env() == nil || pr.SimProc() == nil || pr.Stats() == nil {
+				t.Error("nil accessor")
+			}
+			if e.Dead() {
+				t.Error("fresh end dead")
+			}
+			if e.Transport() == nil {
+				t.Error("nil transport handle")
+			}
+			if !strings.Contains(e.String(), "A/") {
+				t.Errorf("end string %q", e.String())
+			}
+			reply, err := th.Connect(e, "op", core.Msg{Data: []byte("d")})
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			if reply.Op() != "op" {
+				t.Errorf("reply op %q", reply.Op())
+			}
+			th.Destroy(e)
+		},
+		func(th *core.Thread, e *core.End) {
+			th.Serve(e, func(st *core.Thread, req *core.Request) {
+				if req.End() != e {
+					t.Error("request End() mismatch")
+				}
+				if len(req.Links()) != 0 {
+					t.Error("phantom links")
+				}
+				st.Reply(req, core.Msg{Data: req.Data()})
+			})
+		},
+	)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []core.EventKind{core.EvIncoming, core.EvDelivered, core.EvSendFailed, core.EvLinkDead, core.EvTick} {
+		if k.String() == "event?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if core.MsgKind(99).String() == "" || core.KindRequest.String() != "request" || core.KindReply.String() != "reply" {
+		t.Error("MsgKind strings")
+	}
+}
+
+func TestSelfLoopLink(t *testing.T) {
+	// A link with both ends in one process: Connect on one end is served
+	// on the other by the same process's handler — and moving an end to
+	// yourself over it must not corrupt state (the stress suite's
+	// self-move regression, pinned as a unit test).
+	r := newRig()
+	tr := r.fabric.NewTransport("solo")
+	core.NewProcess(r.env, "solo", tr, cheapCosts(), func(th *core.Thread) {
+		a, b, err := th.NewLink()
+		if err != nil {
+			t.Errorf("NewLink: %v", err)
+			return
+		}
+		th.Serve(b, func(st *core.Thread, req *core.Request) {
+			for _, l := range req.Links() {
+				th.Process().ServeEnd(l, func(st2 *core.Thread, r2 *core.Request) {
+					st2.Reply(r2, core.Msg{Data: []byte("via-moved")})
+				})
+			}
+			st.Reply(req, core.Msg{Data: req.Data()})
+		})
+		// Plain self-RPC.
+		reply, err := th.Connect(a, "self", core.Msg{Data: []byte("x")})
+		if err != nil || string(reply.Data) != "x" {
+			t.Errorf("self RPC: %v %q", err, reply)
+			return
+		}
+		// Self-move: create another link, enclose one end to ourselves.
+		m1, m2, _ := th.NewLink()
+		if _, err := th.Connect(a, "move", core.Msg{Links: []*core.End{m2}}); err != nil {
+			t.Errorf("self move: %v", err)
+			return
+		}
+		// The moved end must still work.
+		reply, err = th.Connect(m1, "ping", core.Msg{})
+		if err != nil || string(reply.Data) != "via-moved" {
+			t.Errorf("RPC over self-moved link: %v %v", err, reply)
+		}
+		th.Destroy(m1)
+		th.Destroy(a)
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashWakesAllCoroutines(t *testing.T) {
+	// When a process crashes, its peers' blocked coroutines (several, on
+	// several links) all feel exceptions.
+	r := newRig()
+	trA := r.fabric.NewTransport("A")
+	trB := r.fabric.NewTransport("B")
+	var ends [3]core.TransEnd
+	var farEnds [3]core.TransEnd
+	for i := range ends {
+		a, b, _ := trA.MakeLink()
+		ideal.MoveOwnership(r.fabric, trA, trB, b.(ideal.EndID))
+		ends[i], farEnds[i] = a, b
+	}
+	errs := make([]error, 3)
+	core.NewProcess(r.env, "A", trA, cheapCosts(), func(th *core.Thread) {
+		done := 0
+		for i := range ends {
+			i := i
+			e := th.AdoptBootEnd(ends[i])
+			th.Fork("c", func(tv *core.Thread) {
+				_, errs[i] = tv.Connect(e, "op", core.Msg{})
+				done++
+			})
+		}
+		for done < 3 {
+			th.Sleep(5 * sim.Millisecond)
+		}
+	})
+	core.NewProcess(r.env, "B", trB, cheapCosts(), func(th *core.Thread) {
+		for i := range farEnds {
+			th.AdoptBootEnd(farEnds[i])
+		}
+		th.Sleep(3 * sim.Millisecond)
+		th.Process().Crash()
+		th.Sleep(sim.Millisecond)
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, core.ErrLinkDestroyed) {
+			t.Errorf("coroutine %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import "fmt"
+
+// End is the language-level handle for one end of a LYNX link, owned by
+// exactly one process at a time. Each end has one queue of incoming
+// requests and one of incoming replies (§2.1); outbound traffic is
+// stop-and-wait per message kind, implemented as lists of blocked
+// sending coroutines — "request and reply queues can be implemented by
+// lists of blocked coroutines in the run-time package for each sending
+// process".
+type End struct {
+	pr *Process
+	te TransEnd
+
+	dead    bool
+	deadErr error
+	// moving is set while the end is enclosed in an in-flight message.
+	moving bool
+
+	// Outbound stop-and-wait queues: the head record of each is in
+	// flight at the transport; the rest wait their turn.
+	outReq []*sendRecord
+	outRep []*sendRecord
+
+	// sentUnreceived counts this process's messages on this end that
+	// have not yet been received by the far run-time package — the §2.1
+	// move rule's first clause.
+	sentUnreceived int
+	// owedReplies counts requests received on this end and not yet
+	// replied to — the move rule's second clause.
+	owedReplies int
+
+	// Receiving state.
+	explicitOpen bool    // user opened the request queue without a pending Receive
+	handler      Handler // Serve handler (spawns a thread per request)
+	recvWaiters  []*Thread
+	inReq        []*WireMsg         // wanted requests not yet claimed by a thread
+	replyWaiters map[uint64]*Thread // request seq -> blocked connector
+
+	// lastInterest caches what we last told the transport, to avoid
+	// redundant kernel traffic.
+	lastWantReq, lastWantRep bool
+	interestInit             bool
+}
+
+// Handler serves incoming requests; see Process.Serve.
+type Handler func(t *Thread, req *Request)
+
+// sendRecord tracks one outbound message through the stop-and-wait
+// pipeline.
+type sendRecord struct {
+	end      *End
+	msg      *WireMsg
+	t        *Thread // blocked sender; nil after an abort detached it
+	tag      uint64
+	inFlight bool
+	encl     []*End // language-level ends enclosed in msg
+}
+
+func (e *End) String() string {
+	return fmt.Sprintf("%s/%v", e.pr.name, e.te)
+}
+
+// Dead reports whether the link has been destroyed.
+func (e *End) Dead() bool { return e.dead }
+
+// Transport returns the transport handle (tests and bindings).
+func (e *End) Transport() TransEnd { return e.te }
+
+// wantRequests reports whether incoming requests are currently wanted:
+// the request queue is open if a handler is registered, a thread is
+// blocked in Receive, or the program opened it explicitly.
+func (e *End) wantRequests() bool {
+	return !e.dead && (e.handler != nil || len(e.recvWaiters) > 0 || e.explicitOpen)
+}
+
+// wantReplies reports whether the reply queue is open: "reply queues are
+// opened when a request has been SENT and a reply is expected" (§2.1) —
+// so an outbound request still in the send pipeline already opens it,
+// not just a registered reply waiter.
+func (e *End) wantReplies() bool {
+	if e.dead {
+		return false
+	}
+	if len(e.replyWaiters) > 0 {
+		return true
+	}
+	for _, rec := range e.outReq {
+		if rec.t != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// syncInterest pushes the current queue-open state to the transport if
+// it changed.
+func (e *End) syncInterest() {
+	wq, wr := e.wantRequests(), e.wantReplies()
+	if e.interestInit && wq == e.lastWantReq && wr == e.lastWantRep {
+		return
+	}
+	e.interestInit = true
+	e.lastWantReq, e.lastWantRep = wq, wr
+	e.pr.tr.SetInterest(e.te, wq, wr)
+}
+
+// movable checks the §2.1 rule for enclosing this end in a message.
+func (e *End) movable() error {
+	switch {
+	case e.dead:
+		return ErrLinkDestroyed
+	case e.moving:
+		return ErrEndMoving
+	case e.sentUnreceived > 0:
+		return ErrMoveUnreceived
+	case e.owedReplies > 0:
+		return ErrMoveOwedReply
+	}
+	return nil
+}
+
+// queueFor returns the outbound queue for the given kind.
+func (e *End) queueFor(k MsgKind) *[]*sendRecord {
+	if k == KindRequest {
+		return &e.outReq
+	}
+	return &e.outRep
+}
+
+// Request is an incoming remote-operation request, handed to a Receive
+// caller or a Serve handler. The receiver must call Reply (or
+// RejectReply) exactly once; until then the process owes a reply on the
+// end and may not move it.
+type Request struct {
+	end     *End
+	op      string
+	seq     uint64
+	data    []byte
+	links   []*End
+	replied bool
+}
+
+// Op returns the remote operation name.
+func (r *Request) Op() string { return r.op }
+
+// Data returns the request's parameter bytes.
+func (r *Request) Data() []byte { return r.data }
+
+// Links returns the link ends that moved to this process with the
+// request.
+func (r *Request) Links() []*End { return r.links }
+
+// End returns the link end the request arrived on.
+func (r *Request) End() *End { return r.end }

@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bind/ideal"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// multiRig wires one server to n clients over the ideal fabric.
+func multiRig(t *testing.T, n int, serverMain func(*core.Thread, []*core.End),
+	clientMain func(i int, th *core.Thread, e *core.End)) *sim.Env {
+	env := sim.NewEnv(1)
+	fab := ideal.NewFabric(env, sim.Millisecond, 0)
+	srvTr := fab.NewTransport("server")
+	srvEnds := make([]core.TransEnd, n)
+	clTrs := make([]*ideal.Transport, n)
+	clEnds := make([]core.TransEnd, n)
+	for i := 0; i < n; i++ {
+		a, b, err := srvTr.MakeLink()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clTrs[i] = fab.NewTransport(fmt.Sprint("client", i))
+		ideal.MoveOwnership(fab, srvTr, clTrs[i], b.(ideal.EndID))
+		srvEnds[i], clEnds[i] = a, b
+	}
+	core.NewProcess(env, "server", srvTr, cheapCosts(), func(th *core.Thread) {
+		ends := make([]*core.End, n)
+		for i, te := range srvEnds {
+			ends[i] = th.AdoptBootEnd(te)
+		}
+		serverMain(th, ends)
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		core.NewProcess(env, fmt.Sprint("client", i), clTrs[i], cheapCosts(), func(th *core.Thread) {
+			clientMain(i, th, th.AdoptBootEnd(clEnds[i]))
+		})
+	}
+	return env
+}
+
+func TestReceiveAnyPicksWhicheverArrives(t *testing.T) {
+	var served []string
+	env := multiRig(t, 3,
+		func(th *core.Thread, ends []*core.End) {
+			for i := 0; i < 3; i++ {
+				req, err := th.ReceiveAny(ends...)
+				if err != nil {
+					t.Errorf("ReceiveAny: %v", err)
+					return
+				}
+				served = append(served, req.Op())
+				th.Reply(req, core.Msg{})
+			}
+			for _, e := range ends {
+				th.Destroy(e)
+			}
+		},
+		func(i int, th *core.Thread, e *core.End) {
+			// Stagger arrivals in reverse client order.
+			th.Sleep(sim.Duration(3-i) * 10 * sim.Millisecond)
+			if _, err := th.Connect(e, fmt.Sprint("op", i), core.Msg{}); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		},
+	)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(served) != "[op2 op1 op0]" {
+		t.Fatalf("served %v (want arrival order op2,op1,op0)", served)
+	}
+}
+
+func TestReceiveAnyDrainsQueuedFirst(t *testing.T) {
+	env := multiRig(t, 2,
+		func(th *core.Thread, ends []*core.End) {
+			// Open both queues explicitly; let requests arrive while we
+			// compute, then ReceiveAny must return without blocking.
+			th.OpenRequests(ends[0])
+			th.OpenRequests(ends[1])
+			th.Sleep(30 * sim.Millisecond)
+			for i := 0; i < 2; i++ {
+				req, err := th.ReceiveAny(ends...)
+				if err != nil {
+					t.Errorf("ReceiveAny: %v", err)
+					return
+				}
+				th.Reply(req, core.Msg{})
+			}
+			for _, e := range ends {
+				th.Destroy(e)
+			}
+		},
+		func(i int, th *core.Thread, e *core.End) {
+			if _, err := th.Connect(e, "op", core.Msg{}); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		},
+	)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceiveAnyAllEndsDead(t *testing.T) {
+	env := multiRig(t, 2,
+		func(th *core.Thread, ends []*core.End) {
+			th.Destroy(ends[0])
+			th.Destroy(ends[1])
+			if _, err := th.ReceiveAny(ends...); !errors.Is(err, core.ErrLinkDestroyed) {
+				t.Errorf("ReceiveAny on dead ends: %v", err)
+			}
+		},
+		func(i int, th *core.Thread, e *core.End) {},
+	)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceiveAnyPeerDeathUnblocks(t *testing.T) {
+	var recvErr error
+	env := multiRig(t, 2,
+		func(th *core.Thread, ends []*core.End) {
+			_, recvErr = th.ReceiveAny(ends...)
+			for _, e := range ends {
+				if !e.Dead() {
+					th.Destroy(e)
+				}
+			}
+		},
+		func(i int, th *core.Thread, e *core.End) {
+			th.Sleep(5 * sim.Millisecond)
+			if i == 0 {
+				th.Process().Crash()
+				th.Sleep(sim.Millisecond)
+			}
+		},
+	)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(recvErr, core.ErrLinkDestroyed) {
+		t.Fatalf("recv err = %v", recvErr)
+	}
+}
+
+func TestReceiveAnyAbort(t *testing.T) {
+	var recvErr error
+	env := multiRig(t, 2,
+		func(th *core.Thread, ends []*core.End) {
+			waiter := th.Fork("waiter", func(tv *core.Thread) {
+				_, recvErr = tv.ReceiveAny(ends...)
+			})
+			th.Sleep(5 * sim.Millisecond)
+			th.Abort(waiter)
+			th.Sleep(5 * sim.Millisecond)
+			for _, e := range ends {
+				th.Destroy(e)
+			}
+		},
+		func(i int, th *core.Thread, e *core.End) {
+			// Stay alive past the abort so the links outlive the wait.
+			th.Sleep(50 * sim.Millisecond)
+		},
+	)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(recvErr, core.ErrAborted) {
+		t.Fatalf("recv err = %v", recvErr)
+	}
+}
+
+func TestReceiveAnyNoDoubleWake(t *testing.T) {
+	// Two requests arrive in the same dispatch batch while one thread
+	// multi-waits: it must be woken exactly once, and the second request
+	// must stay queued for the next ReceiveAny.
+	var got []string
+	env := multiRig(t, 2,
+		func(th *core.Thread, ends []*core.End) {
+			for i := 0; i < 2; i++ {
+				req, err := th.ReceiveAny(ends...)
+				if err != nil {
+					t.Errorf("ReceiveAny %d: %v", i, err)
+					return
+				}
+				got = append(got, req.Op())
+				th.Reply(req, core.Msg{})
+			}
+			for _, e := range ends {
+				th.Destroy(e)
+			}
+		},
+		func(i int, th *core.Thread, e *core.End) {
+			// Both clients send at the same virtual instant.
+			if _, err := th.Connect(e, fmt.Sprint("op", i), core.Msg{}); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		},
+	)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatalf("served %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import "repro/internal/sim"
+
+// TransEnd is a transport's opaque handle for one end of a link. Handles
+// must be comparable (they key maps in the run-time package): Charlotte
+// uses kernel link-end capabilities, SODA a pair of advertised names,
+// Chrysalis a memory-object name.
+type TransEnd any
+
+// EventKind classifies transport events delivered to the run-time
+// package at block points.
+type EventKind int
+
+// Transport event kinds.
+const (
+	// EvIncoming: a wanted message has arrived on End. Msg is complete
+	// (all enclosures present, already re-homed to this process's
+	// transport).
+	EvIncoming EventKind = iota
+	// EvDelivered: a message this process sent (identified by Tag) has
+	// been received by the far end's run-time package. Unblocks the
+	// sending coroutine per §2.1's stop-and-wait discipline.
+	EvDelivered
+	// EvSendFailed: a sent message will never be received (link
+	// destroyed, peer crashed, or — on transports that can detect it —
+	// the reply was no longer wanted). Err says why.
+	EvSendFailed
+	// EvLinkDead: the link was destroyed by the far end or its owner
+	// crashed. All operations on End must raise exceptions.
+	EvLinkDead
+	// EvTick is an internal wakeup used by the run-time package itself
+	// (thread sleeps). Bindings never emit it.
+	EvTick
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvIncoming:
+		return "incoming"
+	case EvDelivered:
+		return "delivered"
+	case EvSendFailed:
+		return "send-failed"
+	case EvLinkDead:
+		return "link-dead"
+	case EvTick:
+		return "tick"
+	default:
+		return "event?"
+	}
+}
+
+// Event is one transport notification.
+type Event struct {
+	Kind EventKind
+	End  TransEnd
+	Msg  *WireMsg // EvIncoming only
+	Tag  uint64   // EvDelivered / EvSendFailed
+	Err  error    // EvSendFailed / EvLinkDead
+}
+
+// Transport is the kernel-specific half of a LYNX implementation: one
+// instance per LYNX process. All methods are called from the process's
+// simproc context (they may charge virtual time and block), except where
+// noted.
+//
+// The interface is deliberately the *union* of what the three kernels
+// can support; each binding implements the contract with whatever
+// protocol its kernel demands (and the differences are the paper's
+// subject). In particular:
+//
+//   - screening: EvIncoming must only deliver *wanted* messages, where
+//     wanted means requests while SetInterest(_, true, _) is in effect
+//     and replies while SetInterest(_, _, true) is in effect. Kernels
+//     that pre-receive unwanted messages (Charlotte) must bounce them
+//     back internally (retry/forbid/allow) without surfacing them.
+//   - enclosures: StartSend may need several kernel messages to move
+//     multiple ends (Charlotte's packetization); EvIncoming surfaces the
+//     reassembled whole.
+//   - delivery: EvDelivered means the far run-time package has the
+//     message, not merely the far kernel.
+type Transport interface {
+	// SetSink installs the event delivery callback and hands the binding
+	// the process's simproc (for charging kernel-call CPU time when
+	// invoked from process context). The run-time package calls it
+	// exactly once, before any other method. Bindings invoke the sink
+	// from simproc or scheduler-callback context; it never blocks.
+	SetSink(sink func(Event), sp *sim.Proc)
+	// MakeLink creates a link; both end handles are initially owned by
+	// this process.
+	MakeLink() (TransEnd, TransEnd, error)
+	// Destroy destroys the link one of whose ends is te. The far end's
+	// process learns via EvLinkDead.
+	Destroy(te TransEnd) error
+	// StartSend begins transmitting m on te. The send is identified by
+	// tag; its fate arrives as EvDelivered or EvSendFailed. Enclosed
+	// ends in m.Encl leave this process's ownership when delivery
+	// succeeds. At most one send per (end, message-kind) is in flight;
+	// the run-time package serializes the rest (stop-and-wait).
+	StartSend(te TransEnd, m *WireMsg, tag uint64) error
+	// CancelSend tries to abort an in-flight send (a coroutine aborted
+	// by an exception). It reports whether the message is guaranteed
+	// unreceived; false means it was (or may yet be) received — the
+	// paper's problematic case.
+	CancelSend(te TransEnd, tag uint64) bool
+	// SetInterest declares which incoming message kinds are currently
+	// wanted on te (the end's request queue open state, and whether any
+	// coroutine awaits a reply).
+	SetInterest(te TransEnd, wantRequests, wantReplies bool)
+	// Shutdown destroys every link still attached (process termination).
+	// It must not block or charge time: it runs from crash hooks.
+	Shutdown()
+}
+
+// ScreenFunc is the run-time package's message-screening predicate: it
+// reports whether a message of the given kind (and, for replies, seq)
+// arriving on te is currently wanted. Lesson two of the paper: instead
+// of describing wanted messages to the kernel, the application layer
+// provides the screening function itself. Transports whose kernels
+// support application-level screening (SODA's interrupt handler,
+// Chrysalis's shared-memory flags) call it at screening time.
+type ScreenFunc func(te TransEnd, kind MsgKind, seq uint64) bool
+
+// Screened is implemented by transports that accept a screen function.
+type Screened interface {
+	SetScreen(ScreenFunc)
+}
+
+// Capabilities describes optional transport behaviors that change
+// language-level semantics; the run-time package consults them to decide
+// which exceptions it can promise (§3.2.2's deviations).
+type Capabilities struct {
+	// RejectsUnwantedReplies: a reply arriving for an aborted coroutine
+	// fails the *sender* with ErrUnwantedReply (SODA, Chrysalis). False
+	// for Charlotte: that acknowledgment would add 50% message traffic.
+	RejectsUnwantedReplies bool
+	// RecoversAbortedEnclosures: enclosures in a message whose send was
+	// aborted are guaranteed returned even across peer crashes.
+	RecoversAbortedEnclosures bool
+}
+
+// Capable is implemented by transports to advertise capabilities.
+type Capable interface {
+	Capabilities() Capabilities
+}
+
+// TransportCaps returns t's capabilities (zero value if not Capable).
+func TransportCaps(t Transport) Capabilities {
+	if c, ok := t.(Capable); ok {
+		return c.Capabilities()
+	}
+	return Capabilities{}
+}

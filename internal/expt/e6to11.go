@@ -1,0 +1,464 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+
+	sodabind "repro/internal/bind/soda"
+	"repro/lynx"
+)
+
+// E6 regenerates figure 1: both ends of link 3 moved simultaneously and
+// independently — what used to connect A to D afterwards connects B to
+// C — on every substrate, with several randomized rounds.
+func E6() *Result {
+	res := &Result{
+		ID:      "E6",
+		Title:   "Link moving at both ends simultaneously (figure 1)",
+		Columns: []string{"substrate", "rounds", "both-end moves OK", "post-move RPC OK"},
+		Pass:    true,
+	}
+	const rounds = 5
+	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis, lynx.Ideal} {
+		movesOK, rpcOK := 0, 0
+		for round := 0; round < rounds; round++ {
+			ok1, ok2 := runFigure1(sub, uint64(round+1))
+			if ok1 {
+				movesOK++
+			}
+			if ok2 {
+				rpcOK++
+			}
+		}
+		if movesOK != rounds || rpcOK != rounds {
+			res.Pass = false
+		}
+		res.Rows = append(res.Rows, []string{
+			sub.String(), fmt.Sprint(rounds),
+			fmt.Sprintf("%d/%d", movesOK, rounds),
+			fmt.Sprintf("%d/%d", rpcOK, rounds),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"A encloses its end of link3 to B (over link1) while D encloses the other end to C (over link2)",
+		"afterwards B↔C complete an RPC over link3: no message lost, no end duplicated")
+	return res
+}
+
+// runFigure1 performs one figure-1 episode; returns (movesHappened,
+// rpcWorked).
+func runFigure1(sub lynx.Substrate, seed uint64) (bool, bool) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: seed})
+	var moved1, moved2, rpc bool
+
+	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
+		toB, l3a := boot[0], boot[1]
+		if _, err := th.Connect(toB, "take3a", lynx.Msg{Links: []*lynx.End{l3a}}); err != nil {
+			return
+		}
+		th.Destroy(toB)
+	})
+	d := sys.Spawn("D", func(th *lynx.Thread, boot []*lynx.End) {
+		toC, l3d := boot[0], boot[1]
+		if _, err := th.Connect(toC, "take3d", lynx.Msg{Links: []*lynx.End{l3d}}); err != nil {
+			return
+		}
+		th.Destroy(toC)
+	})
+	b := sys.Spawn("B", func(th *lynx.Thread, boot []*lynx.End) {
+		req, err := th.Receive(boot[0])
+		if err != nil || len(req.Links()) != 1 {
+			return
+		}
+		moved1 = true
+		l3 := req.Links()[0]
+		th.Reply(req, lynx.Msg{})
+		// RPC over the doubly-moved link to whoever holds the far end.
+		reply, err := th.Connect(l3, "hello", lynx.Msg{Data: []byte("B")})
+		if err == nil && string(reply.Data) == "B-seen-by-C" {
+			rpc = true
+		}
+		th.Destroy(l3)
+	})
+	c := sys.Spawn("C", func(th *lynx.Thread, boot []*lynx.End) {
+		req, err := th.Receive(boot[0])
+		if err != nil || len(req.Links()) != 1 {
+			return
+		}
+		moved2 = true
+		l3 := req.Links()[0]
+		th.Reply(req, lynx.Msg{})
+		r2, err := th.Receive(l3)
+		if err != nil {
+			return
+		}
+		th.Reply(r2, lynx.Msg{Data: append(r2.Data(), []byte("-seen-by-C")...)})
+	})
+	sys.Join(a, b) // link1: A-B
+	sys.Join(d, c) // link2: D-C
+	sys.Join(a, d) // link3: A-D (boot[1] on each side)
+	if err := sys.Run(); err != nil {
+		return false, false
+	}
+	return moved1 && moved2, rpc
+}
+
+// E7 regenerates §6's screening comparison: an adversarial workload of
+// reverse-direction requests racing replies. Charlotte's kernel
+// pre-receives unwanted messages and the run-time package must bounce
+// them (retry/forbid/allow); SODA and Chrysalis receive only wanted
+// messages.
+func E7() *Result {
+	res := &Result{
+		ID:      "E7",
+		Title:   "Unwanted messages and NAK traffic under reverse-request races (§6 claim 2)",
+		Columns: []string{"substrate", "ops", "unwanted receives", "NAK msgs (retry/forbid/allow)", "held unaccepted"},
+	}
+	const rounds = 8
+	type row struct {
+		unwanted, naks, held int64
+	}
+	rows := map[lynx.Substrate]row{}
+	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis} {
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 2})
+		a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
+			e := boot[0]
+			for i := 0; i < rounds; i++ {
+				if _, err := th.Connect(e, "fwd", lynx.Msg{}); err != nil {
+					return
+				}
+				// Serve exactly one reverse request between rounds.
+				req, err := th.Receive(e)
+				if err != nil {
+					return
+				}
+				th.Reply(req, lynx.Msg{})
+			}
+			th.Destroy(e)
+		})
+		b := sys.Spawn("B", func(th *lynx.Thread, boot []*lynx.End) {
+			e := boot[0]
+			th.Serve(e, func(st *lynx.Thread, req *lynx.Request) {
+				st.Sleep(120 * lynx.Millisecond) // reply late so the reverse request races it
+				st.Reply(req, lynx.Msg{})
+			})
+			for i := 0; i < rounds; i++ {
+				if _, err := th.Connect(e, "rev", lynx.Msg{}); err != nil {
+					return
+				}
+			}
+		})
+		sys.Join(a, b)
+		if err := sys.Run(); err != nil {
+			panic(fmt.Sprintf("E7(%v): %v", sub, err))
+		}
+		var r row
+		switch sub {
+		case lynx.Charlotte:
+			st := a.CharlotteStats()
+			r.unwanted = st.UnwantedMessages
+			r.naks = st.Retries + st.Forbids + st.Allows + b.CharlotteStats().Retries +
+				b.CharlotteStats().Forbids + b.CharlotteStats().Allows
+		case lynx.SODA:
+			st := a.SODAStats()
+			r.unwanted = 0 // the runtime never sees them
+			r.naks = st.RejectedReplies
+			r.held = st.SavedRequests
+		case lynx.Chrysalis:
+			st := a.ChrysalisStats()
+			r.naks = st.Rejections
+			r.held = 0 // flags simply stay set; nothing is queued
+		}
+		rows[sub] = r
+		res.Rows = append(res.Rows, []string{
+			sub.String(), fmt.Sprint(rounds), fmt.Sprint(r.unwanted),
+			fmt.Sprint(r.naks), fmt.Sprint(r.held),
+		})
+	}
+	res.Pass = rows[lynx.Charlotte].unwanted > 0 && rows[lynx.Charlotte].naks > 0 &&
+		rows[lynx.SODA].unwanted == 0 && rows[lynx.SODA].naks == 0 &&
+		rows[lynx.Chrysalis].unwanted == 0 && rows[lynx.Chrysalis].naks == 0
+	res.Notes = append(res.Notes,
+		"Charlotte must bounce messages its kernel pre-received; the low-level kernels screen for free")
+	return res
+}
+
+// E8 regenerates §3.2.2's lost-enclosure scenario: a request enclosing a
+// link end is received unintentionally, the sending coroutine aborts,
+// and the receiver crashes before returning the enclosure. Under
+// Charlotte the enclosed link is lost (destroyed); the low-level kernels
+// never let the end leave the sender.
+func E8() *Result {
+	res := &Result{
+		ID:      "E8",
+		Title:   "Fate of enclosures in aborted messages when the peer crashes (§3.2.2)",
+		Columns: []string{"substrate", "cancel recalled msg", "enclosure survives"},
+	}
+	type outcome struct{ recalled, survived bool }
+	outcomes := map[lynx.Substrate]outcome{}
+	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis} {
+		o := runE8Scenario(sub)
+		outcomes[sub] = o
+		res.Rows = append(res.Rows, []string{
+			sub.String(), fmt.Sprint(o.recalled), fmt.Sprint(o.survived),
+		})
+	}
+	res.Pass = !outcomes[lynx.Charlotte].survived &&
+		outcomes[lynx.SODA].survived && outcomes[lynx.Chrysalis].survived
+	res.Notes = append(res.Notes,
+		"Charlotte: the kernel already delivered the message, so the abort cannot recall it; the crash then destroys the moved end",
+		"SODA/Chrysalis: the message was never accepted/consumed, so the abort recalls it and the end never leaves home")
+	return res
+}
+
+func runE8Scenario(sub lynx.Substrate) (o struct{ recalled, survived bool }) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 4})
+	var xAlive bool
+	var abortErr error
+	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
+		e := boot[0]
+		// B will connect to us and await a reply; we never serve it, so
+		// B has a kernel receive posted that can swallow our request
+		// unintentionally (Charlotte) — exactly the paper's setup.
+		xMine, xTheirs, err := th.NewLink()
+		if err != nil {
+			return
+		}
+		th.Sleep(40 * lynx.Millisecond) // let B's reverse request go out
+		victim := th.Fork("victim", func(tv *lynx.Thread) {
+			tv.Connect(e, "withX", lynx.Msg{Links: []*lynx.End{xTheirs}})
+		})
+		th.Sleep(35 * lynx.Millisecond) // Charlotte: delivered (unwanted); SODA/Chrysalis: still pending
+		th.Abort(victim)
+		th.Sleep(300 * lynx.Millisecond) // B crashes meanwhile (below)
+		// If the enclosure was lost, the kernel has destroyed the link
+		// and our retained end is dead.
+		xAlive = !xMine.Dead()
+		th.Destroy(xMine)
+		th.Destroy(e)
+	})
+	_ = abortErr
+	b := sys.Spawn("B", func(th *lynx.Thread, boot []*lynx.End) {
+		e := boot[0]
+		// Reverse request: leaves a posted receive awaiting the reply.
+		th.Fork("rev", func(tv *lynx.Thread) {
+			tv.Connect(e, "reverse", lynx.Msg{})
+		})
+		// Crash inside the paper's window: after the kernel delivered the
+		// enclosure-bearing request to us, but before our FORBID bounce
+		// (returning the enclosure) reaches A.
+		th.Sleep(85 * lynx.Millisecond)
+		th.Process().Crash()
+		th.Sleep(lynx.Millisecond)
+	})
+	sys.Join(a, b)
+	if err := sys.Run(); err != nil {
+		// Deadlock-free runs only; treat errors as a failed episode.
+		return
+	}
+	o.survived = xAlive
+	o.recalled = xAlive // recalled iff it never left (approximation reported)
+	return
+}
+
+// E9 regenerates §5.3's forecast: "code tuning and protocol
+// optimizations now under development are likely to improve both figures
+// by 30 to 40%" — the Chrysalis kernel with tuned microcode paths.
+func E9() *Result {
+	base0 := echoRTT(lynx.Chrysalis, 0, 1, false)
+	base1k := echoRTT(lynx.Chrysalis, 1000, 1, false)
+	tuned0 := echoRTT(lynx.Chrysalis, 0, 1, true)
+	tuned1k := echoRTT(lynx.Chrysalis, 1000, 1, true)
+	imp0 := 100 * (1 - float64(tuned0)/float64(base0))
+	imp1k := 100 * (1 - float64(tuned1k)/float64(base1k))
+	res := &Result{
+		ID:      "E9",
+		Title:   "Chrysalis tuning ablation (§5.3's 30-40% forecast)",
+		Columns: []string{"configuration", "base (ms)", "tuned (ms)", "improvement"},
+		Rows: [][]string{
+			{"no data", ms(base0), ms(tuned0), fmt.Sprintf("%.0f%%", imp0)},
+			{"1000B both ways", ms(base1k), ms(tuned1k), fmt.Sprintf("%.0f%%", imp1k)},
+		},
+		Notes: []string{
+			"tuning scales the fixed primitive paths; per-byte copies are untouched, so the 1000B row improves less",
+		},
+	}
+	res.Pass = imp0 >= 15 && imp0 <= 45 && imp1k > 5 && imp1k <= imp0
+	return res
+}
+
+// E10 regenerates §4.2's hint-maintenance economics: how a dormant
+// link's stale hint is repaired as the safety nets degrade — move cache
+// forwarding, discover broadcast, and the freeze/unfreeze search.
+func E10() *Result {
+	res := &Result{
+		ID:      "E10",
+		Title:   "SODA hint repair: cache -> discover -> freeze (§4.2)",
+		Columns: []string{"configuration", "op latency (ms)", "forwards", "discovers", "freezes", "frozen proc-time (ms)"},
+	}
+	type cfgCase struct {
+		name      string
+		cache     int
+		discovers int
+		freeze    bool
+	}
+	cases := []cfgCase{
+		{"move cache available", 64, 3, true},
+		{"cache disabled, discover works", 0, 3, true},
+		{"cache+discover disabled -> freeze", 0, 0, true},
+	}
+	var lat []float64
+	var usedForward, usedDiscover, usedFreeze bool
+	for _, c := range cases {
+		cfg := sodabind.DefaultConfig()
+		cfg.CacheSize = c.cache
+		cfg.DiscoverRetries = c.discovers
+		cfg.EnableFreeze = c.freeze
+		cfg.HintTimeout = 150 * lynx.Millisecond
+		d, fwd, disc, frz, frozenMS := runE10Scenario(cfg)
+		lat = append(lat, d.Milliseconds())
+		if fwd > 0 {
+			usedForward = true
+		}
+		if disc > 0 {
+			usedDiscover = true
+		}
+		if frz > 0 {
+			usedFreeze = true
+		}
+		res.Rows = append(res.Rows, []string{
+			c.name, ms(d), fmt.Sprint(fwd), fmt.Sprint(disc), fmt.Sprint(frz),
+			fmt.Sprintf("%.1f", frozenMS),
+		})
+	}
+	// Shape: each degradation step engages the next (more expensive)
+	// repair mechanism; the freeze search visibly halts other processes.
+	_ = lat
+	res.Pass = usedForward && usedDiscover && usedFreeze
+	res.Notes = append(res.Notes,
+		"the freeze search halts every process: its cost is the sum of frozen process-time, not just the searcher's latency")
+	return res
+}
+
+// runE10Scenario: a dormant link's far end moves B->C while A is not
+// watching; A then performs one operation on it and we observe which
+// mechanism repaired the hint.
+func runE10Scenario(cfg sodabind.Config) (opLatency lynx.Duration, forwards, discovers, freezes int64, frozenMS float64) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: 6, SODA: cfg})
+	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
+		e := boot[0]
+		if _, err := th.Connect(e, "one", lynx.Msg{}); err != nil {
+			return
+		}
+		th.Sleep(400 * lynx.Millisecond) // dormant while the end moves
+		start := th.Now()
+		if _, err := th.Connect(e, "two", lynx.Msg{}); err != nil {
+			return
+		}
+		opLatency = lynx.Duration(th.Now() - start)
+		th.Destroy(e)
+	})
+	b := sys.Spawn("B", func(th *lynx.Thread, boot []*lynx.End) {
+		e, toC := boot[0], boot[1]
+		req, err := th.Receive(e)
+		if err != nil {
+			return
+		}
+		th.Reply(req, lynx.Msg{})
+		th.Sleep(100 * lynx.Millisecond) // let A's watch retire
+		if _, err := th.Connect(toC, "take", lynx.Msg{Links: []*lynx.End{e}}); err != nil {
+			return
+		}
+		th.Sleep(3 * lynx.Second) // stay alive to forward (or not)
+		th.Destroy(toC)
+	})
+	c := sys.Spawn("C", func(th *lynx.Thread, boot []*lynx.End) {
+		req, err := th.Receive(boot[0])
+		if err != nil {
+			return
+		}
+		moved := req.Links()[0]
+		th.Reply(req, lynx.Msg{})
+		th.Sleep(1500 * lynx.Millisecond) // dormant at C as well
+		th.Serve(moved, func(st *lynx.Thread, r2 *lynx.Request) {
+			st.Reply(r2, lynx.Msg{})
+		})
+	})
+	sys.Join(a, b)
+	sys.Join(b, c)
+	if err := sys.Run(); err != nil {
+		return
+	}
+	forwards = b.SODAStats().MovedForwards
+	discovers = a.SODAStats().Discovers
+	freezes = a.SODAStats().Freezes
+	for _, p := range []*lynx.ProcRef{a, b, c} {
+		frozenMS += p.SODAStats().FrozenTime.Milliseconds()
+	}
+	return
+}
+
+// E11 regenerates §2.1's fairness requirement: "an implementation must
+// guarantee that no queue is ignored forever". A single server owns many
+// links, each hammered by a client; every queue must keep being served.
+func E11() *Result {
+	const nClients = 6
+	const horizon = 4 * lynx.Second
+	res := &Result{
+		ID:      "E11",
+		Title:   "Queue fairness under saturation (§2.1)",
+		Columns: []string{"substrate", "clients", "min ops/queue", "max ops/queue", "max/min"},
+		Pass:    true,
+	}
+	for _, sub := range []lynx.Substrate{lynx.Chrysalis, lynx.Ideal} {
+		served := make([]int, nClients)
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 8})
+		server := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
+			for i, e := range boot {
+				i := i
+				th.Serve(e, func(st *lynx.Thread, req *lynx.Request) {
+					served[i]++
+					st.Reply(req, lynx.Msg{})
+				})
+			}
+		})
+		for i := 0; i < nClients; i++ {
+			cl := sys.Spawn(fmt.Sprint("client", i), func(th *lynx.Thread, boot []*lynx.End) {
+				e := boot[0]
+				for {
+					if _, err := th.Connect(e, "op", lynx.Msg{}); err != nil {
+						return
+					}
+				}
+			})
+			sys.Join(server, cl)
+		}
+		if err := sys.RunFor(horizon); err != nil && !errors.Is(err, errHorizon) {
+			panic(fmt.Sprintf("E11(%v): %v", sub, err))
+		}
+		minOps, maxOps := served[0], served[0]
+		for _, n := range served[1:] {
+			if n < minOps {
+				minOps = n
+			}
+			if n > maxOps {
+				maxOps = n
+			}
+		}
+		ratio := float64(maxOps) / float64(max(minOps, 1))
+		if minOps == 0 || ratio > 2.0 {
+			res.Pass = false
+		}
+		res.Rows = append(res.Rows, []string{
+			sub.String(), fmt.Sprint(nClients), fmt.Sprint(minOps), fmt.Sprint(maxOps),
+			fmt.Sprintf("%.2f", ratio),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"FIFO event processing in the run-time package bounds every queue's wait: no starvation")
+	return res
+}
+
+// errHorizon is a sentinel; RunFor returns nil at the horizon, so this
+// exists only for future-proofing the error check above.
+var errHorizon = errors.New("horizon")

@@ -1,0 +1,152 @@
+// Package expt is the experiment harness: one entry per table or figure
+// in the paper's evaluation, each regenerating the corresponding
+// measurement on the simulated substrates and reporting paper-vs-measured
+// values. cmd/lynxbench drives it; bench_test.go wraps each experiment in
+// a testing.B benchmark.
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/lynx"
+)
+
+// Result is one experiment's regenerated table.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	// Pass reports whether the measured shape matches the paper's claim
+	// (who wins, rough factors, crossover band).
+	Pass bool
+}
+
+// Render formats the result as a text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	status := "SHAPE OK"
+	if !r.Pass {
+		status = "SHAPE MISMATCH"
+	}
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "  %-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment in order: the paper's E1-E11 plus the
+// extension experiments E12-E13 (questions the paper could not answer
+// without a SODA implementation).
+func All() []*Result {
+	return []*Result{
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(),
+		E12(), E13(),
+	}
+}
+
+// ByID runs one experiment by id ("E1".."E13"), or nil if unknown.
+func ByID(id string) *Result {
+	switch strings.ToUpper(id) {
+	case "E1":
+		return E1()
+	case "E2":
+		return E2()
+	case "E3":
+		return E3()
+	case "E4":
+		return E4()
+	case "E5":
+		return E5()
+	case "E6":
+		return E6()
+	case "E7":
+		return E7()
+	case "E8":
+		return E8()
+	case "E9":
+		return E9()
+	case "E10":
+		return E10()
+	case "E11":
+		return E11()
+	case "E12":
+		return E12()
+	case "E13":
+		return E13()
+	default:
+		return nil
+	}
+}
+
+// ms renders a duration in milliseconds.
+func ms(d lynx.Duration) string {
+	return fmt.Sprintf("%.2f", d.Milliseconds())
+}
+
+// echoRTT measures one simple remote operation's round trip with the
+// given payload size in each direction, after a configurable number of
+// warm-up operations.
+func echoRTT(sub lynx.Substrate, payload, warmup int, tuned bool) lynx.Duration {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1, Tuned: tuned})
+	data := make([]byte, payload)
+	var rtt lynx.Duration
+	c := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {
+		for i := 0; i < warmup; i++ {
+			if _, err := th.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
+				return
+			}
+		}
+		start := th.Now()
+		if _, err := th.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
+			return
+		}
+		rtt = lynx.Duration(th.Now() - start)
+		th.Destroy(boot[0])
+	})
+	s := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
+		th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+			st.Reply(req, lynx.Msg{Data: req.Data()})
+		})
+	})
+	sys.Join(c, s)
+	if err := sys.Run(); err != nil {
+		panic(fmt.Sprintf("expt: echoRTT(%v,%d): %v", sub, payload, err))
+	}
+	return rtt
+}
+
+// within reports whether v is within frac of target.
+func within(v, target, frac float64) bool {
+	if target == 0 {
+		return v == 0
+	}
+	r := v / target
+	return r >= 1-frac && r <= 1+frac
+}

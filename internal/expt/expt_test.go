@@ -1,0 +1,40 @@
+package expt
+
+import "testing"
+
+// Each experiment must run cleanly and match the paper's shape.
+
+func checkResult(t *testing.T, r *Result) {
+	t.Helper()
+	if r == nil {
+		t.Fatal("nil result")
+	}
+	t.Log("\n" + r.Render())
+	if !r.Pass {
+		t.Errorf("%s: measured shape does not match the paper", r.ID)
+	}
+}
+
+func TestE1(t *testing.T)  { checkResult(t, E1()) }
+func TestE2(t *testing.T)  { checkResult(t, E2()) }
+func TestE3(t *testing.T)  { checkResult(t, E3()) }
+func TestE4(t *testing.T)  { checkResult(t, E4()) }
+func TestE5(t *testing.T)  { checkResult(t, E5()) }
+func TestE6(t *testing.T)  { checkResult(t, E6()) }
+func TestE7(t *testing.T)  { checkResult(t, E7()) }
+func TestE8(t *testing.T)  { checkResult(t, E8()) }
+func TestE9(t *testing.T)  { checkResult(t, E9()) }
+func TestE10(t *testing.T) { checkResult(t, E10()) }
+func TestE11(t *testing.T) { checkResult(t, E11()) }
+
+func TestByID(t *testing.T) {
+	if ByID("e3") == nil || ByID("E11") == nil {
+		t.Fatal("ByID lookup failed")
+	}
+	if ByID("E99") != nil {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestE12(t *testing.T) { checkResult(t, E12()) }
+func TestE13(t *testing.T) { checkResult(t, E13()) }

@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTokenRingSerializationSlope(t *testing.T) {
+	r := NewTokenRing(20)
+	d0 := r.SendTime(0, 1, 2, 0)
+	// Move past busy period before measuring again.
+	now := sim.Time(sim.Second)
+	d1k := r.SendTime(now, 1, 2, 1000)
+	slope := d1k - d0
+	// 1000 bytes at 10 Mbit/s = 800 µs.
+	want := sim.Duration(800 * sim.Microsecond)
+	if slope < want || slope > want+100*sim.Microsecond {
+		t.Fatalf("per-1000B slope = %v, want ≈ %v", slope, want)
+	}
+}
+
+func TestTokenRingContentionSerializes(t *testing.T) {
+	r := NewTokenRing(20)
+	first := r.SendTime(0, 1, 2, 10000)
+	second := r.SendTime(0, 3, 4, 10000)
+	if second <= first {
+		t.Fatalf("concurrent transfers did not serialize: %v then %v", first, second)
+	}
+}
+
+func TestTokenRingNoBroadcast(t *testing.T) {
+	r := NewTokenRing(20)
+	if r.BroadcastTime(0, 1, 100) >= 0 {
+		t.Fatal("ring claims broadcast support")
+	}
+	if r.BroadcastDelivers(1) {
+		t.Fatal("ring delivered a broadcast")
+	}
+}
+
+func TestCSMASlowerThanRing(t *testing.T) {
+	rng := sim.NewRand(1)
+	b := NewCSMABus(rng)
+	r := NewTokenRing(20)
+	db := b.SendTime(0, 1, 2, 1000)
+	dr := r.SendTime(0, 1, 2, 1000)
+	if db <= dr {
+		t.Fatalf("CSMA (%v) should be slower than ring (%v) for 1000B", db, dr)
+	}
+	// Roughly 10x media-rate ratio for large transfers.
+	db8k := b.SendTime(sim.Time(sim.Second), 1, 2, 8000)
+	dr8k := r.SendTime(sim.Time(sim.Second), 1, 2, 8000)
+	ratio := float64(db8k) / float64(dr8k)
+	if ratio < 5 || ratio > 15 {
+		t.Fatalf("8KB media ratio = %.1f, want ≈ 10", ratio)
+	}
+}
+
+func TestCSMABackoffUnderContention(t *testing.T) {
+	rng := sim.NewRand(1)
+	b := NewCSMABus(rng)
+	idle := b.SendTime(0, 1, 2, 100)
+	// Bus is now busy; a second send at the same instant must pay backoff
+	// plus queueing.
+	busy := b.SendTime(0, 3, 4, 100)
+	if busy <= idle {
+		t.Fatalf("no contention penalty: idle %v, busy %v", idle, busy)
+	}
+}
+
+func TestCSMABroadcastLoss(t *testing.T) {
+	rng := sim.NewRand(12345)
+	b := NewCSMABus(rng)
+	delivered := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if b.BroadcastDelivers(NodeID(i % 16)) {
+			delivered++
+		}
+	}
+	rate := float64(n-delivered) / n
+	if rate < 0.005 || rate > 0.02 {
+		t.Fatalf("broadcast loss rate %.4f, want ≈ 0.01", rate)
+	}
+}
+
+func TestBackplaneFastAndLinear(t *testing.T) {
+	bp := NewBackplane()
+	d0 := bp.SendTime(0, 1, 2, 0)
+	d2k := bp.SendTime(0, 1, 2, 2000)
+	slope := d2k - d0
+	want := 2000 * bp.PerByte
+	if slope != want {
+		t.Fatalf("slope %v, want %v", slope, want)
+	}
+	if d0 > 100*sim.Microsecond {
+		t.Fatalf("backplane setup too slow: %v", d0)
+	}
+}
+
+func TestBackplaneNoContention(t *testing.T) {
+	bp := NewBackplane()
+	a := bp.SendTime(0, 1, 2, 1000)
+	b := bp.SendTime(0, 3, 4, 1000)
+	if a != b {
+		t.Fatalf("backplane transfers interfered: %v vs %v", a, b)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	r := NewTokenRing(20)
+	r.SendTime(0, 1, 2, 100)
+	r.SendTime(0, 2, 1, 200)
+	s := r.Stats()
+	if s.Messages != 2 || s.Bytes != 300 {
+		t.Fatalf("stats %+v", s)
+	}
+	rng := sim.NewRand(1)
+	b := NewCSMABus(rng)
+	b.BroadcastTime(0, 1, 50)
+	if b.Stats().Broadcasts != 1 || b.Stats().Messages != 0 {
+		t.Fatalf("csma stats %+v", b.Stats())
+	}
+}
+
+// Property: send times are always positive and monotone in message size
+// on an idle medium.
+func TestSendTimeMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw), int(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		for _, n := range []Network{
+			NewTokenRing(20),
+			NewCSMABus(sim.NewRand(1)),
+			NewBackplane(),
+		} {
+			// Use far-apart instants so the medium is idle for each probe.
+			da := n.SendTime(0, 1, 2, a)
+			db := n.SendTime(sim.Time(sim.Second)*100, 1, 2, b)
+			if da <= 0 || db < da {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSMABroadcastOccupiesBus(t *testing.T) {
+	rng := sim.NewRand(1)
+	b := NewCSMABus(rng)
+	d := b.BroadcastTime(0, 1, 100)
+	if d <= 0 {
+		t.Fatal("broadcast took no time")
+	}
+	// The broadcast holds the medium: a following send queues.
+	d2 := b.SendTime(0, 2, 3, 100)
+	if d2 <= d {
+		t.Fatalf("send did not queue behind broadcast: %v then %v", d, d2)
+	}
+	if b.Stats().Broadcasts != 1 {
+		t.Fatalf("broadcast count %d", b.Stats().Broadcasts)
+	}
+}
+
+func TestNetworkNames(t *testing.T) {
+	if NewTokenRing(20).Name() != "token-ring" {
+		t.Error("ring name")
+	}
+	if NewCSMABus(sim.NewRand(1)).Name() != "csma-bus" {
+		t.Error("bus name")
+	}
+	if NewBackplane().Name() != "backplane" {
+		t.Error("backplane name")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	r := NewTokenRing(20)
+	r.SendTime(0, 1, 2, 64)
+	s := r.Stats().String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("stats string %q", s)
+	}
+}
+
+func TestBackplaneNoBroadcast(t *testing.T) {
+	bp := NewBackplane()
+	if bp.BroadcastTime(0, 1, 10) >= 0 || bp.BroadcastDelivers(1) {
+		t.Fatal("backplane claims broadcast support")
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrKilled is the panic payload delivered to a simproc resumed after
+// Kill. The proc wrapper recovers it; user code that must clean up on
+// crash may also recover it, re-panicking if the payload is unexpected.
+type killedPanic struct{ p *Proc }
+
+func (k killedPanic) Error() string {
+	return fmt.Sprintf("sim: proc %d (%s) killed", k.p.id, k.p.name)
+}
+
+// ErrProcDone is returned by operations attempted on a finished proc.
+var ErrProcDone = errors.New("sim: proc already finished")
+
+// Proc is a simulated process: a goroutine scheduled by an Env.
+type Proc struct {
+	env     *Env
+	id      int
+	name    string
+	resume  chan struct{}
+	fn      func(p *Proc)
+	started bool
+	done    bool
+	killed  bool
+
+	// Park bookkeeping: at most one of these is active while parked.
+	waitQ     *WaitQueue // queue this proc is enqueued on, if any
+	sleepTmr  *timer     // pending Delay timer, if any
+	onKill    []func()   // LIFO cleanup hooks run when the proc dies killed
+	wakeValue any        // value passed by the waker, returned by Wait
+}
+
+// ID reports the proc's unique id within its Env (1-based, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name reports the label given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Killed reports whether Kill has been called on p.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Done reports whether the proc's function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// run is the goroutine body wrapping the user function.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedPanic); !ok {
+				// Re-panicking here would crash the scheduler goroutine's
+				// partner; surface the panic through Stop so Run returns it.
+				p.env.Stop(fmt.Errorf("sim: proc %d (%s) panicked: %v", p.id, p.name, r))
+			}
+			for i := len(p.onKill) - 1; i >= 0; i-- {
+				p.onKill[i]()
+			}
+		}
+		p.done = true
+		p.env.yielded <- yieldMsg{kind: yieldDone, p: p}
+	}()
+	// First resume already granted by step(); run immediately.
+	p.fn(p)
+}
+
+// park yields to the scheduler and blocks until woken. On wake, if the
+// proc was killed while parked, it panics with killedPanic, unwinding the
+// user function (deferred cleanups run).
+func (p *Proc) park() {
+	p.env.yielded <- yieldMsg{kind: yieldPark, p: p}
+	<-p.resume
+	if p.killed {
+		panic(killedPanic{p})
+	}
+}
+
+// Yield gives up the processor until the scheduler next reaches this proc
+// (same virtual instant; other ready procs run first).
+func (p *Proc) Yield() {
+	p.env.wake(p)
+	p.park()
+}
+
+// Delay parks the proc for d of virtual time. Delay(0) still yields.
+func (p *Proc) Delay(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	self := p
+	p.sleepTmr = p.env.at(p.env.now+Time(d), func() {
+		self.sleepTmr = nil
+		self.env.wake(self)
+	})
+	p.park()
+}
+
+// OnKill registers fn to run (LIFO) if the proc dies via Kill. Used by
+// kernels to model "process termination destroys its resources".
+func (p *Proc) OnKill(fn func()) {
+	p.onKill = append(p.onKill, fn)
+}
+
+// Kill marks the proc dead. If it is parked, it is woken immediately and
+// unwinds with cleanup; if it is currently running it unwinds at its next
+// park. Killing a finished proc is a no-op.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	switch {
+	case p.waitQ != nil:
+		p.waitQ.remove(p)
+		p.env.wake(p)
+	case p.sleepTmr != nil:
+		p.sleepTmr.cancelled = true
+		p.sleepTmr = nil
+		p.env.wake(p)
+	default:
+		// Running, or in the ready queue already: it will observe killed
+		// at its next resume-from-park. If it is in the ready queue the
+		// park() check fires when it is stepped... but a proc in the ready
+		// queue is *between* park and resume, so the killed flag is seen
+		// when its park() returns. Nothing more to do.
+	}
+}
+
+// KillAt schedules a Kill at absolute virtual time t (crash injection).
+func (p *Proc) KillAt(t Time) {
+	p.env.At(t, func() { p.Kill() })
+}
+
+// IsKilled reports whether a recovered panic value is the kill signal a
+// parked proc receives after Kill. Goroutines that borrow a proc's
+// identity use it to distinguish crash unwinding from real panics.
+func IsKilled(r any) bool {
+	_, ok := r.(killedPanic)
+	return ok
+}
+
+// FinishFromBorrower completes the proc's lifecycle from a goroutine that
+// borrowed the proc's identity and recovered its kill signal: it runs the
+// OnKill hooks (LIFO) and notifies the scheduler that the proc is done.
+// The proc's original goroutine is abandoned (it stays parked forever).
+// Hooks must not block or park.
+func (p *Proc) FinishFromBorrower() {
+	for i := len(p.onKill) - 1; i >= 0; i-- {
+		p.onKill[i]()
+	}
+	p.done = true
+	p.env.yielded <- yieldMsg{kind: yieldDone, p: p}
+}

@@ -1,0 +1,289 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel runs simulated processes ("simprocs") under a strict token
+// handoff discipline: exactly one simproc executes at any instant, and
+// virtual time advances only when every simproc is parked. This makes
+// every run with the same seed bit-for-bit reproducible, which is what
+// lets the experiment harness reproduce the paper's latency tables as
+// stable virtual-time measurements.
+//
+// A simproc is an ordinary goroutine wrapped by a *Proc. It may block on
+// timers (Delay), on wait queues (WaitQueue), or simply finish. The
+// scheduler (Env.Run) resumes runnable simprocs in deterministic FIFO
+// order and, when none are runnable, pops the earliest timer and advances
+// the virtual clock.
+//
+// Token discipline: a *Proc's identity may be borrowed by another
+// goroutine (the LYNX runtime hands the process token between coroutine
+// goroutines), as long as at most one goroutine uses the Proc at a time.
+// The channel handoffs used internally establish the happens-before edges
+// that make this race-free.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a virtual-time instant in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+}
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+}
+
+// Milliseconds reports d as a floating-point number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// ErrDeadlock is returned by Env.Run when live simprocs remain but none
+// is runnable and no timer is pending.
+var ErrDeadlock = errors.New("sim: deadlock: live procs blocked with no pending timers")
+
+// Env is a simulation environment: a virtual clock, a scheduler, and the
+// set of simprocs it multiplexes.
+type Env struct {
+	now     Time
+	ready   []*Proc // FIFO ready queue
+	timers  timerHeap
+	seq     int64 // tiebreak for simultaneous timers
+	nextPID int
+	live    int // procs spawned and not yet finished
+	rng     *Rand
+	yielded chan yieldMsg
+	tracer  Tracer
+	running bool
+	stopped bool
+	stopErr error
+
+	// allQueues is populated by NewWaitQueue; used only for deadlock
+	// diagnostics.
+	allQueues []*WaitQueue
+}
+
+type yieldKind int
+
+const (
+	yieldPark yieldKind = iota // proc parked on a waiter/timer
+	yieldDone                  // proc function returned (or was killed)
+)
+
+type yieldMsg struct {
+	kind yieldKind
+	p    *Proc
+}
+
+// NewEnv creates an environment whose random source is seeded with seed.
+func NewEnv(seed uint64) *Env {
+	return &Env{
+		rng:     NewRand(seed),
+		yielded: make(chan yieldMsg),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *Rand { return e.rng }
+
+// SetTracer installs a tracer that observes scheduling and user events.
+// A nil tracer disables tracing.
+func (e *Env) SetTracer(t Tracer) { e.tracer = t }
+
+// Trace emits a user trace event if a tracer is installed. It may be
+// called from simproc context or from timer callbacks.
+func (e *Env) Trace(source, event string, args ...any) {
+	if e.tracer != nil {
+		e.tracer.Event(e.now, source, fmt.Sprintf(event, args...))
+	}
+}
+
+// Spawn creates a new simproc running fn and places it at the back of the
+// ready queue. It may be called before Run or from simproc/timer context.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		env:    e,
+		id:     e.nextPID,
+		name:   name,
+		resume: make(chan struct{}),
+		fn:     fn,
+	}
+	e.live++
+	e.ready = append(e.ready, p)
+	return p
+}
+
+// After schedules fn to run in scheduler context at now+d. The callback
+// must not block; it may spawn procs, wake waiters, and schedule further
+// callbacks. Callbacks are the mechanism kernels use for message
+// delivery.
+func (e *Env) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.at(e.now+Time(d), fn)
+}
+
+// At schedules fn to run in scheduler context at time t (or now, if t is
+// in the past).
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.at(t, fn)
+}
+
+func (e *Env) at(t Time, fn func()) *timer {
+	e.seq++
+	tm := &timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.timers, tm)
+	return tm
+}
+
+// Stop aborts the run: Env.Run returns err (or nil) after the currently
+// executing simproc next yields. Remaining procs are left parked.
+func (e *Env) Stop(err error) {
+	e.stopped = true
+	e.stopErr = err
+}
+
+// Run executes the simulation until no live simprocs remain, a deadlock
+// is detected, or Stop is called. It returns nil on clean completion.
+func (e *Env) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil is Run with a horizon: once virtual time would advance past
+// limit (limit >= 0), the run stops cleanly and returns nil. Procs still
+// live at the horizon are abandoned.
+func (e *Env) RunUntil(limit Time) error {
+	if e.running {
+		return errors.New("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for !e.stopped {
+		if len(e.ready) > 0 {
+			p := e.ready[0]
+			e.ready = e.ready[0:copy(e.ready, e.ready[1:])]
+			e.step(p)
+			continue
+		}
+		if e.timers.Len() > 0 {
+			t := heap.Pop(&e.timers).(*timer)
+			if t.cancelled {
+				continue // discard without advancing the clock
+			}
+			if limit >= 0 && t.at > limit {
+				return nil
+			}
+			if t.at > e.now {
+				e.now = t.at
+			}
+			t.fn()
+			continue
+		}
+		if e.live == 0 {
+			return nil
+		}
+		return fmt.Errorf("%w at %v\n%s", ErrDeadlock, e.now, e.diagnose())
+	}
+	return e.stopErr
+}
+
+// step resumes p and waits for it to yield back.
+func (e *Env) step(p *Proc) {
+	if e.tracer != nil {
+		e.tracer.Resume(e.now, p.id, p.name)
+	}
+	if !p.started {
+		p.started = true
+		go p.run()
+	} else {
+		p.resume <- struct{}{}
+	}
+	m := <-e.yielded
+	if m.kind == yieldDone {
+		e.live--
+	}
+}
+
+// wake moves p to the back of the ready queue. It is idempotent per park:
+// p must currently be parked and not already readied.
+func (e *Env) wake(p *Proc) {
+	e.ready = append(e.ready, p)
+}
+
+// diagnose renders the set of parked procs for deadlock reports.
+func (e *Env) diagnose() string {
+	// The env does not keep a central registry of parked procs (they are
+	// reachable from their wait queues); wait queues register themselves
+	// here on first use so diagnostics can enumerate their waiters.
+	var lines []string
+	for _, wq := range e.allQueues {
+		for _, p := range wq.waiters {
+			lines = append(lines, fmt.Sprintf("  proc %d (%s) blocked on %s", p.id, p.name, wq.name))
+		}
+	}
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return "  (no registered wait queues; procs blocked on raw parks)"
+	}
+	return strings.Join(lines, "\n")
+}
+
+type timer struct {
+	at        Time
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer observes scheduling and user events. Implementations must not
+// block or mutate simulation state.
+type Tracer interface {
+	// Resume is called each time a simproc is given the processor.
+	Resume(now Time, pid int, name string)
+	// Event is called for user trace points (Env.Trace).
+	Event(now Time, source, msg string)
+}
+
+// WriterTracer renders user events (and optionally scheduling) to an
+// io.Writer, one line per event, prefixed with virtual time.
+type WriterTracer struct {
+	W           io.Writer
+	ShowResumes bool
+}
+
+// Resume implements Tracer.
+func (t *WriterTracer) Resume(now Time, pid int, name string) {
+	if t.ShowResumes {
+		fmt.Fprintf(t.W, "%12v  run   p%d(%s)\n", now, pid, name)
+	}
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(now Time, source, msg string) {
+	fmt.Fprintf(t.W, "%12v  %-12s %s\n", now, source, msg)
+}
+
+// RecordingTracer captures events in memory for test assertions.
+type RecordingTracer struct {
+	Events []TraceEvent
+}
+
+// TraceEvent is one recorded user event.
+type TraceEvent struct {
+	At     Time
+	Source string
+	Msg    string
+}
+
+// Resume implements Tracer (scheduling events are not recorded).
+func (t *RecordingTracer) Resume(Time, int, string) {}
+
+// Event implements Tracer.
+func (t *RecordingTracer) Event(now Time, source, msg string) {
+	t.Events = append(t.Events, TraceEvent{At: now, Source: source, Msg: msg})
+}

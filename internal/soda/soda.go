@@ -1,0 +1,616 @@
+// Package soda reimplements Kepecs & Solomon's SODA ("Simplified
+// Operating system for Distributed Applications") kernel as described in
+// §4 of the paper, running on the sim/netsim substrate.
+//
+// SODA is better described as a communications protocol for a broadcast
+// medium with many single-process nodes. Each node pairs a client
+// processor with a kernel processor; we model the pair as one simulated
+// process whose kernel costs are charged in virtual time.
+//
+// The interface is the paper's:
+//
+//   - every process has a unique id and *advertises* names it will
+//     respond to; a kernel call generates names unique over space & time;
+//   - *discover* uses unreliable broadcast to find a process advertising
+//     a given name;
+//   - processes do not send messages: they *request a transfer* (name,
+//     process id, small out-of-band data, bytes-to-send, bytes-willing-
+//     to-receive) — put/get/signal/exchange by which counts are zero;
+//   - the target feels a *software interrupt* (single handler, maskable)
+//     describing the request, and may *accept* it at any later time,
+//     completing the transfer in both directions at once;
+//   - completion interrupts are queued while the handler is closed;
+//     requests for unadvertised names are delayed and retried by the
+//     requesting kernel; a crash interrupt is delivered if the target
+//     dies first.
+package soda
+
+import (
+	"fmt"
+
+	"repro/internal/calib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ProcID identifies a SODA process (equivalently, its node).
+type ProcID int
+
+// Name is a capability-like identifier, unique over space and time.
+type Name uint64
+
+// OOB is the small out-of-band datum carried by requests and accepts.
+// SODA leaves its size unspecified but small; the paper's LYNX design
+// wants at least 48 bits, so we provide exactly 48 (enforcing the
+// scarcity that §4.2.1 worries about).
+type OOB [6]byte
+
+// OOBFromUint64 packs the low 48 bits of v into an OOB.
+func OOBFromUint64(v uint64) OOB {
+	var o OOB
+	for i := 0; i < 6; i++ {
+		o[i] = byte(v >> (8 * i))
+	}
+	return o
+}
+
+// Uint64 unpacks the OOB into the low 48 bits of a uint64.
+func (o OOB) Uint64() uint64 {
+	var v uint64
+	for i := 0; i < 6; i++ {
+		v |= uint64(o[i]) << (8 * i)
+	}
+	return v
+}
+
+// Status is the result of a SODA kernel call.
+type Status int
+
+// Kernel call status codes.
+const (
+	OK Status = iota
+	// NoSuchProc: the target id names no live process.
+	NoSuchProc
+	// DeadProc: the target died (also delivered via crash interrupts).
+	DeadProc
+	// TooManyRequests: the per-pair outstanding-request limit would be
+	// exceeded (§4.2.1's "unspecified constant").
+	TooManyRequests
+	// NoSuchRequest: Accept named an unknown or already-accepted request.
+	NoSuchRequest
+	// NotFound: Discover failed to find an advertiser.
+	NotFound
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case NoSuchProc:
+		return "NO_SUCH_PROC"
+	case DeadProc:
+		return "DEAD_PROC"
+	case TooManyRequests:
+		return "TOO_MANY_REQUESTS"
+	case NoSuchRequest:
+		return "NO_SUCH_REQUEST"
+	case NotFound:
+		return "NOT_FOUND"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ReqID identifies an outstanding request.
+type ReqID int64
+
+// Kind classifies a request by its transfer directions.
+type Kind int
+
+// Request kinds. The kind is implied by which byte counts are nonzero:
+// put sends, get receives, signal does neither, exchange does both.
+const (
+	Signal Kind = iota
+	Put
+	Get
+	Exchange
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Signal:
+		return "signal"
+	case Put:
+		return "put"
+	case Get:
+		return "get"
+	default:
+		return "exchange"
+	}
+}
+
+// KindOf derives the kind from the requested transfer sizes.
+func KindOf(sendBytes, recvBytes int) Kind {
+	switch {
+	case sendBytes > 0 && recvBytes > 0:
+		return Exchange
+	case sendBytes > 0:
+		return Put
+	case recvBytes > 0:
+		return Get
+	default:
+		return Signal
+	}
+}
+
+// Interrupt is a software interrupt delivered to a process's handler.
+type Interrupt struct {
+	// Kind of interrupt.
+	IKind IntKind
+	// Req identifies the request this interrupt concerns.
+	Req ReqID
+	// From is the peer process (requester for IntRequest, accepter for
+	// IntCompletion, the dead process for IntCrash).
+	From ProcID
+	// Name is the advertised name the request specified (IntRequest).
+	Name Name
+	// OOB carries the request's or accept's out-of-band data.
+	OOB OOB
+	// Kind of the underlying request (IntRequest).
+	ReqKind Kind
+	// SendBytes/RecvBytes are the requester's declared sizes (IntRequest).
+	SendBytes, RecvBytes int
+	// Data is the payload received by this process in the completed
+	// transfer (IntCompletion only; nil otherwise).
+	Data []byte
+	// Sent is how many bytes this process's outgoing payload actually
+	// transferred (IntCompletion).
+	Sent int
+}
+
+// IntKind classifies interrupts.
+type IntKind int
+
+// Interrupt kinds.
+const (
+	IntRequest IntKind = iota
+	IntCompletion
+	IntCrash
+)
+
+func (k IntKind) String() string {
+	switch k {
+	case IntRequest:
+		return "request"
+	case IntCompletion:
+		return "completion"
+	default:
+		return "crash"
+	}
+}
+
+// Handler receives software interrupts. Handlers run in scheduler
+// context and must not block; they typically record state and wake a
+// waiting simproc.
+type Handler func(Interrupt)
+
+// charge spends CPU time on the calling simproc. Kernel calls made from
+// interrupt-handler context pass a nil proc: the kernel processor does
+// the work asynchronously and no client CPU is charged.
+func charge(p *sim.Proc, d sim.Duration) {
+	if p != nil {
+		p.Delay(d)
+	}
+}
+
+// Stats counts kernel activity for the experiment harness.
+type Stats struct {
+	Requests   int64
+	Accepts    int64
+	Interrupts int64
+	Discovers  int64
+	Broadcasts int64
+	Retries    int64
+	Bytes      int64
+}
+
+// Kernel is the SODA network: the set of kernel processors and the bus.
+type Kernel struct {
+	env      *sim.Env
+	bus      *netsim.CSMABus
+	costs    calib.SODACosts
+	procs    map[ProcID]*Process
+	nextProc ProcID
+	nextName uint64
+	nextReq  ReqID
+	stats    Stats
+	// PairLimit is the maximum outstanding requests between an ordered
+	// pair of processes (§4.2.1). Zero means unlimited.
+	PairLimit int
+}
+
+// NewKernel creates a SODA kernel over the given bus.
+func NewKernel(env *sim.Env, bus *netsim.CSMABus, costs calib.SODACosts) *Kernel {
+	return &Kernel{
+		env:       env,
+		bus:       bus,
+		costs:     costs,
+		procs:     make(map[ProcID]*Process),
+		PairLimit: 8,
+	}
+}
+
+// Env returns the simulation environment.
+func (k *Kernel) Env() *sim.Env { return k.env }
+
+// Stats returns the kernel's counters.
+func (k *Kernel) Stats() *Stats { return &k.stats }
+
+// DataDelay reports how long n bytes of accepted payload take to become
+// usable at the receiving client processor: kernel copy plus bus
+// serialization. Bindings use it to defer message visibility to match
+// the physical transfer the kernel charges on the completion path.
+func (k *Kernel) DataDelay(n int) sim.Duration {
+	wirePerByte := sim.Duration(8 * int64(sim.Second) / k.bus.BitRate)
+	return sim.Duration(n) * (k.costs.PerByte + wirePerByte)
+}
+
+// LiveIDs returns the ids of all live processes in ascending order.
+// SODA "makes it easy to guess their ids"; the freeze protocol needs
+// this.
+func (k *Kernel) LiveIDs() []ProcID {
+	var ids []ProcID
+	for id := ProcID(1); id <= k.nextProc; id++ {
+		if p, ok := k.procs[id]; ok && !p.dead {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// request is the kernel-side record of an outstanding request.
+type request struct {
+	id        ReqID
+	from, to  ProcID
+	name      Name
+	oob       OOB
+	data      []byte // requester's outgoing payload
+	recvBytes int    // requester's willingness to receive
+	delivered bool   // interrupt raised at target (name was advertised)
+	accepted  bool
+}
+
+// Process is one SODA node: client processor + kernel processor.
+type Process struct {
+	k          *Kernel
+	id         ProcID
+	node       netsim.NodeID
+	advertised map[Name]bool
+	handler    Handler
+	open       bool
+	queue      []Interrupt // interrupts queued while closed
+	// inbound: requests addressed to this process, by id.
+	inbound map[ReqID]*request
+	// outbound: requests this process posted, by id.
+	outbound map[ReqID]*request
+	dead     bool
+}
+
+// NewProcess registers a process on the given node with its interrupt
+// handler initially open.
+func (k *Kernel) NewProcess(node netsim.NodeID) *Process {
+	k.nextProc++
+	pr := &Process{
+		k:          k,
+		id:         k.nextProc,
+		node:       node,
+		advertised: make(map[Name]bool),
+		open:       true,
+		inbound:    make(map[ReqID]*request),
+		outbound:   make(map[ReqID]*request),
+	}
+	k.procs[pr.id] = pr
+	return pr
+}
+
+// ID returns the process id.
+func (pr *Process) ID() ProcID { return pr.id }
+
+// Node returns the process's node.
+func (pr *Process) Node() netsim.NodeID { return pr.node }
+
+// NewName generates a name unique over space and time.
+func (pr *Process) NewName(p *sim.Proc) Name {
+	pr.k.nextName++
+	charge(p, pr.k.costs.ClientCall) // cheap local kernel call
+	return Name(pr.k.nextName)
+}
+
+// Advertise begins responding to a name. Requests that were delayed
+// waiting for the advertisement are delivered now.
+func (pr *Process) Advertise(p *sim.Proc, n Name) {
+	charge(p, pr.k.costs.ClientCall)
+	pr.advertised[n] = true
+	pr.k.env.Trace("soda", "p%d advertise %d", pr.id, n)
+	for _, r := range pr.pendingFor(n) {
+		pr.k.stats.Retries++
+		pr.deliverRequest(r)
+	}
+}
+
+// Unadvertise stops responding to a name.
+func (pr *Process) Unadvertise(p *sim.Proc, n Name) {
+	charge(p, pr.k.costs.ClientCall)
+	delete(pr.advertised, n)
+}
+
+// Advertises reports whether the process currently advertises n.
+func (pr *Process) Advertises(n Name) bool { return pr.advertised[n] }
+
+// pendingFor returns undelivered inbound requests naming n, oldest first.
+func (pr *Process) pendingFor(n Name) []*request {
+	var rs []*request
+	for id := ReqID(1); id <= pr.k.nextReq; id++ {
+		if r, ok := pr.inbound[id]; ok && !r.delivered && !r.accepted && r.name == n {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// SetHandler installs the single software-interrupt handler.
+func (pr *Process) SetHandler(h Handler) { pr.handler = h }
+
+// CloseHandler masks interrupts; they queue until OpenHandler.
+func (pr *Process) CloseHandler() { pr.open = false }
+
+// OpenHandler unmasks interrupts and flushes the queue in arrival order.
+func (pr *Process) OpenHandler() {
+	pr.open = true
+	for len(pr.queue) > 0 && pr.open {
+		ir := pr.queue[0]
+		pr.queue = pr.queue[0:copy(pr.queue, pr.queue[1:])]
+		pr.raise(ir)
+	}
+}
+
+// HandlerOpen reports the mask state.
+func (pr *Process) HandlerOpen() bool { return pr.open }
+
+// raise delivers an interrupt to the handler, or queues it while masked.
+func (pr *Process) raise(ir Interrupt) {
+	if pr.dead {
+		return
+	}
+	if !pr.open || pr.handler == nil {
+		pr.queue = append(pr.queue, ir)
+		return
+	}
+	pr.k.stats.Interrupts++
+	pr.handler(ir)
+}
+
+// Request posts a transfer request to process `to` under advertised name
+// `name`. data is what the requester wants to send (put/exchange);
+// recvBytes is how much it is willing to receive (get/exchange). The
+// request id is returned immediately; completion (or crash) arrives as an
+// interrupt. The requesting user can proceed meanwhile.
+func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []byte, recvBytes int) (ReqID, Status) {
+	charge(p, pr.k.costs.ClientCall)
+	pr.k.stats.Requests++
+	target, ok := pr.k.procs[to]
+	if !ok {
+		return 0, NoSuchProc
+	}
+	if target.dead {
+		return 0, DeadProc
+	}
+	if lim := pr.k.PairLimit; lim > 0 {
+		n := 0
+		for _, r := range pr.outbound {
+			if r.to == to && !r.accepted {
+				n++
+			}
+		}
+		if n >= lim {
+			return 0, TooManyRequests
+		}
+	}
+	pr.k.nextReq++
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	r := &request{
+		id: pr.k.nextReq, from: pr.id, to: to, name: name,
+		oob: oob, data: buf, recvBytes: recvBytes,
+	}
+	pr.outbound[r.id] = r
+	target.inbound[r.id] = r
+
+	// The request descriptor crosses the bus (a small frame).
+	wire := pr.k.bus.SendTime(pr.k.env.Now(), pr.node, target.node, 32)
+	k := pr.k
+	k.env.After(k.costs.RequestPath+wire+k.costs.InterruptDelivery, func() {
+		if r.accepted || target.dead {
+			return
+		}
+		if target.advertised[r.name] {
+			target.deliverRequest(r)
+		}
+		// Else: delayed; Advertise will deliver it (the kernel's
+		// periodic retry, modeled without the bus traffic).
+	})
+	k.env.Trace("soda", "p%d %v req %d -> p%d name=%d n=%d/%d",
+		pr.id, KindOf(len(data), recvBytes), r.id, to, name, len(buf), recvBytes)
+	return r.id, OK
+}
+
+// deliverRequest raises the request interrupt at the target.
+func (pr *Process) deliverRequest(r *request) {
+	r.delivered = true
+	pr.raise(Interrupt{
+		IKind: IntRequest, Req: r.id, From: r.from, Name: r.name,
+		OOB: r.oob, ReqKind: KindOf(len(r.data), r.recvBytes),
+		SendBytes: len(r.data), RecvBytes: r.recvBytes,
+	})
+}
+
+// Accept completes a previously posted request. data is what the
+// accepter sends back toward the requester (bounded by the requester's
+// recvBytes); recvBytes is how much of the requester's payload the
+// accepter takes (bounded by what was sent). The transfer happens in
+// both directions simultaneously; the requester feels a completion
+// interrupt carrying oob. Accepting does not block the accepter.
+func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes int) (got []byte, st Status) {
+	charge(p, pr.k.costs.ClientCall)
+	r, ok := pr.inbound[id]
+	if !ok || r.accepted {
+		return nil, NoSuchRequest
+	}
+	requester, ok := pr.k.procs[r.from]
+	if !ok || requester.dead {
+		delete(pr.inbound, id)
+		return nil, DeadProc
+	}
+	r.accepted = true
+	delete(pr.inbound, id)
+	delete(requester.outbound, id)
+	pr.k.stats.Accepts++
+
+	// Transfer sizes: the smaller of the two parties' declarations.
+	toAccepter := r.data
+	if len(toAccepter) > recvBytes {
+		toAccepter = toAccepter[:recvBytes]
+	}
+	toRequester := data
+	if len(toRequester) > r.recvBytes {
+		toRequester = toRequester[:r.recvBytes]
+	}
+	n := len(toAccepter) + len(toRequester)
+	pr.k.stats.Bytes += int64(n)
+
+	copyCost := sim.Duration(n) * pr.k.costs.PerByte
+	wire := pr.k.bus.SendTime(pr.k.env.Now(), pr.node, requester.node, n+32)
+	reply := make([]byte, len(toRequester))
+	copy(reply, toRequester)
+	sent := len(toAccepter)
+	k := pr.k
+	fromID := pr.id
+	k.env.After(k.costs.RequestPath+wire+copyCost+k.costs.InterruptDelivery, func() {
+		requester.raise(Interrupt{
+			IKind: IntCompletion, Req: id, From: fromID, OOB: oob,
+			Data: reply, Sent: sent,
+		})
+	})
+	k.env.Trace("soda", "p%d accept req %d from p%d (%dB back, %dB taken)",
+		pr.id, id, r.from, len(reply), sent)
+	return toAccepter, OK
+}
+
+// Discover broadcasts for a process advertising n and blocks for the
+// first answer (or the discover timeout). The broadcast is unreliable:
+// each advertiser independently misses it with the bus's loss rate.
+func (pr *Process) Discover(p *sim.Proc, n Name) (ProcID, Status) {
+	pr.k.stats.Discovers++
+	pr.k.stats.Broadcasts++
+	charge(p, pr.k.costs.ClientCall)
+	wire := pr.k.bus.BroadcastTime(pr.k.env.Now(), pr.node, 16)
+	p.Delay(wire)
+	var found ProcID
+	for id := ProcID(1); id <= pr.k.nextProc; id++ {
+		q, ok := pr.k.procs[id]
+		if !ok || q.dead || q.id == pr.id || !q.advertised[n] {
+			continue
+		}
+		if pr.k.bus.BroadcastDelivers(q.node) {
+			found = q.id
+			break
+		}
+	}
+	if found == 0 {
+		// Wait out the timeout window for (absent) answers.
+		p.Delay(pr.k.costs.DiscoverTimeout)
+		return 0, NotFound
+	}
+	// The answer frame returns over the bus.
+	back := pr.k.bus.SendTime(pr.k.env.Now(), pr.k.procs[found].node, pr.node, 16)
+	p.Delay(back)
+	return found, OK
+}
+
+// RequestDelivered reports whether an outstanding request of ours has
+// had its interrupt raised at the target (i.e. the target advertises the
+// name and has seen the descriptor). A LYNX binding uses this to
+// distinguish "hint is stale / name unadvertised" (recovery needed) from
+// "delivered but not yet accepted" (normal stop-and-wait blocking).
+func (pr *Process) RequestDelivered(id ReqID) bool {
+	r, ok := pr.outbound[id]
+	return ok && r.delivered
+}
+
+// Withdraw retracts an unaccepted request this process posted: the
+// requesting kernel simply stops retrying and the target forgets the
+// descriptor. It fails with NoSuchRequest if the request was already
+// accepted (the transfer happened).
+func (pr *Process) Withdraw(p *sim.Proc, id ReqID) Status {
+	charge(p, pr.k.costs.ClientCall)
+	r, ok := pr.outbound[id]
+	if !ok || r.accepted {
+		return NoSuchRequest
+	}
+	delete(pr.outbound, id)
+	if target, tok := pr.k.procs[r.to]; tok {
+		delete(target.inbound, id)
+	}
+	return OK
+}
+
+// OutstandingTo counts unaccepted requests this process has posted to a
+// given target.
+func (pr *Process) OutstandingTo(to ProcID) int {
+	n := 0
+	for _, r := range pr.outbound {
+		if r.to == to && !r.accepted {
+			n++
+		}
+	}
+	return n
+}
+
+// InboundRequests returns ids of delivered, unaccepted inbound requests
+// in arrival order (for tests and the freeze protocol).
+func (pr *Process) InboundRequests() []ReqID {
+	var ids []ReqID
+	for id := ReqID(1); id <= pr.k.nextReq; id++ {
+		if r, ok := pr.inbound[id]; ok && r.delivered && !r.accepted {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Terminate kills the process: its advertisements vanish, inbound
+// requests die, and every process with an outstanding request to it
+// feels a crash interrupt. Safe to call from OnKill hooks.
+func (pr *Process) Terminate() {
+	if pr.dead {
+		return
+	}
+	pr.dead = true
+	pr.k.env.Trace("soda", "p%d terminate", pr.id)
+	for id, r := range pr.inbound {
+		requester, ok := pr.k.procs[r.from]
+		if !ok || requester.dead {
+			continue
+		}
+		delete(requester.outbound, id)
+		reqID, from := id, pr.id
+		pr.k.env.After(pr.k.costs.RetryInterval, func() {
+			requester.raise(Interrupt{IKind: IntCrash, Req: reqID, From: from})
+		})
+	}
+	pr.inbound = make(map[ReqID]*request)
+	pr.advertised = make(map[Name]bool)
+}
+
+// Dead reports whether the process has terminated.
+func (pr *Process) Dead() bool { return pr.dead }

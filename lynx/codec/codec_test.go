@@ -1,0 +1,217 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals []any, ptrs []any, want []any) {
+	t.Helper()
+	buf, err := Marshal(vals...)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if err := Unmarshal(buf, ptrs...); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	for i := range ptrs {
+		got := reflect.ValueOf(ptrs[i]).Elem().Interface()
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("value %d: got %#v, want %#v", i, got, want[i])
+		}
+	}
+}
+
+func TestScalars(t *testing.T) {
+	var b bool
+	var i8 int8
+	var i16 int16
+	var i32 int32
+	var i64 int64
+	var i int
+	var u8 uint8
+	var u16 uint16
+	var u32 uint32
+	var u64 uint64
+	var f32 float32
+	var f64 float64
+	var s string
+	roundTrip(t,
+		[]any{true, int8(-5), int16(-300), int32(-70000), int64(-1 << 40), int(12345),
+			uint8(200), uint16(60000), uint32(4e9), uint64(1 << 60),
+			float32(3.5), float64(math.Pi), "hello"},
+		[]any{&b, &i8, &i16, &i32, &i64, &i, &u8, &u16, &u32, &u64, &f32, &f64, &s},
+		[]any{true, int8(-5), int16(-300), int32(-70000), int64(-1 << 40), 12345,
+			uint8(200), uint16(60000), uint32(4e9), uint64(1 << 60),
+			float32(3.5), math.Pi, "hello"},
+	)
+}
+
+func TestBytesAndSlices(t *testing.T) {
+	var bs []byte
+	var ss []string
+	var nested [][]int32
+	roundTrip(t,
+		[]any{[]byte{1, 2, 3}, []string{"a", "bb"}, [][]int32{{1}, {2, 3}}},
+		[]any{&bs, &ss, &nested},
+		[]any{[]byte{1, 2, 3}, []string{"a", "bb"}, [][]int32{{1}, {2, 3}}},
+	)
+}
+
+type order struct {
+	ID     uint64
+	Ticker string
+	Qty    int32
+	Limit  float64
+	hidden int // unexported: skipped
+}
+
+func TestStructs(t *testing.T) {
+	in := order{ID: 7, Ticker: "LYNX", Qty: -3, Limit: 19.86, hidden: 99}
+	var out order
+	buf, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	in.hidden = 0 // not transported
+	if out != in {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+}
+
+func TestTypeMismatchDetected(t *testing.T) {
+	buf := MustMarshal(int32(5))
+	var s string
+	err := Unmarshal(buf, &s)
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want ErrTypeMismatch", err)
+	}
+	// Width mismatches are also type errors, not silent coercions.
+	var i64 int64
+	if err := Unmarshal(buf, &i64); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("int32->int64: %v", err)
+	}
+	var u32 uint32
+	if err := Unmarshal(buf, &u32); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("int32->uint32: %v", err)
+	}
+}
+
+func TestArityMismatchDetected(t *testing.T) {
+	buf := MustMarshal(int32(5), "x")
+	var i int32
+	if err := Unmarshal(buf, &i); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("missing-arg decode: %v", err)
+	}
+	var s string
+	var extra bool
+	if err := Unmarshal(buf, &i, &s, &extra); !errors.Is(err, ErrShortPayload) {
+		t.Fatalf("extra-arg decode: %v", err)
+	}
+}
+
+func TestShortPayloadDetected(t *testing.T) {
+	buf := MustMarshal("a longer string value")
+	var s string
+	for cut := 1; cut < len(buf); cut++ {
+		if err := Unmarshal(buf[:cut], &s); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+func TestUnmarshalNeedsPointers(t *testing.T) {
+	buf := MustMarshal(true)
+	var b bool
+	if err := Unmarshal(buf, b); err == nil {
+		t.Fatal("non-pointer destination accepted")
+	}
+	if err := Unmarshal(buf, (*bool)(nil)); err == nil {
+		t.Fatal("nil pointer accepted")
+	}
+	_ = b
+}
+
+func TestUnsupportedKinds(t *testing.T) {
+	if _, err := Marshal(map[string]int{"a": 1}); err == nil {
+		t.Fatal("map marshalled")
+	}
+	ch := make(chan int)
+	if _, err := Marshal(ch); err == nil {
+		t.Fatal("chan marshalled")
+	}
+}
+
+func TestStructFieldCountMismatch(t *testing.T) {
+	type two struct{ A, B int32 }
+	type three struct{ A, B, C int32 }
+	buf := MustMarshal(two{1, 2})
+	var dst three
+	if err := Unmarshal(buf, &dst); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("field-count mismatch: %v", err)
+	}
+}
+
+// Property: every supported random tuple round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	type payload struct {
+		B  bool
+		I  int64
+		U  uint32
+		F  float64
+		S  string
+		Bs []byte
+		Ns []int16
+	}
+	f := func(p payload) bool {
+		buf, err := Marshal(p)
+		if err != nil {
+			return false
+		}
+		var out payload
+		if err := Unmarshal(buf, &out); err != nil {
+			return false
+		}
+		// nil and empty slices are equivalent on the wire.
+		if len(p.Bs) == 0 {
+			p.Bs = out.Bs
+		}
+		if len(p.Ns) == 0 {
+			p.Ns = out.Ns
+		}
+		return reflect.DeepEqual(p, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corrupt tags never panic, always error.
+func TestCorruptTagsProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		var s string
+		var i int64
+		// Must not panic; error or (improbably) success are both fine.
+		_ = Unmarshal(junk, &s, &i)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustMarshalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustMarshal(make(chan int))
+}

@@ -1,0 +1,76 @@
+package lynx_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/lynx"
+	"repro/lynx/codec"
+)
+
+func TestServeEntriesDispatch(t *testing.T) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Chrysalis, Seed: 1})
+	var sum int64
+	var unknownErr, failErr error
+	c := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {
+		e := boot[0]
+		reply, err := lynx.Call(th, e, "add", lynx.Msg{Data: codec.MustMarshal(int64(19), int64(23))})
+		if err != nil {
+			t.Errorf("add: %v", err)
+			return
+		}
+		if err := codec.Unmarshal(reply.Data, &sum); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		_, unknownErr = lynx.Call(th, e, "subtract", lynx.Msg{})
+		_, failErr = lynx.Call(th, e, "fail", lynx.Msg{})
+		th.Destroy(e)
+	})
+	s := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
+		lynx.ServeEntries(th, boot[0], lynx.Entries{
+			"add": func(st *lynx.Thread, req *lynx.Request) (lynx.Msg, error) {
+				var a, b int64
+				if err := codec.Unmarshal(req.Data(), &a, &b); err != nil {
+					return lynx.Msg{}, err
+				}
+				return lynx.Msg{Data: codec.MustMarshal(a + b)}, nil
+			},
+			"fail": func(st *lynx.Thread, req *lynx.Request) (lynx.Msg, error) {
+				return lynx.Msg{}, errors.New("deliberate")
+			},
+		})
+	})
+	sys.Join(c, s)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if !errors.Is(unknownErr, lynx.ErrNoSuchOperation) {
+		t.Fatalf("unknown op err = %v", unknownErr)
+	}
+	if failErr == nil || !strings.Contains(failErr.Error(), "deliberate") {
+		t.Fatalf("handler err = %v", failErr)
+	}
+}
+
+func TestCallPropagatesTransportErrors(t *testing.T) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Ideal, Seed: 1})
+	var callErr error
+	c := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {
+		_, callErr = lynx.Call(th, boot[0], "op", lynx.Msg{})
+	})
+	s := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
+		th.Sleep(2 * lynx.Millisecond)
+		th.Destroy(boot[0])
+	})
+	sys.Join(c, s)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(callErr, lynx.ErrLinkDestroyed) {
+		t.Fatalf("call err = %v", callErr)
+	}
+}

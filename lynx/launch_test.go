@@ -1,0 +1,125 @@
+package lynx_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/lynx"
+)
+
+// TestLaunchDynamicProcess exercises §2's "compiled and loaded at
+// disparate times": a running process launches new worker processes
+// mid-run and talks to them over fresh boot links.
+func TestLaunchDynamicProcess(t *testing.T) {
+	allSubstrates(t, func(t *testing.T, sub lynx.Substrate) {
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
+		var results []string
+		boss := sys.Spawn("boss", func(th *lynx.Thread, boot []*lynx.End) {
+			for i := 0; i < 3; i++ {
+				name := fmt.Sprint("worker", i)
+				link, ref := sys.Launch(th, name, func(wt *lynx.Thread, wboot []*lynx.End) {
+					wt.Serve(wboot[0], func(st *lynx.Thread, req *lynx.Request) {
+						st.Reply(req, lynx.Msg{Data: append(req.Data(), '!')})
+					})
+				})
+				if ref.Name() != name {
+					t.Errorf("child name %q", ref.Name())
+				}
+				reply, err := th.Connect(link, "work", lynx.Msg{Data: []byte(name)})
+				if err != nil {
+					t.Errorf("call %s: %v", name, err)
+					continue
+				}
+				results = append(results, string(reply.Data))
+				th.Destroy(link)
+			}
+		})
+		_ = boss
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(results) != "[worker0! worker1! worker2!]" {
+			t.Fatalf("results %v", results)
+		}
+	})
+}
+
+// TestLaunchedProcessCanLaunch: children can themselves play loader
+// (recursively-built process trees).
+func TestLaunchedProcessCanLaunch(t *testing.T) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Chrysalis, Seed: 2})
+	var deepest string
+	root := sys.Spawn("root", func(th *lynx.Thread, boot []*lynx.End) {
+		link, _ := sys.Launch(th, "mid", func(mt *lynx.Thread, mboot []*lynx.End) {
+			leafLink, _ := sys.Launch(mt, "leaf", func(lt *lynx.Thread, lboot []*lynx.End) {
+				lt.Serve(lboot[0], func(st *lynx.Thread, req *lynx.Request) {
+					st.Reply(req, lynx.Msg{Data: []byte("leaf-reply")})
+				})
+			})
+			mt.Serve(mboot[0], func(st *lynx.Thread, req *lynx.Request) {
+				r, err := st.Connect(leafLink, "down", lynx.Msg{})
+				if err != nil {
+					st.Reply(req, lynx.Msg{Data: []byte("error")})
+					return
+				}
+				st.Reply(req, lynx.Msg{Data: r.Data})
+			})
+		})
+		r, err := th.Connect(link, "ping", lynx.Msg{})
+		if err != nil {
+			t.Errorf("root call: %v", err)
+			return
+		}
+		deepest = string(r.Data)
+		th.Destroy(link)
+	})
+	_ = root
+	if err := sys.RunFor(60 * lynx.Second); err != nil {
+		t.Fatal(err)
+	}
+	if deepest != "leaf-reply" {
+		t.Fatalf("deepest = %q", deepest)
+	}
+}
+
+// TestLaunchMovesChildLinkOnward: the launcher hands the child's link to
+// a third process (broker pattern with dynamically-created services).
+func TestLaunchMovesChildLinkOnward(t *testing.T) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: 3})
+	var got string
+	consumer := sys.Spawn("consumer", func(th *lynx.Thread, boot []*lynx.End) {
+		req, err := th.Receive(boot[0])
+		if err != nil {
+			t.Errorf("receive: %v", err)
+			return
+		}
+		svc := req.Links()[0]
+		th.Reply(req, lynx.Msg{})
+		r, err := th.Connect(svc, "use", lynx.Msg{})
+		if err != nil {
+			t.Errorf("use: %v", err)
+			return
+		}
+		got = string(r.Data)
+		th.Destroy(svc)
+		th.Destroy(boot[0])
+	})
+	launcher := sys.Spawn("launcher", func(th *lynx.Thread, boot []*lynx.End) {
+		link, _ := sys.Launch(th, "service", func(st0 *lynx.Thread, sboot []*lynx.End) {
+			st0.Serve(sboot[0], func(st *lynx.Thread, req *lynx.Request) {
+				st.Reply(req, lynx.Msg{Data: []byte("dynamic-service")})
+			})
+		})
+		// Move the freshly-launched service's link to the consumer.
+		if _, err := th.Connect(boot[0], "take", lynx.Msg{Links: []*lynx.End{link}}); err != nil {
+			t.Errorf("move: %v", err)
+		}
+	})
+	sys.Join(launcher, consumer)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "dynamic-service" {
+		t.Fatalf("got %q", got)
+	}
+}

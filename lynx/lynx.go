@@ -1,0 +1,455 @@
+// Package lynx is the public face of the LYNX reproduction: a
+// distributed programming system in which processes interact through
+// RPC-style request/reply traffic on movable duplex virtual circuits
+// called links, exactly as in M. L. Scott's 1986 ICPP paper "The
+// Interface Between Distributed Operating System and High-Level
+// Programming Language".
+//
+// A System assembles a complete simulated machine: a virtual-time
+// network, one of four operating-system substrates, and any number of
+// LYNX processes. The substrates are the paper's three kernels plus an
+// idealized baseline:
+//
+//	Charlotte — high-level kernel: links in the kernel, one outstanding
+//	            activity per direction, one enclosure per message
+//	            (VAX 11/750s on a 10 Mbit/s token ring)
+//	SODA      — low-level kernel: advertised names, put/get/signal/
+//	            exchange + accept, software interrupts
+//	            (many nodes on a 1 Mbit/s CSMA bus)
+//	Chrysalis — shared-memory primitives: memory objects, event blocks,
+//	            dual queues (BBN Butterfly)
+//	Ideal     — a perfect in-memory kernel (reference/baseline)
+//
+// Typical use:
+//
+//	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Chrysalis})
+//	client := sys.Spawn("client", func(t *lynx.Thread, boot []*lynx.End) {
+//	    reply, err := t.Connect(boot[0], "hello", lynx.Msg{Data: []byte("hi")})
+//	    ...
+//	})
+//	server := sys.Spawn("server", func(t *lynx.Thread, boot []*lynx.End) {
+//	    t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+//	        st.Reply(req, lynx.Msg{Data: req.Data()})
+//	    })
+//	})
+//	sys.Join(client, server)
+//	err := sys.Run()
+//
+// The language-level API (Connect, Receive, Reply, Serve, NewLink,
+// Destroy, Fork, link movement by enclosing ends in Msg.Links) lives on
+// Thread; see the aliased types' documentation in internal/core.
+package lynx
+
+import (
+	"fmt"
+
+	chbind "repro/internal/bind/charlotte"
+	chrbind "repro/internal/bind/chrysalis"
+	"repro/internal/bind/ideal"
+	sodabind "repro/internal/bind/soda"
+	"repro/internal/calib"
+	"repro/internal/charlotte"
+	"repro/internal/chrysalis"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+// Re-exported language-level types: the Thread API is the LYNX
+// programming model.
+type (
+	// Thread is a LYNX thread of control (coroutine); all language
+	// operations hang off it.
+	Thread = core.Thread
+	// End is one end of a link owned by the current process.
+	End = core.End
+	// Msg is a message: parameter bytes plus link ends to move.
+	Msg = core.Msg
+	// Request is an incoming remote operation awaiting a Reply.
+	Request = core.Request
+	// Process is a LYNX process.
+	Process = core.Process
+	// Duration and Time are virtual-time measures.
+	Duration = sim.Duration
+	// Time is a virtual-time instant.
+	Time = sim.Time
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// The LYNX exception set (see internal/core for semantics).
+var (
+	ErrLinkDestroyed = core.ErrLinkDestroyed
+	ErrAborted       = core.ErrAborted
+	ErrUnwantedReply = core.ErrUnwantedReply
+	ErrBadReply      = core.ErrBadReply
+)
+
+// Substrate selects the operating-system kernel underneath the run-time
+// package.
+type Substrate int
+
+// Available substrates.
+const (
+	Charlotte Substrate = iota
+	SODA
+	Chrysalis
+	Ideal
+)
+
+func (s Substrate) String() string {
+	switch s {
+	case Charlotte:
+		return "charlotte"
+	case SODA:
+		return "soda"
+	case Chrysalis:
+		return "chrysalis"
+	case Ideal:
+		return "ideal"
+	default:
+		return fmt.Sprintf("Substrate(%d)", int(s))
+	}
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// Substrate picks the kernel. Default Charlotte.
+	Substrate Substrate
+	// Seed drives all randomness; same seed ⇒ identical run.
+	Seed uint64
+	// Nodes is the machine size (processes are placed round-robin).
+	// Default 20 (the Crystal multicomputer's size).
+	Nodes int
+	// BufCap is the maximum message size. Default 4096.
+	BufCap int
+	// Tuned applies the Chrysalis §5.3 "30-40%" optimizations (E9).
+	Tuned bool
+	// SODA tunes the hint machinery (zero value = sodabind defaults).
+	SODA sodabind.Config
+	// SODAPairLimit caps outstanding requests between one process pair
+	// (§4.2.1's "unspecified constant"). 0 = unlimited — the default,
+	// because every link awaiting traffic pins one status signal, so any
+	// finite limit livelocks once links-per-pair exceed it (measured in
+	// E12; the paper predicted exactly this).
+	SODAPairLimit int
+}
+
+// System is one simulated machine running LYNX processes.
+type System struct {
+	cfg Config
+	env *sim.Env
+
+	charK *charlotte.Kernel
+	sodaK *soda.Kernel
+	chrK  *chrysalis.Kernel
+	fab   *ideal.Fabric
+	net   netsim.Network
+
+	specs    []*ProcRef
+	byProc   map[*core.Process]*ProcRef
+	nextNode int
+	ran      bool
+}
+
+// ProcRef names a spawned process before and after Run.
+type ProcRef struct {
+	sys   *System
+	name  string
+	main  func(*Thread, []*End)
+	tr    core.Transport
+	boots []core.TransEnd
+	proc  *core.Process
+
+	chTr   *chbind.Transport
+	sodaTr *sodabind.Transport
+	chrTr  *chrbind.Transport
+	idTr   *ideal.Transport
+}
+
+// NewSystem creates a simulated machine.
+func NewSystem(cfg Config) *System {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 20
+	}
+	if cfg.BufCap <= 0 {
+		cfg.BufCap = 4096
+	}
+	if cfg.SODA.BufCap == 0 {
+		cfg.SODA = sodabind.DefaultConfig()
+		cfg.SODA.BufCap = cfg.BufCap
+	}
+	env := sim.NewEnv(cfg.Seed)
+	s := &System{cfg: cfg, env: env, byProc: make(map[*core.Process]*ProcRef)}
+	switch cfg.Substrate {
+	case Charlotte:
+		ring := netsim.NewTokenRing(cfg.Nodes)
+		s.net = ring
+		s.charK = charlotte.NewKernel(env, ring, calib.DefaultCharlotte())
+	case SODA:
+		bus := netsim.NewCSMABus(env.Rand().Fork())
+		s.net = bus
+		s.sodaK = soda.NewKernel(env, bus, calib.DefaultSODA())
+		s.sodaK.PairLimit = cfg.SODAPairLimit
+	case Chrysalis:
+		bp := netsim.NewBackplane()
+		s.net = bp
+		s.chrK = chrysalis.NewKernel(env, bp, calib.DefaultChrysalis())
+		if cfg.Tuned {
+			s.chrK.TuneFactor = calib.ChrysalisTunedFactor
+		}
+	case Ideal:
+		s.fab = ideal.NewFabric(env, 100*sim.Microsecond, 100*sim.Nanosecond)
+	default:
+		panic(fmt.Sprintf("lynx: unknown substrate %v", cfg.Substrate))
+	}
+	return s
+}
+
+// Env exposes the simulation environment (tracing, custom events).
+func (s *System) Env() *sim.Env { return s.env }
+
+// Network exposes the network model's counters (nil for Ideal).
+func (s *System) Network() netsim.Network { return s.net }
+
+// Spawn declares a LYNX process. main receives the process's main
+// thread and its boot links (one per Join involving this process, in
+// call order). Must be called before Run.
+func (s *System) Spawn(name string, main func(t *Thread, boot []*End)) *ProcRef {
+	if s.ran {
+		panic("lynx: Spawn after Run")
+	}
+	pr := &ProcRef{sys: s, name: name, main: main}
+	node := netsim.NodeID(s.nextNode % s.cfg.Nodes)
+	s.nextNode++
+	switch s.cfg.Substrate {
+	case Charlotte:
+		pr.chTr = chbind.New(s.env, s.charK.NewProcess(node), s.cfg.BufCap)
+		pr.tr = pr.chTr
+	case SODA:
+		pr.sodaTr = sodabind.New(s.env, s.sodaK, s.sodaK.NewProcess(node), s.cfg.SODA)
+		pr.tr = pr.sodaTr
+	case Chrysalis:
+		pr.chrTr = chrbind.New(s.env, s.chrK, s.chrK.NewProcess(node), s.cfg.BufCap)
+		pr.tr = pr.chrTr
+	case Ideal:
+		pr.idTr = s.fab.NewTransport(name)
+		pr.tr = pr.idTr
+	}
+	s.specs = append(s.specs, pr)
+	return pr
+}
+
+// Join wires a boot-time link between two processes (the loader handing
+// newborn processes their initial links). Each call appends one end to
+// each process's boot slice. Must precede Run.
+func (s *System) Join(a, b *ProcRef) {
+	if s.ran {
+		panic("lynx: Join after Run (use Launch for dynamic processes)")
+	}
+	s.join(a, b)
+}
+
+// join wires the link; shared by Join and Launch.
+func (s *System) join(a, b *ProcRef) {
+	var ta, tb core.TransEnd
+	switch s.cfg.Substrate {
+	case Charlotte:
+		ea, eb := s.charK.BootLink(a.chTr.KernelProcess(), b.chTr.KernelProcess())
+		ta = a.chTr.AdoptBootEnd(ea)
+		tb = b.chTr.AdoptBootEnd(eb)
+	case SODA:
+		ta, tb = sodabind.BootLink(a.sodaTr, b.sodaTr)
+	case Chrysalis:
+		ta, tb = chrbind.BootLink(a.chrTr, b.chrTr)
+	case Ideal:
+		ea, eb, err := a.idTr.MakeLink()
+		if err != nil {
+			panic(err)
+		}
+		ideal.MoveOwnership(s.fab, a.idTr, b.idTr, eb.(ideal.EndID))
+		ta, tb = ea, eb
+	}
+	a.boots = append(a.boots, ta)
+	b.boots = append(b.boots, tb)
+}
+
+// runtimeCosts returns the calibrated run-time package overhead for the
+// configured substrate.
+func (s *System) runtimeCosts() calib.LynxRuntimeCosts {
+	switch s.cfg.Substrate {
+	case Charlotte:
+		return calib.DefaultCharlotteRuntime()
+	case SODA:
+		return calib.DefaultSODARuntime()
+	case Chrysalis:
+		return calib.DefaultChrysalisRuntime()
+	default:
+		return calib.LynxRuntimeCosts{PerOperation: 10 * sim.Microsecond}
+	}
+}
+
+// materialize creates the core processes (idempotent).
+func (s *System) materialize() {
+	if s.ran {
+		return
+	}
+	s.ran = true
+	costs := s.runtimeCosts()
+	for _, pr := range s.specs {
+		spec := pr
+		pr.proc = core.NewProcess(s.env, spec.name, spec.tr, costs, func(t *Thread) {
+			boot := make([]*End, len(spec.boots))
+			for i, te := range spec.boots {
+				boot[i] = t.AdoptBootEnd(te)
+			}
+			spec.main(t, boot)
+		})
+		s.byProc[pr.proc] = pr
+	}
+}
+
+// Launch creates a NEW process while the system is running — the paper's
+// "processes designed in isolation, and compiled and loaded at disparate
+// times" (§2). It must be called from a running thread of an existing
+// process (the launcher plays loader). The child is connected to the
+// launcher by a fresh boot link; the launcher's end is returned, and the
+// child receives its end as boot[0].
+func (s *System) Launch(t *Thread, name string, main func(t *Thread, boot []*End)) (*End, *ProcRef) {
+	if !s.ran {
+		panic("lynx: Launch before Run (use Spawn + Join)")
+	}
+	parent := s.byProc[t.Process()]
+	if parent == nil {
+		panic("lynx: Launch from a thread of an unknown process")
+	}
+	child := &ProcRef{sys: s, name: name, main: main}
+	node := netsim.NodeID(s.nextNode % s.cfg.Nodes)
+	s.nextNode++
+	switch s.cfg.Substrate {
+	case Charlotte:
+		child.chTr = chbind.New(s.env, s.charK.NewProcess(node), s.cfg.BufCap)
+		child.tr = child.chTr
+	case SODA:
+		child.sodaTr = sodabind.New(s.env, s.sodaK, s.sodaK.NewProcess(node), s.cfg.SODA)
+		child.tr = child.sodaTr
+	case Chrysalis:
+		child.chrTr = chrbind.New(s.env, s.chrK, s.chrK.NewProcess(node), s.cfg.BufCap)
+		child.tr = child.chrTr
+	case Ideal:
+		child.idTr = s.fab.NewTransport(name)
+		child.tr = child.idTr
+	}
+	s.specs = append(s.specs, child)
+	s.join(parent, child) // kernel-level boot wiring works mid-run
+	parentTE := parent.boots[len(parent.boots)-1]
+	childSpec := child
+	child.proc = core.NewProcess(s.env, name, child.tr, s.runtimeCosts(), func(ct *Thread) {
+		boot := make([]*End, len(childSpec.boots))
+		for i, te := range childSpec.boots {
+			boot[i] = ct.AdoptBootEnd(te)
+		}
+		childSpec.main(ct, boot)
+	})
+	s.byProc[child.proc] = child
+	return t.AdoptBootEnd(parentTE), child
+}
+
+// Run executes the system until every process finishes (or an error
+// such as deadlock occurs).
+func (s *System) Run() error {
+	s.materialize()
+	return s.env.Run()
+}
+
+// RunFor executes the system up to the given virtual-time horizon.
+func (s *System) RunFor(d Duration) error {
+	s.materialize()
+	return s.env.RunUntil(sim.Time(d))
+}
+
+// Now reports virtual time.
+func (s *System) Now() Time { return s.env.Now() }
+
+// Name returns the process's name.
+func (p *ProcRef) Name() string { return p.name }
+
+// Proc returns the underlying core process (after Run has started).
+func (p *ProcRef) Proc() *core.Process { return p.proc }
+
+// RuntimeStats returns the run-time package counters (after Run).
+func (p *ProcRef) RuntimeStats() *core.Stats {
+	if p.proc == nil {
+		return &core.Stats{}
+	}
+	return p.proc.Stats()
+}
+
+// CharlotteStats returns Charlotte binding counters (nil elsewhere).
+func (p *ProcRef) CharlotteStats() *chbind.Stats {
+	if p.chTr == nil {
+		return nil
+	}
+	return p.chTr.Stats()
+}
+
+// SODAStats returns SODA binding counters (nil elsewhere).
+func (p *ProcRef) SODAStats() *sodabind.Stats {
+	if p.sodaTr == nil {
+		return nil
+	}
+	return p.sodaTr.Stats()
+}
+
+// ChrysalisStats returns Chrysalis binding counters (nil elsewhere).
+func (p *ProcRef) ChrysalisStats() *chrbind.Stats {
+	if p.chrTr == nil {
+		return nil
+	}
+	return p.chrTr.Stats()
+}
+
+// DebugState renders the process's run-time state (wedge diagnosis).
+func (p *ProcRef) DebugState() string {
+	if p.proc == nil {
+		return p.name + ": not started"
+	}
+	return p.proc.DebugState()
+}
+
+// Crash kills the process abruptly mid-run (fault injection).
+func (p *ProcRef) Crash() {
+	if p.proc != nil {
+		p.proc.Crash()
+	}
+}
+
+// CharlotteKernelStats returns kernel counters for a Charlotte system.
+func (s *System) CharlotteKernelStats() *charlotte.Stats {
+	if s.charK == nil {
+		return nil
+	}
+	return s.charK.Stats()
+}
+
+// SODAKernelStats returns kernel counters for a SODA system.
+func (s *System) SODAKernelStats() *soda.Stats {
+	if s.sodaK == nil {
+		return nil
+	}
+	return s.sodaK.Stats()
+}
+
+// ChrysalisKernelStats returns kernel counters for a Chrysalis system.
+func (s *System) ChrysalisKernelStats() *chrysalis.Stats {
+	if s.chrK == nil {
+		return nil
+	}
+	return s.chrK.Stats()
+}
