@@ -5,10 +5,12 @@
 //
 //	lynxbench              # run all experiments
 //	lynxbench -e E3        # run one experiment
+//	lynxbench -e E7 -json  # machine-readable result + metric snapshot
 //	lynxbench -list        # list experiment ids and titles
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ var experiments = []struct{ id, title string }{
 func main() {
 	one := flag.String("e", "", "run a single experiment by id (E1..E13)")
 	list := flag.Bool("list", false, "list experiments")
+	asJSON := flag.Bool("json", false, "emit results as JSON (id, pass, table, obs metric snapshot)")
 	flag.Parse()
 
 	if *list {
@@ -49,16 +52,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lynxbench: unknown experiment %q\n", *one)
 			os.Exit(2)
 		}
-		fmt.Print(r.Render())
+		if *asJSON {
+			emitJSON(r)
+		} else {
+			fmt.Print(r.Render())
+		}
 		if !r.Pass {
 			os.Exit(1)
 		}
 		return
 	}
+	results := expt.All()
+	if *asJSON {
+		emitJSON(results)
+	}
 	fail := 0
-	for _, r := range expt.All() {
-		fmt.Print(r.Render())
-		fmt.Println()
+	for _, r := range results {
+		if !*asJSON {
+			fmt.Print(r.Render())
+			fmt.Println()
+		}
 		if !r.Pass {
 			fail++
 		}
@@ -67,5 +80,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lynxbench: %d experiment(s) did not match the paper's shape\n", fail)
 		os.Exit(1)
 	}
-	fmt.Println("all experiments match the paper's shape")
+	if !*asJSON {
+		fmt.Println("all experiments match the paper's shape")
+	}
+}
+
+// emitJSON writes v (one Result or a slice of them) to stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "lynxbench: %v\n", err)
+		os.Exit(1)
+	}
 }

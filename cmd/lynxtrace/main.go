@@ -4,25 +4,39 @@
 //	lynxtrace -fig 1                # link moving at both ends (figure 1)
 //	lynxtrace -fig 2 -enclosures 3  # the enclosure protocol (figure 2)
 //	lynxtrace -fig 2 -substrate soda
+//	lynxtrace -fig 1 -format jsonl  # machine-readable event stream
+//	lynxtrace -fig 1 -format chrome > trace.json   # chrome://tracing
 //
 // The trace shows every kernel call and protocol message with its
 // virtual timestamp, making the difference between the substrates'
-// protocols directly visible.
+// protocols directly visible. -format selects the renderer: "text"
+// interleaves typed kernel events with free-text annotations on
+// stdout; "jsonl" emits one JSON event per line; "chrome" emits a
+// Chrome trace-event document (load in chrome://tracing or Perfetto).
+// In the machine formats only events go to stdout; narration goes to
+// stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/lynx"
 )
+
+// narrate is where human-facing headers and summaries go: stdout for
+// -format=text, stderr for the machine formats.
+var narrate io.Writer = os.Stdout
 
 func main() {
 	fig := flag.Int("fig", 2, "figure to replay (1 or 2)")
 	encl := flag.Int("enclosures", 3, "enclosures to move (figure 2)")
 	subName := flag.String("substrate", "charlotte", "charlotte|soda|chrysalis|ideal")
+	format := flag.String("format", "text", "trace output format: text|jsonl|chrome")
 	flag.Parse()
 
 	var sub lynx.Substrate
@@ -39,23 +53,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lynxtrace: unknown substrate %q\n", *subName)
 		os.Exit(2)
 	}
+	switch *format {
+	case "text", "jsonl", "chrome":
+	default:
+		fmt.Fprintf(os.Stderr, "lynxtrace: unknown format %q (want text, jsonl or chrome)\n", *format)
+		os.Exit(2)
+	}
 
 	switch *fig {
 	case 1:
-		figure1(sub)
+		figure1(sub, *format)
 	case 2:
-		figure2(sub, *encl)
+		figure2(sub, *format, *encl)
 	default:
 		fmt.Fprintf(os.Stderr, "lynxtrace: unknown figure %d\n", *fig)
 		os.Exit(2)
 	}
 }
 
+// attachOutput wires the chosen format into the system's recorder and
+// tracer slot. It returns a finish func to call after the run (flushes
+// buffered formats).
+func attachOutput(sys *lynx.System, format string) (finish func()) {
+	finish = func() {}
+	switch format {
+	case "text":
+		// Free-text Trace() marks via the classic writer tracer; typed
+		// kernel events via the text exporter. Same layout, one stream.
+		sys.Env().SetTracer(&sim.WriterTracer{W: os.Stdout})
+		sys.Obs().Attach(&obs.TextExporter{W: os.Stdout})
+	case "jsonl":
+		narrate = os.Stderr
+		sys.Env().SetTracer(&obs.TraceAdapter{R: sys.Obs()})
+		sys.Obs().Attach(&obs.JSONLExporter{W: os.Stdout})
+	case "chrome":
+		narrate = os.Stderr
+		sys.Env().SetTracer(&obs.TraceAdapter{R: sys.Obs()})
+		ch := obs.NewChromeExporter()
+		sys.Obs().Attach(ch)
+		finish = func() {
+			if err := ch.Flush(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	return finish
+}
+
 // figure2 traces one request moving k link ends (and its reply).
-func figure2(sub lynx.Substrate, k int) {
-	fmt.Printf("figure 2 on %v: request moving %d link end(s)\n\n", sub, k)
+func figure2(sub lynx.Substrate, format string, k int) {
 	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
-	sys.Env().SetTracer(&sim.WriterTracer{W: os.Stdout})
+	finish := attachOutput(sys, format)
+	fmt.Fprintf(narrate, "figure 2 on %v: request moving %d link end(s)\n\n", sub, k)
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 		var give []*lynx.End
 		for i := 0; i < k; i++ {
@@ -84,17 +134,18 @@ func figure2(sub lynx.Substrate, k int) {
 		fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
 		os.Exit(1)
 	}
+	finish()
 	if cs := a.CharlotteStats(); cs != nil {
-		fmt.Printf("\nprotocol summary: kernel sends=%d goaheads(B)=%d enc packets=%d\n",
+		fmt.Fprintf(narrate, "\nprotocol summary: kernel sends=%d goaheads(B)=%d enc packets=%d\n",
 			cs.KernelSends, b.CharlotteStats().Goaheads, cs.EncPackets)
 	}
 }
 
 // figure1 traces both ends of link 3 moving simultaneously.
-func figure1(sub lynx.Substrate) {
-	fmt.Printf("figure 1 on %v: link 3 moving at both ends (A->B and D->C)\n\n", sub)
+func figure1(sub lynx.Substrate, format string) {
 	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
-	sys.Env().SetTracer(&sim.WriterTracer{W: os.Stdout})
+	finish := attachOutput(sys, format)
+	fmt.Fprintf(narrate, "figure 1 on %v: link 3 moving at both ends (A->B and D->C)\n\n", sub)
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 		sys.Env().Trace("A", "moving link3 end to B")
 		th.Connect(boot[0], "take3a", lynx.Msg{Links: []*lynx.End{boot[1]}})
@@ -142,4 +193,5 @@ func figure1(sub lynx.Substrate) {
 		fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
 		os.Exit(1)
 	}
+	finish()
 }

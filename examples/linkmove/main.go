@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/lynx"
 )
@@ -30,8 +31,12 @@ func main() {
 	}[*subName]
 
 	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
+	recorded := &sim.RecordingTracer{}
 	if *verbose {
-		sys.Env().SetTracer(&sim.WriterTracer{W: os.Stdout})
+		// Fan the one tracer slot out: live terminal trace + in-memory
+		// recording; typed kernel events join the same stream.
+		sys.Env().SetTracer(obs.NewMultiTracer(&sim.WriterTracer{W: os.Stdout}, recorded))
+		sys.Obs().Attach(&obs.TextExporter{W: os.Stdout})
 	}
 	say := func(who, format string, args ...any) {
 		fmt.Printf("%10v  %s: %s\n", sys.Now(), who, fmt.Sprintf(format, args...))
@@ -94,4 +99,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nfigure 1 complete on %s at %v of virtual time\n", sub, sys.Now())
+	if *verbose {
+		fmt.Printf("(%d annotations recorded, %d bytes moved by the kernel)\n",
+			len(recorded.Events), sys.Metrics().Value(obs.MKernelBytes))
+	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/charlotte"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -71,7 +72,8 @@ func (c ctrl) String() string {
 
 // Stats counts binding-level protocol activity — the special-case
 // traffic that exists only because of the kernel interface mismatch
-// (E2/E5/E7 read these).
+// (E2/E5/E7 read these). It is a point-in-time snapshot of the
+// binding's obs counters.
 type Stats struct {
 	KernelSends      int64
 	UnwantedMessages int64 // received messages we had to bounce or drop
@@ -85,14 +87,30 @@ type Stats struct {
 	FailedCancels    int64 // kernel Cancel calls that failed
 }
 
+// counters holds the binding's per-process obs counter handles,
+// resolved once at construction so the hot paths do no map lookups.
+type counters struct {
+	kernelSends    *obs.Counter
+	unwanted       *obs.Counter
+	retries        *obs.Counter
+	forbids        *obs.Counter
+	allows         *obs.Counter
+	goaheads       *obs.Counter
+	encPackets     *obs.Counter
+	droppedReplies *obs.Counter
+	resentRequests *obs.Counter
+	failedCancels  *obs.Counter
+}
+
 // Transport is one LYNX process's Charlotte binding.
 type Transport struct {
-	env   *sim.Env
-	kp    *charlotte.Process
-	sink  func(core.Event)
-	proc  *sim.Proc // the LYNX process's simproc
-	pump  *sim.Proc
-	stats Stats
+	env  *sim.Env
+	kp   *charlotte.Process
+	sink func(core.Event)
+	proc *sim.Proc // the LYNX process's simproc
+	pump *sim.Proc
+	rec  *obs.Recorder
+	c    counters
 
 	ends map[charlotte.EndRef]*endState
 	// bufCap is the receive buffer capacity posted with every kernel
@@ -179,16 +197,60 @@ type inAssembly struct {
 // New creates the binding for one LYNX process hosted on the given
 // Charlotte kernel process. bufCap is the maximum message size.
 func New(env *sim.Env, kp *charlotte.Process, bufCap int) *Transport {
+	rec := kp.Kernel().Obs()
+	id := kp.ID()
 	return &Transport{
-		env:    env,
-		kp:     kp,
+		env: env,
+		kp:  kp,
+		rec: rec,
+		c: counters{
+			kernelSends:    rec.ProcCounter(obs.MBindKernelSends, id),
+			unwanted:       rec.ProcCounter(obs.MUnwantedReceives, id),
+			retries:        rec.ProcCounter(obs.MRetries, id),
+			forbids:        rec.ProcCounter(obs.MForbids, id),
+			allows:         rec.ProcCounter(obs.MAllows, id),
+			goaheads:       rec.ProcCounter(obs.MGoaheads, id),
+			encPackets:     rec.ProcCounter(obs.MEncPackets, id),
+			droppedReplies: rec.ProcCounter(obs.MDroppedReplies, id),
+			resentRequests: rec.ProcCounter(obs.MResentRequests, id),
+			failedCancels:  rec.ProcCounter(obs.MFailedCancels, id),
+		},
 		ends:   make(map[charlotte.EndRef]*endState),
 		bufCap: bufCap,
 	}
 }
 
-// Stats returns the binding's protocol counters.
-func (tr *Transport) Stats() *Stats { return &tr.stats }
+// Obs returns the recorder this binding reports into (the kernel's).
+func (tr *Transport) Obs() *obs.Recorder { return tr.rec }
+
+// Stats returns a snapshot of the binding's protocol counters.
+func (tr *Transport) Stats() *Stats {
+	return &Stats{
+		KernelSends:      tr.c.kernelSends.Value(),
+		UnwantedMessages: tr.c.unwanted.Value(),
+		Retries:          tr.c.retries.Value(),
+		Forbids:          tr.c.forbids.Value(),
+		Allows:           tr.c.allows.Value(),
+		Goaheads:         tr.c.goaheads.Value(),
+		EncPackets:       tr.c.encPackets.Value(),
+		DroppedReplies:   tr.c.droppedReplies.Value(),
+		ResentRequests:   tr.c.resentRequests.Value(),
+		FailedCancels:    tr.c.failedCancels.Value(),
+	}
+}
+
+// emit records a binding-protocol event when a trace sink is attached.
+// Counters are maintained unconditionally; events cost only when someone
+// is watching.
+func (tr *Transport) emit(kind obs.Kind, es *endState, seq uint64, detail string) {
+	if tr.rec.Active() {
+		d := es.ref.String()
+		if detail != "" {
+			d = detail + " " + d
+		}
+		tr.rec.Emit(obs.Event{Kind: kind, Proc: tr.kp.ID(), Seq: seq, Detail: d})
+	}
+}
 
 // KernelProcess returns the underlying Charlotte process (harness use).
 func (tr *Transport) KernelProcess() *charlotte.Process { return tr.kp }
@@ -280,7 +342,8 @@ func (tr *Transport) sendAllow(p *sim.Proc, es *endState) {
 		return
 	}
 	es.weForbade = false
-	tr.stats.Allows++
+	tr.c.allows.Inc()
+	tr.emit(obs.KindAllow, es, 0, "")
 	tr.sendCtrl(p, es, ctrlAllow, charlotte.EndRef{}, nil)
 }
 
@@ -324,7 +387,7 @@ func (tr *Transport) adjustReceive(p *sim.Proc, es *endState) {
 				// Cancel failed: a message is on its way in. The
 				// completion handler will deal with it (and likely
 				// bounce it).
-				tr.stats.FailedCancels++
+				tr.c.failedCancels.Inc()
 				return
 			}
 		}
@@ -366,7 +429,7 @@ func (tr *Transport) StartSend(te core.TransEnd, m *core.WireMsg, tag uint64) er
 			if st := tr.kp.Cancel(tr.proc, ref, charlotte.RecvDir); st == charlotte.OK {
 				ees.recvPosted = false
 			} else {
-				tr.stats.FailedCancels++
+				tr.c.failedCancels.Inc()
 			}
 		}
 		if ees.sendBusy || ees.recvPosted || len(ees.sendQ) > 0 {
@@ -441,7 +504,8 @@ func (tr *Transport) shipNextEnc(p *sim.Proc, es *endState, om *outMsg) {
 	}
 	idx := om.nextEnc
 	om.nextEnc++
-	tr.stats.EncPackets++
+	tr.c.encPackets.Inc()
+	tr.emit(obs.KindEnc, es, om.wire.Seq, om.encl[idx].String())
 	km := &kmsg{
 		payload:   []byte{byte(ctrlEnc), byte(om.wire.Kind)},
 		enclosure: om.encl[idx],
@@ -511,7 +575,7 @@ func (tr *Transport) pumpSend(p *sim.Proc, es *endState) {
 		}
 		return
 	}
-	tr.stats.KernelSends++
+	tr.c.kernelSends.Inc()
 }
 
 // handleCompletion is the pump's dispatcher for kernel Wait results.
@@ -657,22 +721,25 @@ func (tr *Transport) handleDataPacket(p *sim.Proc, es *endState, d charlotte.Des
 	wanted := (wire.Kind == core.KindRequest && es.wantReq) ||
 		(wire.Kind == core.KindReply && es.wantRep)
 	if !wanted {
-		tr.stats.UnwantedMessages++
+		tr.c.unwanted.Inc()
+		tr.emit(obs.KindUnwanted, es, wire.Seq, wire.Kind.String())
 		if wire.Kind == core.KindReply {
 			// Replies can always be discarded if unwanted (§3.2.1); no
 			// acknowledgment exists to tell the sender.
-			tr.stats.DroppedReplies++
+			tr.c.droppedReplies.Inc()
 			return
 		}
 		// Unwanted request: bounce it. If we are awaiting a reply we
 		// must keep our receive posted, so a bare RETRY would invite
 		// endless retransmission — send FORBID instead.
 		if es.wantRep {
-			tr.stats.Forbids++
+			tr.c.forbids.Inc()
+			tr.emit(obs.KindForbid, es, wire.Seq, "")
 			es.weForbade = true
 			tr.sendCtrl(p, es, ctrlForbid, d.Enclosure, seqBytes(wire.Seq))
 		} else {
-			tr.stats.Retries++
+			tr.c.retries.Inc()
+			tr.emit(obs.KindRetry, es, wire.Seq, "")
 			tr.sendCtrl(p, es, ctrlRetry, d.Enclosure, seqBytes(wire.Seq))
 		}
 		return
@@ -686,7 +753,8 @@ func (tr *Transport) handleDataPacket(p *sim.Proc, es *endState, d charlotte.Des
 		// go ahead with the remaining ends.
 		es.partial = &inAssembly{wire: wire, needEncl: nencl, gotEncl: got}
 		if wire.Kind == core.KindRequest {
-			tr.stats.Goaheads++
+			tr.c.goaheads.Inc()
+			tr.emit(obs.KindGoahead, es, wire.Seq, "")
 			tr.sendCtrl(p, es, ctrlGoahead, charlotte.EndRef{}, nil)
 		}
 		return
@@ -739,7 +807,7 @@ func (tr *Transport) resendStashed(p *sim.Proc, es *endState) {
 		if om.cancelled {
 			continue
 		}
-		tr.stats.ResentRequests++
+		tr.c.resentRequests.Inc()
 		tr.shipFirstPacket(p, es, om)
 	}
 }
@@ -763,7 +831,7 @@ func (tr *Transport) CancelSend(te core.TransEnd, tag uint64) bool {
 		}
 		if om.firstSent {
 			// First packet already received by the peer: too late.
-			tr.stats.FailedCancels++
+			tr.c.failedCancels.Inc()
 			return false
 		}
 		// Maybe still occupying our kernel send slot: try to recall it.
@@ -775,7 +843,7 @@ func (tr *Transport) CancelSend(te core.TransEnd, tag uint64) bool {
 				tr.pumpSend(tr.proc, es)
 				return true
 			}
-			tr.stats.FailedCancels++
+			tr.c.failedCancels.Inc()
 			return false
 		}
 		// Still in the binding queue: remove it.

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/chrysalis"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -111,7 +112,8 @@ func (e EndID) String() string { return fmt.Sprintf("chr<%d.%d>", e.Obj, e.Side)
 // peerSide returns the other side.
 func (e EndID) peerSide() int { return 1 - e.Side }
 
-// Stats counts binding activity (E4/E5/E9 read these).
+// Stats counts binding activity (E4/E5/E9 read these). It is a
+// point-in-time snapshot of the binding's obs counters.
 type Stats struct {
 	Notices       int64 // notices enqueued
 	StaleNotices  int64 // dequeued notices that failed validation
@@ -122,15 +124,27 @@ type Stats struct {
 	TornNameReads int64 // far queue name read while mid-write
 }
 
+// counters holds the binding's per-process obs counter handles.
+type counters struct {
+	notices       *obs.Counter
+	staleNotices  *obs.Counter
+	flagRescans   *obs.Counter
+	moves         *obs.Counter
+	rejections    *obs.Counter
+	lostNotices   *obs.Counter
+	tornNameReads *obs.Counter
+}
+
 // Transport is one LYNX process's Chrysalis binding.
 type Transport struct {
-	env   *sim.Env
-	k     *chrysalis.Kernel
-	kp    *chrysalis.Process
-	sink  func(core.Event)
-	proc  *sim.Proc
-	pump  *sim.Proc
-	stats Stats
+	env  *sim.Env
+	k    *chrysalis.Kernel
+	kp   *chrysalis.Process
+	sink func(core.Event)
+	proc *sim.Proc
+	pump *sim.Proc
+	rec  *obs.Recorder
+	c    counters
 
 	queue chrysalis.QueueName
 	event chrysalis.EventName
@@ -164,10 +178,22 @@ type outRec struct {
 // New creates the binding for one LYNX process. The process's dual queue
 // and event block are allocated immediately (boot-time, uncharged).
 func New(env *sim.Env, k *chrysalis.Kernel, kp *chrysalis.Process, bufCap int) *Transport {
+	rec := k.Obs()
+	id := kp.ID()
 	tr := &Transport{
-		env:    env,
-		k:      k,
-		kp:     kp,
+		env: env,
+		k:   k,
+		kp:  kp,
+		rec: rec,
+		c: counters{
+			notices:       rec.ProcCounter(obs.MNotices, id),
+			staleNotices:  rec.ProcCounter(obs.MStaleNotices, id),
+			flagRescans:   rec.ProcCounter(obs.MFlagRescans, id),
+			moves:         rec.ProcCounter(obs.MLinkMoves, id),
+			rejections:    rec.ProcCounter(obs.MRejections, id),
+			lostNotices:   rec.ProcCounter(obs.MLostNotices, id),
+			tornNameReads: rec.ProcCounter(obs.MTornNameReads, id),
+		},
 		bufCap: bufCap,
 		ends:   make(map[EndID]*endState),
 	}
@@ -176,8 +202,29 @@ func New(env *sim.Env, k *chrysalis.Kernel, kp *chrysalis.Process, bufCap int) *
 	return tr
 }
 
-// Stats returns the binding's counters.
-func (tr *Transport) Stats() *Stats { return &tr.stats }
+// Obs returns the recorder this binding reports into (the kernel's).
+func (tr *Transport) Obs() *obs.Recorder { return tr.rec }
+
+// obsEmit records a binding-protocol event when a trace sink is
+// attached; counters are maintained unconditionally.
+func (tr *Transport) obsEmit(kind obs.Kind, link int, detail string) {
+	if tr.rec.Active() {
+		tr.rec.Emit(obs.Event{Kind: kind, Proc: tr.kp.ID(), Link: link, Detail: detail})
+	}
+}
+
+// Stats returns a snapshot of the binding's counters.
+func (tr *Transport) Stats() *Stats {
+	return &Stats{
+		Notices:       tr.c.notices.Value(),
+		StaleNotices:  tr.c.staleNotices.Value(),
+		FlagRescans:   tr.c.flagRescans.Value(),
+		Moves:         tr.c.moves.Value(),
+		Rejections:    tr.c.rejections.Value(),
+		LostNotices:   tr.c.lostNotices.Value(),
+		TornNameReads: tr.c.tornNameReads.Value(),
+	}
+}
 
 // KernelProcess returns the underlying Chrysalis process (harness use).
 func (tr *Transport) KernelProcess() *chrysalis.Process { return tr.kp }
@@ -257,11 +304,12 @@ func (tr *Transport) notify(p *sim.Proc, obj chrysalis.ObjName, side int) {
 	if st != chrysalis.OK {
 		return
 	}
-	tr.stats.Notices++
+	tr.c.notices.Inc()
+	tr.obsEmit(obs.KindNotice, int(obj), "notify")
 	if est := tr.kp.Enqueue(p, chrysalis.QueueName(qn), uint32(obj)); est != chrysalis.OK {
 		// Torn or stale queue name: the notice is lost, but the flag is
 		// already set and the mover's rescan will find it.
-		tr.stats.LostNotices++
+		tr.c.lostNotices.Inc()
 	}
 }
 
@@ -399,14 +447,14 @@ func (tr *Transport) handleNotice(p *sim.Proc, obj chrysalis.ObjName) {
 	}
 	if !found {
 		// "If either check fails, the notice is discarded."
-		tr.stats.StaleNotices++
+		tr.c.staleNotices.Inc()
 	}
 }
 
 // scanEnd inspects the link's flags from es's perspective and acts on
 // every relevant set bit. This is also the mover's rescan.
 func (tr *Transport) scanEnd(p *sim.Proc, es *endState) {
-	tr.stats.FlagRescans++
+	tr.c.flagRescans.Inc()
 	id := es.id
 	flags, st := tr.kp.Flag16(p, id.Obj, offFlags)
 	if st != chrysalis.OK {
@@ -461,7 +509,8 @@ func (tr *Transport) scanEnd(p *sim.Proc, es *endState) {
 			if kind == core.KindReply {
 				// NAK so the replying server feels the exception.
 				if old, _ := tr.kp.AndFlag16(p, id.Obj, offFlags, ^fb); old&fb != 0 {
-					tr.stats.Rejections++
+					tr.c.rejections.Inc()
+					tr.obsEmit(obs.KindUnwanted, int(id.Obj), "reply rejected")
 					tr.kp.OrFlag16(p, id.Obj, offFlags, rejBit(far))
 					tr.notify(p, id.Obj, far)
 				}
@@ -529,7 +578,8 @@ func (tr *Transport) consume(p *sim.Proc, es *endState, fromSide int, kind core.
 // the ordering §5.2 relies on so changes are never overlooked.
 func (tr *Transport) adoptEnd(p *sim.Proc, obj chrysalis.ObjName, side int) EndID {
 	id := EndID{Obj: obj, Side: side}
-	tr.stats.Moves++
+	tr.c.moves.Inc()
+	tr.obsEmit(obs.KindLinkMove, int(obj), fmt.Sprintf("adopt %v", id))
 	tr.kp.Map(p, obj)
 	off := offQName0
 	if side == 1 {
@@ -542,7 +592,7 @@ func (tr *Transport) adoptEnd(p *sim.Proc, obj chrysalis.ObjName, side int) EndI
 	flags, st := tr.kp.Flag16(p, obj, offFlags)
 	if st == chrysalis.OK && flags != 0 {
 		tr.kp.Enqueue(p, tr.queue, uint32(obj))
-		tr.stats.Notices++
+		tr.c.notices.Inc()
 	}
 	return id
 }

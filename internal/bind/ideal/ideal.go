@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,7 @@ type Fabric struct {
 	env      *sim.Env
 	nextLink int
 	links    map[int]*link
+	rec      *obs.Recorder
 	// Latency is the fixed one-way message latency; PerByte adds a
 	// payload-proportional component.
 	Latency sim.Duration
@@ -36,10 +38,14 @@ func NewFabric(env *sim.Env, latency sim.Duration, perByte sim.Duration) *Fabric
 	return &Fabric{
 		env:     env,
 		links:   make(map[int]*link),
+		rec:     obs.NewRecorder(env, "ideal"),
 		Latency: latency,
 		PerByte: perByte,
 	}
 }
+
+// Obs returns the fabric's recorder (the analogue of a kernel's).
+func (f *Fabric) Obs() *obs.Recorder { return f.rec }
 
 // EndID is the fabric's transport-end handle (comparable, as core
 // requires).
@@ -100,6 +106,9 @@ func (f *Fabric) NewTransport(name string) *Transport {
 // CPU, so the simproc is unused.
 func (tr *Transport) SetSink(sink func(core.Event), _ *sim.Proc) { tr.sink = sink }
 
+// Obs returns the fabric's recorder.
+func (tr *Transport) Obs() *obs.Recorder { return tr.f.rec }
+
 // Capabilities reports the full feature set: the ideal kernel does
 // everything the language needs.
 func (tr *Transport) Capabilities() core.Capabilities {
@@ -122,6 +131,9 @@ func (tr *Transport) MakeLink() (core.TransEnd, core.TransEnd, error) {
 	a, b := EndID{l.id, 0}, EndID{l.id, 1}
 	tr.owned[a] = true
 	tr.owned[b] = true
+	if f.rec.Active() {
+		f.rec.Emit(obs.Event{Kind: obs.KindLinkMake, Link: l.id})
+	}
 	return a, b, nil
 }
 
@@ -152,6 +164,10 @@ func (tr *Transport) destroyLink(l *link, cause EndID) {
 		return
 	}
 	l.dead = true
+	tr.f.rec.Counter(obs.MLinkDestroys).Inc()
+	if tr.f.rec.Active() {
+		tr.f.rec.Emit(obs.Event{Kind: obs.KindLinkDestroy, Link: l.id})
+	}
 	for side := range l.ends {
 		es := &l.ends[side]
 		owner := es.owner
@@ -187,6 +203,9 @@ func (tr *Transport) StartSend(te core.TransEnd, m *core.WireMsg, tag uint64) er
 	}
 	fl := &flight{msg: m, tag: tag, from: tr, fromEnd: id}
 	es.inFlight[tag] = fl
+	if tr.f.rec.Active() {
+		tr.f.rec.Emit(obs.Event{Kind: obs.KindKernelSend, Link: l.id, Seq: m.Seq, Bytes: len(m.Data), Detail: id.String()})
+	}
 	delay := tr.f.Latency + sim.Duration(len(m.Data))*tr.f.PerByte
 	tr.f.env.After(delay, func() {
 		if fl.cancelled || l.dead {
@@ -225,6 +244,11 @@ func (f *Fabric) flush(l *link, side int) {
 		fl.delivered = true
 		src := &l.ends[fl.fromEnd.Side]
 		delete(src.inFlight, fl.tag)
+		f.rec.Counter(obs.MKernelMessages).Inc()
+		f.rec.Counter(obs.MKernelBytes).Add(int64(len(fl.msg.Data)))
+		if f.rec.Active() {
+			f.rec.Emit(obs.Event{Kind: obs.KindKernelDeliver, Link: l.id, Seq: fl.msg.Seq, Bytes: len(fl.msg.Data), Detail: farEnd.String()})
+		}
 		// Move enclosure ownership across transports.
 		for _, enc := range fl.msg.Encl {
 			id := enc.(EndID)
@@ -236,6 +260,9 @@ func (f *Fabric) flush(l *link, side int) {
 			delete(ees.owner.owned, id)
 			ees.owner = es.owner
 			es.owner.owned[id] = true
+			if f.rec.Active() {
+				f.rec.Emit(obs.Event{Kind: obs.KindLinkMove, Link: id.Link, Detail: id.String()})
+			}
 		}
 		es.owner.sink(core.Event{Kind: core.EvIncoming, End: farEnd, Msg: fl.msg})
 		fl.from.sink(core.Event{Kind: core.EvDelivered, End: fl.fromEnd, Tag: fl.tag})

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/soda"
 )
@@ -41,7 +42,7 @@ func (tr *Transport) recoverHint(p *sim.Proc, es *endState, ps *pendingSend) {
 		return
 	}
 	for i := 0; i < tr.cfg.DiscoverRetries; i++ {
-		tr.stats.Discovers++
+		tr.c.discovers.Inc()
 		id, st := tr.kp.Discover(p, es.farName)
 		if st == soda.OK {
 			tr.hintFixed(p, es, ps, id)
@@ -68,7 +69,7 @@ func (tr *Transport) hintFixed(p *sim.Proc, es *endState, ps *pendingSend, id so
 		return
 	}
 	es.hint = id
-	tr.stats.HintFixes++
+	tr.c.hintFixes.Inc()
 	if ps != nil && !ps.cancel && !ps.done {
 		tr.post(p, ps)
 	}
@@ -82,7 +83,8 @@ func (tr *Transport) hintFixed(p *sim.Proc, es *endState, ps *pendingSend, id so
 // requests' out-of-band data, then accept the unfreeze requests so
 // everyone resumes.
 func (tr *Transport) freezeSearch(p *sim.Proc, target soda.Name) (soda.ProcID, bool) {
-	tr.stats.Freezes++
+	tr.c.freezes.Inc()
+	tr.obsEmit(obs.KindFreeze, uint64(target), "absolute search")
 	if tr.searchWait == nil {
 		tr.searchWait = sim.NewWaitQueue(tr.env, "sodabind.search")
 	}
@@ -143,7 +145,7 @@ func (tr *Transport) onFreeze(ir soda.Interrupt) {
 // freezeSelf halts language-level progress: events are held, the
 // counter permits multiple concurrent searches.
 func (tr *Transport) freezeSelf() {
-	tr.stats.FreezeHalts++
+	tr.c.freezeHalts.Inc()
 	if tr.frozen == 0 {
 		tr.frozeAt = tr.env.Now()
 	}
@@ -158,7 +160,8 @@ func (tr *Transport) thawSelf() {
 	}
 	tr.frozen--
 	if tr.frozen == 0 {
-		tr.stats.FrozenTime += sim.Duration(tr.env.Now() - tr.frozeAt)
+		tr.c.frozenNs.Add(int64(tr.env.Now() - tr.frozeAt))
+		tr.obsEmit(obs.KindUnfreeze, 0, "thawed")
 		held := tr.heldEvents
 		tr.heldEvents = nil
 		for _, ev := range held {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/soda"
 )
@@ -98,7 +99,8 @@ func decodeEncl(buf []byte, n int) ([]enclRecord, error) {
 	return recs, nil
 }
 
-// Stats counts binding-level activity (E5/E7/E10 read these).
+// Stats counts binding-level activity (E5/E7/E10 read these). It is a
+// point-in-time snapshot of the binding's obs counters.
 type Stats struct {
 	Puts            int64
 	Accepts         int64
@@ -106,6 +108,8 @@ type Stats struct {
 	RejectedReplies int64 // replies NAKed with REJECTED (server feels it)
 	MovedForwards   int64 // MOVED redirections answered from the cache
 	HintFixes       int64 // hints repaired via MOVED/cache
+	HintHits        int64 // data puts delivered on the first post (hint was right)
+	HintMisses      int64 // data puts that needed redirection or recovery
 	Discovers       int64
 	Freezes         int64 // freeze searches initiated
 	FreezeHalts     int64 // process-freezes suffered (times this process froze)
@@ -115,6 +119,25 @@ type Stats struct {
 	// PairLimitRetries counts puts re-posted after the kernel's per-pair
 	// outstanding-request limit rejected them (§4.2.1).
 	PairLimitRetries int64
+}
+
+// counters holds the binding's per-process obs counter handles.
+type counters struct {
+	puts             *obs.Counter
+	accepts          *obs.Counter
+	savedRequests    *obs.Counter
+	rejectedReplies  *obs.Counter
+	movedForwards    *obs.Counter
+	hintFixes        *obs.Counter
+	hintHits         *obs.Counter
+	hintMisses       *obs.Counter
+	discovers        *obs.Counter
+	freezes          *obs.Counter
+	freezeHalts      *obs.Counter
+	frozenNs         *obs.Counter
+	linkMoves        *obs.Counter
+	cacheEvictions   *obs.Counter
+	pairLimitRetries *obs.Counter
 }
 
 // Config tunes the hint machinery.
@@ -154,7 +177,8 @@ type Transport struct {
 	screen core.ScreenFunc
 	proc   *sim.Proc
 	cfg    Config
-	stats  Stats
+	rec    *obs.Recorder
+	c      counters
 
 	ends map[soda.Name]*endState
 	// moveCache: forwarding addresses for ends we moved away; their
@@ -244,11 +268,31 @@ type pendingSend struct {
 
 // New creates the binding for one LYNX process on the given SODA node.
 func New(env *sim.Env, kernel *soda.Kernel, kp *soda.Process, cfg Config) *Transport {
+	rec := kernel.Obs()
+	id := int(kp.ID())
 	tr := &Transport{
-		env:         env,
-		kernel:      kernel,
-		kp:          kp,
-		cfg:         cfg,
+		env:    env,
+		kernel: kernel,
+		kp:     kp,
+		cfg:    cfg,
+		rec:    rec,
+		c: counters{
+			puts:             rec.ProcCounter(obs.MPuts, id),
+			accepts:          rec.ProcCounter(obs.MAccepts, id),
+			savedRequests:    rec.ProcCounter(obs.MSavedRequests, id),
+			rejectedReplies:  rec.ProcCounter(obs.MRejectedReplies, id),
+			movedForwards:    rec.ProcCounter(obs.MMovedForwards, id),
+			hintFixes:        rec.ProcCounter(obs.MHintFixes, id),
+			hintHits:         rec.ProcCounter(obs.MHintHits, id),
+			hintMisses:       rec.ProcCounter(obs.MHintMisses, id),
+			discovers:        rec.ProcCounter(obs.MDiscovers, id),
+			freezes:          rec.ProcCounter(obs.MFreezes, id),
+			freezeHalts:      rec.ProcCounter(obs.MFreezeHalts, id),
+			frozenNs:         rec.ProcCounter(obs.MFrozenTimeNs, id),
+			linkMoves:        rec.ProcCounter(obs.MLinkMoves, id),
+			cacheEvictions:   rec.ProcCounter(obs.MCacheEvictions, id),
+			pairLimitRetries: rec.ProcCounter(obs.MPairLimitRetries, id),
+		},
 		ends:        make(map[soda.Name]*endState),
 		moveCache:   make(map[soda.Name]soda.ProcID),
 		pending:     make(map[soda.ReqID]*pendingSend),
@@ -260,8 +304,37 @@ func New(env *sim.Env, kernel *soda.Kernel, kp *soda.Process, cfg Config) *Trans
 	return tr
 }
 
-// Stats returns the binding's counters.
-func (tr *Transport) Stats() *Stats { return &tr.stats }
+// Obs returns the recorder this binding reports into (the kernel's).
+func (tr *Transport) Obs() *obs.Recorder { return tr.rec }
+
+// obsEmit records a binding-protocol event when a trace sink is
+// attached; counters are maintained unconditionally.
+func (tr *Transport) obsEmit(kind obs.Kind, seq uint64, detail string) {
+	if tr.rec.Active() {
+		tr.rec.Emit(obs.Event{Kind: kind, Proc: int(tr.kp.ID()), Seq: seq, Detail: detail})
+	}
+}
+
+// Stats returns a snapshot of the binding's counters.
+func (tr *Transport) Stats() *Stats {
+	return &Stats{
+		Puts:             tr.c.puts.Value(),
+		Accepts:          tr.c.accepts.Value(),
+		SavedRequests:    tr.c.savedRequests.Value(),
+		RejectedReplies:  tr.c.rejectedReplies.Value(),
+		MovedForwards:    tr.c.movedForwards.Value(),
+		HintFixes:        tr.c.hintFixes.Value(),
+		HintHits:         tr.c.hintHits.Value(),
+		HintMisses:       tr.c.hintMisses.Value(),
+		Discovers:        tr.c.discovers.Value(),
+		Freezes:          tr.c.freezes.Value(),
+		FreezeHalts:      tr.c.freezeHalts.Value(),
+		FrozenTime:       sim.Duration(tr.c.frozenNs.Value()),
+		LinkMoves:        tr.c.linkMoves.Value(),
+		CacheEvictions:   tr.c.cacheEvictions.Value(),
+		PairLimitRetries: tr.c.pairLimitRetries.Value(),
+	}
+}
 
 // KernelProcess returns the underlying SODA process (harness use).
 func (tr *Transport) KernelProcess() *soda.Process { return tr.kp }
@@ -512,7 +585,7 @@ func (tr *Transport) post(p *sim.Proc, ps *pendingSend) {
 	id, st := tr.kp.Request(p, es.hint, es.farName, packOOB(oobData, arg), ps.payload, 0)
 	switch st {
 	case soda.OK:
-		tr.stats.Puts++
+		tr.c.puts.Inc()
 		tr.pending[id] = ps
 		tr.armTimeout(ps, id)
 	case soda.DeadProc, soda.NoSuchProc:
@@ -520,7 +593,7 @@ func (tr *Transport) post(p *sim.Proc, ps *pendingSend) {
 	case soda.TooManyRequests:
 		// Per-pair limit (§4.2.1): retry shortly. The paper worries this
 		// could deadlock; backing off and retrying turns it into latency.
-		tr.stats.PairLimitRetries++
+		tr.c.pairLimitRetries.Inc()
 		tr.env.After(10*sim.Millisecond, func() {
 			if !ps.cancel && !ps.done {
 				tr.post(nil, ps)
@@ -605,7 +678,7 @@ func (tr *Transport) onRequest(ir soda.Interrupt) {
 	}
 	// Forwarding: a request for an end we moved away.
 	if dst, ok := tr.moveCache[ir.Name]; ok {
-		tr.stats.MovedForwards++
+		tr.c.movedForwards.Inc()
 		tr.kp.Accept(nil, ir.Req, packOOB(oobMoved, uint64(dst)), nil, 0)
 		return
 	}
@@ -632,7 +705,7 @@ func (tr *Transport) onRequest(ir soda.Interrupt) {
 		// The watch also fixes OUR hint: its sender owns the far end.
 		if es.hint != ir.From {
 			es.hint = ir.From
-			tr.stats.HintFixes++
+			tr.c.hintFixes.Inc()
 			tr.ensureWatch(nil, es)
 		}
 	case oobData:
@@ -643,20 +716,21 @@ func (tr *Transport) onRequest(ir soda.Interrupt) {
 			// (holding can deadlock when two moves cross). If the move
 			// later fails, the sender's put to the wrong process times
 			// out and discover leads it back here.
-			tr.stats.MovedForwards++
+			tr.c.movedForwards.Inc()
 			tr.kp.Accept(nil, ir.Req, packOOB(oobMoved, uint64(es.movingTo)), nil, 0)
 			return
 		}
 		if es.hint != ir.From {
 			es.hint = ir.From
-			tr.stats.HintFixes++
+			tr.c.hintFixes.Inc()
 			tr.ensureWatch(nil, es)
 		}
 		sr := savedReq{req: ir.Req, from: ir.From, kind: kind, seq: seqLow}
 		if kind == core.KindReply && !tr.wantSaved(es, sr) {
 			// An unwanted reply: NAK it so the server feels the
 			// exception — SODA *can* do this without extra traffic.
-			tr.stats.RejectedReplies++
+			tr.c.rejectedReplies.Inc()
+			tr.obsEmit(obs.KindUnwanted, uint64(ir.Req), "reply rejected")
 			tr.kp.Accept(nil, ir.Req, packOOB(oobRejected, 0), nil, 0)
 			return
 		}
@@ -664,7 +738,7 @@ func (tr *Transport) onRequest(ir soda.Interrupt) {
 			// Unwanted request: simply don't accept yet. No bounce
 			// traffic; the sender's coroutine stays blocked, which is
 			// exactly LYNX's stop-and-wait semantics.
-			tr.stats.SavedRequests++
+			tr.c.savedRequests.Inc()
 			tr.saved[es.myName] = append(tr.saved[es.myName], sr)
 			return
 		}
@@ -679,7 +753,7 @@ func (tr *Transport) acceptData(p *sim.Proc, es *endState, req soda.ReqID) {
 	if st != soda.OK {
 		return
 	}
-	tr.stats.Accepts++
+	tr.c.accepts.Inc()
 	wire, nencl, err := core.DecodeWire(got[:len(got)-nenclTrailer(got)])
 	if err != nil {
 		// Re-derive split: payload is wire||enclRecords; decode needs
@@ -718,7 +792,8 @@ func nenclTrailer(got []byte) int {
 
 // adoptEnd takes ownership of a moved end.
 func (tr *Transport) adoptEnd(p *sim.Proc, r enclRecord) {
-	tr.stats.LinkMoves++
+	tr.c.linkMoves.Inc()
+	tr.obsEmit(obs.KindLinkMove, uint64(r.name), fmt.Sprintf("adopt name=%d from hint=%d", r.name, r.hint))
 	es := &endState{myName: r.name, farName: r.farName, hint: r.hint, outstanding: map[uint64]uint64{}}
 	tr.ends[r.name] = es
 	tr.kp.Advertise(p, r.name)
@@ -741,7 +816,7 @@ func (tr *Transport) onCompletion(ir soda.Interrupt) {
 		switch verb {
 		case oobMoved:
 			es.hint = soda.ProcID(arg)
-			tr.stats.HintFixes++
+			tr.c.hintFixes.Inc()
 			tr.postWatch(nil, es)
 		case oobDestroyed:
 			tr.linkDead(es)
@@ -751,20 +826,27 @@ func (tr *Transport) onCompletion(ir soda.Interrupt) {
 	ps.done = true
 	switch verb {
 	case oobOK:
-		// The far run-time package took the message: true receipt.
+		// The far run-time package took the message: true receipt. A put
+		// accepted on its first post means the hint was right (E10's hit
+		// rate); re-posts mean the hint machinery had to intervene.
+		if ps.gen == 1 {
+			tr.c.hintHits.Inc()
+		} else {
+			tr.c.hintMisses.Inc()
+		}
 		tr.completeMove(ps, ir.From)
 		// Make sure we watch the (possibly newly-learned) owner: without
 		// a watch its later destroy/death would be invisible while we
 		// await the reply.
 		if es.hint != ir.From && !es.dead {
 			es.hint = ir.From
-			tr.stats.HintFixes++
+			tr.c.hintFixes.Inc()
 		}
 		tr.ensureWatch(nil, es)
 		tr.emit(core.Event{Kind: core.EvDelivered, End: es.myName, Tag: ps.tag})
 	case oobMoved:
 		es.hint = soda.ProcID(arg)
-		tr.stats.HintFixes++
+		tr.c.hintFixes.Inc()
 		tr.ensureWatch(nil, es)
 		ps.done = false
 		tr.post(nil, ps)
@@ -851,7 +933,7 @@ func (tr *Transport) cacheMove(name soda.Name, to soda.ProcID) {
 		if _, ok := tr.moveCache[old]; ok {
 			delete(tr.moveCache, old)
 			tr.kp.Unadvertise(nil, old)
-			tr.stats.CacheEvictions++
+			tr.c.cacheEvictions.Inc()
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/calib"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -139,7 +140,8 @@ type Description struct {
 	Enclosure EndRef // moved end, if any (receive completions only)
 }
 
-// Stats counts kernel activity for the experiment harness.
+// Stats is a snapshot of kernel activity for the experiment harness,
+// computed on demand from the kernel's obs metrics.
 type Stats struct {
 	Calls      map[string]int64
 	Messages   int64 // kernel messages delivered
@@ -159,7 +161,9 @@ type Kernel struct {
 	links    map[int]*link
 	nextLink int
 	nextPID  int
-	stats    Stats
+
+	rec   *obs.Recorder
+	calls map[string]*obs.Counter // kernel-call name -> counter handle
 }
 
 // NewKernel creates a Charlotte kernel over the given network model.
@@ -169,15 +173,44 @@ func NewKernel(env *sim.Env, net netsim.Network, costs calib.CharlotteCosts) *Ke
 		net:   net,
 		costs: costs,
 		links: make(map[int]*link),
-		stats: Stats{Calls: make(map[string]int64)},
+		rec:   obs.NewRecorder(env, "charlotte"),
+		calls: make(map[string]*obs.Counter),
 	}
 }
 
 // Env returns the simulation environment the kernel runs in.
 func (k *Kernel) Env() *sim.Env { return k.env }
 
-// Stats returns the kernel's activity counters.
-func (k *Kernel) Stats() *Stats { return &k.stats }
+// Obs returns the kernel's observability recorder; the binding shares
+// it, and sinks attach to it.
+func (k *Kernel) Obs() *obs.Recorder { return k.rec }
+
+// Stats returns a snapshot of the kernel's activity counters.
+func (k *Kernel) Stats() *Stats {
+	m := k.rec.Metrics()
+	st := &Stats{
+		Calls:      make(map[string]int64, len(k.calls)),
+		Messages:   m.Value(obs.MKernelMessages),
+		Bytes:      m.Value(obs.MKernelBytes),
+		Enclosures: m.Value(obs.MEnclosureMoves),
+		Destroys:   m.Value(obs.MLinkDestroys),
+	}
+	for name, c := range k.calls {
+		st.Calls[name] = c.Value()
+	}
+	return st
+}
+
+// countCall bumps the per-call-name kernel counter, caching handles so
+// the hot path is one map probe.
+func (k *Kernel) countCall(what string) {
+	c, ok := k.calls[what]
+	if !ok {
+		c = k.rec.Counter(obs.MKernelCalls + "{call=" + what + "}")
+		k.calls[what] = c
+	}
+	c.Inc()
+}
 
 // link is the kernel's record of a link: two ends, each with at most one
 // outstanding activity per direction.
@@ -233,6 +266,9 @@ func (k *Kernel) NewProcess(node netsim.NodeID) *Process {
 // ID returns the process id.
 func (pr *Process) ID() int { return pr.id }
 
+// Kernel returns the kernel the process belongs to.
+func (pr *Process) Kernel() *Kernel { return pr.k }
+
 // Node returns the process's node.
 func (pr *Process) Node() netsim.NodeID { return pr.node }
 
@@ -244,7 +280,7 @@ func (pr *Process) PendingCompletions() int { return pr.completions.Len() }
 
 // charge spends one kernel-call's CPU on the calling simproc.
 func (pr *Process) charge(p *sim.Proc, what string) {
-	pr.k.stats.Calls[what]++
+	pr.k.countCall(what)
 	p.Delay(pr.k.costs.KernelCall)
 }
 
@@ -263,7 +299,9 @@ func (pr *Process) MakeLink(p *sim.Proc) (end1, end2 EndRef, st Status) {
 	e2 := EndRef{link: l.id, side: 1}
 	pr.ends[e1] = true
 	pr.ends[e2] = true
-	pr.k.env.Trace("charlotte", "p%d MakeLink -> %v,%v", pr.id, e1, e2)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{Kind: obs.KindLinkMake, Proc: pr.id, Link: l.id})
+	}
 	return e1, e2, OK
 }
 
@@ -339,7 +377,16 @@ func (pr *Process) Send(p *sim.Proc, e EndRef, data []byte, enclosure EndRef) St
 	copy(buf, data)
 	es.send = &activity{dir: SendDir, data: buf, enclosure: enclosure}
 	es.sendSeq++
-	pr.k.env.Trace("charlotte", "p%d Send %v len=%d enc=%v", pr.id, e, len(data), enclosure)
+	if pr.k.rec.Active() {
+		detail := e.String()
+		if !enclosure.Nil() {
+			detail += " enc=" + enclosure.String()
+		}
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindKernelSend, Proc: pr.id, Link: e.link,
+			Bytes: len(data), Detail: detail,
+		})
+	}
 	pr.k.tryMatch(l, e.side)
 	return OK
 }
@@ -357,7 +404,12 @@ func (pr *Process) Receive(p *sim.Proc, e EndRef, capacity int) Status {
 		return Busy
 	}
 	es.recv = &activity{dir: RecvDir, capacity: capacity}
-	pr.k.env.Trace("charlotte", "p%d Receive %v cap=%d", pr.id, e, capacity)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindKernelReceive, Proc: pr.id, Link: e.link,
+			Bytes: capacity, Detail: e.String(),
+		})
+	}
 	// A send may be waiting on the far end.
 	pr.k.tryMatch(l, 1-e.side)
 	return OK
@@ -392,16 +444,26 @@ func (pr *Process) Cancel(p *sim.Proc, e EndRef, d Direction) Status {
 		}
 	}
 	*slot = nil
-	pr.k.env.Trace("charlotte", "p%d Cancel %v %v -> OK", pr.id, e, d)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindKernelCancel, Proc: pr.id, Link: e.link,
+			Detail: fmt.Sprintf("%v %v", e, d),
+		})
+	}
 	return OK
 }
 
 // Wait blocks until an activity completes and returns its description.
 func (pr *Process) Wait(p *sim.Proc) Description {
-	pr.k.stats.Calls["Wait"]++
+	pr.k.countCall("Wait")
 	d := pr.completions.Get(p).(Description)
 	p.Delay(pr.k.costs.KernelCall)
-	pr.k.env.Trace("charlotte", "p%d Wait -> %v %v %v len=%d", pr.id, d.End, d.Dir, d.Status, d.Length)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindQueueService, Proc: pr.id, Link: d.End.link, Bytes: d.Length,
+			Detail: fmt.Sprintf("Wait -> %v %v %v", d.End, d.Dir, d.Status),
+		})
+	}
 	return d
 }
 
@@ -411,7 +473,7 @@ func (pr *Process) TryWait(p *sim.Proc) (Description, bool) {
 	if !ok {
 		return Description{}, false
 	}
-	pr.k.stats.Calls["Wait"]++
+	pr.k.countCall("Wait")
 	p.Delay(pr.k.costs.KernelCall)
 	return v.(Description), true
 }
@@ -440,7 +502,9 @@ func (pr *Process) Terminate() {
 		return
 	}
 	pr.dead = true
-	pr.k.env.Trace("charlotte", "p%d terminate", pr.id)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{Kind: obs.KindMark, Proc: pr.id, Detail: "terminate"})
+	}
 	for e := range pr.ends {
 		if l, ok := pr.k.links[e.link]; ok && !l.destroyed {
 			pr.k.destroyLink(l)
@@ -451,8 +515,10 @@ func (pr *Process) Terminate() {
 // destroyLink marks the link destroyed and flushes completions.
 func (k *Kernel) destroyLink(l *link) {
 	l.destroyed = true
-	k.stats.Destroys++
-	k.env.Trace("charlotte", "link %d destroyed", l.id)
+	k.rec.Counter(obs.MLinkDestroys).Inc()
+	if k.rec.Active() {
+		k.rec.Emit(obs.Event{Kind: obs.KindLinkDestroy, Link: l.id})
+	}
 	for side := 0; side < 2; side++ {
 		es := &l.ends[side]
 		owner := es.owner
@@ -553,8 +619,14 @@ func (k *Kernel) deliver(l *link, sendEnd EndRef) {
 		n = ract.capacity
 		data = data[:n]
 	}
-	k.stats.Messages++
-	k.stats.Bytes += int64(n)
+	k.rec.Counter(obs.MKernelMessages).Inc()
+	k.rec.Counter(obs.MKernelBytes).Add(int64(n))
+	if k.rec.Active() {
+		k.rec.Emit(obs.Event{
+			Kind: obs.KindKernelDeliver, Proc: sender.id, Peer: receiver.id,
+			Link: l.id, Bytes: n,
+		})
+	}
 
 	// Move the enclosure: ownership passes to the receiver; the
 	// three-party agreement concludes.
@@ -567,9 +639,13 @@ func (k *Kernel) deliver(l *link, sendEnd EndRef) {
 			}
 			ees.owner = receiver
 			receiver.ends[act.enclosure] = true
-			k.stats.Enclosures++
-			k.env.Trace("charlotte", "enclosure %v moved p%d -> p%d",
-				act.enclosure, sender.id, receiver.id)
+			k.rec.Counter(obs.MEnclosureMoves).Inc()
+			if k.rec.Active() {
+				k.rec.Emit(obs.Event{
+					Kind: obs.KindLinkMove, Proc: sender.id, Peer: receiver.id,
+					Link: act.enclosure.link, Detail: act.enclosure.String(),
+				})
+			}
 		}
 	}
 

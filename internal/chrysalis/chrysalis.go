@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/calib"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -90,7 +91,8 @@ type EventName uint32
 // which is why the paper's link objects update them non-atomically.
 type QueueName uint32
 
-// Stats counts kernel activity for the experiment harness.
+// Stats is a snapshot of kernel activity for the experiment harness,
+// computed on demand from the kernel's obs metrics.
 type Stats struct {
 	AtomicOps  int64
 	Enqueues   int64
@@ -116,7 +118,14 @@ type Kernel struct {
 	queues  map[QueueName]*dualQueue
 	nextID  uint32
 	nextPID int
-	stats   Stats
+
+	rec *obs.Recorder
+	// Cached counter handles: atomic flag ops are the hottest path in
+	// the whole repo, so increments must not pay a registry probe.
+	cAtomicOps, cEnqueues, cDequeues   *obs.Counter
+	cEventPosts, cEventWaits           *obs.Counter
+	cMaps, cUnmaps                     *obs.Counter
+	cBytesMoved, cReclaimed, cTornRead *obs.Counter
 	// TuneFactor scales fixed primitive costs (1.0 = paper's measured
 	// system; calib.ChrysalisTunedFactor = with the optimizations §5.3
 	// says were under development). It does not change per-byte costs.
@@ -125,22 +134,51 @@ type Kernel struct {
 
 // NewKernel creates a Chrysalis kernel over the given backplane.
 func NewKernel(env *sim.Env, bp *netsim.Backplane, costs calib.ChrysalisCosts) *Kernel {
+	rec := obs.NewRecorder(env, "chrysalis")
 	return &Kernel{
-		env:        env,
-		bp:         bp,
-		costs:      costs,
-		objects:    make(map[ObjName]*memObject),
-		events:     make(map[EventName]*eventBlock),
-		queues:     make(map[QueueName]*dualQueue),
-		TuneFactor: 1.0,
+		env:         env,
+		bp:          bp,
+		costs:       costs,
+		objects:     make(map[ObjName]*memObject),
+		events:      make(map[EventName]*eventBlock),
+		queues:      make(map[QueueName]*dualQueue),
+		rec:         rec,
+		cAtomicOps:  rec.Counter(obs.MAtomicOps),
+		cEnqueues:   rec.Counter(obs.MQueueEnqueues),
+		cDequeues:   rec.Counter(obs.MQueueDequeues),
+		cEventPosts: rec.Counter(obs.MEventPosts),
+		cEventWaits: rec.Counter(obs.MEventWaits),
+		cMaps:       rec.Counter(obs.MObjectMaps),
+		cUnmaps:     rec.Counter(obs.MObjectUnmaps),
+		cBytesMoved: rec.Counter(obs.MKernelBytes),
+		cReclaimed:  rec.Counter(obs.MObjectsReclaimed),
+		cTornRead:   rec.Counter(obs.MTornReads),
+		TuneFactor:  1.0,
 	}
 }
 
 // Env returns the simulation environment.
 func (k *Kernel) Env() *sim.Env { return k.env }
 
-// Stats returns the kernel's counters.
-func (k *Kernel) Stats() *Stats { return &k.stats }
+// Obs returns the kernel's observability recorder; the binding shares
+// it, and sinks attach to it.
+func (k *Kernel) Obs() *obs.Recorder { return k.rec }
+
+// Stats returns a snapshot of the kernel's counters.
+func (k *Kernel) Stats() *Stats {
+	return &Stats{
+		AtomicOps:  k.cAtomicOps.Value(),
+		Enqueues:   k.cEnqueues.Value(),
+		Dequeues:   k.cDequeues.Value(),
+		EventPosts: k.cEventPosts.Value(),
+		EventWaits: k.cEventWaits.Value(),
+		Maps:       k.cMaps.Value(),
+		Unmaps:     k.cUnmaps.Value(),
+		BytesMoved: k.cBytesMoved.Value(),
+		Reclaimed:  k.cReclaimed.Value(),
+		TornReads:  k.cTornRead.Value(),
+	}
+}
 
 func (k *Kernel) cost(d sim.Duration) sim.Duration {
 	return sim.Duration(float64(d) * k.TuneFactor)
@@ -228,7 +266,7 @@ func (pr *Process) AllocObject(p *sim.Proc, size int) ObjName {
 		midWrite: make(map[int]uint16),
 	}
 	pr.mapped[name] = true
-	pr.k.stats.Maps++
+	pr.k.cMaps.Inc()
 	return name
 }
 
@@ -244,7 +282,7 @@ func (pr *Process) Map(p *sim.Proc, name ObjName) Status {
 		o.refs++
 		pr.mapped[name] = true
 	}
-	pr.k.stats.Maps++
+	pr.k.cMaps.Inc()
 	return OK
 }
 
@@ -264,7 +302,7 @@ func (pr *Process) Unmap(p *sim.Proc, name ObjName) Status {
 	}
 	delete(pr.mapped, name)
 	o.refs--
-	pr.k.stats.Unmaps++
+	pr.k.cUnmaps.Inc()
 	pr.k.maybeReclaim(o)
 	return OK
 }
@@ -284,8 +322,12 @@ func (pr *Process) FreeWhenUnreferenced(p *sim.Proc, name ObjName) Status {
 func (k *Kernel) maybeReclaim(o *memObject) {
 	if o.refs <= 0 && o.freeWhenZero {
 		delete(k.objects, o.name)
-		k.stats.Reclaimed++
-		k.env.Trace("chrysalis", "object %d reclaimed", o.name)
+		k.cReclaimed.Inc()
+		if k.rec.Active() {
+			k.rec.Emit(obs.Event{
+				Kind: obs.KindMark, Link: int(o.name), Detail: "object reclaimed",
+			})
+		}
 	}
 }
 
@@ -330,10 +372,16 @@ func (pr *Process) SetFlag16(p *sim.Proc, name ObjName, offset int, v uint16) (u
 		return 0, BadAccess
 	}
 	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
-	pr.k.stats.AtomicOps++
+	pr.k.cAtomicOps.Inc()
 	old := uint16(o.data[offset]) | uint16(o.data[offset+1])<<8
 	o.data[offset] = byte(v)
 	o.data[offset+1] = byte(v >> 8)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindFlagSet, Proc: pr.id, Link: int(name),
+			Detail: fmt.Sprintf("set@%d=%#x", offset, v),
+		})
+	}
 	return old, OK
 }
 
@@ -348,11 +396,17 @@ func (pr *Process) OrFlag16(p *sim.Proc, name ObjName, offset int, bits uint16) 
 		return 0, BadAccess
 	}
 	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
-	pr.k.stats.AtomicOps++
+	pr.k.cAtomicOps.Inc()
 	old := uint16(o.data[offset]) | uint16(o.data[offset+1])<<8
 	v := old | bits
 	o.data[offset] = byte(v)
 	o.data[offset+1] = byte(v >> 8)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindFlagSet, Proc: pr.id, Link: int(name),
+			Detail: fmt.Sprintf("or@%d=%#x", offset, bits),
+		})
+	}
 	return old, OK
 }
 
@@ -367,11 +421,17 @@ func (pr *Process) AndFlag16(p *sim.Proc, name ObjName, offset int, mask uint16)
 		return 0, BadAccess
 	}
 	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
-	pr.k.stats.AtomicOps++
+	pr.k.cAtomicOps.Inc()
 	old := uint16(o.data[offset]) | uint16(o.data[offset+1])<<8
 	v := old & mask
 	o.data[offset] = byte(v)
 	o.data[offset+1] = byte(v >> 8)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindFlagSet, Proc: pr.id, Link: int(name),
+			Detail: fmt.Sprintf("and@%d=%#x", offset, mask),
+		})
+	}
 	return old, OK
 }
 
@@ -385,7 +445,7 @@ func (pr *Process) Flag16(p *sim.Proc, name ObjName, offset int) (uint16, Status
 		return 0, BadAccess
 	}
 	charge(p, pr.k.cost(pr.k.costs.AtomicOp)+pr.remoteCost(o, 2))
-	pr.k.stats.AtomicOps++
+	pr.k.cAtomicOps.Inc()
 	return uint16(o.data[offset]) | uint16(o.data[offset+1])<<8, OK
 }
 
@@ -423,7 +483,13 @@ func (pr *Process) Read32(p *sim.Proc, name ObjName, offset int) (uint32, Status
 	}
 	charge(p, pr.k.cost(pr.k.costs.WideWrite/2)+pr.remoteCost(o, 4))
 	if _, torn := o.midWrite[offset]; torn {
-		pr.k.stats.TornReads++
+		pr.k.cTornRead.Inc()
+		if pr.k.rec.Active() {
+			pr.k.rec.Emit(obs.Event{
+				Kind: obs.KindTornRead, Proc: pr.id, Link: int(name),
+				Detail: fmt.Sprintf("offset %d", offset),
+			})
+		}
 	}
 	return uint32(o.data[offset]) | uint32(o.data[offset+1])<<8 |
 		uint32(o.data[offset+2])<<16 | uint32(o.data[offset+3])<<24, OK
@@ -441,7 +507,7 @@ func (pr *Process) WriteBytes(p *sim.Proc, name ObjName, offset int, buf []byte)
 	}
 	charge(p, sim.Duration(len(buf))*pr.k.costs.BufferCopy+pr.remoteCost(o, len(buf)))
 	copy(o.data[offset:], buf)
-	pr.k.stats.BytesMoved += int64(len(buf))
+	pr.k.cBytesMoved.Add(int64(len(buf)))
 	return OK
 }
 
@@ -457,7 +523,7 @@ func (pr *Process) ReadBytes(p *sim.Proc, name ObjName, offset, n int) ([]byte, 
 	charge(p, sim.Duration(n)*pr.k.costs.BufferCopy+pr.remoteCost(o, n))
 	out := make([]byte, n)
 	copy(out, o.data[offset:])
-	pr.k.stats.BytesMoved += int64(n)
+	pr.k.cBytesMoved.Add(int64(n))
 	return out, OK
 }
 
@@ -486,7 +552,7 @@ func (pr *Process) EventPost(p *sim.Proc, name EventName, datum uint32) Status {
 	if ev.posted {
 		return OverPost
 	}
-	pr.k.stats.EventPosts++
+	pr.k.cEventPosts.Inc()
 	ev.posted = true
 	ev.datum = datum
 	ev.wq.WakeValue(datum)
@@ -504,7 +570,7 @@ func (pr *Process) EventWait(p *sim.Proc, name EventName) (uint32, Status) {
 		return 0, NotOwner
 	}
 	charge(p, pr.k.cost(pr.k.costs.EventWait))
-	pr.k.stats.EventWaits++
+	pr.k.cEventWaits.Inc()
 	if ev.posted {
 		ev.posted = false
 		return ev.datum, OK
@@ -540,12 +606,18 @@ func (pr *Process) Enqueue(p *sim.Proc, name QueueName, datum uint32) Status {
 	if p != nil {
 		charge(p, pr.k.cost(pr.k.costs.Enqueue))
 	}
-	pr.k.stats.Enqueues++
+	pr.k.cEnqueues.Inc()
 	if len(q.waiters) > 0 {
 		evName := q.waiters[0]
 		q.waiters = q.waiters[0:copy(q.waiters, q.waiters[1:])]
 		if ev, ok := pr.k.events[evName]; ok && !ev.posted {
-			pr.k.stats.EventPosts++
+			pr.k.cEventPosts.Inc()
+			if pr.k.rec.Active() {
+				pr.k.rec.Emit(obs.Event{
+					Kind: obs.KindQueueFlip, Proc: pr.id, Link: int(name),
+					Detail: "enqueue posted queued event",
+				})
+			}
 			ev.posted = true
 			ev.datum = datum
 			ev.wq.WakeValue(datum)
@@ -570,13 +642,19 @@ func (pr *Process) Dequeue(p *sim.Proc, name QueueName, ev EventName) (uint32, b
 		return 0, false, NoSuchQueue
 	}
 	charge(p, pr.k.cost(pr.k.costs.Dequeue))
-	pr.k.stats.Dequeues++
+	pr.k.cDequeues.Inc()
 	if len(q.data) > 0 {
 		v := q.data[0]
 		q.data = q.data[0:copy(q.data, q.data[1:])]
 		return v, true, OK
 	}
 	q.waiters = append(q.waiters, ev)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindQueueFlip, Proc: pr.id, Link: int(name),
+			Detail: "dequeue on empty enqueued event name",
+		})
+	}
 	return 0, false, OK
 }
 
@@ -597,7 +675,9 @@ func (pr *Process) Terminate() {
 		return
 	}
 	pr.dead = true
-	pr.k.env.Trace("chrysalis", "p%d terminate", pr.id)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{Kind: obs.KindMark, Proc: pr.id, Detail: "terminate"})
+	}
 	for name := range pr.mapped {
 		if o, ok := pr.k.objects[name]; ok {
 			o.refs--

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // End is the language-level handle for one end of a LYNX link, owned by
 // exactly one process at a time. Each end has one queue of incoming
@@ -36,6 +41,7 @@ type End struct {
 	handler      Handler // Serve handler (spawns a thread per request)
 	recvWaiters  []*Thread
 	inReq        []*WireMsg         // wanted requests not yet claimed by a thread
+	inReqAt      []sim.Time         // arrival time of each queued request (queue_wait_ns)
 	replyWaiters map[uint64]*Thread // request seq -> blocked connector
 
 	// lastInterest caches what we last told the transport, to avoid
@@ -60,6 +66,24 @@ type sendRecord struct {
 
 func (e *End) String() string {
 	return fmt.Sprintf("%s/%v", e.pr.name, e.te)
+}
+
+// takeQueued pops the head of e's request queue, recording how long the
+// message sat waiting for a thread to claim it (queue_wait_ns).
+func (e *End) takeQueued() *WireMsg {
+	m := e.inReq[0]
+	e.inReq = e.inReq[0:copy(e.inReq, e.inReq[1:])]
+	if len(e.inReqAt) > 0 {
+		at := e.inReqAt[0]
+		e.inReqAt = e.inReqAt[0:copy(e.inReqAt, e.inReqAt[1:])]
+		pr := e.pr
+		wait := sim.Duration(pr.env.Now() - at)
+		pr.queueHist.Observe(wait)
+		if pr.rec.Active() {
+			pr.rec.Emit(obs.Event{Kind: obs.KindQueueService, Src: pr.name, Seq: m.Seq, Wait: wait, Detail: m.Op})
+		}
+	}
+	return m
 }
 
 // Dead reports whether the link has been destroyed.

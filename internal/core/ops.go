@@ -160,8 +160,7 @@ func (t *Thread) Receive(e *End) (*Request, error) {
 	}
 	// A request may already be queued (explicitly-opened queue).
 	if len(e.inReq) > 0 {
-		m := e.inReq[0]
-		e.inReq = e.inReq[0:copy(e.inReq, e.inReq[1:])]
+		m := e.takeQueued()
 		links := make([]*End, 0, len(m.Encl))
 		for _, te := range m.Encl {
 			links = append(links, pr.adoptEnd(te))
@@ -208,8 +207,7 @@ func (t *Thread) ReceiveAny(ends ...*End) (*Request, error) {
 		// list ends in their preferred order, and arrival order decided
 		// what is queued).
 		if len(e.inReq) > 0 {
-			m := e.inReq[0]
-			e.inReq = e.inReq[0:copy(e.inReq, e.inReq[1:])]
+			m := e.takeQueued()
 			links := make([]*End, 0, len(m.Encl))
 			for _, te := range m.Encl {
 				links = append(links, pr.adoptEnd(te))

@@ -5,8 +5,16 @@ import (
 	"strings"
 
 	"repro/internal/calib"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// Observed is implemented by transports that report into an obs
+// recorder; core uses it to account its own queue/block points against
+// the same registry as the kernel underneath.
+type Observed interface {
+	Obs() *obs.Recorder
+}
 
 // Stats counts run-time package activity for the experiment harness.
 type Stats struct {
@@ -45,6 +53,10 @@ type Process struct {
 
 	dead  bool
 	stats Stats
+
+	rec       *obs.Recorder  // nil when the transport is unobserved
+	blockHist *obs.Histogram // proc_block_ns: time parked at the block point
+	queueHist *obs.Histogram // queue_wait_ns: request time in an open queue
 }
 
 // NewProcess creates a LYNX process whose main thread runs mainFn, and
@@ -62,6 +74,11 @@ func NewProcess(env *sim.Env, name string, tr Transport, costs calib.LynxRuntime
 		ends:         make(map[TransEnd]*End),
 		pendingSends: make(map[uint64]*sendRecord),
 	}
+	if o, ok := tr.(Observed); ok {
+		pr.rec = o.Obs()
+	}
+	pr.blockHist = pr.rec.Histogram(obs.MProcBlockNs)
+	pr.queueHist = pr.rec.Histogram(obs.MQueueWaitNs)
 	pr.events = sim.NewMailbox(env, "lynx:"+name+".events")
 	pr.spawnThread("main", mainFn)
 	pr.sp = env.Spawn("lynx:"+name, func(p *sim.Proc) {
@@ -186,7 +203,13 @@ func (pr *Process) dispatch(p *sim.Proc) {
 			break
 		}
 		// Block point: wait for one of the open queues or a completion.
+		blockedAt := pr.env.Now()
 		ev := pr.events.Get(p).(Event)
+		wait := sim.Duration(pr.env.Now() - blockedAt)
+		pr.blockHist.Observe(wait)
+		if pr.rec.Active() {
+			pr.rec.Emit(obs.Event{Kind: obs.KindQueueWait, Src: pr.name, Wait: wait})
+		}
 		pr.handleEvent(ev)
 	}
 	pr.dead = true
@@ -404,6 +427,7 @@ func (pr *Process) handleIncoming(ev Event) {
 		default:
 			// Queue opened explicitly; a thread will Receive it later.
 			e.inReq = append(e.inReq, m)
+			e.inReqAt = append(e.inReqAt, pr.env.Now())
 		}
 		e.syncInterest()
 	case KindReply:
@@ -577,4 +601,5 @@ func (pr *Process) killEnd(e *End, cause error) {
 	}
 	e.handler = nil
 	e.inReq = nil
+	e.inReqAt = nil
 }

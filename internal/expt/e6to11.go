@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	sodabind "repro/internal/bind/soda"
+	"repro/internal/obs"
 	"repro/lynx"
 )
 
@@ -152,23 +153,28 @@ func E7() *Result {
 		if err := sys.Run(); err != nil {
 			panic(fmt.Sprintf("E7(%v): %v", sub, err))
 		}
+		// All counts come from the obs metric registry — the same
+		// counters Stats() views are built from.
+		m := sys.Metrics()
+		pa, pb := a.KernelPID(), b.KernelPID()
 		var r row
 		switch sub {
 		case lynx.Charlotte:
-			st := a.CharlotteStats()
-			r.unwanted = st.UnwantedMessages
-			r.naks = st.Retries + st.Forbids + st.Allows + b.CharlotteStats().Retries +
-				b.CharlotteStats().Forbids + b.CharlotteStats().Allows
+			r.unwanted = m.ProcValue(obs.MUnwantedReceives, pa)
+			for _, pid := range []int{pa, pb} {
+				r.naks += m.ProcValue(obs.MRetries, pid) +
+					m.ProcValue(obs.MForbids, pid) +
+					m.ProcValue(obs.MAllows, pid)
+			}
 		case lynx.SODA:
-			st := a.SODAStats()
 			r.unwanted = 0 // the runtime never sees them
-			r.naks = st.RejectedReplies
-			r.held = st.SavedRequests
+			r.naks = m.ProcValue(obs.MRejectedReplies, pa)
+			r.held = m.ProcValue(obs.MSavedRequests, pa)
 		case lynx.Chrysalis:
-			st := a.ChrysalisStats()
-			r.naks = st.Rejections
+			r.naks = m.ProcValue(obs.MRejections, pa)
 			r.held = 0 // flags simply stay set; nothing is queued
 		}
+		res.addMetrics(sub.String(), m)
 		rows[sub] = r
 		res.Rows = append(res.Rows, []string{
 			sub.String(), fmt.Sprint(rounds), fmt.Sprint(r.unwanted),
@@ -294,7 +300,7 @@ func E10() *Result {
 	res := &Result{
 		ID:      "E10",
 		Title:   "SODA hint repair: cache -> discover -> freeze (§4.2)",
-		Columns: []string{"configuration", "op latency (ms)", "forwards", "discovers", "freezes", "frozen proc-time (ms)"},
+		Columns: []string{"configuration", "op latency (ms)", "forwards", "discovers", "freezes", "frozen proc-time (ms)", "hint hit rate"},
 	}
 	type cfgCase struct {
 		name      string
@@ -315,8 +321,22 @@ func E10() *Result {
 		cfg.DiscoverRetries = c.discovers
 		cfg.EnableFreeze = c.freeze
 		cfg.HintTimeout = 150 * lynx.Millisecond
-		d, fwd, disc, frz, frozenMS := runE10Scenario(cfg)
+		d, m, pids := runE10Scenario(cfg)
 		lat = append(lat, d.Milliseconds())
+		// All counts come from the obs metric registry.
+		fwd := m.ProcValue(obs.MMovedForwards, pids[1])
+		disc := m.ProcValue(obs.MDiscovers, pids[0])
+		frz := m.ProcValue(obs.MFreezes, pids[0])
+		var frozenMS float64
+		for _, pid := range pids {
+			frozenMS += float64(m.ProcValue(obs.MFrozenTimeNs, pid)) / 1e6
+		}
+		hits := m.SumPrefix(obs.MHintHits)
+		misses := m.SumPrefix(obs.MHintMisses)
+		rate := "-"
+		if hits+misses > 0 {
+			rate = fmt.Sprintf("%.2f", float64(hits)/float64(hits+misses))
+		}
 		if fwd > 0 {
 			usedForward = true
 		}
@@ -328,8 +348,9 @@ func E10() *Result {
 		}
 		res.Rows = append(res.Rows, []string{
 			c.name, ms(d), fmt.Sprint(fwd), fmt.Sprint(disc), fmt.Sprint(frz),
-			fmt.Sprintf("%.1f", frozenMS),
+			fmt.Sprintf("%.1f", frozenMS), rate,
 		})
+		res.addMetrics(fmt.Sprintf("soda[%s]", c.name), m)
 	}
 	// Shape: each degradation step engages the next (more expensive)
 	// repair mechanism; the freeze search visibly halts other processes.
@@ -342,8 +363,9 @@ func E10() *Result {
 
 // runE10Scenario: a dormant link's far end moves B->C while A is not
 // watching; A then performs one operation on it and we observe which
-// mechanism repaired the hint.
-func runE10Scenario(cfg sodabind.Config) (opLatency lynx.Duration, forwards, discovers, freezes int64, frozenMS float64) {
+// mechanism repaired the hint. Returns the op latency, the run's metric
+// registry, and the kernel pids of A, B, C (per-proc metric keys).
+func runE10Scenario(cfg sodabind.Config) (opLatency lynx.Duration, m *obs.Metrics, pids [3]int) {
 	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: 6, SODA: cfg})
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 		e := boot[0]
@@ -386,14 +408,10 @@ func runE10Scenario(cfg sodabind.Config) (opLatency lynx.Duration, forwards, dis
 	})
 	sys.Join(a, b)
 	sys.Join(b, c)
+	m = sys.Metrics()
+	pids = [3]int{a.KernelPID(), b.KernelPID(), c.KernelPID()}
 	if err := sys.Run(); err != nil {
 		return
-	}
-	forwards = b.SODAStats().MovedForwards
-	discovers = a.SODAStats().Discovers
-	freezes = a.SODAStats().Freezes
-	for _, p := range []*lynx.ProcRef{a, b, c} {
-		frozenMS += p.SODAStats().FrozenTime.Milliseconds()
 	}
 	return
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/lynx"
 )
 
@@ -22,6 +23,24 @@ type Result struct {
 	// Pass reports whether the measured shape matches the paper's claim
 	// (who wins, rough factors, crossover band).
 	Pass bool
+	// Metrics is the obs counter snapshot the numbers were computed
+	// from, keyed "<substrate>/<metric>" (experiments that count from
+	// the observability subsystem attach it; others leave it nil).
+	Metrics map[string]int64 `json:",omitempty"`
+}
+
+// addMetrics merges a registry snapshot into r.Metrics under prefix.
+func (r *Result) addMetrics(prefix string, m *obs.Metrics) {
+	snap := m.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]int64)
+	}
+	for k, v := range snap {
+		r.Metrics[prefix+"/"+k] = v
+	}
 }
 
 // Render formats the result as a text table.

@@ -1,6 +1,10 @@
 package expt
 
-import "testing"
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
 
 // Each experiment must run cleanly and match the paper's shape.
 
@@ -38,3 +42,26 @@ func TestByID(t *testing.T) {
 
 func TestE12(t *testing.T) { checkResult(t, E12()) }
 func TestE13(t *testing.T) { checkResult(t, E13()) }
+
+// TestE7JSONRoundTrip: `lynxbench -e E7 -json` must round-trip through
+// encoding/json, metric snapshot included.
+func TestE7JSONRoundTrip(t *testing.T) {
+	r := E7()
+	if len(r.Metrics) == 0 {
+		t.Fatal("E7 result carries no obs metric snapshot")
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*r, back) {
+		t.Errorf("round trip lost data:\n got %+v\nwant %+v", back, *r)
+	}
+	if back.Metrics["charlotte/"+"unwanted_receives_total{proc=1}"] == 0 {
+		t.Errorf("expected a nonzero charlotte unwanted-receive count in the snapshot")
+	}
+}

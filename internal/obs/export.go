@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TextExporter renders events as human-readable lines in the same
+// layout as sim.WriterTracer, so typed kernel events and free-text
+// annotations interleave cleanly in one terminal stream.
+type TextExporter struct {
+	W io.Writer
+}
+
+// Event implements Sink.
+func (t *TextExporter) Event(ev Event) {
+	src := ev.Src
+	if src == "" {
+		src = ev.Substrate
+	}
+	fmt.Fprintf(t.W, "%12v  %-12s %s\n", ev.At, src, ev.text())
+}
+
+// JSONLExporter writes one JSON object per event per line. Field order
+// is fixed by the Event struct, so a deterministic run produces a
+// byte-identical stream.
+type JSONLExporter struct {
+	W io.Writer
+}
+
+// Event implements Sink.
+func (j *JSONLExporter) Event(ev Event) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	j.W.Write(b)
+}
+
+// ChromeExporter buffers events and renders them as Chrome
+// trace-event JSON (the "JSON Array Format"), loadable in Perfetto or
+// chrome://tracing. Every event becomes a thread-scoped instant event;
+// virtual nanoseconds map onto trace microseconds.
+type ChromeExporter struct {
+	events []Event
+}
+
+// NewChromeExporter creates an empty exporter.
+func NewChromeExporter() *ChromeExporter { return &ChromeExporter{} }
+
+// Event implements Sink.
+func (c *ChromeExporter) Event(ev Event) { c.events = append(c.events, ev) }
+
+// chromeEvent is one entry in the traceEvents array. Args is a map, but
+// encoding/json sorts map keys, so output stays deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Flush writes the buffered events as a complete Chrome trace JSON
+// document and clears the buffer.
+func (c *ChromeExporter) Flush(w io.Writer) error {
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, 0, len(c.events))}
+	for _, ev := range c.events {
+		ce := chromeEvent{
+			Name:  ev.Kind.String(),
+			Cat:   ev.Substrate,
+			Ph:    "i",
+			Ts:    float64(ev.At) / 1e3, // virtual ns -> trace µs
+			Pid:   ev.Proc,
+			Tid:   ev.Thread,
+			Scope: "t",
+		}
+		if ce.Cat == "" {
+			ce.Cat = "trace"
+		}
+		args := make(map[string]any)
+		if ev.Src != "" {
+			args["src"] = ev.Src
+		}
+		if ev.Peer != 0 {
+			args["peer"] = ev.Peer
+		}
+		if ev.Link != 0 {
+			args["link"] = ev.Link
+		}
+		if ev.Seq != 0 {
+			args["seq"] = ev.Seq
+		}
+		if ev.Bytes != 0 {
+			args["bytes"] = ev.Bytes
+		}
+		if ev.Wait != 0 {
+			args["wait_ns"] = int64(ev.Wait)
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	c.events = c.events[:0]
+	return nil
+}
+
+// RecordingSink keeps events in memory for test assertions.
+type RecordingSink struct {
+	Events []Event
+}
+
+// Event implements Sink.
+func (r *RecordingSink) Event(ev Event) { r.Events = append(r.Events, ev) }

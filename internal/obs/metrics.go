@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonically-increasing named count. The nil *Counter
+// is a valid no-op, so hot paths can increment unconditionally even
+// when no registry is attached.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d. No-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.n += d
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Histogram accumulates virtual-time durations: count/sum/min/max plus
+// log2 buckets (bucket i counts observations in [2^i, 2^(i+1)) ns).
+// The nil *Histogram is a valid no-op.
+type Histogram struct {
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  [48]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.sum)
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / h.count)
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.max)
+}
+
+// Metrics is a registry of named counters and histograms. All access
+// happens from the simulation's serialized processes, so no locking is
+// needed; the nil *Metrics hands out nil (no-op) instruments, which is
+// the cheap default the instrumentation relies on.
+type Metrics struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// ProcKey derives the per-process variant of a metric name, e.g.
+// ProcKey("unwanted_receives_total", 3) = "unwanted_receives_total{proc=3}".
+func ProcKey(name string, proc int) string {
+	return fmt.Sprintf("%s{proc=%d}", name, proc)
+}
+
+// Value returns the named counter's value without creating it.
+func (m *Metrics) Value(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.counters[name].Value()
+}
+
+// ProcValue returns the per-process counter's value without creating it.
+func (m *Metrics) ProcValue(name string, proc int) int64 {
+	return m.Value(ProcKey(name, proc))
+}
+
+// SumPrefix sums every counter whose name starts with prefix — the way
+// to aggregate a per-process metric across processes.
+func (m *Metrics) SumPrefix(prefix string) int64 {
+	if m == nil {
+		return 0
+	}
+	var total int64
+	for name, c := range m.counters {
+		if strings.HasPrefix(name, prefix) {
+			total += c.n
+		}
+	}
+	return total
+}
+
+// Snapshot flattens the registry into name→value pairs: counters under
+// their own names, histograms as name_count / name_sum_ns / name_max_ns.
+// Iteration order is irrelevant (it is a map), but the content is
+// deterministic for a deterministic run.
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(m.counters)+3*len(m.hists))
+	for name, c := range m.counters {
+		out[name] = c.n
+	}
+	for name, h := range m.hists {
+		out[name+"_count"] = h.count
+		out[name+"_sum_ns"] = h.sum
+		out[name+"_max_ns"] = h.max
+	}
+	return out
+}
+
+// Names returns every counter and histogram name, sorted (for render
+// and debugging).
+func (m *Metrics) Names() []string {
+	if m == nil {
+		return nil
+	}
+	names := make([]string, 0, len(m.counters)+len(m.hists))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.Active() {
+		t.Fatal("nil recorder active")
+	}
+	r.Emit(Event{Kind: KindMark}) // must not panic
+	r.Metrics().Counter("x").Inc()
+	r.Counter("x").Add(5)
+	r.Histogram("h").Observe(3)
+	if got := r.Metrics().Value("x"); got != 0 {
+		t.Fatalf("nil metrics value = %d", got)
+	}
+	var c *Counter
+	c.Inc()
+	var h *Histogram
+	h.Observe(10)
+	if c.Value() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+	if r.Metrics().Snapshot() != nil || r.Metrics().Names() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a_total").Add(3)
+	m.Counter("a_total").Inc()
+	m.Counter(ProcKey("b_total", 2)).Inc()
+	m.Histogram("w_ns").Observe(100)
+	m.Histogram("w_ns").Observe(300)
+	if got := m.Value("a_total"); got != 4 {
+		t.Fatalf("a_total = %d", got)
+	}
+	if got := m.ProcValue("b_total", 2); got != 1 {
+		t.Fatalf("b_total{proc=2} = %d", got)
+	}
+	if got := m.SumPrefix("b_total"); got != 1 {
+		t.Fatalf("SumPrefix = %d", got)
+	}
+	h := m.Histogram("w_ns")
+	if h.Count() != 2 || h.Sum() != 400 || h.Mean() != 200 || h.Max() != 300 {
+		t.Fatalf("histogram %d %v %v %v", h.Count(), h.Sum(), h.Mean(), h.Max())
+	}
+	snap := m.Snapshot()
+	if snap["a_total"] != 4 || snap["w_ns_count"] != 2 || snap["w_ns_sum_ns"] != 400 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	want := []string{"a_total", "b_total{proc=2}", "w_ns"}
+	if got := m.Names(); len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("names %v", got)
+	}
+}
+
+func TestRecorderEmitAndSinks(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := NewRecorder(env, "testsub")
+	rec1, rec2 := &RecordingSink{}, &RecordingSink{}
+	if r.Active() {
+		t.Fatal("active before attach")
+	}
+	r.Attach(rec1)
+	r.Attach(rec2)
+	env.Spawn("p", func(p *sim.Proc) {
+		p.Delay(5 * sim.Microsecond)
+		r.Emit(Event{Kind: KindPut, Proc: 1, Peer: 2, Bytes: 7})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range []*RecordingSink{rec1, rec2} {
+		if len(rs.Events) != 1 {
+			t.Fatalf("events = %d", len(rs.Events))
+		}
+		ev := rs.Events[0]
+		if ev.At != sim.Time(5*sim.Microsecond) || ev.Substrate != "testsub" || ev.Kind != KindPut {
+			t.Fatalf("event %+v", ev)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := &JSONLExporter{W: &buf}
+	j.Event(Event{At: 42, Substrate: "soda", Kind: KindFreeze, Proc: 3, Detail: "x"})
+	line := strings.TrimSpace(buf.String())
+	var got Event
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindFreeze || got.At != 42 || got.Proc != 3 || got.Detail != "x" {
+		t.Fatalf("round-trip %+v", got)
+	}
+}
+
+func TestKindJSONNames(t *testing.T) {
+	for k := KindUnknown; k <= KindMark; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("kind %v round-tripped to %v", k, back)
+		}
+	}
+}
+
+func TestChromeExporter(t *testing.T) {
+	c := NewChromeExporter()
+	c.Event(Event{At: sim.Time(1500), Substrate: "charlotte", Kind: KindKernelSend, Proc: 1, Link: 3})
+	c.Event(Event{At: sim.Time(2500), Substrate: "charlotte", Kind: KindKernelDeliver, Proc: 2, Link: 3, Bytes: 10})
+	var buf bytes.Buffer
+	if err := c.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 || doc.TraceEvents[0].Name != "kernel.send" ||
+		doc.TraceEvents[0].Ts != 1.5 || doc.TraceEvents[1].Pid != 2 {
+		t.Fatalf("chrome doc %+v", doc)
+	}
+}
+
+func TestMultiTracerFanOut(t *testing.T) {
+	env := sim.NewEnv(1)
+	a, b := &sim.RecordingTracer{}, &sim.RecordingTracer{}
+	env.SetTracer(NewMultiTracer(a, nil, b))
+	env.Spawn("p", func(p *sim.Proc) {
+		env.Trace("src", "hello %d", 7)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range []*sim.RecordingTracer{a, b} {
+		if len(rt.Events) != 1 || rt.Events[0].Msg != "hello 7" || rt.Events[0].Source != "src" {
+			t.Fatalf("fan-out events %+v", rt.Events)
+		}
+	}
+}
+
+func TestTraceAdapterBridgesMarks(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := NewRecorder(env, "ideal")
+	rs := &RecordingSink{}
+	r.Attach(rs)
+	env.SetTracer(&TraceAdapter{R: r})
+	env.Spawn("p", func(p *sim.Proc) {
+		p.Delay(time3())
+		env.Trace("A", "moving link %d", 3)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Events) != 1 {
+		t.Fatalf("events = %d", len(rs.Events))
+	}
+	ev := rs.Events[0]
+	if ev.Kind != KindMark || ev.Src != "A" || ev.Detail != "moving link 3" || ev.At == 0 {
+		t.Fatalf("mark %+v", ev)
+	}
+}
+
+func time3() sim.Duration { return 3 * sim.Millisecond }
+
+func TestTextExporterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	te := &TextExporter{W: &buf}
+	te.Event(Event{At: sim.Time(sim.Millisecond), Substrate: "soda", Kind: KindAccept, Proc: 2, Seq: 9, Bytes: 4})
+	out := buf.String()
+	if !strings.Contains(out, "soda") || !strings.Contains(out, "soda.accept") ||
+		!strings.Contains(out, "p2") || !strings.Contains(out, "seq=9") {
+		t.Fatalf("text %q", out)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "repro/internal/sim"
+
+// Sink consumes typed events. Exporters implement it; a Recorder fans
+// each emitted event out to every attached sink.
+type Sink interface {
+	Event(ev Event)
+}
+
+// Recorder ties a metrics registry and a set of event sinks to one
+// simulation environment. Each kernel owns one (created in its
+// constructor), the kernel's bindings share it, and lynx.System exposes
+// the active one via Obs(). With no sinks attached — the default — the
+// event path costs one nil/len check and the metrics still count, so
+// instrumented hot paths stay cheap.
+//
+// The nil *Recorder is valid everywhere: Emit is a no-op and Metrics
+// returns the nil (no-op) registry.
+type Recorder struct {
+	env   *sim.Env
+	sub   string
+	m     *Metrics
+	sinks []Sink
+}
+
+// NewRecorder creates a recorder for the given substrate label with a
+// fresh metrics registry and no sinks.
+func NewRecorder(env *sim.Env, substrate string) *Recorder {
+	return &Recorder{env: env, sub: substrate, m: NewMetrics()}
+}
+
+// Metrics returns the recorder's registry (nil-safe).
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.m
+}
+
+// Substrate returns the substrate label.
+func (r *Recorder) Substrate() string {
+	if r == nil {
+		return ""
+	}
+	return r.sub
+}
+
+// Attach adds a sink; every subsequent event goes to it.
+func (r *Recorder) Attach(s Sink) {
+	if r != nil && s != nil {
+		r.sinks = append(r.sinks, s)
+	}
+}
+
+// Active reports whether any sink is attached — the gate instrumented
+// code checks before building an Event.
+func (r *Recorder) Active() bool { return r != nil && len(r.sinks) > 0 }
+
+// Emit stamps the event with the current virtual time and the
+// recorder's substrate, then fans it out. No-op when inactive.
+func (r *Recorder) Emit(ev Event) {
+	if !r.Active() {
+		return
+	}
+	ev.At = r.env.Now()
+	if ev.Substrate == "" {
+		ev.Substrate = r.sub
+	}
+	for _, s := range r.sinks {
+		s.Event(ev)
+	}
+}
+
+// Counter is shorthand for Metrics().Counter(name).
+func (r *Recorder) Counter(name string) *Counter { return r.Metrics().Counter(name) }
+
+// ProcCounter returns the per-process variant of a counter.
+func (r *Recorder) ProcCounter(name string, proc int) *Counter {
+	return r.Metrics().Counter(ProcKey(name, proc))
+}
+
+// Histogram is shorthand for Metrics().Histogram(name).
+func (r *Recorder) Histogram(name string) *Histogram { return r.Metrics().Histogram(name) }

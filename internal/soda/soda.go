@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/calib"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -203,7 +204,8 @@ func charge(p *sim.Proc, d sim.Duration) {
 	}
 }
 
-// Stats counts kernel activity for the experiment harness.
+// Stats is a snapshot of kernel activity for the experiment harness,
+// computed on demand from the kernel's obs metrics.
 type Stats struct {
 	Requests   int64
 	Accepts    int64
@@ -223,7 +225,7 @@ type Kernel struct {
 	nextProc ProcID
 	nextName uint64
 	nextReq  ReqID
-	stats    Stats
+	rec      *obs.Recorder
 	// PairLimit is the maximum outstanding requests between an ordered
 	// pair of processes (§4.2.1). Zero means unlimited.
 	PairLimit int
@@ -236,6 +238,7 @@ func NewKernel(env *sim.Env, bus *netsim.CSMABus, costs calib.SODACosts) *Kernel
 		bus:       bus,
 		costs:     costs,
 		procs:     make(map[ProcID]*Process),
+		rec:       obs.NewRecorder(env, "soda"),
 		PairLimit: 8,
 	}
 }
@@ -243,8 +246,37 @@ func NewKernel(env *sim.Env, bus *netsim.CSMABus, costs calib.SODACosts) *Kernel
 // Env returns the simulation environment.
 func (k *Kernel) Env() *sim.Env { return k.env }
 
-// Stats returns the kernel's counters.
-func (k *Kernel) Stats() *Stats { return &k.stats }
+// Obs returns the kernel's observability recorder; the binding shares
+// it, and sinks attach to it.
+func (k *Kernel) Obs() *obs.Recorder { return k.rec }
+
+// Stats returns a snapshot of the kernel's counters.
+func (k *Kernel) Stats() *Stats {
+	m := k.rec.Metrics()
+	return &Stats{
+		Requests:   m.Value(obs.MKernelRequests),
+		Accepts:    m.Value(obs.MKernelAccepts),
+		Interrupts: m.Value(obs.MKernelInterrupts),
+		Discovers:  m.Value(obs.MKernelDiscovers),
+		Broadcasts: m.Value(obs.MKernelBroadcasts),
+		Retries:    m.Value(obs.MKernelRetries),
+		Bytes:      m.Value(obs.MKernelBytes),
+	}
+}
+
+// eventKind maps a request kind onto its typed event kind.
+func eventKind(k Kind) obs.Kind {
+	switch k {
+	case Put:
+		return obs.KindPut
+	case Get:
+		return obs.KindGet
+	case Exchange:
+		return obs.KindExchange
+	default:
+		return obs.KindSignal
+	}
+}
 
 // DataDelay reports how long n bytes of accepted payload take to become
 // usable at the receiving client processor: kernel copy plus bus
@@ -331,9 +363,14 @@ func (pr *Process) NewName(p *sim.Proc) Name {
 func (pr *Process) Advertise(p *sim.Proc, n Name) {
 	charge(p, pr.k.costs.ClientCall)
 	pr.advertised[n] = true
-	pr.k.env.Trace("soda", "p%d advertise %d", pr.id, n)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindMark, Proc: int(pr.id),
+			Detail: fmt.Sprintf("advertise %d", n),
+		})
+	}
 	for _, r := range pr.pendingFor(n) {
-		pr.k.stats.Retries++
+		pr.k.rec.Counter(obs.MKernelRetries).Inc()
 		pr.deliverRequest(r)
 	}
 }
@@ -386,7 +423,7 @@ func (pr *Process) raise(ir Interrupt) {
 		pr.queue = append(pr.queue, ir)
 		return
 	}
-	pr.k.stats.Interrupts++
+	pr.k.rec.Counter(obs.MKernelInterrupts).Inc()
 	pr.handler(ir)
 }
 
@@ -397,7 +434,7 @@ func (pr *Process) raise(ir Interrupt) {
 // interrupt. The requesting user can proceed meanwhile.
 func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []byte, recvBytes int) (ReqID, Status) {
 	charge(p, pr.k.costs.ClientCall)
-	pr.k.stats.Requests++
+	pr.k.rec.Counter(obs.MKernelRequests).Inc()
 	target, ok := pr.k.procs[to]
 	if !ok {
 		return 0, NoSuchProc
@@ -439,8 +476,13 @@ func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []by
 		// Else: delayed; Advertise will deliver it (the kernel's
 		// periodic retry, modeled without the bus traffic).
 	})
-	k.env.Trace("soda", "p%d %v req %d -> p%d name=%d n=%d/%d",
-		pr.id, KindOf(len(data), recvBytes), r.id, to, name, len(buf), recvBytes)
+	if k.rec.Active() {
+		k.rec.Emit(obs.Event{
+			Kind: eventKind(KindOf(len(data), recvBytes)),
+			Proc: int(pr.id), Peer: int(to), Seq: uint64(r.id), Bytes: len(buf),
+			Detail: fmt.Sprintf("name=%d recv=%d", name, recvBytes),
+		})
+	}
 	return r.id, OK
 }
 
@@ -474,7 +516,7 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 	r.accepted = true
 	delete(pr.inbound, id)
 	delete(requester.outbound, id)
-	pr.k.stats.Accepts++
+	pr.k.rec.Counter(obs.MKernelAccepts).Inc()
 
 	// Transfer sizes: the smaller of the two parties' declarations.
 	toAccepter := r.data
@@ -486,7 +528,7 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 		toRequester = toRequester[:r.recvBytes]
 	}
 	n := len(toAccepter) + len(toRequester)
-	pr.k.stats.Bytes += int64(n)
+	pr.k.rec.Counter(obs.MKernelBytes).Add(int64(n))
 
 	copyCost := sim.Duration(n) * pr.k.costs.PerByte
 	wire := pr.k.bus.SendTime(pr.k.env.Now(), pr.node, requester.node, n+32)
@@ -501,8 +543,13 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 			Data: reply, Sent: sent,
 		})
 	})
-	k.env.Trace("soda", "p%d accept req %d from p%d (%dB back, %dB taken)",
-		pr.id, id, r.from, len(reply), sent)
+	if k.rec.Active() {
+		k.rec.Emit(obs.Event{
+			Kind: obs.KindAccept, Proc: int(pr.id), Peer: int(r.from),
+			Seq: uint64(id), Bytes: n,
+			Detail: fmt.Sprintf("%dB back, %dB taken", len(reply), sent),
+		})
+	}
 	return toAccepter, OK
 }
 
@@ -510,8 +557,14 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 // first answer (or the discover timeout). The broadcast is unreliable:
 // each advertiser independently misses it with the bus's loss rate.
 func (pr *Process) Discover(p *sim.Proc, n Name) (ProcID, Status) {
-	pr.k.stats.Discovers++
-	pr.k.stats.Broadcasts++
+	pr.k.rec.Counter(obs.MKernelDiscovers).Inc()
+	pr.k.rec.Counter(obs.MKernelBroadcasts).Inc()
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{
+			Kind: obs.KindDiscover, Proc: int(pr.id),
+			Detail: fmt.Sprintf("name=%d", n),
+		})
+	}
 	charge(p, pr.k.costs.ClientCall)
 	wire := pr.k.bus.BroadcastTime(pr.k.env.Now(), pr.node, 16)
 	p.Delay(wire)
@@ -596,7 +649,9 @@ func (pr *Process) Terminate() {
 		return
 	}
 	pr.dead = true
-	pr.k.env.Trace("soda", "p%d terminate", pr.id)
+	if pr.k.rec.Active() {
+		pr.k.rec.Emit(obs.Event{Kind: obs.KindMark, Proc: int(pr.id), Detail: "terminate"})
+	}
 	for id, r := range pr.inbound {
 		requester, ok := pr.k.procs[r.from]
 		if !ok || requester.dead {

@@ -52,6 +52,7 @@ import (
 	"repro/internal/chrysalis"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/soda"
 )
@@ -452,4 +453,39 @@ func (s *System) ChrysalisKernelStats() *chrysalis.Stats {
 		return nil
 	}
 	return s.chrK.Stats()
+}
+
+// Obs returns the active substrate's observability recorder: attach
+// exporters (obs.TextExporter, obs.JSONLExporter, obs.ChromeExporter)
+// for typed event streams, or read Metrics() for the counter registry.
+func (s *System) Obs() *obs.Recorder {
+	switch {
+	case s.charK != nil:
+		return s.charK.Obs()
+	case s.sodaK != nil:
+		return s.sodaK.Obs()
+	case s.chrK != nil:
+		return s.chrK.Obs()
+	case s.fab != nil:
+		return s.fab.Obs()
+	}
+	return nil
+}
+
+// Metrics returns the active substrate's metric registry.
+func (s *System) Metrics() *obs.Metrics { return s.Obs().Metrics() }
+
+// KernelPID returns the process's kernel-level id on the active
+// substrate (-1 for Ideal, which has no kernel processes). Per-process
+// obs metrics are keyed by this id.
+func (p *ProcRef) KernelPID() int {
+	switch {
+	case p.chTr != nil:
+		return p.chTr.KernelProcess().ID()
+	case p.sodaTr != nil:
+		return int(p.sodaTr.KernelProcess().ID())
+	case p.chrTr != nil:
+		return p.chrTr.KernelProcess().ID()
+	}
+	return -1
 }
