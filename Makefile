@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-update bench-all
 
-# check is the CI gate: formatting, vet, build, and the full test
-# suite under the race detector.
-check: fmt vet build race
+# check is the CI gate: formatting, vet, build, the full test suite
+# under the race detector, and the scheduler allocation-regression gate.
+check: fmt vet build race bench
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -24,5 +24,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the scheduler microbenches (-benchmem equivalents) and
+# fails on a >10% allocs/op regression against BENCH_sched.json.
 bench:
+	$(GO) run ./cmd/schedbench
+
+# bench-update refreshes BENCH_sched.json's current numbers after a
+# deliberate scheduler change (the pre-rewrite baseline is preserved).
+bench-update:
+	$(GO) run ./cmd/schedbench -update
+
+# bench-all runs the full experiment + RPC benchmark suite once.
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -216,21 +216,21 @@ func runMesh(sub lynx.Substrate, procs, ops, payload int, seed uint64, showStats
 
 // printStats dumps kernel and binding counters.
 func printStats(sys *lynx.System, procs ...*lynx.ProcRef) {
-	if ks := sys.CharlotteKernelStats(); ks != nil {
+	if ks := sys.Stats().Charlotte(); ks != nil {
 		fmt.Printf("  charlotte kernel: msgs=%d bytes=%d enclosures=%d destroys=%d\n",
 			ks.Messages, ks.Bytes, ks.Enclosures, ks.Destroys)
 		for _, p := range procs {
-			if bs := p.CharlotteStats(); bs != nil && (bs.UnwantedMessages+bs.Retries+bs.Forbids) > 0 {
+			if bs := p.Stats().Charlotte(); bs != nil && (bs.UnwantedMessages+bs.Retries+bs.Forbids) > 0 {
 				fmt.Printf("  %s: unwanted=%d retries=%d forbids=%d allows=%d goaheads=%d enc=%d\n",
 					p.Name(), bs.UnwantedMessages, bs.Retries, bs.Forbids, bs.Allows, bs.Goaheads, bs.EncPackets)
 			}
 		}
 	}
-	if ks := sys.SODAKernelStats(); ks != nil {
+	if ks := sys.Stats().SODA(); ks != nil {
 		fmt.Printf("  soda kernel: requests=%d accepts=%d interrupts=%d discovers=%d bytes=%d\n",
 			ks.Requests, ks.Accepts, ks.Interrupts, ks.Discovers, ks.Bytes)
 	}
-	if ks := sys.ChrysalisKernelStats(); ks != nil {
+	if ks := sys.Stats().Chrysalis(); ks != nil {
 		fmt.Printf("  chrysalis kernel: atomics=%d enq=%d deq=%d posts=%d waits=%d maps=%d bytes=%d torn=%d\n",
 			ks.AtomicOps, ks.Enqueues, ks.Dequeues, ks.EventPosts, ks.EventWaits, ks.Maps, ks.BytesMoved, ks.TornReads)
 	}

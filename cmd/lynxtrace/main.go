@@ -135,9 +135,9 @@ func figure2(sub lynx.Substrate, format string, k int) {
 		os.Exit(1)
 	}
 	finish()
-	if cs := a.CharlotteStats(); cs != nil {
+	if cs := a.Stats().Charlotte(); cs != nil {
 		fmt.Fprintf(narrate, "\nprotocol summary: kernel sends=%d goaheads(B)=%d enc packets=%d\n",
-			cs.KernelSends, b.CharlotteStats().Goaheads, cs.EncPackets)
+			cs.KernelSends, b.Stats().Charlotte().Goaheads, cs.EncPackets)
 	}
 }
 

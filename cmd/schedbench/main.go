@@ -1,0 +1,220 @@
+// Command schedbench measures the discrete-event scheduler's real-time
+// throughput and gates allocation regressions.
+//
+// It runs the scheduler microbenchmarks (the same workloads as
+// internal/sim's Benchmark* functions) via testing.Benchmark, then
+// compares against the numbers recorded in BENCH_sched.json:
+//
+//	schedbench                 # measure + fail on >10% allocs/op regression
+//	schedbench -update         # measure + rewrite the "current" numbers
+//	schedbench -as-baseline    # measure + rewrite the "baseline" numbers
+//
+// The baseline section records the engine before the fast-path rewrite
+// (PR 2) and is never touched by -update, so every future run shows the
+// cumulative speedup; the current section is the regression reference.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// measurement is one bench's recorded numbers.
+type measurement struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchRecord pairs the pre-rewrite baseline with the latest recording.
+type benchRecord struct {
+	Baseline *measurement `json:"baseline,omitempty"`
+	Current  *measurement `json:"current,omitempty"`
+}
+
+// benchFile is the BENCH_sched.json schema.
+type benchFile struct {
+	Note    string                  `json:"note"`
+	Benches map[string]*benchRecord `json:"benches"`
+}
+
+// bench is one scheduler workload. eventsPerOp converts ns/op into
+// sched-events/s.
+type bench struct {
+	name        string
+	eventsPerOp float64
+	fn          func(b *testing.B)
+}
+
+// benches mirrors internal/sim/bench_test.go — keep the workloads in
+// sync.
+var benches = []bench{
+	{"sched_timer_8", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		env := sim.NewEnv(1)
+		const procs = 8
+		for i := 0; i < procs; i++ {
+			env.Spawn("p", func(p *sim.Proc) {
+				for {
+					p.Delay(sim.Microsecond)
+				}
+			})
+		}
+		b.ResetTimer()
+		if err := env.RunUntil(sim.Time(b.N) * sim.Time(sim.Microsecond) / procs); err != nil {
+			b.Fatal(err)
+		}
+	}},
+	{"sched_yield", 2, func(b *testing.B) {
+		b.ReportAllocs()
+		env := sim.NewEnv(1)
+		n := b.N
+		for i := 0; i < 2; i++ {
+			env.Spawn("y", func(p *sim.Proc) {
+				for j := 0; j < n; j++ {
+					p.Yield()
+				}
+			})
+		}
+		b.ResetTimer()
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}},
+	{"sched_timer_256", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		env := sim.NewEnv(1)
+		const procs = 256
+		for i := 0; i < procs; i++ {
+			env.Spawn("p", func(p *sim.Proc) {
+				for {
+					p.Delay(sim.Microsecond)
+				}
+			})
+		}
+		b.ResetTimer()
+		if err := env.RunUntil(sim.Time(b.N) * sim.Time(sim.Microsecond) / procs); err != nil {
+			b.Fatal(err)
+		}
+	}},
+}
+
+func measure(bn bench) measurement {
+	r := testing.Benchmark(bn.fn)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return measurement{
+		NsPerOp:      ns,
+		AllocsPerOp:  float64(r.AllocsPerOp()),
+		BytesPerOp:   float64(r.AllocedBytesPerOp()),
+		EventsPerSec: bn.eventsPerOp * 1e9 / ns,
+	}
+}
+
+func load(path string) (*benchFile, error) {
+	f := &benchFile{Benches: map[string]*benchRecord{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Benches == nil {
+		f.Benches = map[string]*benchRecord{}
+	}
+	return f, nil
+}
+
+func save(path string, f *benchFile) error {
+	f.Note = "Scheduler microbench trajectory. baseline = pre-fast-path engine (PR 2); " +
+		"current = last recording (refresh with `make bench-update`). " +
+		"make check fails on >10% allocs/op regression vs current."
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	path := flag.String("file", "BENCH_sched.json", "trajectory file")
+	update := flag.Bool("update", false, "rewrite the current numbers")
+	asBaseline := flag.Bool("as-baseline", false, "rewrite the baseline numbers")
+	flag.Parse()
+
+	f, err := load(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, bn := range benches {
+		m := measure(bn)
+		rec := f.Benches[bn.name]
+		if rec == nil {
+			rec = &benchRecord{}
+			f.Benches[bn.name] = rec
+		}
+		fmt.Printf("%-16s %10.1f ns/op %8.0f events/s %6.0f B/op %5.0f allocs/op",
+			bn.name, m.NsPerOp, m.EventsPerSec, m.BytesPerOp, m.AllocsPerOp)
+		if rec.Baseline != nil {
+			fmt.Printf("   (baseline: %.1f ns/op, %.0f allocs/op -> %.2fx events/s, %+.0f%% allocs)",
+				rec.Baseline.NsPerOp, rec.Baseline.AllocsPerOp,
+				m.EventsPerSec/rec.Baseline.EventsPerSec,
+				pctDelta(m.AllocsPerOp, rec.Baseline.AllocsPerOp))
+		}
+		fmt.Println()
+		switch {
+		case *asBaseline:
+			base := m
+			rec.Baseline = &base
+		case *update:
+			cur := m
+			rec.Current = &cur
+		case rec.Current != nil:
+			// The regression gate: allocs/op may not grow more than 10%
+			// over the recorded current (a zero record forbids any alloc).
+			if m.AllocsPerOp > rec.Current.AllocsPerOp*1.10 {
+				fmt.Fprintf(os.Stderr,
+					"schedbench: %s allocs/op regressed: %.0f recorded, %.0f measured (>10%%)\n",
+					bn.name, rec.Current.AllocsPerOp, m.AllocsPerOp)
+				failed = true
+			}
+		}
+	}
+
+	if *asBaseline || *update {
+		if err := save(*path, f); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *path)
+		return
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "schedbench: regression gate failed (refresh deliberately with `make bench-update`)")
+		os.Exit(1)
+	}
+}
+
+// pctDelta reports the percent change from base to cur (0 when base is
+// zero and cur is too; +Inf-ish large values are clamped for display).
+func pctDelta(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - base) / base * 100
+}

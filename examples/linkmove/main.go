@@ -101,6 +101,6 @@ func main() {
 	fmt.Printf("\nfigure 1 complete on %s at %v of virtual time\n", sub, sys.Now())
 	if *verbose {
 		fmt.Printf("(%d annotations recorded, %d bytes moved by the kernel)\n",
-			len(recorded.Events), sys.Metrics().Value(obs.MKernelBytes))
+			len(recorded.Events), sys.Stats().Bytes())
 	}
 }

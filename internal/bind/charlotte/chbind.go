@@ -505,7 +505,9 @@ func (tr *Transport) shipNextEnc(p *sim.Proc, es *endState, om *outMsg) {
 	idx := om.nextEnc
 	om.nextEnc++
 	tr.c.encPackets.Inc()
-	tr.emit(obs.KindEnc, es, om.wire.Seq, om.encl[idx].String())
+	if tr.rec.Active() { // gate here: String() allocates even when emit drops the event
+		tr.emit(obs.KindEnc, es, om.wire.Seq, om.encl[idx].String())
+	}
 	km := &kmsg{
 		payload:   []byte{byte(ctrlEnc), byte(om.wire.Kind)},
 		enclosure: om.encl[idx],

@@ -579,7 +579,9 @@ func (tr *Transport) consume(p *sim.Proc, es *endState, fromSide int, kind core.
 func (tr *Transport) adoptEnd(p *sim.Proc, obj chrysalis.ObjName, side int) EndID {
 	id := EndID{Obj: obj, Side: side}
 	tr.c.moves.Inc()
-	tr.obsEmit(obs.KindLinkMove, int(obj), fmt.Sprintf("adopt %v", id))
+	if tr.rec.Active() { // gate here: Sprintf allocates even when obsEmit drops the event
+		tr.obsEmit(obs.KindLinkMove, int(obj), fmt.Sprintf("adopt %v", id))
+	}
 	tr.kp.Map(p, obj)
 	off := offQName0
 	if side == 1 {

@@ -793,7 +793,9 @@ func nenclTrailer(got []byte) int {
 // adoptEnd takes ownership of a moved end.
 func (tr *Transport) adoptEnd(p *sim.Proc, r enclRecord) {
 	tr.c.linkMoves.Inc()
-	tr.obsEmit(obs.KindLinkMove, uint64(r.name), fmt.Sprintf("adopt name=%d from hint=%d", r.name, r.hint))
+	if tr.rec.Active() { // gate here: Sprintf allocates even when obsEmit drops the event
+		tr.obsEmit(obs.KindLinkMove, uint64(r.name), fmt.Sprintf("adopt name=%d from hint=%d", r.name, r.hint))
+	}
 	es := &endState{myName: r.name, farName: r.farName, hint: r.hint, outstanding: map[uint64]uint64{}}
 	tr.ends[r.name] = es
 	tr.kp.Advertise(p, r.name)

@@ -1,0 +1,49 @@
+package core
+
+import "repro/internal/sim"
+
+// eventQueue is a typed FIFO of transport events with blocking receive.
+// It replaces a sim.Mailbox of boxed values on the per-message hot path:
+// storing Event structs directly avoids one interface allocation per
+// transport event, and the head index avoids shifting on every pop.
+type eventQueue struct {
+	wq    *sim.WaitQueue
+	items []Event
+	head  int
+}
+
+func (q *eventQueue) init(env *sim.Env, name string) {
+	q.wq = sim.NewWaitQueue(env, name)
+}
+
+func (q *eventQueue) put(ev Event) {
+	q.items = append(q.items, ev)
+	q.wq.Wake()
+}
+
+// get removes and returns the oldest event, parking p while empty.
+func (q *eventQueue) get(p *sim.Proc) Event {
+	for q.head == len(q.items) {
+		q.wq.Wait(p)
+	}
+	return q.pop()
+}
+
+// tryGet removes and returns the oldest event without blocking.
+func (q *eventQueue) tryGet() (Event, bool) {
+	if q.head == len(q.items) {
+		return Event{}, false
+	}
+	return q.pop(), true
+}
+
+func (q *eventQueue) pop() Event {
+	ev := q.items[q.head]
+	q.items[q.head] = Event{} // release Msg/Err references
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return ev
+}

@@ -45,7 +45,7 @@ type Process struct {
 	liveThreads  int
 
 	ends         map[TransEnd]*End
-	events       *sim.Mailbox
+	events       eventQueue
 	pendingSends map[uint64]*sendRecord
 	pendingWakes []pendingWake
 	nextSeq      uint64
@@ -79,7 +79,7 @@ func NewProcess(env *sim.Env, name string, tr Transport, costs calib.LynxRuntime
 	}
 	pr.blockHist = pr.rec.Histogram(obs.MProcBlockNs)
 	pr.queueHist = pr.rec.Histogram(obs.MQueueWaitNs)
-	pr.events = sim.NewMailbox(env, "lynx:"+name+".events")
+	pr.events.init(env, "lynx:"+name+".events")
 	pr.spawnThread("main", mainFn)
 	pr.sp = env.Spawn("lynx:"+name, func(p *sim.Proc) {
 		p.OnKill(func() {
@@ -90,7 +90,7 @@ func NewProcess(env *sim.Env, name string, tr Transport, costs calib.LynxRuntime
 	})
 	// The simproc exists but has not run yet: safe to hand it to the
 	// binding before any traffic.
-	tr.SetSink(func(ev Event) { pr.events.Put(ev) }, pr.sp)
+	tr.SetSink(func(ev Event) { pr.events.put(ev) }, pr.sp)
 	if sc, ok := tr.(Screened); ok {
 		sc.SetScreen(pr.screen)
 	}
@@ -186,11 +186,11 @@ func (pr *Process) dispatch(p *sim.Proc) {
 		// Drain any events that arrived while threads were running, so
 		// woken threads and fresh messages interleave fairly.
 		for {
-			ev, ok := pr.events.TryGet()
+			ev, ok := pr.events.tryGet()
 			if !ok {
 				break
 			}
-			pr.handleEvent(ev.(Event))
+			pr.handleEvent(ev)
 		}
 		pr.flushWakes()
 		if len(pr.readyThreads) > 0 {
@@ -204,7 +204,7 @@ func (pr *Process) dispatch(p *sim.Proc) {
 		}
 		// Block point: wait for one of the open queues or a completion.
 		blockedAt := pr.env.Now()
-		ev := pr.events.Get(p).(Event)
+		ev := pr.events.get(p)
 		wait := sim.Duration(pr.env.Now() - blockedAt)
 		pr.blockHist.Observe(wait)
 		if pr.rec.Active() {
@@ -244,9 +244,10 @@ func (pr *Process) resumeThread(t *Thread) {
 		return
 	}
 	w := wake{}
-	if t.pendingWake != nil {
-		w = *t.pendingWake
-		t.pendingWake = nil
+	if t.hasWake {
+		w = t.pendingWake
+		t.pendingWake = wake{}
+		t.hasWake = false
 	}
 	t.resume <- w
 	info := <-pr.yield
@@ -378,16 +379,18 @@ func (pr *Process) handleEvent(ev Event) {
 // flushWakes moves pending wakes into the ready queue, attaching each
 // wake value to its thread for resumeThread to deliver.
 func (pr *Process) flushWakes() {
-	for _, pw := range pr.pendingWakes {
-		t, w := pw.t, pw.w
+	for i := range pr.pendingWakes {
+		t, w := pr.pendingWakes[i].t, pr.pendingWakes[i].w
+		pr.pendingWakes[i] = pendingWake{} // release references
 		if t.dead {
 			continue
 		}
 		pr.readyThreads = append(pr.readyThreads, t)
 		// Stash the wake value for resumeThread delivery.
-		t.pendingWake = &w
+		t.pendingWake = w
+		t.hasWake = true
 	}
-	pr.pendingWakes = nil
+	pr.pendingWakes = pr.pendingWakes[:0]
 }
 
 // handleIncoming dispatches a wanted message.

@@ -29,8 +29,9 @@ type Thread struct {
 	// and for Abort to find and detach the waiter registration.
 	blocked blockState
 	// pendingWake carries the wake value attached by flushWakes until
-	// resumeThread delivers it.
-	pendingWake *wake
+	// resumeThread delivers it (valid only while hasWake is set).
+	pendingWake wake
+	hasWake     bool
 }
 
 // wake is what a parked thread receives on resumption.
@@ -111,7 +112,7 @@ func (t *Thread) Sleep(d sim.Duration) error {
 	th := t
 	pr.env.After(d, func() {
 		pr.wakeThread(th, wake{})
-		pr.events.Put(Event{Kind: EvTick})
+		pr.events.put(Event{Kind: EvTick})
 	})
 	t.blocked = blockState{kind: blockSleep}
 	w := t.park()

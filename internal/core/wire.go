@@ -98,6 +98,9 @@ var errShortMsg = errors.New("core: short or corrupt wire message")
 // nil Encl slice with the encoded count available via the second result;
 // the caller attaches the transport-delivered enclosure handles and must
 // check the count matches.
+//
+// Data aliases buf's tail rather than copying: decoding transfers
+// ownership of buf to the message, and the caller must not reuse it.
 func DecodeWire(buf []byte) (*WireMsg, int, error) {
 	if len(buf) < headerLen {
 		return nil, 0, errShortMsg
@@ -114,7 +117,5 @@ func DecodeWire(buf []byte) (*WireMsg, int, error) {
 		return nil, 0, errShortMsg
 	}
 	op := string(buf[headerLen : headerLen+opLen])
-	data := make([]byte, dataLen)
-	copy(data, buf[headerLen+opLen:])
-	return &WireMsg{Kind: kind, Op: op, Seq: seq, Data: data}, nencl, nil
+	return &WireMsg{Kind: kind, Op: op, Seq: seq, Data: buf[headerLen+opLen:]}, nencl, nil
 }

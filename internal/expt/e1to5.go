@@ -116,9 +116,9 @@ func E2() *Result {
 		if err := sys.Run(); err != nil {
 			panic(err)
 		}
-		msgs := sys.CharlotteKernelStats().Messages
-		goaheads := b.CharlotteStats().Goaheads
-		encs := a.CharlotteStats().EncPackets
+		msgs := sys.Stats().Charlotte().Messages
+		goaheads := b.Stats().Charlotte().Goaheads
+		encs := a.Stats().Charlotte().EncPackets
 		// Protocol prediction: request + reply, plus goahead and k-1 enc
 		// for k >= 2.
 		want := int64(2)
@@ -167,9 +167,9 @@ func kernelTrafficForMove(sub lynx.Substrate, k int) int64 {
 	snapshot := func() int64 {
 		switch sub {
 		case lynx.SODA:
-			return sys.SODAKernelStats().Accepts
+			return sys.Stats().SODA().Accepts
 		case lynx.Chrysalis:
-			return sys.ChrysalisKernelStats().Enqueues
+			return sys.Stats().Chrysalis().Enqueues
 		default:
 			return 0
 		}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	sodabind "repro/internal/bind/soda"
 	"repro/internal/obs"
 	"repro/lynx"
 )
@@ -316,12 +315,19 @@ func E10() *Result {
 	var lat []float64
 	var usedForward, usedDiscover, usedFreeze bool
 	for _, c := range cases {
-		cfg := sodabind.DefaultConfig()
-		cfg.CacheSize = c.cache
-		cfg.DiscoverRetries = c.discovers
-		cfg.EnableFreeze = c.freeze
-		cfg.HintTimeout = 150 * lynx.Millisecond
-		d, m, pids := runE10Scenario(cfg)
+		opts := lynx.SODAOptions{
+			CacheSize:       c.cache,
+			DiscoverRetries: c.discovers,
+			DisableFreeze:   !c.freeze,
+			HintTimeout:     150 * lynx.Millisecond,
+		}
+		if c.cache == 0 {
+			opts.CacheSize = -1 // 0 means "default" in SODAOptions
+		}
+		if c.discovers == 0 {
+			opts.DiscoverRetries = -1
+		}
+		d, m, pids := runE10Scenario(opts)
 		lat = append(lat, d.Milliseconds())
 		// All counts come from the obs metric registry.
 		fwd := m.ProcValue(obs.MMovedForwards, pids[1])
@@ -365,8 +371,8 @@ func E10() *Result {
 // watching; A then performs one operation on it and we observe which
 // mechanism repaired the hint. Returns the op latency, the run's metric
 // registry, and the kernel pids of A, B, C (per-proc metric keys).
-func runE10Scenario(cfg sodabind.Config) (opLatency lynx.Duration, m *obs.Metrics, pids [3]int) {
-	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: 6, SODA: cfg})
+func runE10Scenario(opts lynx.SODAOptions) (opLatency lynx.Duration, m *obs.Metrics, pids [3]int) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: 6, SODA: opts})
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 		e := boot[0]
 		if _, err := th.Connect(e, "one", lynx.Msg{}); err != nil {

@@ -133,7 +133,7 @@ func ms(d lynx.Duration) string {
 // given payload size in each direction, after a configurable number of
 // warm-up operations.
 func echoRTT(sub lynx.Substrate, payload, warmup int, tuned bool) lynx.Duration {
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1, Tuned: tuned})
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1, Chrysalis: lynx.ChrysalisOptions{Tuned: tuned}})
 	data := make([]byte, payload)
 	var rtt lynx.Duration
 	c := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {

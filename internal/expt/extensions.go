@@ -172,12 +172,12 @@ func E13() *Result {
 // runE13Episode: one dormant-link move with the given broadcast loss
 // rate, caches disabled; reports which mechanism repaired the hint.
 func runE13Episode(loss float64, seed uint64) (byDiscover, byFreeze bool) {
-	cfg := sodabind.DefaultConfig()
-	cfg.CacheSize = 0
-	cfg.DiscoverRetries = 2
-	cfg.EnableFreeze = true
-	cfg.HintTimeout = 120 * sim.Millisecond
-	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: seed, SODA: cfg})
+	opts := lynx.SODAOptions{
+		CacheSize:       -1, // cache disabled
+		DiscoverRetries: 2,
+		HintTimeout:     120 * sim.Millisecond,
+	}
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: seed, SODA: opts})
 	sys.Network().(*netsim.CSMABus).LossRate = loss
 
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
@@ -218,6 +218,6 @@ func runE13Episode(loss float64, seed uint64) (byDiscover, byFreeze bool) {
 	if err := sys.RunFor(30 * lynx.Second); err != nil {
 		return false, false
 	}
-	st := a.SODAStats()
+	st := a.Stats().SODA()
 	return st.HintFixes > 0 && st.Freezes == 0, st.Freezes > 0
 }

@@ -1,0 +1,68 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The scheduler microbenchmarks below are mirrored by cmd/schedbench,
+// which records them in BENCH_sched.json and gates allocs/op
+// regressions in make check. Keep the workloads in sync.
+
+// BenchmarkSchedTimer8: 8 procs sleeping in lockstep — the timer-heap
+// pop + proc wakeup path (one sched event per op).
+func BenchmarkSchedTimer8(b *testing.B) {
+	b.ReportAllocs()
+	env := sim.NewEnv(1)
+	const procs = 8
+	for i := 0; i < procs; i++ {
+		env.Spawn("p", func(p *sim.Proc) {
+			for {
+				p.Delay(sim.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := env.RunUntil(sim.Time(b.N) * sim.Time(sim.Microsecond) / procs); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedYield: two always-ready procs alternating — the direct
+// cross-proc handoff path, no timers (two sched events per op).
+func BenchmarkSchedYield(b *testing.B) {
+	b.ReportAllocs()
+	env := sim.NewEnv(1)
+	n := b.N
+	for i := 0; i < 2; i++ {
+		env.Spawn("y", func(p *sim.Proc) {
+			for j := 0; j < n; j++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedTimer256: 256 sleeping procs — timer-heap depth stress
+// (one sched event per op).
+func BenchmarkSchedTimer256(b *testing.B) {
+	b.ReportAllocs()
+	env := sim.NewEnv(1)
+	const procs = 256
+	for i := 0; i < procs; i++ {
+		env.Spawn("p", func(p *sim.Proc) {
+			for {
+				p.Delay(sim.Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := env.RunUntil(sim.Time(b.N) * sim.Time(sim.Microsecond) / procs); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -19,10 +19,13 @@ var ErrProcDone = errors.New("sim: proc already finished")
 
 // Proc is a simulated process: a goroutine scheduled by an Env.
 type Proc struct {
-	env     *Env
-	id      int
-	name    string
-	resume  chan struct{}
+	env  *Env
+	id   int
+	name string
+	// gate is the proc's token semaphore: the previous token holder
+	// signals it to resume this proc. Buffered so handoff never blocks
+	// the sender.
+	gate    chan struct{}
 	fn      func(p *Proc)
 	started bool
 	done    bool
@@ -58,8 +61,8 @@ func (p *Proc) run() {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killedPanic); !ok {
-				// Re-panicking here would crash the scheduler goroutine's
-				// partner; surface the panic through Stop so Run returns it.
+				// Re-panicking here would abandon the token mid-run;
+				// surface the panic through Stop so Run returns it.
 				p.env.Stop(fmt.Errorf("sim: proc %d (%s) panicked: %v", p.id, p.name, r))
 			}
 			for i := len(p.onKill) - 1; i >= 0; i-- {
@@ -67,18 +70,25 @@ func (p *Proc) run() {
 			}
 		}
 		p.done = true
-		p.env.yielded <- yieldMsg{kind: yieldDone, p: p}
+		p.env.finish()
 	}()
-	// First resume already granted by step(); run immediately.
+	// The first dispatch granted the token directly; run immediately.
 	p.fn(p)
 }
 
-// park yields to the scheduler and blocks until woken. On wake, if the
-// proc was killed while parked, it panics with killedPanic, unwinding the
-// user function (deferred cleanups run).
+// park yields the token and blocks until woken. The parking goroutine
+// runs the scheduling decision itself: if this proc is its own
+// successor, park returns with no channel operation at all (the fast
+// path); otherwise the token is handed directly to the next runnable
+// proc (one channel operation) and this goroutine blocks on its gate.
+// On wake, if the proc was killed while parked, park panics with
+// killedPanic, unwinding the user function (deferred cleanups run).
 func (p *Proc) park() {
-	p.env.yielded <- yieldMsg{kind: yieldPark, p: p}
-	<-p.resume
+	e := p.env
+	if n := e.next(); n != p {
+		e.handoff(n)
+		<-p.gate
+	}
 	if p.killed {
 		panic(killedPanic{p})
 	}
@@ -96,11 +106,7 @@ func (p *Proc) Delay(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	self := p
-	p.sleepTmr = p.env.at(p.env.now+Time(d), func() {
-		self.sleepTmr = nil
-		self.env.wake(self)
-	})
+	p.sleepTmr = p.env.schedSleep(p.env.now+Time(d), p)
 	p.park()
 }
 
@@ -150,13 +156,13 @@ func IsKilled(r any) bool {
 
 // FinishFromBorrower completes the proc's lifecycle from a goroutine that
 // borrowed the proc's identity and recovered its kill signal: it runs the
-// OnKill hooks (LIFO) and notifies the scheduler that the proc is done.
-// The proc's original goroutine is abandoned (it stays parked forever).
-// Hooks must not block or park.
+// OnKill hooks (LIFO) and passes the token onward. The proc's original
+// goroutine is abandoned (it stays parked forever). Hooks must not block
+// or park.
 func (p *Proc) FinishFromBorrower() {
 	for i := len(p.onKill) - 1; i >= 0; i-- {
 		p.onKill[i]()
 	}
 	p.done = true
-	p.env.yielded <- yieldMsg{kind: yieldDone, p: p}
+	p.env.finish()
 }

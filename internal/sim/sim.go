@@ -9,19 +9,28 @@
 //
 // A simproc is an ordinary goroutine wrapped by a *Proc. It may block on
 // timers (Delay), on wait queues (WaitQueue), or simply finish. The
-// scheduler (Env.Run) resumes runnable simprocs in deterministic FIFO
-// order and, when none are runnable, pops the earliest timer and advances
-// the virtual clock.
+// scheduler resumes runnable simprocs in deterministic FIFO order and,
+// when none are runnable, pops the earliest timer and advances the
+// virtual clock.
+//
+// Scheduling uses direct handoff: the goroutine that yields the token
+// (a parking or finishing simproc) runs the scheduling decision itself
+// and passes the token straight to the next runnable simproc — one
+// channel operation per context switch instead of a round trip through
+// a central scheduler goroutine. When a simproc is its own successor
+// (it yielded but is already runnable again, the common case for a lone
+// proc driving timers) the handoff is a plain function return with no
+// channel operation at all. Env.Run's goroutine only runs scheduling
+// until the first handoff, then parks until the run ends.
 //
 // Token discipline: a *Proc's identity may be borrowed by another
 // goroutine (the LYNX runtime hands the process token between coroutine
 // goroutines), as long as at most one goroutine uses the Proc at a time.
-// The channel handoffs used internally establish the happens-before edges
-// that make this race-free.
+// The channel handoffs used internally establish the happens-before
+// edges that make this race-free.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -57,44 +66,54 @@ func (d Duration) Milliseconds() float64 { return float64(d) / float64(Milliseco
 // is runnable and no timer is pending.
 var ErrDeadlock = errors.New("sim: deadlock: live procs blocked with no pending timers")
 
+// endReason records why scheduling stopped; Run's goroutine turns it
+// into a return value after it regains the token.
+type endReason int
+
+const (
+	endDone     endReason = iota // no live procs remain
+	endStopped                   // Stop was called
+	endLimit                     // virtual time would pass RunUntil's horizon
+	endDeadlock                  // live procs, nothing runnable, no timers
+)
+
 // Env is a simulation environment: a virtual clock, a scheduler, and the
 // set of simprocs it multiplexes.
 type Env struct {
 	now     Time
-	ready   []*Proc // FIFO ready queue
+	ready   procRing // FIFO ready queue
 	timers  timerHeap
 	seq     int64 // tiebreak for simultaneous timers
 	nextPID int
 	live    int // procs spawned and not yet finished
 	rng     *Rand
-	yielded chan yieldMsg
 	tracer  Tracer
 	running bool
 	stopped bool
 	stopErr error
+
+	// limit and end are the active run's horizon and exit reason; both
+	// are only touched by the goroutine holding the token.
+	limit Time
+	end   endReason
+	// mainGate parks Run's goroutine while simprocs hand the token
+	// among themselves; the proc that ends the run signals it.
+	mainGate chan struct{}
+	// timerFree is a freelist of recycled timers (hot paths schedule
+	// and retire one timer per scheduling decision).
+	timerFree *timer
 
 	// allQueues is populated by NewWaitQueue; used only for deadlock
 	// diagnostics.
 	allQueues []*WaitQueue
 }
 
-type yieldKind int
-
-const (
-	yieldPark yieldKind = iota // proc parked on a waiter/timer
-	yieldDone                  // proc function returned (or was killed)
-)
-
-type yieldMsg struct {
-	kind yieldKind
-	p    *Proc
-}
-
 // NewEnv creates an environment whose random source is seeded with seed.
 func NewEnv(seed uint64) *Env {
 	return &Env{
-		rng:     NewRand(seed),
-		yielded: make(chan yieldMsg),
+		rng:      NewRand(seed),
+		mainGate: make(chan struct{}, 1),
+		limit:    -1,
 	}
 }
 
@@ -121,14 +140,14 @@ func (e *Env) Trace(source, event string, args ...any) {
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.nextPID++
 	p := &Proc{
-		env:    e,
-		id:     e.nextPID,
-		name:   name,
-		resume: make(chan struct{}),
-		fn:     fn,
+		env:  e,
+		id:   e.nextPID,
+		name: name,
+		gate: make(chan struct{}, 1),
+		fn:   fn,
 	}
 	e.live++
-	e.ready = append(e.ready, p)
+	e.ready.push(p)
 	return p
 }
 
@@ -140,7 +159,7 @@ func (e *Env) After(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.at(e.now+Time(d), fn)
+	e.schedFunc(e.now+Time(d), fn)
 }
 
 // At schedules fn to run in scheduler context at time t (or now, if t is
@@ -149,14 +168,50 @@ func (e *Env) At(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
-	e.at(t, fn)
+	e.schedFunc(t, fn)
 }
 
-func (e *Env) at(t Time, fn func()) *timer {
+// schedFunc schedules a callback timer.
+func (e *Env) schedFunc(t Time, fn func()) {
+	tm := e.allocTimer()
+	tm.at = t
 	e.seq++
-	tm := &timer{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.timers, tm)
+	tm.seq = e.seq
+	tm.fn = fn
+	e.timers.push(tm)
+}
+
+// schedSleep schedules a proc wakeup timer (the allocation-free Delay
+// path: no callback closure is needed to wake a proc).
+func (e *Env) schedSleep(t Time, p *Proc) *timer {
+	tm := e.allocTimer()
+	tm.at = t
+	e.seq++
+	tm.seq = e.seq
+	tm.proc = p
+	e.timers.push(tm)
 	return tm
+}
+
+// allocTimer takes a timer from the freelist, or allocates one.
+func (e *Env) allocTimer() *timer {
+	if t := e.timerFree; t != nil {
+		e.timerFree = t.nextFree
+		t.nextFree = nil
+		return t
+	}
+	return &timer{}
+}
+
+// freeTimer recycles a retired timer. Callers must guarantee no live
+// reference remains (Delay's sleepTmr is cleared before its timer fires
+// or is cancelled).
+func (e *Env) freeTimer(t *timer) {
+	t.fn = nil
+	t.proc = nil
+	t.cancelled = false
+	t.nextFree = e.timerFree
+	e.timerFree = t
 }
 
 // Stop aborts the run: Env.Run returns err (or nil) after the currently
@@ -182,56 +237,117 @@ func (e *Env) RunUntil(limit Time) error {
 	e.running = true
 	defer func() { e.running = false }()
 
-	for !e.stopped {
-		if len(e.ready) > 0 {
-			p := e.ready[0]
-			e.ready = e.ready[0:copy(e.ready, e.ready[1:])]
-			e.step(p)
-			continue
+	e.limit = limit
+	if n := e.next(); n != nil {
+		// Hand the token to the first runnable proc; it and its
+		// successors schedule each other directly. The token comes back
+		// here only when the run is over.
+		e.transfer(n)
+		<-e.mainGate
+	}
+	switch e.end {
+	case endStopped:
+		return e.stopErr
+	case endDeadlock:
+		return fmt.Errorf("%w at %v\n%s", ErrDeadlock, e.now, e.diagnose())
+	default: // endDone, endLimit
+		return nil
+	}
+}
+
+// next makes one scheduling decision on behalf of whichever goroutine
+// holds the token: it returns the next proc to run, firing due timers
+// (which advances the virtual clock) until one becomes runnable. A nil
+// result means the run is over; e.end says why.
+func (e *Env) next() *Proc {
+	for {
+		if e.stopped {
+			e.end = endStopped
+			return nil
 		}
-		if e.timers.Len() > 0 {
-			t := heap.Pop(&e.timers).(*timer)
+		if p := e.ready.pop(); p != nil {
+			if e.tracer != nil {
+				e.tracer.Resume(e.now, p.id, p.name)
+			}
+			return p
+		}
+		if e.timers.len() > 0 {
+			t := e.timers.pop()
 			if t.cancelled {
+				e.freeTimer(t)
 				continue // discard without advancing the clock
 			}
-			if limit >= 0 && t.at > limit {
+			if e.limit >= 0 && t.at > e.limit {
+				// Beyond the horizon: the popped timer is abandoned with
+				// the procs (not recycled — a sleeping proc may still
+				// reference it).
+				e.end = endLimit
 				return nil
 			}
 			if t.at > e.now {
 				e.now = t.at
 			}
-			t.fn()
+			e.fire(t)
 			continue
 		}
 		if e.live == 0 {
+			e.end = endDone
 			return nil
 		}
-		return fmt.Errorf("%w at %v\n%s", ErrDeadlock, e.now, e.diagnose())
+		e.end = endDeadlock
+		return nil
 	}
-	return e.stopErr
 }
 
-// step resumes p and waits for it to yield back.
-func (e *Env) step(p *Proc) {
-	if e.tracer != nil {
-		e.tracer.Resume(e.now, p.id, p.name)
+// fire runs one due timer and recycles it.
+func (e *Env) fire(t *timer) {
+	if p := t.proc; p != nil {
+		// Sleep timer: wake the proc directly.
+		p.sleepTmr = nil
+		e.freeTimer(t)
+		e.wake(p)
+		return
 	}
+	fn := t.fn
+	e.freeTimer(t)
+	fn()
+}
+
+// transfer gives the token to p: first dispatch starts its goroutine,
+// later ones signal its gate. The gate is buffered so the sender never
+// blocks (p is guaranteed to be at, or arriving at, its gate receive).
+func (e *Env) transfer(p *Proc) {
 	if !p.started {
 		p.started = true
 		go p.run()
-	} else {
-		p.resume <- struct{}{}
+		return
 	}
-	m := <-e.yielded
-	if m.kind == yieldDone {
-		e.live--
+	p.gate <- struct{}{}
+}
+
+// handoff passes the token onward after the calling goroutine is done
+// with it: to the next runnable proc, or back to Run's goroutine when
+// the run is over.
+func (e *Env) handoff(n *Proc) {
+	if n == nil {
+		e.mainGate <- struct{}{}
+		return
 	}
+	e.transfer(n)
+}
+
+// finish retires the current proc (already marked done) and passes the
+// token onward. Called from the proc's own goroutine as it exits, or
+// from a borrower completing the proc's lifecycle.
+func (e *Env) finish() {
+	e.live--
+	e.handoff(e.next())
 }
 
 // wake moves p to the back of the ready queue. It is idempotent per park:
 // p must currently be parked and not already readied.
 func (e *Env) wake(p *Proc) {
-	e.ready = append(e.ready, p)
+	e.ready.push(p)
 }
 
 // diagnose renders the set of parked procs for deadlock reports.
@@ -252,38 +368,125 @@ func (e *Env) diagnose() string {
 	return strings.Join(lines, "\n")
 }
 
-type timer struct {
-	at        Time
-	seq       int64
-	fn        func()
-	cancelled bool
-	index     int
+// procRing is a growable ring buffer of procs: the FIFO ready queue
+// without the per-pop slice shift of the old []*Proc representation.
+// Capacity is always a power of two.
+type procRing struct {
+	buf  []*Proc
+	head int
+	n    int
 }
 
-type timerHeap []*timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (r *procRing) push(p *Proc) {
+	if r.n == len(r.buf) {
+		r.grow()
 	}
-	return h[i].seq < h[j].seq
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
 }
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (r *procRing) pop() *Proc {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
 }
-func (h *timerHeap) Push(x any) {
-	t := x.(*timer)
-	t.index = len(*h)
-	*h = append(*h, t)
+
+func (r *procRing) grow() {
+	size := len(r.buf) * 2
+	if size < 16 {
+		size = 16
+	}
+	buf := make([]*Proc, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+
+type timer struct {
+	at  Time
+	seq int64
+	// Exactly one of fn/proc is set: a callback timer runs fn in
+	// scheduler context; a sleep timer wakes proc.
+	fn        func()
+	proc      *Proc
+	cancelled bool
+	nextFree  *timer
+}
+
+// timerLess orders timers by firing time, ties broken by scheduling
+// order — the total order that makes runs deterministic.
+func timerLess(a, b *timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// timerHeap is an indexed 4-ary min-heap. The wider fan-out roughly
+// halves the levels touched per push/pop versus a binary heap, and the
+// concrete element type avoids container/heap's interface boxing on
+// every operation.
+type timerHeap struct {
+	s []*timer
+}
+
+func (h *timerHeap) len() int { return len(h.s) }
+
+func (h *timerHeap) push(t *timer) {
+	h.s = append(h.s, t)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !timerLess(t, h.s[parent]) {
+			break
+		}
+		h.s[i] = h.s[parent]
+		i = parent
+	}
+	h.s[i] = t
+}
+
+func (h *timerHeap) pop() *timer {
+	s := h.s
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = nil
+	h.s = s[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift the displaced last element down from the root.
+	s = h.s
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if timerLess(s[c], s[m]) {
+				m = c
+			}
+		}
+		if !timerLess(s[m], last) {
+			break
+		}
+		s[i] = s[m]
+		i = m
+	}
+	s[i] = last
+	return top
 }

@@ -119,7 +119,10 @@ func (s Substrate) String() string {
 	}
 }
 
-// Config parameterizes a System.
+// Config parameterizes a System. The zero value is a working Charlotte
+// machine with default sizing. Substrate-specific knobs live in the
+// per-substrate option blocks; options for substrates other than the
+// selected one are ignored.
 type Config struct {
 	// Substrate picks the kernel. Default Charlotte.
 	Substrate Substrate
@@ -128,24 +131,30 @@ type Config struct {
 	// Nodes is the machine size (processes are placed round-robin).
 	// Default 20 (the Crystal multicomputer's size).
 	Nodes int
-	// BufCap is the maximum message size. Default 4096.
+	// BufCap is the maximum message size, inherited by every substrate
+	// whose own BufCap is unset. Default 4096.
 	BufCap int
+
+	// Charlotte, SODA, and Chrysalis hold the substrate-specific knobs.
+	Charlotte CharlotteOptions
+	SODA      SODAOptions
+	Chrysalis ChrysalisOptions
+
 	// Tuned applies the Chrysalis §5.3 "30-40%" optimizations (E9).
+	//
+	// Deprecated: set Chrysalis.Tuned instead.
 	Tuned bool
-	// SODA tunes the hint machinery (zero value = sodabind defaults).
-	SODA sodabind.Config
-	// SODAPairLimit caps outstanding requests between one process pair
-	// (§4.2.1's "unspecified constant"). 0 = unlimited — the default,
-	// because every link awaiting traffic pins one status signal, so any
-	// finite limit livelocks once links-per-pair exceed it (measured in
-	// E12; the paper predicted exactly this).
+	// SODAPairLimit caps outstanding requests between one process pair.
+	//
+	// Deprecated: set SODA.PairLimit instead.
 	SODAPairLimit int
 }
 
 // System is one simulated machine running LYNX processes.
 type System struct {
-	cfg Config
-	env *sim.Env
+	cfg     Config
+	sodaCfg sodabind.Config // lowered from cfg.SODA at NewSystem
+	env     *sim.Env
 
 	charK *charlotte.Kernel
 	sodaK *soda.Kernel
@@ -176,18 +185,10 @@ type ProcRef struct {
 
 // NewSystem creates a simulated machine.
 func NewSystem(cfg Config) *System {
-	if cfg.Nodes <= 0 {
-		cfg.Nodes = 20
-	}
-	if cfg.BufCap <= 0 {
-		cfg.BufCap = 4096
-	}
-	if cfg.SODA.BufCap == 0 {
-		cfg.SODA = sodabind.DefaultConfig()
-		cfg.SODA.BufCap = cfg.BufCap
-	}
+	cfg = cfg.normalized()
 	env := sim.NewEnv(cfg.Seed)
-	s := &System{cfg: cfg, env: env, byProc: make(map[*core.Process]*ProcRef)}
+	s := &System{cfg: cfg, sodaCfg: cfg.SODA.bindConfig(), env: env,
+		byProc: make(map[*core.Process]*ProcRef)}
 	switch cfg.Substrate {
 	case Charlotte:
 		ring := netsim.NewTokenRing(cfg.Nodes)
@@ -197,12 +198,12 @@ func NewSystem(cfg Config) *System {
 		bus := netsim.NewCSMABus(env.Rand().Fork())
 		s.net = bus
 		s.sodaK = soda.NewKernel(env, bus, calib.DefaultSODA())
-		s.sodaK.PairLimit = cfg.SODAPairLimit
+		s.sodaK.PairLimit = cfg.SODA.PairLimit
 	case Chrysalis:
 		bp := netsim.NewBackplane()
 		s.net = bp
 		s.chrK = chrysalis.NewKernel(env, bp, calib.DefaultChrysalis())
-		if cfg.Tuned {
+		if cfg.Chrysalis.Tuned {
 			s.chrK.TuneFactor = calib.ChrysalisTunedFactor
 		}
 	case Ideal:
@@ -227,24 +228,30 @@ func (s *System) Spawn(name string, main func(t *Thread, boot []*End)) *ProcRef 
 		panic("lynx: Spawn after Run")
 	}
 	pr := &ProcRef{sys: s, name: name, main: main}
+	s.attachTransport(pr)
+	s.specs = append(s.specs, pr)
+	return pr
+}
+
+// attachTransport places the process on the next node round-robin and
+// creates its substrate transport (shared by Spawn and Launch).
+func (s *System) attachTransport(pr *ProcRef) {
 	node := netsim.NodeID(s.nextNode % s.cfg.Nodes)
 	s.nextNode++
 	switch s.cfg.Substrate {
 	case Charlotte:
-		pr.chTr = chbind.New(s.env, s.charK.NewProcess(node), s.cfg.BufCap)
+		pr.chTr = chbind.New(s.env, s.charK.NewProcess(node), s.cfg.Charlotte.BufCap)
 		pr.tr = pr.chTr
 	case SODA:
-		pr.sodaTr = sodabind.New(s.env, s.sodaK, s.sodaK.NewProcess(node), s.cfg.SODA)
+		pr.sodaTr = sodabind.New(s.env, s.sodaK, s.sodaK.NewProcess(node), s.sodaCfg)
 		pr.tr = pr.sodaTr
 	case Chrysalis:
-		pr.chrTr = chrbind.New(s.env, s.chrK, s.chrK.NewProcess(node), s.cfg.BufCap)
+		pr.chrTr = chrbind.New(s.env, s.chrK, s.chrK.NewProcess(node), s.cfg.Chrysalis.BufCap)
 		pr.tr = pr.chrTr
 	case Ideal:
-		pr.idTr = s.fab.NewTransport(name)
+		pr.idTr = s.fab.NewTransport(pr.name)
 		pr.tr = pr.idTr
 	}
-	s.specs = append(s.specs, pr)
-	return pr
 }
 
 // Join wires a boot-time link between two processes (the loader handing
@@ -331,22 +338,7 @@ func (s *System) Launch(t *Thread, name string, main func(t *Thread, boot []*End
 		panic("lynx: Launch from a thread of an unknown process")
 	}
 	child := &ProcRef{sys: s, name: name, main: main}
-	node := netsim.NodeID(s.nextNode % s.cfg.Nodes)
-	s.nextNode++
-	switch s.cfg.Substrate {
-	case Charlotte:
-		child.chTr = chbind.New(s.env, s.charK.NewProcess(node), s.cfg.BufCap)
-		child.tr = child.chTr
-	case SODA:
-		child.sodaTr = sodabind.New(s.env, s.sodaK, s.sodaK.NewProcess(node), s.cfg.SODA)
-		child.tr = child.sodaTr
-	case Chrysalis:
-		child.chrTr = chrbind.New(s.env, s.chrK, s.chrK.NewProcess(node), s.cfg.BufCap)
-		child.tr = child.chrTr
-	case Ideal:
-		child.idTr = s.fab.NewTransport(name)
-		child.tr = child.idTr
-	}
+	s.attachTransport(child)
 	s.specs = append(s.specs, child)
 	s.join(parent, child) // kernel-level boot wiring works mid-run
 	parentTE := parent.boots[len(parent.boots)-1]
@@ -393,28 +385,19 @@ func (p *ProcRef) RuntimeStats() *core.Stats {
 }
 
 // CharlotteStats returns Charlotte binding counters (nil elsewhere).
-func (p *ProcRef) CharlotteStats() *chbind.Stats {
-	if p.chTr == nil {
-		return nil
-	}
-	return p.chTr.Stats()
-}
+//
+// Deprecated: use p.Stats().Charlotte().
+func (p *ProcRef) CharlotteStats() *chbind.Stats { return p.Stats().Charlotte() }
 
 // SODAStats returns SODA binding counters (nil elsewhere).
-func (p *ProcRef) SODAStats() *sodabind.Stats {
-	if p.sodaTr == nil {
-		return nil
-	}
-	return p.sodaTr.Stats()
-}
+//
+// Deprecated: use p.Stats().SODA().
+func (p *ProcRef) SODAStats() *sodabind.Stats { return p.Stats().SODA() }
 
 // ChrysalisStats returns Chrysalis binding counters (nil elsewhere).
-func (p *ProcRef) ChrysalisStats() *chrbind.Stats {
-	if p.chrTr == nil {
-		return nil
-	}
-	return p.chrTr.Stats()
-}
+//
+// Deprecated: use p.Stats().Chrysalis().
+func (p *ProcRef) ChrysalisStats() *chrbind.Stats { return p.Stats().Chrysalis() }
 
 // DebugState renders the process's run-time state (wedge diagnosis).
 func (p *ProcRef) DebugState() string {
@@ -432,28 +415,19 @@ func (p *ProcRef) Crash() {
 }
 
 // CharlotteKernelStats returns kernel counters for a Charlotte system.
-func (s *System) CharlotteKernelStats() *charlotte.Stats {
-	if s.charK == nil {
-		return nil
-	}
-	return s.charK.Stats()
-}
+//
+// Deprecated: use s.Stats().Charlotte().
+func (s *System) CharlotteKernelStats() *charlotte.Stats { return s.Stats().Charlotte() }
 
 // SODAKernelStats returns kernel counters for a SODA system.
-func (s *System) SODAKernelStats() *soda.Stats {
-	if s.sodaK == nil {
-		return nil
-	}
-	return s.sodaK.Stats()
-}
+//
+// Deprecated: use s.Stats().SODA().
+func (s *System) SODAKernelStats() *soda.Stats { return s.Stats().SODA() }
 
 // ChrysalisKernelStats returns kernel counters for a Chrysalis system.
-func (s *System) ChrysalisKernelStats() *chrysalis.Stats {
-	if s.chrK == nil {
-		return nil
-	}
-	return s.chrK.Stats()
-}
+//
+// Deprecated: use s.Stats().Chrysalis().
+func (s *System) ChrysalisKernelStats() *chrysalis.Stats { return s.Stats().Chrysalis() }
 
 // Obs returns the active substrate's observability recorder: attach
 // exporters (obs.TextExporter, obs.JSONLExporter, obs.ChromeExporter)
@@ -472,8 +446,16 @@ func (s *System) Obs() *obs.Recorder {
 	return nil
 }
 
-// Metrics returns the active substrate's metric registry.
-func (s *System) Metrics() *obs.Metrics { return s.Obs().Metrics() }
+// Metrics returns the active substrate's metric registry. It is
+// nil-safe end to end: when no recorder exists (a zero-value System) it
+// returns the nil registry, whose lookup methods report zero rather
+// than panicking.
+func (s *System) Metrics() *obs.Metrics {
+	if r := s.Obs(); r != nil {
+		return r.Metrics()
+	}
+	return nil
+}
 
 // KernelPID returns the process's kernel-level id on the active
 // substrate (-1 for Ideal, which has no kernel processes). Per-process

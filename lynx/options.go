@@ -1,0 +1,100 @@
+package lynx
+
+import sodabind "repro/internal/bind/soda"
+
+// CharlotteOptions are the knobs specific to the Charlotte substrate.
+// The zero value inherits every default.
+type CharlotteOptions struct {
+	// BufCap overrides Config.BufCap for this substrate (0 = inherit).
+	BufCap int
+}
+
+// SODAOptions are the knobs specific to the SODA substrate. The zero
+// value inherits every default (move cache of 64 entries, 250 ms hint
+// timeout, 3 discover retries, freeze fallback enabled, no pair limit).
+// Fields whose useful setting is zero use a negative sentinel to
+// distinguish "off" from "default".
+type SODAOptions struct {
+	// BufCap overrides Config.BufCap for this substrate (0 = inherit).
+	BufCap int
+	// PairLimit caps outstanding requests between one process pair
+	// (§4.2.1's "unspecified constant"). 0 = unlimited — the default,
+	// because every link awaiting traffic pins one status signal, so any
+	// finite limit livelocks once links-per-pair exceed it (measured in
+	// E12; the paper predicted exactly this).
+	PairLimit int
+	// CacheSize is the move-cache capacity in entries. 0 = default (64);
+	// negative = cache disabled.
+	CacheSize int
+	// HintTimeout is how long a put chases stale hints before falling
+	// back to discovery. 0 = default (250 ms).
+	HintTimeout Duration
+	// DiscoverRetries is the number of discover broadcasts before the
+	// freeze fallback. 0 = default (3); negative = discovery disabled.
+	DiscoverRetries int
+	// DisableFreeze turns off the absolute-search fallback (E10's
+	// "freeze" mechanism), which is on by default.
+	DisableFreeze bool
+}
+
+// ChrysalisOptions are the knobs specific to the Chrysalis substrate.
+// The zero value inherits every default.
+type ChrysalisOptions struct {
+	// BufCap overrides Config.BufCap for this substrate (0 = inherit).
+	BufCap int
+	// Tuned applies the §5.3 "30-40%" optimizations (E9).
+	Tuned bool
+}
+
+// normalized resolves defaults and folds the deprecated top-level
+// aliases into the per-substrate blocks.
+func (cfg Config) normalized() Config {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 20
+	}
+	if cfg.BufCap <= 0 {
+		cfg.BufCap = 4096
+	}
+	if cfg.Tuned {
+		cfg.Chrysalis.Tuned = true
+	}
+	if cfg.SODA.PairLimit == 0 {
+		cfg.SODA.PairLimit = cfg.SODAPairLimit
+	}
+	if cfg.Charlotte.BufCap <= 0 {
+		cfg.Charlotte.BufCap = cfg.BufCap
+	}
+	if cfg.SODA.BufCap <= 0 {
+		cfg.SODA.BufCap = cfg.BufCap
+	}
+	if cfg.Chrysalis.BufCap <= 0 {
+		cfg.Chrysalis.BufCap = cfg.BufCap
+	}
+	return cfg
+}
+
+// bindConfig lowers the options onto the SODA binding's config struct.
+// Called after normalized(), so BufCap is already resolved.
+func (o SODAOptions) bindConfig() sodabind.Config {
+	c := sodabind.DefaultConfig()
+	c.BufCap = o.BufCap
+	switch {
+	case o.CacheSize > 0:
+		c.CacheSize = o.CacheSize
+	case o.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	if o.HintTimeout > 0 {
+		c.HintTimeout = o.HintTimeout
+	}
+	switch {
+	case o.DiscoverRetries > 0:
+		c.DiscoverRetries = o.DiscoverRetries
+	case o.DiscoverRetries < 0:
+		c.DiscoverRetries = 0
+	}
+	if o.DisableFreeze {
+		c.EnableFreeze = false
+	}
+	return c
+}

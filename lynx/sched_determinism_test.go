@@ -1,0 +1,52 @@
+package lynx_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/lynx"
+)
+
+// updateGolden regenerates the scheduler-determinism golden traces:
+//
+//	go test ./lynx -run TestSchedulerGoldenTraces -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden traces")
+
+// TestSchedulerGoldenTraces pins the exact JSONL event stream of the
+// figure-1 workload on every substrate. The golden files were recorded
+// before the fast-path scheduler rewrite (PR 2); any scheduling-order or
+// virtual-time drift in the discrete-event engine shows up here as a
+// byte-level diff. Regenerate deliberately with -update-golden.
+func TestSchedulerGoldenTraces(t *testing.T) {
+	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis, lynx.Ideal} {
+		t.Run(sub.String(), func(t *testing.T) {
+			var got bytes.Buffer
+			runFigure1(t, sub, &obs.JSONLExporter{W: &got})
+			if got.Len() == 0 {
+				t.Fatal("no events emitted")
+			}
+			path := filepath.Join("testdata", "golden_trace_"+sub.String()+".jsonl")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden trace (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("JSONL trace drifted from golden %s:\ngot %d bytes, want %d bytes",
+					path, got.Len(), len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package lynx_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/lynx"
+)
+
+// runEcho runs one request/reply pair between two spawned processes and
+// returns the system and both refs (client first).
+func runEcho(t *testing.T, cfg lynx.Config) (*lynx.System, *lynx.ProcRef, *lynx.ProcRef) {
+	t.Helper()
+	sys := lynx.NewSystem(cfg)
+	client := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {
+		if _, err := th.Connect(boot[0], "echo", lynx.Msg{Data: []byte("ping")}); err != nil {
+			t.Errorf("connect: %v", err)
+		}
+		th.Destroy(boot[0])
+	})
+	server := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
+		th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+			st.Reply(req, lynx.Msg{Data: req.Data()})
+		})
+	})
+	sys.Join(client, server)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, client, server
+}
+
+// TestStatsFacade checks the substrate-neutral Stats() surface: the
+// typed accessors hand back exactly what the deprecated wrappers return,
+// only the active substrate's view is non-nil, and the generic Value
+// lookups read the same registry.
+func TestStatsFacade(t *testing.T) {
+	allSubstrates(t, func(t *testing.T, sub lynx.Substrate) {
+		sys, client, server := runEcho(t, lynx.Config{Substrate: sub, Seed: 21})
+		st := sys.Stats()
+		if st.Substrate() != sub {
+			t.Fatalf("Substrate() = %v, want %v", st.Substrate(), sub)
+		}
+		if st.Bytes() <= 0 {
+			t.Errorf("Stats().Bytes() = %d, want > 0", st.Bytes())
+		}
+		if st.Value(obs.MKernelBytes) != st.Bytes() {
+			t.Errorf("Value(MKernelBytes) = %d != Bytes() = %d",
+				st.Value(obs.MKernelBytes), st.Bytes())
+		}
+		// Exactly the active substrate's typed view is non-nil, and the
+		// deprecated wrappers agree with the facade.
+		nonNil := 0
+		if got, old := st.Charlotte(), sys.CharlotteKernelStats(); (got == nil) != (old == nil) {
+			t.Error("CharlotteKernelStats disagrees with Stats().Charlotte()")
+		} else if got != nil {
+			nonNil++
+		}
+		if got, old := st.SODA(), sys.SODAKernelStats(); (got == nil) != (old == nil) {
+			t.Error("SODAKernelStats disagrees with Stats().SODA()")
+		} else if got != nil {
+			nonNil++
+		}
+		if got, old := st.Chrysalis(), sys.ChrysalisKernelStats(); (got == nil) != (old == nil) {
+			t.Error("ChrysalisKernelStats disagrees with Stats().Chrysalis()")
+		} else if got != nil {
+			nonNil++
+		}
+		wantNonNil := 1
+		if sub == lynx.Ideal {
+			wantNonNil = 0 // Ideal has no kernel counter struct
+		}
+		if nonNil != wantNonNil {
+			t.Errorf("%d typed kernel views non-nil, want %d", nonNil, wantNonNil)
+		}
+		for _, p := range []*lynx.ProcRef{client, server} {
+			ps := p.Stats()
+			if ps.Runtime() == nil {
+				t.Fatalf("%s: Runtime() nil", p.Name())
+			}
+			if c, o := ps.Charlotte(), p.CharlotteStats(); (c == nil) != (o == nil) {
+				t.Errorf("%s: CharlotteStats wrapper disagrees", p.Name())
+			}
+			if c, o := ps.SODA(), p.SODAStats(); (c == nil) != (o == nil) {
+				t.Errorf("%s: SODAStats wrapper disagrees", p.Name())
+			}
+			if c, o := ps.Chrysalis(), p.ChrysalisStats(); (c == nil) != (o == nil) {
+				t.Errorf("%s: ChrysalisStats wrapper disagrees", p.Name())
+			}
+		}
+		if client.Stats().Runtime().RequestsSent == 0 {
+			t.Error("client RequestsSent = 0")
+		}
+		if server.Stats().Runtime().RequestsServed == 0 {
+			t.Error("server RequestsServed = 0")
+		}
+	})
+}
+
+// TestLaunchStatsAttribution launches a child mid-run on every substrate
+// and checks the child is a first-class citizen of the stats surface:
+// the boot link works, a kernel pid is assigned (distinct from the
+// parent's), and counters are attributed to the child.
+func TestLaunchStatsAttribution(t *testing.T) {
+	allSubstrates(t, func(t *testing.T, sub lynx.Substrate) {
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 22})
+		var child *lynx.ProcRef
+		parent := sys.Spawn("parent", func(th *lynx.Thread, boot []*lynx.End) {
+			link, ref := sys.Launch(th, "child", func(ct *lynx.Thread, cboot []*lynx.End) {
+				ct.Serve(cboot[0], func(st *lynx.Thread, req *lynx.Request) {
+					st.Reply(req, lynx.Msg{Data: req.Data()})
+				})
+			})
+			child = ref
+			if _, err := th.Connect(link, "work", lynx.Msg{Data: []byte("x")}); err != nil {
+				t.Errorf("call child: %v", err)
+			}
+			th.Destroy(link)
+		})
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if child == nil {
+			t.Fatal("Launch never ran")
+		}
+		if sub == lynx.Ideal {
+			if pid := child.KernelPID(); pid != -1 {
+				t.Errorf("Ideal child KernelPID = %d, want -1", pid)
+			}
+		} else {
+			if pid := child.KernelPID(); pid < 0 {
+				t.Errorf("child KernelPID = %d, want >= 0", pid)
+			}
+			if child.KernelPID() == parent.KernelPID() {
+				t.Errorf("child and parent share KernelPID %d", child.KernelPID())
+			}
+		}
+		// The child's work is attributed to the child, not the launcher.
+		if got := child.Stats().Runtime().RequestsServed; got != 1 {
+			t.Errorf("child RequestsServed = %d, want 1", got)
+		}
+		if got := parent.Stats().Runtime().RequestsServed; got != 0 {
+			t.Errorf("parent RequestsServed = %d, want 0", got)
+		}
+		if got := parent.Stats().Runtime().RequestsSent; got != 1 {
+			t.Errorf("parent RequestsSent = %d, want 1", got)
+		}
+	})
+}
+
+// TestMetricsNilSafe pins the Obs()/Metrics() nil chain: a System with
+// no recorder must hand back the nil registry, whose lookups report
+// zero instead of panicking (the documented obs contract).
+func TestMetricsNilSafe(t *testing.T) {
+	var s lynx.System // zero value: no kernel, Obs() documents returning nil
+	if s.Obs() != nil {
+		t.Fatal("zero-value System Obs() != nil")
+	}
+	if m := s.Metrics(); m != nil {
+		t.Fatalf("zero-value System Metrics() = %v, want nil registry", m)
+	}
+	if v := s.Metrics().Value(obs.MKernelBytes); v != 0 {
+		t.Errorf("nil registry Value = %d, want 0", v)
+	}
+	if v := s.Stats().Bytes(); v != 0 {
+		t.Errorf("nil registry Stats().Bytes() = %d, want 0", v)
+	}
+	if v := s.Stats().Value("no_such_metric"); v != 0 {
+		t.Errorf("nil registry Stats().Value = %d, want 0", v)
+	}
+}
+
+// TestDeprecatedConfigFields checks the deprecated top-level knobs
+// remain exact aliases of the per-substrate option blocks: the same
+// workload must take the same virtual time either way.
+func TestDeprecatedConfigFields(t *testing.T) {
+	now := func(cfg lynx.Config) lynx.Time {
+		sys, _, _ := runEcho(t, cfg)
+		return sys.Now()
+	}
+	oldTuned := now(lynx.Config{Substrate: lynx.Chrysalis, Seed: 5, Tuned: true})
+	newTuned := now(lynx.Config{Substrate: lynx.Chrysalis, Seed: 5,
+		Chrysalis: lynx.ChrysalisOptions{Tuned: true}})
+	if oldTuned != newTuned {
+		t.Errorf("Tuned alias: %v != %v", oldTuned, newTuned)
+	}
+	untuned := now(lynx.Config{Substrate: lynx.Chrysalis, Seed: 5})
+	if untuned == newTuned {
+		t.Error("Tuned option had no effect")
+	}
+	oldLim := now(lynx.Config{Substrate: lynx.SODA, Seed: 5, SODAPairLimit: 2})
+	newLim := now(lynx.Config{Substrate: lynx.SODA, Seed: 5,
+		SODA: lynx.SODAOptions{PairLimit: 2}})
+	if oldLim != newLim {
+		t.Errorf("SODAPairLimit alias: %v != %v", oldLim, newLim)
+	}
+}
