@@ -24,15 +24,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the scheduler microbenches (-benchmem equivalents) and
-# fails on a >10% allocs/op regression against BENCH_sched.json.
+# bench runs the scheduler microbenches (-benchmem equivalents) and the
+# sweep macro benchmark; it fails on a >10% allocs/op regression against
+# BENCH_sched.json or a >15% runs/sec regression against BENCH_sweep.json
+# (the latter only when run on the recording machine).
 bench:
 	$(GO) run ./cmd/schedbench
+	$(GO) run ./cmd/sweepbench
 
-# bench-update refreshes BENCH_sched.json's current numbers after a
-# deliberate scheduler change (the pre-rewrite baseline is preserved).
+# bench-update refreshes the current numbers in BENCH_sched.json and
+# BENCH_sweep.json after a deliberate change (the pre-rewrite baselines
+# are preserved).
 bench-update:
 	$(GO) run ./cmd/schedbench -update
+	$(GO) run ./cmd/sweepbench -update
 
 # bench-all runs the full experiment + RPC benchmark suite once.
 bench-all:

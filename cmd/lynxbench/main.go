@@ -1,12 +1,19 @@
 // Command lynxbench regenerates the paper's evaluation: every table and
-// figure, as the experiments E1-E11 catalogued in DESIGN.md.
+// figure, as the experiments E1-E11 catalogued in DESIGN.md, plus the
+// E12-E13 extensions.
+//
+// Experiments fan out across worker goroutines, and each can be
+// replicated R times with independent seeds to turn the paper's
+// single-seed point estimates into mean ±95% CI tables. Output is
+// byte-identical for any -parallel value at fixed -reps/-seed.
 //
 // Usage:
 //
-//	lynxbench              # run all experiments
-//	lynxbench -e E3        # run one experiment
-//	lynxbench -e E7 -json  # machine-readable result + metric snapshot
-//	lynxbench -list        # list experiment ids and titles
+//	lynxbench                      # run all experiments (GOMAXPROCS workers)
+//	lynxbench -parallel 4 -reps 8  # 8 replicas per experiment, 4 workers
+//	lynxbench -e E3 -reps 32       # replicate one experiment
+//	lynxbench -e E7 -json          # machine-readable result + metric snapshot
+//	lynxbench -list                # list experiment ids and titles
 package main
 
 import (
@@ -18,36 +25,25 @@ import (
 	"repro/internal/expt"
 )
 
-var experiments = []struct{ id, title string }{
-	{"E1", "Charlotte simple remote operation latency (§3.3)"},
-	{"E2", "Charlotte link-enclosure protocol (figure 2)"},
-	{"E3", "SODA vs Charlotte latency sweep and crossover (§4.3)"},
-	{"E4", "Chrysalis simple remote operation latency (§5.3)"},
-	{"E5", "Run-time package size and special-case inventory"},
-	{"E6", "Link moving at both ends simultaneously (figure 1)"},
-	{"E7", "Unwanted messages and NAK traffic (§6 claim 2)"},
-	{"E8", "Fate of enclosures in aborted messages (§3.2.2)"},
-	{"E9", "Chrysalis tuning ablation (§5.3)"},
-	{"E10", "SODA hint repair: cache → discover → freeze (§4.2)"},
-	{"E11", "Queue fairness under saturation (§2.1)"},
-	{"E12", "EXT: per-pair request limits under many links (§4.2.1)"},
-	{"E13", "EXT: discover success vs broadcast loss (§4.2)"},
-}
-
 func main() {
 	one := flag.String("e", "", "run a single experiment by id (E1..E13)")
 	list := flag.Bool("list", false, "list experiments")
 	asJSON := flag.Bool("json", false, "emit results as JSON (id, pass, table, obs metric snapshot)")
+	parallel := flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS)")
+	reps := flag.Int("reps", 1, "replicas per experiment (tables gain mean ±95% CI cells)")
+	seed := flag.Uint64("seed", 1, "root seed for replicas beyond the canonical first")
 	flag.Parse()
 
+	opts := expt.Options{Parallel: *parallel, Reps: *reps, RootSeed: *seed}
+
 	if *list {
-		for _, e := range experiments {
-			fmt.Printf("%-4s %s\n", e.id, e.title)
+		for _, e := range expt.Catalog() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 	if *one != "" {
-		r := expt.ByID(*one)
+		r := expt.ByIDWith(*one, opts)
 		if r == nil {
 			fmt.Fprintf(os.Stderr, "lynxbench: unknown experiment %q\n", *one)
 			os.Exit(2)
@@ -62,7 +58,7 @@ func main() {
 		}
 		return
 	}
-	results := expt.All()
+	results := expt.AllWith(opts)
 	if *asJSON {
 		emitJSON(results)
 	}

@@ -1,0 +1,222 @@
+// Command sweepbench measures the parallel run harness's whole-system
+// throughput (complete lynx.System simulations per second) at several
+// worker counts, and gates throughput regressions.
+//
+// One "run" is a standard mixed workload: four clients hammering one
+// server with 128-byte echo RPCs on the Chrysalis substrate, 25
+// operations each — the same replica body at every worker count, fanned
+// out by lynx/sweep. Results are recorded in BENCH_sweep.json:
+//
+//	sweepbench                 # measure + fail on >15% runs/sec regression
+//	sweepbench -update         # measure + rewrite the "current" numbers
+//	sweepbench -as-baseline    # measure + rewrite the "baseline" numbers
+//
+// The regression gate only engages when the recording machine matches
+// (same NumCPU and GOMAXPROCS): wall-clock throughput is not portable
+// across machines, so on different hardware the numbers are reported
+// and the gate is skipped with a notice. The near-linear-scaling check
+// (≥3x runs/sec at 4 workers vs 1) likewise requires ≥4 CPUs to be
+// observable and is skipped below that.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/lynx"
+	"repro/lynx/sweep"
+)
+
+// workerCounts are the parallelism points recorded per measurement.
+var workerCounts = []int{1, 2, 4}
+
+// repsPerMeasure is the replica count each timed sweep runs. Large
+// enough that per-sweep setup is amortized, small enough to keep the
+// bench under a second per point.
+const repsPerMeasure = 96
+
+// minScaling is the acceptance threshold for runs/sec at 4 workers
+// versus 1 (only checkable on ≥4 CPUs).
+const minScaling = 3.0
+
+// measurement is one recording: runs/sec per worker count plus the
+// recording machine's shape.
+type measurement struct {
+	RunsPerSec map[string]float64 `json:"runs_per_sec"`
+	Scaling4v1 float64            `json:"scaling_4v1"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+}
+
+// benchFile is the BENCH_sweep.json schema (baseline/current, like
+// BENCH_sched.json).
+type benchFile struct {
+	Note     string       `json:"note"`
+	Baseline *measurement `json:"baseline,omitempty"`
+	Current  *measurement `json:"current,omitempty"`
+}
+
+// body is the standard whole-system replica: 4 clients × 25 echo RPCs
+// of 128 bytes against one server on Chrysalis.
+func body(r sweep.Run) sweep.Outcome {
+	const clients, ops, payload = 4, 25, 128
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Chrysalis, Seed: r.Seed})
+	data := make([]byte, payload)
+	server := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
+		for _, e := range boot {
+			th.Serve(e, func(st *lynx.Thread, req *lynx.Request) {
+				st.Reply(req, lynx.Msg{Data: req.Data()})
+			})
+		}
+	})
+	for i := 0; i < clients; i++ {
+		cl := sys.Spawn(fmt.Sprint("client", i), func(th *lynx.Thread, boot []*lynx.End) {
+			e := boot[0]
+			for op := 0; op < ops; op++ {
+				if _, err := th.Connect(e, "echo", lynx.Msg{Data: data}); err != nil {
+					return
+				}
+			}
+			th.Destroy(e)
+		})
+		sys.Join(server, cl)
+	}
+	return sweep.Outcome{Err: sys.Run()}
+}
+
+// measureAt times one sweep of repsPerMeasure replicas at the given
+// worker count and returns runs/sec (best of three to shed scheduler
+// noise).
+func measureAt(workers int) float64 {
+	best := 0.0
+	for try := 0; try < 3; try++ {
+		start := time.Now()
+		agg := sweep.Sweep(sweep.Options{Replicas: repsPerMeasure, Parallel: workers, RootSeed: 1}, body)
+		elapsed := time.Since(start)
+		if len(agg.Errs) > 0 {
+			fmt.Fprintf(os.Stderr, "sweepbench: replica errors: %v\n", agg.Errs[0])
+			os.Exit(1)
+		}
+		if rps := float64(repsPerMeasure) / elapsed.Seconds(); rps > best {
+			best = rps
+		}
+	}
+	return best
+}
+
+func measure() *measurement {
+	m := &measurement{
+		RunsPerSec: map[string]float64{},
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range workerCounts {
+		rps := measureAt(w)
+		m.RunsPerSec[key(w)] = rps
+		fmt.Printf("sweep_macro workers=%d %10.0f runs/s\n", w, rps)
+	}
+	if one := m.RunsPerSec[key(1)]; one > 0 {
+		m.Scaling4v1 = m.RunsPerSec[key(4)] / one
+	}
+	fmt.Printf("sweep_macro scaling 4v1 = %.2fx (NumCPU=%d)\n", m.Scaling4v1, m.NumCPU)
+	return m
+}
+
+func key(workers int) string { return fmt.Sprint(workers) }
+
+func load(path string) (*benchFile, error) {
+	f := &benchFile{}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func save(path string, f *benchFile) error {
+	f.Note = "Sweep macro benchmark: whole-system lynx runs/sec via lynx/sweep at N workers " +
+		"(4 clients x 25 echo RPCs on Chrysalis per run). " +
+		"make check fails on a >15% runs/sec regression vs current when run on the recording machine " +
+		"(same NumCPU/GOMAXPROCS); refresh deliberately with `make bench-update`. " +
+		"scaling_4v1 is asserted >= 3.0 only when NumCPU >= 4."
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	path := flag.String("file", "BENCH_sweep.json", "trajectory file")
+	update := flag.Bool("update", false, "rewrite the current numbers")
+	asBaseline := flag.Bool("as-baseline", false, "rewrite the baseline numbers")
+	flag.Parse()
+
+	f, err := load(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench:", err)
+		os.Exit(1)
+	}
+
+	m := measure()
+	switch {
+	case *asBaseline:
+		f.Baseline = m
+	case *update:
+		f.Current = m
+	default:
+		if gateFails(f.Current, m) {
+			os.Exit(1)
+		}
+		return
+	}
+	if err := save(*path, f); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *path)
+}
+
+// gateFails applies the regression and scaling gates against the
+// recorded current numbers; returns true when the build should fail.
+func gateFails(rec, m *measurement) bool {
+	failed := false
+	if m.NumCPU >= 4 && m.Scaling4v1 < minScaling {
+		fmt.Fprintf(os.Stderr,
+			"sweepbench: scaling gate failed: %.2fx runs/sec at 4 workers vs 1 (want >= %.1fx on %d CPUs)\n",
+			m.Scaling4v1, minScaling, m.NumCPU)
+		failed = true
+	}
+	if rec == nil {
+		fmt.Println("sweepbench: no recorded current numbers; record with `make bench-update`")
+		return failed
+	}
+	if rec.NumCPU != m.NumCPU || rec.GOMAXPROCS != m.GOMAXPROCS {
+		fmt.Printf("sweepbench: recorded on NumCPU=%d/GOMAXPROCS=%d, running on %d/%d; throughput gate skipped\n",
+			rec.NumCPU, rec.GOMAXPROCS, m.NumCPU, m.GOMAXPROCS)
+		return failed
+	}
+	for _, w := range workerCounts {
+		recorded, got := rec.RunsPerSec[key(w)], m.RunsPerSec[key(w)]
+		if recorded > 0 && got < recorded*0.85 {
+			fmt.Fprintf(os.Stderr,
+				"sweepbench: workers=%d runs/sec regressed: %.0f recorded, %.0f measured (>15%%)\n",
+				w, recorded, got)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "sweepbench: regression gate failed (refresh deliberately with `make bench-update`)")
+	}
+	return failed
+}

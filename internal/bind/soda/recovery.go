@@ -2,6 +2,7 @@ package sodabind
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -193,7 +194,15 @@ func (tr *Transport) thawOthers() {
 	if tr.searchActive {
 		return
 	}
+	// Accept in request-id order: map iteration order is randomized,
+	// and the kernel calls below advance virtual time, so a raw range
+	// would make same-seed runs diverge.
+	reqs := make([]soda.ReqID, 0, len(tr.unfreezeReq))
 	for req := range tr.unfreezeReq {
+		reqs = append(reqs, req)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+	for _, req := range reqs {
 		delete(tr.unfreezeReq, req)
 		tr.kp.Accept(nil, req, packOOB(oobOK, 0), nil, 0)
 	}

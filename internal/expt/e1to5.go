@@ -17,8 +17,8 @@ import (
 // rawCharlotteRTT measures the §3.3 "C programs that make the same
 // series of kernel calls" round trip: direct kernel primitives, no LYNX
 // run-time package.
-func rawCharlotteRTT(payload int) lynx.Duration {
-	env := sim.NewEnv(1)
+func rawCharlotteRTT(seed uint64, payload int) lynx.Duration {
+	env := sim.NewEnv(sysSeed(seed, 1))
 	net := netsim.NewTokenRing(20)
 	k := charlotte.NewKernel(env, net, calib.DefaultCharlotte())
 	a := k.NewProcess(0)
@@ -51,11 +51,11 @@ func rawCharlotteRTT(payload int) lynx.Duration {
 // bytes of parameters in each direction.
 //
 // Paper: LYNX 57 ms / 65 ms; raw C 55 ms / 60 ms.
-func E1() *Result {
-	lynx0 := echoRTT(lynx.Charlotte, 0, 1, false)
-	lynx1k := echoRTT(lynx.Charlotte, 1000, 1, false)
-	raw0 := rawCharlotteRTT(0)
-	raw1k := rawCharlotteRTT(1000)
+func e1(seed uint64) *Result {
+	lynx0 := echoRTT(seed, lynx.Charlotte, 0, 1, false)
+	lynx1k := echoRTT(seed, lynx.Charlotte, 1000, 1, false)
+	raw0 := rawCharlotteRTT(seed, 0)
+	raw1k := rawCharlotteRTT(seed, 1000)
 
 	pass := within(lynx0.Milliseconds(), 57, 0.12) &&
 		within(lynx1k.Milliseconds(), 65, 0.12) &&
@@ -85,7 +85,7 @@ func E1() *Result {
 //
 // Expected: k≤1 needs the plain request+reply pair; k≥2 adds one GOAHEAD
 // plus k-1 ENC packets (replies would skip the goahead).
-func E2() *Result {
+func e2(seed uint64) *Result {
 	res := &Result{
 		ID:      "E2",
 		Title:   "Charlotte link-enclosure protocol (figure 2)",
@@ -93,7 +93,7 @@ func E2() *Result {
 		Pass:    true,
 	}
 	for _, k := range []int{0, 1, 2, 4, 8} {
-		sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Charlotte, Seed: 1})
+		sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Charlotte, Seed: sysSeed(seed, 1)})
 		kcount := k
 		a := sys.Spawn("a", func(th *lynx.Thread, boot []*lynx.End) {
 			var give []*lynx.End
@@ -141,8 +141,8 @@ func E2() *Result {
 	// no enc packets, no packetization of any kind. Measured as the
 	// difference in kernel activity between k=8 and k=1.
 	for _, sub := range []lynx.Substrate{lynx.SODA, lynx.Chrysalis} {
-		t1 := kernelTrafficForMove(sub, 1)
-		t8 := kernelTrafficForMove(sub, 8)
+		t1 := kernelTrafficForMove(seed, sub, 1)
+		t8 := kernelTrafficForMove(seed, sub, 8)
 		extra := t8 - t1
 		if extra != 0 {
 			res.Pass = false
@@ -162,8 +162,8 @@ func E2() *Result {
 // substrate-appropriate kernel traffic count (accepted transfers on
 // SODA; dual-queue enqueues on Chrysalis). Absolute values differ per
 // substrate; only the k-dependence matters to E2.
-func kernelTrafficForMove(sub lynx.Substrate, k int) int64 {
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
+func kernelTrafficForMove(seed uint64, sub lynx.Substrate, k int) int64 {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: sysSeed(seed, 1)})
 	snapshot := func() int64 {
 		switch sub {
 		case lynx.SODA:
@@ -205,7 +205,7 @@ func kernelTrafficForMove(sub lynx.Substrate, k int) int64 {
 // E3 regenerates §4.3's prediction: SODA ≈3x faster than Charlotte for
 // small messages, with break-even between 1 KB and 2 KB (kernel-level
 // figures; footnote 2).
-func E3() *Result {
+func e3(seed uint64) *Result {
 	res := &Result{
 		ID:      "E3",
 		Title:   "SODA vs Charlotte latency sweep and crossover (§4.3)",
@@ -216,8 +216,8 @@ func E3() *Result {
 	var small3x bool
 	prevWinner := ""
 	for _, n := range sizes {
-		ch := echoRTT(lynx.Charlotte, n, 1, false)
-		so := echoRTT(lynx.SODA, n, 1, false)
+		ch := echoRTT(seed, lynx.Charlotte, n, 1, false)
+		so := echoRTT(seed, lynx.SODA, n, 1, false)
 		winner := "SODA"
 		if ch < so {
 			winner = "Charlotte"
@@ -244,10 +244,10 @@ func E3() *Result {
 
 // E4 regenerates §5.3's Chrysalis measurements: 2.4 ms / 4.6 ms, more
 // than an order of magnitude faster than Charlotte.
-func E4() *Result {
-	c0 := echoRTT(lynx.Chrysalis, 0, 1, false)
-	c1k := echoRTT(lynx.Chrysalis, 1000, 1, false)
-	ch0 := echoRTT(lynx.Charlotte, 0, 1, false)
+func e4(seed uint64) *Result {
+	c0 := echoRTT(seed, lynx.Chrysalis, 0, 1, false)
+	c1k := echoRTT(seed, lynx.Chrysalis, 1000, 1, false)
+	ch0 := echoRTT(seed, lynx.Charlotte, 0, 1, false)
 	ratio := float64(ch0) / float64(c0)
 	pass := within(c0.Milliseconds(), 2.4, 0.15) &&
 		within(c1k.Milliseconds(), 4.6, 0.15) &&
@@ -323,7 +323,7 @@ func splitLines(src []byte) [][]byte {
 // to save ≈4KB of special cases. We report our bindings' sizes and
 // special-case inventories: the paper's *shape* is Charlotte ≫ others,
 // with the excess concentrated in bounce/packetization code.
-func E5() *Result {
+func e5() *Result {
 	root := findRepoRoot()
 	_, chLines := countGo(filepath.Join(root, "internal/bind/charlotte"))
 	_, soLines := countGo(filepath.Join(root, "internal/bind/soda"))

@@ -11,7 +11,7 @@ import (
 // E6 regenerates figure 1: both ends of link 3 moved simultaneously and
 // independently — what used to connect A to D afterwards connects B to
 // C — on every substrate, with several randomized rounds.
-func E6() *Result {
+func e6(seed uint64) *Result {
 	res := &Result{
 		ID:      "E6",
 		Title:   "Link moving at both ends simultaneously (figure 1)",
@@ -22,7 +22,7 @@ func E6() *Result {
 	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis, lynx.Ideal} {
 		movesOK, rpcOK := 0, 0
 		for round := 0; round < rounds; round++ {
-			ok1, ok2 := runFigure1(sub, uint64(round+1))
+			ok1, ok2 := runFigure1(sub, sysSeed(seed, uint64(round+1)))
 			if ok1 {
 				movesOK++
 			}
@@ -108,7 +108,7 @@ func runFigure1(sub lynx.Substrate, seed uint64) (bool, bool) {
 // pre-receives unwanted messages and the run-time package must bounce
 // them (retry/forbid/allow); SODA and Chrysalis receive only wanted
 // messages.
-func E7() *Result {
+func e7(seed uint64) *Result {
 	res := &Result{
 		ID:      "E7",
 		Title:   "Unwanted messages and NAK traffic under reverse-request races (§6 claim 2)",
@@ -120,7 +120,7 @@ func E7() *Result {
 	}
 	rows := map[lynx.Substrate]row{}
 	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis} {
-		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 2})
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: sysSeed(seed, 2)})
 		a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 			e := boot[0]
 			for i := 0; i < rounds; i++ {
@@ -193,7 +193,7 @@ func E7() *Result {
 // and the receiver crashes before returning the enclosure. Under
 // Charlotte the enclosed link is lost (destroyed); the low-level kernels
 // never let the end leave the sender.
-func E8() *Result {
+func e8(seed uint64) *Result {
 	res := &Result{
 		ID:      "E8",
 		Title:   "Fate of enclosures in aborted messages when the peer crashes (§3.2.2)",
@@ -202,7 +202,7 @@ func E8() *Result {
 	type outcome struct{ recalled, survived bool }
 	outcomes := map[lynx.Substrate]outcome{}
 	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis} {
-		o := runE8Scenario(sub)
+		o := runE8Scenario(seed, sub)
 		outcomes[sub] = o
 		res.Rows = append(res.Rows, []string{
 			sub.String(), fmt.Sprint(o.recalled), fmt.Sprint(o.survived),
@@ -216,8 +216,8 @@ func E8() *Result {
 	return res
 }
 
-func runE8Scenario(sub lynx.Substrate) (o struct{ recalled, survived bool }) {
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 4})
+func runE8Scenario(seed uint64, sub lynx.Substrate) (o struct{ recalled, survived bool }) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: sysSeed(seed, 4)})
 	var xAlive bool
 	var abortErr error
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
@@ -269,11 +269,11 @@ func runE8Scenario(sub lynx.Substrate) (o struct{ recalled, survived bool }) {
 // E9 regenerates §5.3's forecast: "code tuning and protocol
 // optimizations now under development are likely to improve both figures
 // by 30 to 40%" — the Chrysalis kernel with tuned microcode paths.
-func E9() *Result {
-	base0 := echoRTT(lynx.Chrysalis, 0, 1, false)
-	base1k := echoRTT(lynx.Chrysalis, 1000, 1, false)
-	tuned0 := echoRTT(lynx.Chrysalis, 0, 1, true)
-	tuned1k := echoRTT(lynx.Chrysalis, 1000, 1, true)
+func e9(seed uint64) *Result {
+	base0 := echoRTT(seed, lynx.Chrysalis, 0, 1, false)
+	base1k := echoRTT(seed, lynx.Chrysalis, 1000, 1, false)
+	tuned0 := echoRTT(seed, lynx.Chrysalis, 0, 1, true)
+	tuned1k := echoRTT(seed, lynx.Chrysalis, 1000, 1, true)
 	imp0 := 100 * (1 - float64(tuned0)/float64(base0))
 	imp1k := 100 * (1 - float64(tuned1k)/float64(base1k))
 	res := &Result{
@@ -295,7 +295,7 @@ func E9() *Result {
 // E10 regenerates §4.2's hint-maintenance economics: how a dormant
 // link's stale hint is repaired as the safety nets degrade — move cache
 // forwarding, discover broadcast, and the freeze/unfreeze search.
-func E10() *Result {
+func e10(seed uint64) *Result {
 	res := &Result{
 		ID:      "E10",
 		Title:   "SODA hint repair: cache -> discover -> freeze (§4.2)",
@@ -327,7 +327,7 @@ func E10() *Result {
 		if c.discovers == 0 {
 			opts.DiscoverRetries = -1
 		}
-		d, m, pids := runE10Scenario(opts)
+		d, m, pids := runE10Scenario(seed, opts)
 		lat = append(lat, d.Milliseconds())
 		// All counts come from the obs metric registry.
 		fwd := m.ProcValue(obs.MMovedForwards, pids[1])
@@ -371,8 +371,8 @@ func E10() *Result {
 // watching; A then performs one operation on it and we observe which
 // mechanism repaired the hint. Returns the op latency, the run's metric
 // registry, and the kernel pids of A, B, C (per-proc metric keys).
-func runE10Scenario(opts lynx.SODAOptions) (opLatency lynx.Duration, m *obs.Metrics, pids [3]int) {
-	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: 6, SODA: opts})
+func runE10Scenario(seed uint64, opts lynx.SODAOptions) (opLatency lynx.Duration, m *obs.Metrics, pids [3]int) {
+	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: sysSeed(seed, 6), SODA: opts})
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 		e := boot[0]
 		if _, err := th.Connect(e, "one", lynx.Msg{}); err != nil {
@@ -425,7 +425,7 @@ func runE10Scenario(opts lynx.SODAOptions) (opLatency lynx.Duration, m *obs.Metr
 // E11 regenerates §2.1's fairness requirement: "an implementation must
 // guarantee that no queue is ignored forever". A single server owns many
 // links, each hammered by a client; every queue must keep being served.
-func E11() *Result {
+func e11(seed uint64) *Result {
 	const nClients = 6
 	const horizon = 4 * lynx.Second
 	res := &Result{
@@ -436,7 +436,7 @@ func E11() *Result {
 	}
 	for _, sub := range []lynx.Substrate{lynx.Chrysalis, lynx.Ideal} {
 		served := make([]int, nClients)
-		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 8})
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: sysSeed(seed, 8)})
 		server := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
 			for i, e := range boot {
 				i := i

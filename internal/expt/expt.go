@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/lynx"
 )
 
@@ -26,7 +27,12 @@ type Result struct {
 	// Metrics is the obs counter snapshot the numbers were computed
 	// from, keyed "<substrate>/<metric>" (experiments that count from
 	// the observability subsystem attach it; others leave it nil).
+	// For a replicated result each value is the per-replica mean.
 	Metrics map[string]int64 `json:",omitempty"`
+	// Replicas and RootSeed record the replication an aggregated
+	// result was computed over (zero for a single-shot run).
+	Replicas int    `json:",omitempty"`
+	RootSeed uint64 `json:",omitempty"`
 }
 
 // addMetrics merges a registry snapshot into r.Metrics under prefix.
@@ -82,46 +88,45 @@ func (r *Result) Render() string {
 
 // All runs every experiment in order: the paper's E1-E11 plus the
 // extension experiments E12-E13 (questions the paper could not answer
-// without a SODA implementation).
+// without a SODA implementation). Experiments execute concurrently
+// across GOMAXPROCS workers; the output is identical to a serial run
+// (see AllWith for the replication/parallelism knobs).
 func All() []*Result {
-	return []*Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(),
-		E12(), E13(),
-	}
+	return AllWith(Options{})
 }
 
 // ByID runs one experiment by id ("E1".."E13"), or nil if unknown.
 func ByID(id string) *Result {
-	switch strings.ToUpper(id) {
-	case "E1":
-		return E1()
-	case "E2":
-		return E2()
-	case "E3":
-		return E3()
-	case "E4":
-		return E4()
-	case "E5":
-		return E5()
-	case "E6":
-		return E6()
-	case "E7":
-		return E7()
-	case "E8":
-		return E8()
-	case "E9":
-		return E9()
-	case "E10":
-		return E10()
-	case "E11":
-		return E11()
-	case "E12":
-		return E12()
-	case "E13":
-		return E13()
-	default:
-		return nil
+	return ByIDWith(id, Options{})
+}
+
+// The single-shot exported experiment entry points (benchmarks and
+// tests call these): the canonical paper-seed run of each experiment.
+func E1() *Result  { return e1(0) }
+func E2() *Result  { return e2(0) }
+func E3() *Result  { return e3(0) }
+func E4() *Result  { return e4(0) }
+func E5() *Result  { return e5() }
+func E6() *Result  { return e6(0) }
+func E7() *Result  { return e7(0) }
+func E8() *Result  { return e8(0) }
+func E9() *Result  { return e9(0) }
+func E10() *Result { return e10(0) }
+func E11() *Result { return e11(0) }
+func E12() *Result { return e12(0) }
+func E13() *Result { return e13(0) }
+
+// sysSeed derives the seed for one System an experiment builds. Each
+// call site passes the canonical seed its system used before
+// replication existed; the legacy single-shot run (replica seed 0)
+// keeps exactly that value, so default output is unchanged, while
+// replicated runs stream-split the replica seed to give every System
+// of every replica fresh, reproducible randomness.
+func sysSeed(seed, canonical uint64) uint64 {
+	if seed == 0 {
+		return canonical
 	}
+	return sim.StreamSeed(seed, canonical)
 }
 
 // ms renders a duration in milliseconds.
@@ -132,8 +137,8 @@ func ms(d lynx.Duration) string {
 // echoRTT measures one simple remote operation's round trip with the
 // given payload size in each direction, after a configurable number of
 // warm-up operations.
-func echoRTT(sub lynx.Substrate, payload, warmup int, tuned bool) lynx.Duration {
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1, Chrysalis: lynx.ChrysalisOptions{Tuned: tuned}})
+func echoRTT(seed uint64, sub lynx.Substrate, payload, warmup int, tuned bool) lynx.Duration {
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: sysSeed(seed, 1), Chrysalis: lynx.ChrysalisOptions{Tuned: tuned}})
 	data := make([]byte, payload)
 	var rtt lynx.Duration
 	c := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {

@@ -30,7 +30,7 @@ import (
 // LIVELOCKS — puts are rejected forever while the retry traffic spins.
 // The paper's deadlock prediction is real, and its "half a dozen or so"
 // estimate is exactly the failure threshold.
-func E12() *Result {
+func e12(seed uint64) *Result {
 	res := &Result{
 		ID:      "E12",
 		Title:   "EXT: per-pair outstanding-request limits under many links (§4.2.1)",
@@ -39,7 +39,7 @@ func E12() *Result {
 	}
 	for _, links := range []int{2, 6, 12} {
 		for _, limit := range []int{4, 8, 0} {
-			done, retries, err := runE12(links, limit)
+			done, retries, err := runE12(seed, links, limit)
 			if err != nil {
 				res.Pass = false
 			}
@@ -72,8 +72,8 @@ func E12() *Result {
 
 // runE12 runs `links` concurrent echoes between one process pair with
 // the given kernel pair-limit; returns completed ops and retry count.
-func runE12(links, pairLimit int) (completed int, retries int64, runErr error) {
-	env := sim.NewEnv(1)
+func runE12(seed uint64, links, pairLimit int) (completed int, retries int64, runErr error) {
+	env := sim.NewEnv(sysSeed(seed, 1))
 	bus := netsim.NewCSMABus(env.Rand().Fork())
 	k := soda.NewKernel(env, bus, calib.DefaultSODA())
 	k.PairLimit = pairLimit
@@ -129,7 +129,7 @@ func runE12(links, pairLimit int) (completed int, retries int64, runErr error) {
 // heuristics." We sweep the broadcast loss rate and measure how often
 // a dormant-link repair is resolved by discover versus escalating to the
 // freeze search.
-func E13() *Result {
+func e13(seed uint64) *Result {
 	res := &Result{
 		ID:      "E13",
 		Title:   "EXT: discover success vs broadcast loss; freeze escalation rate (§4.2)",
@@ -141,7 +141,7 @@ func E13() *Result {
 	for _, loss := range []float64{0.01, 0.25, 0.60, 0.95} {
 		disc, frz := 0, 0
 		for ep := 0; ep < episodes; ep++ {
-			byDiscover, byFreeze := runE13Episode(loss, uint64(ep+1))
+			byDiscover, byFreeze := runE13Episode(loss, sysSeed(seed, uint64(ep+1)))
 			if byDiscover {
 				disc++
 			}

@@ -1,0 +1,101 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// The PR's determinism contract: aggregated output (tables, CIs,
+// metric snapshots) must be byte-identical for Parallel=1 and
+// Parallel=8 at the same root seed.
+func TestAllWithDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog twice")
+	}
+	optsSerial := Options{Parallel: 1, Reps: 2, RootSeed: 7}
+	optsWide := Options{Parallel: 8, Reps: 2, RootSeed: 7}
+	serial := AllWith(optsSerial)
+	wide := AllWith(optsWide)
+	if s, w := RenderAll(serial), RenderAll(wide); s != w {
+		t.Fatalf("rendered catalog differs between Parallel=1 and Parallel=8:\n--- serial\n%s\n--- parallel\n%s", s, w)
+	}
+	for i := range serial {
+		sm, wm := serial[i].Metrics, wide[i].Metrics
+		if len(sm) != len(wm) {
+			t.Fatalf("%s: metric key sets differ: %d vs %d", serial[i].ID, len(sm), len(wm))
+		}
+		for _, k := range sortedMetricKeys(sm) {
+			if sm[k] != wm[k] {
+				t.Fatalf("%s: metric %s differs: %d vs %d", serial[i].ID, k, sm[k], wm[k])
+			}
+		}
+	}
+}
+
+// Replicated runs must keep the canonical replica-0 output embedded:
+// with Reps=1 the result is bit-for-bit the single-shot experiment.
+func TestSingleRepMatchesLegacy(t *testing.T) {
+	legacy := E4()
+	viaRunner := ByIDWith("E4", Options{Parallel: 2, Reps: 1})
+	if RenderAll([]*Result{legacy}) != RenderAll([]*Result{viaRunner}) {
+		t.Fatalf("Reps=1 runner output diverged from the single-shot experiment:\n%s\nvs\n%s",
+			legacy.Render(), viaRunner.Render())
+	}
+}
+
+// A replicated experiment annotates its table with the replication
+// note and carries the replica count.
+func TestReplicationAnnotation(t *testing.T) {
+	r := ByIDWith("E4", Options{Parallel: 2, Reps: 3, RootSeed: 11})
+	if r.Replicas != 3 || r.RootSeed != 11 {
+		t.Fatalf("replication fields not set: %+v", r)
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "replication: R=3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no replication note in %v", r.Notes)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("E4 aggregated table lost rows: %v", r.Rows)
+	}
+}
+
+// Non-replicable experiments run once regardless of Reps.
+func TestNonReplicableRunsOnce(t *testing.T) {
+	r := ByIDWith("E5", Options{Parallel: 2, Reps: 4})
+	if r.Replicas != 0 {
+		t.Fatalf("E5 should be single-shot; got Replicas=%d", r.Replicas)
+	}
+}
+
+func TestAggregateCell(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"57", "57", "57"}, "57"},
+		{[]string{"SODA", "Charlotte", "SODA"}, "(varies)"},
+		{[]string{"2.40", "2.40", "2.44"}, "2.41 ±0.03"},
+		{[]string{"10", "14", "12"}, "12.0 ±2.3"},
+	}
+	for _, c := range cases {
+		if got := aggregateCell(c.in); got != c.want {
+			t.Errorf("aggregateCell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCatalogMatchesByID(t *testing.T) {
+	for _, e := range Catalog() {
+		if ByID(e.ID) == nil {
+			t.Errorf("catalog id %s not resolvable via ByID", e.ID)
+		}
+	}
+	if got := len(Catalog()); got != 13 {
+		t.Fatalf("catalog size = %d, want 13", got)
+	}
+}

@@ -82,21 +82,21 @@ func (m *medium) reserve(now sim.Time, acq, tx sim.Duration) sim.Time {
 // token (half a rotation on average, deterministically charged), then
 // holds the ring for the frame's serialization time.
 type TokenRing struct {
-	m            medium
-	Nodes        int
-	BitRate      int64        // bits per second
-	HopLatency   sim.Duration // per-station token forwarding latency
-	FrameOverhed int          // header+trailer bytes per frame
+	m             medium
+	Nodes         int
+	BitRate       int64        // bits per second
+	HopLatency    sim.Duration // per-station token forwarding latency
+	FrameOverhead int          // header+trailer bytes per frame
 }
 
 // NewTokenRing creates a ring with the Crystal testbed's parameters:
 // 20 nodes at 10 Mbit/s.
 func NewTokenRing(nodes int) *TokenRing {
 	return &TokenRing{
-		Nodes:        nodes,
-		BitRate:      10_000_000,
-		HopLatency:   2 * sim.Microsecond,
-		FrameOverhed: 16,
+		Nodes:         nodes,
+		BitRate:       10_000_000,
+		HopLatency:    2 * sim.Microsecond,
+		FrameOverhead: 16,
 	}
 }
 
@@ -124,7 +124,7 @@ func (r *TokenRing) BroadcastDelivers(NodeID) bool { return false }
 func (r *TokenRing) Stats() *Stats { return &r.m.stats }
 
 func (r *TokenRing) serialize(nbytes int) sim.Duration {
-	bits := int64(nbytes+r.FrameOverhed) * 8
+	bits := int64(nbytes+r.FrameOverhead) * 8
 	return sim.Duration(bits * int64(sim.Second) / r.BitRate)
 }
 

@@ -94,6 +94,81 @@ func (h *Histogram) Max() sim.Duration {
 	return sim.Duration(h.max)
 }
 
+// Min returns the smallest observed duration (0 when empty).
+func (h *Histogram) Min() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.min)
+}
+
+// Merge folds other's observations into h: counts and sums add, the
+// extrema widen, and the log2 buckets merge element-wise. Merging
+// replica histograms this way is exact for count/sum/min/max and
+// bucket-resolution for quantiles. No-op when other is nil or empty.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.count == 0 {
+		return
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the log2 buckets,
+// interpolating linearly inside the bucket the rank lands in. Bucket i
+// holds observations in [2^(i-1), 2^i), so the estimate is exact to
+// within a factor of two — adequate for the p50/p95/p99 columns of
+// sweep reports, where replica-to-replica spread dominates.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var seen float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - seen) / float64(n)
+			v := float64(lo) + frac*float64(hi-lo)
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			return sim.Duration(v)
+		}
+		seen += float64(n)
+	}
+	return sim.Duration(h.max)
+}
+
+// bucketBounds returns the value range [lo, hi) covered by log2 bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
 // Metrics is a registry of named counters and histograms. All access
 // happens from the simulation's serialized processes, so no locking is
 // needed; the nil *Metrics hands out nil (no-op) instruments, which is
@@ -190,6 +265,24 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		out[name+"_max_ns"] = h.max
 	}
 	return out
+}
+
+// Merge folds every counter and histogram of other into m, creating
+// instruments on first sight: counters sum, histograms bucket-merge.
+// Addition commutes, so merging replica registries in any order yields
+// the same pooled registry — what lets a parallel sweep aggregate
+// per-run metrics independently of worker scheduling. No-op on a nil
+// receiver or other.
+func (m *Metrics) Merge(other *Metrics) {
+	if m == nil || other == nil {
+		return
+	}
+	for name, c := range other.counters {
+		m.Counter(name).Add(c.n)
+	}
+	for name, h := range other.hists {
+		m.Histogram(name).Merge(h)
+	}
 }
 
 // Names returns every counter and histogram name, sorted (for render

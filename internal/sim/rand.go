@@ -63,3 +63,22 @@ func (r *Rand) Perm(n int) []int {
 func (r *Rand) Fork() *Rand {
 	return NewRand(r.Uint64() ^ 0xa3c59ac2f0136d21)
 }
+
+// StreamSeed derives the stream-th child seed from a root seed using a
+// stateless splitmix64 split: finalize root to decorrelate nearby
+// roots, perturb by the stream index times the splitmix64 increment,
+// and finalize again. Unlike Fork it consumes no generator state, so
+// replica k of a sweep gets the same seed no matter which worker runs
+// it or in what order — the property the parallel run harness's
+// determinism contract rests on.
+func StreamSeed(root, stream uint64) uint64 {
+	return mix64(mix64(root) + (stream+1)*0x9e3779b97f4a7c15)
+}
+
+// mix64 is the splitmix64 output finalizer (same constants as
+// Rand.Uint64's scrambler).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -652,9 +652,16 @@ func (pr *Process) Terminate() {
 	if pr.k.rec.Active() {
 		pr.k.rec.Emit(obs.Event{Kind: obs.KindMark, Proc: int(pr.id), Detail: "terminate"})
 	}
-	for id, r := range pr.inbound {
-		requester, ok := pr.k.procs[r.from]
-		if !ok || requester.dead {
+	// Walk inbound in request-id order: each entry schedules a timer,
+	// and timer ties break by scheduling sequence, so randomized map
+	// order would make same-seed runs diverge.
+	for id := ReqID(1); id <= pr.k.nextReq; id++ {
+		r, ok := pr.inbound[id]
+		if !ok {
+			continue
+		}
+		requester, live := pr.k.procs[r.from]
+		if !live || requester.dead {
 			continue
 		}
 		delete(requester.outbound, id)

@@ -1,0 +1,262 @@
+// Package sweep is the deterministic parallel run harness: it fans R
+// independent replicas of a simulation out across P worker goroutines
+// and aggregates their measurements into per-metric means, percentiles,
+// and confidence intervals.
+//
+// Each lynx.System is single-threaded by construction (the simulation
+// kernel hands one token among its procs), but distinct Systems share
+// no mutable state, so whole runs are embarrassingly parallel. The
+// harness exploits that: replica k receives the seed
+// sim.StreamSeed(RootSeed, k) — a stateless splitmix64 stream split —
+// so its run is a pure function of (k, RootSeed) no matter which worker
+// executes it or in what order, and the aggregate is assembled in
+// replica order. Consequently the output is bit-identical for
+// Parallel=1 and Parallel=N: parallelism changes wall-clock time and
+// nothing else.
+//
+// Typical use:
+//
+//	agg := sweep.Sweep(sweep.Options{Replicas: 32, RootSeed: 7},
+//	    func(r sweep.Run) sweep.Outcome {
+//	        sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Chrysalis, Seed: r.Seed})
+//	        ... spawn processes, sys.Run() ...
+//	        return sweep.Outcome{
+//	            Values:  map[string]float64{"rtt_ms": rtt.Milliseconds()},
+//	            Metrics: sys.Metrics(),
+//	        }
+//	    })
+//	st := agg.Values["rtt_ms"]   // Mean, P50/P95/P99, CI95 over 32 replicas
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Options parameterizes a sweep. The zero value runs one replica with
+// root seed 1 on GOMAXPROCS workers.
+type Options struct {
+	// Replicas is R, the number of independent runs. Default 1.
+	Replicas int
+	// Parallel is the worker goroutine count. Default GOMAXPROCS;
+	// values above Replicas are clamped.
+	Parallel int
+	// RootSeed seeds the whole sweep; replica k runs with
+	// sim.StreamSeed(RootSeed, k). Default 1.
+	RootSeed uint64
+}
+
+// normalized fills in defaults.
+func (o Options) normalized() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallel > o.Replicas {
+		o.Parallel = o.Replicas
+	}
+	if o.RootSeed == 0 {
+		o.RootSeed = 1
+	}
+	return o
+}
+
+// Run identifies one replica: its index and its derived seed. The body
+// function must derive ALL randomness from Seed (typically by passing
+// it as lynx.Config.Seed) for the determinism contract to hold.
+type Run struct {
+	Replica int
+	Seed    uint64
+}
+
+// Outcome is one replica's report: named scalar measurements, an
+// optional metric registry, and an error if the run failed. A failed
+// replica's Values/Metrics are still aggregated if present.
+type Outcome struct {
+	Values  map[string]float64
+	Metrics *obs.Metrics
+	Err     error
+}
+
+// Stat summarizes one named series across replicas: mean, nearest-rank
+// percentiles, extrema, and the half-width of the normal-approximation
+// 95% confidence interval on the mean (zero when N < 2).
+type Stat struct {
+	N             int
+	Mean          float64
+	P50, P95, P99 float64
+	Min, Max      float64
+	CI95          float64
+}
+
+// Aggregate is the sweep's combined result.
+type Aggregate struct {
+	Replicas int
+	RootSeed uint64
+	// Values holds a Stat per Outcome.Values key.
+	Values map[string]Stat
+	// Metrics holds a Stat per metric-snapshot key (counters under
+	// their names, histograms as name_count/name_sum_ns/name_max_ns),
+	// each series being that key's per-replica values.
+	Metrics map[string]Stat
+	// Merged pools every replica's registry: counter sums, histogram
+	// bucket merges. Quantiles of pooled histograms come from
+	// Merged.Histogram(name).Quantile.
+	Merged *obs.Metrics
+	// Outcomes lists each replica's report in replica order.
+	Outcomes []Outcome
+	// Errs collects the non-nil replica errors (replica order).
+	Errs []error
+}
+
+// Sweep runs body for replicas 0..R-1 across the configured workers and
+// aggregates the outcomes. body must be safe to call from multiple
+// goroutines at once (distinct lynx.Systems are; see the lynx package
+// docs for the concurrency contract).
+func Sweep(o Options, body func(r Run) Outcome) *Aggregate {
+	o = o.normalized()
+	outcomes := make([]Outcome, o.Replicas)
+	if o.Parallel == 1 {
+		for i := range outcomes {
+			outcomes[i] = body(Run{Replica: i, Seed: sim.StreamSeed(o.RootSeed, uint64(i))})
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < o.Parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					outcomes[i] = body(Run{Replica: i, Seed: sim.StreamSeed(o.RootSeed, uint64(i))})
+				}
+			}()
+		}
+		for i := range outcomes {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	return aggregate(o, outcomes)
+}
+
+// aggregate folds replica outcomes into the sweep result, in replica
+// order so that every derived number is independent of scheduling.
+func aggregate(o Options, outcomes []Outcome) *Aggregate {
+	a := &Aggregate{
+		Replicas: o.Replicas,
+		RootSeed: o.RootSeed,
+		Values:   map[string]Stat{},
+		Metrics:  map[string]Stat{},
+		Merged:   obs.NewMetrics(),
+		Outcomes: outcomes,
+	}
+	valueSeries := map[string][]float64{}
+	metricSeries := map[string][]float64{}
+	for _, out := range outcomes {
+		if out.Err != nil {
+			a.Errs = append(a.Errs, out.Err)
+		}
+		for k, v := range out.Values {
+			valueSeries[k] = append(valueSeries[k], v)
+		}
+		for k, v := range out.Metrics.Snapshot() {
+			metricSeries[k] = append(metricSeries[k], float64(v))
+		}
+		a.Merged.Merge(out.Metrics)
+	}
+	for k, s := range valueSeries {
+		a.Values[k] = Summarize(s)
+	}
+	for k, s := range metricSeries {
+		a.Metrics[k] = Summarize(s)
+	}
+	return a
+}
+
+// Summarize computes the Stat of one series. The series is not
+// modified; percentiles are nearest-rank on a sorted copy.
+func Summarize(series []float64) Stat {
+	n := len(series)
+	if n == 0 {
+		return Stat{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, series)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(n)
+	st := Stat{
+		N:    n,
+		Mean: mean,
+		Min:  sorted[0],
+		Max:  sorted[n-1],
+		P50:  rank(sorted, 0.50),
+		P95:  rank(sorted, 0.95),
+		P99:  rank(sorted, 0.99),
+	}
+	if n >= 2 {
+		var ss float64
+		for _, v := range sorted {
+			d := v - mean
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(n-1))
+		st.CI95 = 1.96 * sd / math.Sqrt(float64(n))
+	}
+	return st
+}
+
+// rank returns the nearest-rank q-quantile of a sorted series.
+func rank(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// String renders a Stat as "mean ±ci [p50 p95 p99]" with three
+// significant decimals — the format experiment tables embed.
+func (s Stat) String() string {
+	return fmt.Sprintf("%.3f ±%.3f [p50 %.3f, p95 %.3f, p99 %.3f]",
+		s.Mean, s.CI95, s.P50, s.P95, s.P99)
+}
+
+// Render writes the aggregate as a deterministic text report: header,
+// then every value and metric stat sorted by name.
+func (a *Aggregate) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: R=%d rootseed=%d errors=%d\n", a.Replicas, a.RootSeed, len(a.Errs))
+	writeStats(&b, "value", a.Values)
+	writeStats(&b, "metric", a.Metrics)
+	return b.String()
+}
+
+// writeStats renders one stat map sorted by key.
+func writeStats(b *strings.Builder, kind string, stats map[string]Stat) {
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(b, "  %s %-40s %s\n", kind, n, stats[n])
+	}
+}
