@@ -24,20 +24,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the scheduler microbenches (-benchmem equivalents) and the
-# sweep macro benchmark; it fails on a >10% allocs/op regression against
-# BENCH_sched.json or a >15% runs/sec regression against BENCH_sweep.json
-# (the latter only when run on the recording machine).
+# bench runs the scheduler microbenches (-benchmem equivalents), the
+# sweep macro benchmark, and the load-generator benchmark; it fails on a
+# >10% allocs/op regression against BENCH_sched.json or a >15% runs/sec
+# regression against BENCH_sweep.json / BENCH_load.json (the throughput
+# gates only when run on the recording machine).
 bench:
 	$(GO) run ./cmd/schedbench
 	$(GO) run ./cmd/sweepbench
+	$(GO) run ./cmd/lynxload
 
-# bench-update refreshes the current numbers in BENCH_sched.json and
-# BENCH_sweep.json after a deliberate change (the pre-rewrite baselines
-# are preserved).
+# bench-update refreshes the current numbers in BENCH_sched.json,
+# BENCH_sweep.json, and BENCH_load.json after a deliberate change (the
+# pre-rewrite baselines are preserved).
 bench-update:
 	$(GO) run ./cmd/schedbench -update
 	$(GO) run ./cmd/sweepbench -update
+	$(GO) run ./cmd/lynxload -update
 
 # bench-all runs the full experiment + RPC benchmark suite once.
 bench-all:

@@ -21,6 +21,8 @@ import (
 	"strings"
 
 	"repro/lynx"
+	"repro/lynx/grid"
+	"repro/lynx/sweep"
 )
 
 func main() {
@@ -121,42 +123,64 @@ func runEcho(sub lynx.Substrate, clients, ops, payload int, seed uint64, showSta
 	}
 }
 
-// runSweep: the E3-style payload sweep on one substrate.
+// runSweep: the E3-style payload sweep on one substrate. Deprecated:
+// it is now nothing but a one-axis grid.Spec handed to the lynx/grid
+// runner — use lynx/grid directly (or cmd/lynxload for traffic) for
+// anything beyond this shape.
 func runSweep(sub lynx.Substrate, payloadList string, ops int, seed uint64) {
-	fmt.Printf("payload sweep on %v (%d ops per point)\n", sub, ops)
-	fmt.Printf("  %-10s %-12s\n", "bytes/dir", "mean RTT (ms)")
+	fmt.Fprintln(os.Stderr, "lynxsim: -mode sweep is deprecated; it is a thin wrapper over lynx/grid (see README \"Configuration grids & load generation\")")
+	var payloads []any
 	for _, f := range strings.Split(payloadList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lynxsim: bad payload %q\n", f)
 			os.Exit(2)
 		}
-		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: seed, BufCap: n + 256})
-		var sum lynx.Duration
-		count := 0
-		data := make([]byte, n)
-		c := sys.Spawn("c", func(t *lynx.Thread, boot []*lynx.End) {
-			for j := 0; j < ops; j++ {
-				start := t.Now()
-				if _, err := t.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
-					return
+		payloads = append(payloads, n)
+	}
+	tbl := grid.Run(grid.Spec{
+		Name:     "lynxsim payload sweep",
+		Axes:     []grid.Axis{{Name: "payload", Values: payloads}},
+		RootSeed: seed,
+		Body: func(c grid.Cell, r sweep.Run) sweep.Outcome {
+			n := c.Int("payload")
+			sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed, BufCap: n + 256})
+			var sum lynx.Duration
+			count := 0
+			data := make([]byte, n)
+			cl := sys.Spawn("c", func(t *lynx.Thread, boot []*lynx.End) {
+				for j := 0; j < ops; j++ {
+					start := t.Now()
+					if _, err := t.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
+						return
+					}
+					sum += lynx.Duration(t.Now() - start)
+					count++
 				}
-				sum += lynx.Duration(t.Now() - start)
-				count++
-			}
-			t.Destroy(boot[0])
-		})
-		s := sys.Spawn("s", func(t *lynx.Thread, boot []*lynx.End) {
-			t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
-				st.Reply(req, lynx.Msg{Data: req.Data()})
+				t.Destroy(boot[0])
 			})
-		})
-		sys.Join(c, s)
-		if err := sys.Run(); err != nil {
-			fmt.Fprintf(os.Stderr, "lynxsim: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("  %-10d %-12.2f\n", n, (sum / lynx.Duration(max(count, 1))).Milliseconds())
+			sv := sys.Spawn("s", func(t *lynx.Thread, boot []*lynx.End) {
+				t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+					st.Reply(req, lynx.Msg{Data: req.Data()})
+				})
+			})
+			sys.Join(cl, sv)
+			err := sys.Run()
+			return sweep.Outcome{
+				Values: map[string]float64{"rtt_ns": float64(sum / lynx.Duration(max(count, 1)))},
+				Err:    err,
+			}
+		},
+	})
+	if n := tbl.Errs(); n > 0 {
+		fmt.Fprintf(os.Stderr, "lynxsim: %d sweep cell(s) failed\n", n)
+		os.Exit(1)
+	}
+	fmt.Printf("payload sweep on %v (%d ops per point; via lynx/grid)\n", sub, ops)
+	fmt.Printf("  %-10s %-12s\n", "bytes/dir", "mean RTT (ms)")
+	for _, cr := range tbl.Cells {
+		fmt.Printf("  %-10d %-12.2f\n", cr.Cell.Int("payload"),
+			lynx.Duration(cr.Agg.Values["rtt_ns"].Mean).Milliseconds())
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/lynx"
+	"repro/lynx/grid"
+	"repro/lynx/sweep"
 )
 
 // rawCharlotteRTT measures the §3.3 "C programs that make the same
@@ -202,22 +204,48 @@ func kernelTrafficForMove(seed uint64, sub lynx.Substrate, k int) int64 {
 	return atMoveDone
 }
 
+// e3Sizes are the payload points of the §4.3 sweep.
+var e3Sizes = []int{0, 128, 256, 512, 1024, 1536, 2048, 3072, 4000}
+
+// e3Grid runs the E3 payload sweep as a substrate × payload
+// configuration grid. The body derives its System seeds from the
+// experiment's replica seed (the harness replicates one level up), so
+// the grid's own seeding is inert and the table is byte-identical to
+// the historical hand-rolled double loop.
+func e3Grid(seed uint64) *grid.Table {
+	sizes := make([]any, len(e3Sizes))
+	for i, n := range e3Sizes {
+		sizes[i] = n
+	}
+	return grid.Run(grid.Spec{
+		Name: "E3 payload sweep",
+		Axes: []grid.Axis{
+			{Name: "substrate", Values: []any{lynx.Charlotte, lynx.SODA}},
+			{Name: "payload", Values: sizes},
+		},
+		Body: func(c grid.Cell, r sweep.Run) sweep.Outcome {
+			rtt := echoRTT(seed, c.Value("substrate").(lynx.Substrate), c.Int("payload"), 1, false)
+			return sweep.Outcome{Values: map[string]float64{"rtt_ns": float64(rtt)}}
+		},
+	})
+}
+
 // E3 regenerates §4.3's prediction: SODA ≈3x faster than Charlotte for
 // small messages, with break-even between 1 KB and 2 KB (kernel-level
-// figures; footnote 2).
+// figures; footnote 2). The measurement grid runs through lynx/grid.
 func e3(seed uint64) *Result {
 	res := &Result{
 		ID:      "E3",
 		Title:   "SODA vs Charlotte latency sweep and crossover (§4.3)",
 		Columns: []string{"payload (B/dir)", "Charlotte LYNX (ms)", "SODA LYNX (ms)", "winner"},
 	}
-	sizes := []int{0, 128, 256, 512, 1024, 1536, 2048, 3072, 4000}
+	tbl := e3Grid(seed)
 	var crossover int = -1
 	var small3x bool
 	prevWinner := ""
-	for _, n := range sizes {
-		ch := echoRTT(seed, lynx.Charlotte, n, 1, false)
-		so := echoRTT(seed, lynx.SODA, n, 1, false)
+	for _, n := range e3Sizes {
+		ch := lynx.Duration(tbl.CellAt(lynx.Charlotte, n).Agg.Values["rtt_ns"].Mean)
+		so := lynx.Duration(tbl.CellAt(lynx.SODA, n).Agg.Values["rtt_ns"].Mean)
 		winner := "SODA"
 		if ch < so {
 			winner = "Charlotte"

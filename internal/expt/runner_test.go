@@ -3,6 +3,8 @@ package expt
 import (
 	"strings"
 	"testing"
+
+	"repro/lynx"
 )
 
 // The PR's determinism contract: aggregated output (tables, CIs,
@@ -69,6 +71,75 @@ func TestNonReplicableRunsOnce(t *testing.T) {
 	r := ByIDWith("E5", Options{Parallel: 2, Reps: 4})
 	if r.Replicas != 0 {
 		t.Fatalf("E5 should be single-shot; got Replicas=%d", r.Replicas)
+	}
+}
+
+// The replication tolerance policy: an aggregated result passes when
+// ≥ShapeThreshold of its replicas match the shape (default 0.8),
+// replacing the old all-replicas AND, and the annotation reports
+// "shape pass k/R (threshold m)".
+func TestShapeTolerancePolicy(t *testing.T) {
+	mk := func(pass bool) *Result {
+		return &Result{ID: "EX", Title: "x", Columns: []string{"a"},
+			Rows: [][]string{{"1"}}, Pass: pass}
+	}
+	replicas := func(passes, fails int) []*Result {
+		var rs []*Result
+		for i := 0; i < passes; i++ {
+			rs = append(rs, mk(true))
+		}
+		for i := 0; i < fails; i++ {
+			rs = append(rs, mk(false))
+		}
+		return rs
+	}
+	cases := []struct {
+		passes, fails int
+		threshold     float64
+		want          bool
+	}{
+		{4, 1, 0, true},    // 4/5 = 0.8 meets the default threshold exactly
+		{3, 2, 0, false},   // 3/5 < 0.8
+		{4, 1, 1.0, false}, // strict AND restored by threshold 1
+		{5, 0, 1.0, true},
+		{1, 1, 0.5, true}, // 1/2 meets a 50% threshold
+	}
+	for _, c := range cases {
+		o := Options{Reps: c.passes + c.fails, ShapeThreshold: c.threshold}.normalized()
+		agg := aggregateResults(replicas(c.passes, c.fails), o)
+		if agg.Pass != c.want {
+			t.Errorf("passes=%d fails=%d threshold=%v: Pass=%v, want %v",
+				c.passes, c.fails, c.threshold, agg.Pass, c.want)
+		}
+	}
+	o := Options{Reps: 5}.normalized()
+	agg := aggregateResults(replicas(4, 1), o)
+	found := false
+	for _, n := range agg.Notes {
+		if strings.Contains(n, "shape pass 4/5 (threshold 0.80)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("annotation missing threshold: %v", agg.Notes)
+	}
+}
+
+// The grid-ported E3 sweep must reproduce the hand-rolled measurement
+// loop cell for cell: the grid abstraction subsumes it.
+func TestE3GridSubsumesHandRolledSweep(t *testing.T) {
+	tbl := e3Grid(0)
+	for _, n := range []int{0, 2048} {
+		for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA} {
+			direct := echoRTT(0, sub, n, 1, false)
+			cell := tbl.CellAt(sub, n)
+			if cell == nil {
+				t.Fatalf("grid has no cell for (%v, %d)", sub, n)
+			}
+			if got := lynx.Duration(cell.Agg.Values["rtt_ns"].Mean); got != direct {
+				t.Errorf("(%v, %d): grid %v vs hand-rolled %v", sub, n, got, direct)
+			}
+		}
 	}
 }
 

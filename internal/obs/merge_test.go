@@ -76,6 +76,78 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// Quantile's edge cases: the empty histogram reports 0 at every q, a
+// single sample is its own quantile for every q (including the q=0 and
+// q=1 endpoints, where bucket interpolation is clamped to the observed
+// extrema), and out-of-range q values are clamped rather than wrapped.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram Quantile should be 0")
+	}
+	var single Histogram
+	single.Observe(1234567)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := single.Quantile(q); got != 1234567 {
+			t.Fatalf("single.Quantile(%v) = %d, want 1234567", q, got)
+		}
+	}
+	if got := single.Quantile(-3); got != 1234567 {
+		t.Fatalf("Quantile(-3) = %d, want clamp to q=0", got)
+	}
+	if got := single.Quantile(42); got != 1234567 {
+		t.Fatalf("Quantile(42) = %d, want clamp to q=1", got)
+	}
+	// Two distinct samples: q=0 pins the min, q=1 pins the max.
+	var two Histogram
+	two.Observe(100)
+	two.Observe(900000)
+	if got := two.Quantile(0); got != 100 {
+		t.Fatalf("two.Quantile(0) = %d, want min 100", got)
+	}
+	if got := two.Quantile(1); got != 900000 {
+		t.Fatalf("two.Quantile(1) = %d, want max 900000", got)
+	}
+}
+
+// MergePrefixed pools a registry under a key prefix: the table-keyed
+// merge the grid runner uses to keep per-cell registries distinguishable
+// inside one pooled registry.
+func TestMetricsMergePrefixed(t *testing.T) {
+	cell := NewMetrics()
+	cell.Counter("kernel_messages_total").Add(12)
+	cell.Histogram("queue_wait_ns").Observe(500)
+
+	table := NewMetrics()
+	table.MergePrefixed("substrate=soda/payload=1024", cell)
+	table.MergePrefixed("substrate=soda/payload=4096", cell)
+
+	if got := table.Value("substrate=soda/payload=1024/kernel_messages_total"); got != 12 {
+		t.Fatalf("prefixed counter = %d, want 12", got)
+	}
+	if got := table.Histogram("substrate=soda/payload=4096/queue_wait_ns").Count(); got != 1 {
+		t.Fatalf("prefixed histogram count = %d, want 1", got)
+	}
+	// Cross-cell rollup via the existing prefix-sum primitive.
+	if got := table.SumPrefix("substrate=soda/"); got != 24 {
+		t.Fatalf("rollup = %d, want 24", got)
+	}
+	// Unprefixed names must not exist: cells never collapse.
+	if got := table.Value("kernel_messages_total"); got != 0 {
+		t.Fatalf("unprefixed name leaked: %d", got)
+	}
+	// Nil safety.
+	var nilM *Metrics
+	nilM.MergePrefixed("k", cell)
+	table.MergePrefixed("k", nil)
+}
+
 func TestMetricsMerge(t *testing.T) {
 	a, b := NewMetrics(), NewMetrics()
 	a.Counter("ops").Add(3)

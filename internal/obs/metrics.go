@@ -285,6 +285,25 @@ func (m *Metrics) Merge(other *Metrics) {
 	}
 }
 
+// MergePrefixed folds other into m like Merge, but files every
+// instrument under "prefix/name". A keyed result table uses this to
+// pool per-cell registries into one table-wide registry without
+// collapsing cells into each other: cell keys become name prefixes, so
+// the pooled registry answers both "total kernel messages in cell X"
+// (Value("X/kernel_messages_total")) and, via SumPrefix, cross-cell
+// rollups. No-op on a nil receiver or other.
+func (m *Metrics) MergePrefixed(prefix string, other *Metrics) {
+	if m == nil || other == nil {
+		return
+	}
+	for name, c := range other.counters {
+		m.Counter(prefix + "/" + name).Add(c.n)
+	}
+	for name, h := range other.hists {
+		m.Histogram(prefix + "/" + name).Merge(h)
+	}
+}
+
 // Names returns every counter and histogram name, sorted (for render
 // and debugging).
 func (m *Metrics) Names() []string {

@@ -75,6 +75,16 @@ func StreamSeed(root, stream uint64) uint64 {
 	return mix64(mix64(root) + (stream+1)*0x9e3779b97f4a7c15)
 }
 
+// StreamSeed2 derives the (a, b)-th child seed of a two-level stream
+// split: StreamSeed(StreamSeed(root, a), b). It is the seeding scheme
+// of keyed configuration grids — cell a's replica b draws the same seed
+// no matter how cells and replicas are scheduled across workers — and
+// is exposed as a named helper so call sites document the nesting
+// order instead of hand-composing splits inconsistently.
+func StreamSeed2(root, a, b uint64) uint64 {
+	return StreamSeed(StreamSeed(root, a), b)
+}
+
 // mix64 is the splitmix64 output finalizer (same constants as
 // Rand.Uint64's scrambler).
 func mix64(z uint64) uint64 {

@@ -29,6 +29,25 @@ func TestStreamSeedDistinct(t *testing.T) {
 	}
 }
 
+// StreamSeed2 is exactly the two-level composition of StreamSeed, and
+// distinct (a, b) pairs under one root draw distinct seeds — the grid
+// runner's cell×replica seeding contract.
+func TestStreamSeed2(t *testing.T) {
+	if got, want := StreamSeed2(9, 3, 5), StreamSeed(StreamSeed(9, 3), 5); got != want {
+		t.Fatalf("StreamSeed2(9,3,5) = %#x, want composed %#x", got, want)
+	}
+	seen := map[uint64][2]uint64{}
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 32; b++ {
+			s := StreamSeed2(7, a, b)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) both map to %#x", a, b, prev[0], prev[1], s)
+			}
+			seen[s] = [2]uint64{a, b}
+		}
+	}
+}
+
 // Nearby roots and streams must produce decorrelated child generators,
 // not shifted copies of one stream.
 func TestStreamSeedDecorrelated(t *testing.T) {

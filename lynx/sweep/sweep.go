@@ -51,6 +51,22 @@ type Options struct {
 	// RootSeed seeds the whole sweep; replica k runs with
 	// sim.StreamSeed(RootSeed, k). Default 1.
 	RootSeed uint64
+	// Seeds, when non-nil, overrides the replica→seed derivation: replica
+	// k runs with Seeds(k) instead of sim.StreamSeed(RootSeed, k). It
+	// must be a pure function of k (no shared mutable state) or the
+	// determinism contract breaks. This is the cell-seeding hook the
+	// lynx/grid runner uses to hand each grid cell its own seed stream
+	// (see CellSeed) while still fanning replicas through Sweep.
+	Seeds func(replica int) uint64
+}
+
+// CellSeed derives the seed of replica rep of grid cell c under root: a
+// two-level stateless stream split, so the seed depends only on
+// (root, cell, replica) and never on worker scheduling. Pass
+// Options{Seeds: func(k int) uint64 { return CellSeed(root, c, k) }}
+// to run one cell of a keyed configuration grid.
+func CellSeed(root uint64, cell, rep int) uint64 {
+	return sim.StreamSeed2(root, uint64(cell), uint64(rep))
 }
 
 // normalized fills in defaults.
@@ -124,10 +140,14 @@ type Aggregate struct {
 // docs for the concurrency contract).
 func Sweep(o Options, body func(r Run) Outcome) *Aggregate {
 	o = o.normalized()
+	seed := o.Seeds
+	if seed == nil {
+		seed = func(i int) uint64 { return sim.StreamSeed(o.RootSeed, uint64(i)) }
+	}
 	outcomes := make([]Outcome, o.Replicas)
 	if o.Parallel == 1 {
 		for i := range outcomes {
-			outcomes[i] = body(Run{Replica: i, Seed: sim.StreamSeed(o.RootSeed, uint64(i))})
+			outcomes[i] = body(Run{Replica: i, Seed: seed(i)})
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -137,7 +157,7 @@ func Sweep(o Options, body func(r Run) Outcome) *Aggregate {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					outcomes[i] = body(Run{Replica: i, Seed: sim.StreamSeed(o.RootSeed, uint64(i))})
+					outcomes[i] = body(Run{Replica: i, Seed: seed(i)})
 				}
 			}()
 		}
@@ -233,10 +253,16 @@ func rank(sorted []float64, q float64) float64 {
 }
 
 // String renders a Stat as "mean ±ci [p50 p95 p99]" with three
-// significant decimals — the format experiment tables embed.
+// significant decimals — the format experiment tables embed. A series
+// of fewer than two samples has no confidence interval, so its CI
+// renders as "n/a" rather than a spuriously certain ±0.000.
 func (s Stat) String() string {
-	return fmt.Sprintf("%.3f ±%.3f [p50 %.3f, p95 %.3f, p99 %.3f]",
-		s.Mean, s.CI95, s.P50, s.P95, s.P99)
+	ci := "n/a"
+	if s.N >= 2 {
+		ci = fmt.Sprintf("%.3f", s.CI95)
+	}
+	return fmt.Sprintf("%.3f ±%s [p50 %.3f, p95 %.3f, p99 %.3f]",
+		s.Mean, ci, s.P50, s.P95, s.P99)
 }
 
 // Render writes the aggregate as a deterministic text report: header,

@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/lynx"
@@ -111,6 +112,59 @@ func TestSummarize(t *testing.T) {
 	}
 	if got := Summarize([]float64{7}); got.CI95 != 0 || got.Mean != 7 {
 		t.Fatalf("singleton series: %+v", got)
+	}
+}
+
+// The Seeds hook overrides seed derivation per replica; CellSeed is the
+// grid runner's two-level split, stable across worker scheduling.
+func TestSweepSeedsHook(t *testing.T) {
+	const root, cell = uint64(11), 3
+	var got []uint64
+	Sweep(Options{Replicas: 4, Parallel: 1, Seeds: func(k int) uint64 {
+		return CellSeed(root, cell, k)
+	}}, func(r Run) Outcome {
+		got = append(got, r.Seed)
+		return Outcome{}
+	})
+	for k, s := range got {
+		if want := CellSeed(root, cell, k); s != want {
+			t.Fatalf("replica %d seed = %#x, want CellSeed %#x", k, s, want)
+		}
+	}
+	// The hook must also feed the parallel path identically.
+	wide := Sweep(Options{Replicas: 4, Parallel: 4, Seeds: func(k int) uint64 {
+		return CellSeed(root, cell, k)
+	}}, func(r Run) Outcome {
+		return Outcome{Values: map[string]float64{"seed": float64(r.Seed % 1000)}}
+	})
+	for k := range got {
+		if wide.Outcomes[k].Values["seed"] != float64(got[k]%1000) {
+			t.Fatalf("parallel replica %d saw a different seed", k)
+		}
+	}
+}
+
+// A single-replica sweep has no confidence interval: the stat must
+// carry CI95=0 and render it as "n/a", never NaN or ±0.000.
+func TestSweepSingleReplicaCI(t *testing.T) {
+	agg := Sweep(Options{Replicas: 1, Parallel: 1, RootSeed: 2}, echoBody)
+	st := agg.Values["rtt_ms"]
+	if st.N != 1 {
+		t.Fatalf("stat N = %d, want 1", st.N)
+	}
+	if math.IsNaN(st.CI95) || st.CI95 != 0 {
+		t.Fatalf("CI95 = %v, want 0 for a singleton series", st.CI95)
+	}
+	s := st.String()
+	if !strings.Contains(s, "±n/a") {
+		t.Fatalf("singleton Stat renders %q, want ±n/a", s)
+	}
+	if strings.Contains(agg.Render(), "NaN") {
+		t.Fatalf("aggregate render contains NaN:\n%s", agg.Render())
+	}
+	// Two replicas DO have a CI and render it numerically.
+	if s := Summarize([]float64{1, 2}).String(); strings.Contains(s, "n/a") {
+		t.Fatalf("two-sample stat should render a numeric CI, got %q", s)
 	}
 }
 
