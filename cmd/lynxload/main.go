@@ -1,223 +1,53 @@
-// Command lynxload is the traffic-generator frontend of the grid
-// runner: it drives thousands of short LYNX Systems (an open-loop or
-// max-throughput stream of echo/pipeline/mesh workloads, configurable
-// mix) across the configured substrates and reports runs/sec,
-// p50/p95/p99 completion time, and per-substrate protocol-event
-// counts.
+// Command lynxload is the thin CLI over the lynx/load engine and the
+// lynx/grid runner. It measures the three kernel bindings under load in
+// two complementary ways:
 //
-// Two dispatch modes:
+//   - virtual-time overload sweep (default, and -rates R1,R2,...): the
+//     open-loop load.Run engine injects Poisson arrivals of
+//     echo/pipeline/mesh work units INSIDE one simulated System per
+//     (substrate, rate) cell, sweeping offered rates that cross
+//     saturation. Offered rate vs realized throughput and p50/p95/p99
+//     virtual-time sojourn land in a pivoted matrix and in
+//     BENCH_load.json's overload table. Every number is a pure function
+//     of the seed: the recorded table is byte-identical on any machine
+//     at any -parallel, and `make bench` fails on any drift.
+//   - max-throughput (wall clock): a closed loop through lynx/grid —
+//     one cell per substrate, -runs replicas, each one short System
+//     from load.RunOnce. This measures the host's Systems/sec and gates
+//     (>15%) only on the recording machine.
 //
-//   - max-throughput (default, -rate 0): a closed loop through
-//     lynx/grid — one grid cell per substrate, -runs replicas per cell,
-//     each replica one short System whose kind is drawn from -mix by
-//     its replica seed. This is the bench mode recorded in
-//     BENCH_load.json.
-//   - open-loop (-rate R -duration D): arrivals with exponential
-//     interarrival gaps at R runs/sec aggregate for D, each run
-//     dispatched on its own goroutine the moment it arrives (arrivals
-//     never wait for completions); completion time is measured from
-//     the scheduled arrival, so queueing delay under overload counts.
+// A single open-loop run with full detail: lynxload -rate 150
 //
 // Examples:
 //
-//	lynxload                                  # bench workload + regression gate
-//	lynxload -update                          # rewrite BENCH_load.json current numbers
-//	lynxload -runs 2000 -substrates chrysalis -mix echo=1
-//	lynxload -rate 500 -duration 4s           # open-loop traffic at 500 runs/s
-//
-// The regression gate (>15% runs/sec, like sweepbench's) engages only
-// when the recording machine (NumCPU/GOMAXPROCS) and the workload
-// string both match the recorded ones; otherwise it reports and skips.
+//	lynxload                        # bench: wall gate + overload-table gate
+//	lynxload -update                # rewrite BENCH_load.json current numbers
+//	lynxload -rate 300 -window 2s   # one open-loop virtual-time run
+//	lynxload -rates 10,100,1000 -substrates soda
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/lynx"
 	"repro/lynx/grid"
+	"repro/lynx/load"
 	"repro/lynx/sweep"
 )
 
-// kinds are the short-System workload shapes, in mix-string order.
-var kinds = []string{"echo", "pipeline", "mesh"}
-
-// defaultMix is the standard traffic mix: mostly cheap echoes with a
-// tail of heavier pipeline and mesh runs.
-const defaultMix = "echo=7,pipeline=2,mesh=1"
-
-// runOne builds and runs one short System of the given kind; the
-// returned registry pools the run's protocol events plus a
-// "load_runs_<kind>" marker counter.
-func runOne(sub lynx.Substrate, kind string, seed uint64) (*obs.Metrics, error) {
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: seed})
-	switch kind {
-	case "echo":
-		buildEcho(sys)
-	case "pipeline":
-		buildPipeline(sys)
-	case "mesh":
-		buildMesh(sys)
-	default:
-		return nil, fmt.Errorf("lynxload: unknown workload kind %q", kind)
-	}
-	err := sys.Run()
-	m := obs.NewMetrics()
-	m.Counter("load_runs_" + kind).Inc()
-	m.Merge(sys.Metrics())
-	return m, err
-}
-
-// buildEcho: one client hammering one server with 4 echo RPCs of 64 B.
-func buildEcho(sys *lynx.System) {
-	data := make([]byte, 64)
-	cl := sys.Spawn("client", func(t *lynx.Thread, boot []*lynx.End) {
-		for i := 0; i < 4; i++ {
-			if _, err := t.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
-				return
-			}
-		}
-		t.Destroy(boot[0])
-	})
-	sv := sys.Spawn("server", func(t *lynx.Thread, boot []*lynx.End) {
-		t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
-			st.Reply(req, lynx.Msg{Data: req.Data()})
-		})
-	})
-	sys.Join(cl, sv)
-}
-
-// buildPipeline: source → relay → sink; each of 3 ops traverses both
-// hops (the relay's handler makes a nested remote call).
-func buildPipeline(sys *lynx.System) {
-	data := make([]byte, 128)
-	src := sys.Spawn("source", func(t *lynx.Thread, boot []*lynx.End) {
-		for i := 0; i < 3; i++ {
-			if _, err := t.Connect(boot[0], "fwd", lynx.Msg{Data: data}); err != nil {
-				return
-			}
-		}
-		t.Destroy(boot[0])
-	})
-	relay := sys.Spawn("relay", func(t *lynx.Thread, boot []*lynx.End) {
-		up, down := boot[0], boot[1]
-		t.Serve(up, func(st *lynx.Thread, req *lynx.Request) {
-			reply, err := st.Connect(down, "fwd", lynx.Msg{Data: req.Data()})
-			if err != nil {
-				st.Reply(req, lynx.Msg{})
-				return
-			}
-			st.Reply(req, lynx.Msg{Data: reply.Data})
-		})
-	})
-	sink := sys.Spawn("sink", func(t *lynx.Thread, boot []*lynx.End) {
-		t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
-			st.Reply(req, lynx.Msg{Data: req.Data()})
-		})
-	})
-	sys.Join(src, relay)
-	sys.Join(relay, sink)
-}
-
-// buildMesh: 4 peers on a ring, each serving its ends and echoing 2
-// ops to its clockwise neighbor.
-func buildMesh(sys *lynx.System) {
-	const peers = 4
-	data := make([]byte, 32)
-	refs := make([]*lynx.ProcRef, peers)
-	for i := 0; i < peers; i++ {
-		refs[i] = sys.Spawn(fmt.Sprint("peer", i), func(t *lynx.Thread, boot []*lynx.End) {
-			for _, e := range boot {
-				t.Serve(e, func(st *lynx.Thread, req *lynx.Request) {
-					st.Reply(req, lynx.Msg{Data: req.Data()})
-				})
-			}
-			for op := 0; op < 2; op++ {
-				e := boot[op%len(boot)]
-				if e.Dead() {
-					continue
-				}
-				if _, err := t.Connect(e, "echo", lynx.Msg{Data: data}); err != nil {
-					return
-				}
-			}
-			t.Sleep(10 * lynx.Millisecond)
-			for _, e := range boot {
-				if !e.Dead() {
-					t.Destroy(e)
-				}
-			}
-		})
-	}
-	for i := 0; i < peers; i++ {
-		sys.Join(refs[i], refs[(i+1)%peers])
-	}
-}
-
-// mixTable is a parsed traffic mix: kinds with cumulative weights for
-// seeded weighted picks.
-type mixTable struct {
-	names   []string
-	weights []int
-	total   int
-}
-
-func parseMix(s string) (*mixTable, error) {
-	m := &mixTable{}
-	for _, part := range strings.Split(s, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 {
-			return nil, fmt.Errorf("bad mix entry %q (want kind=weight)", part)
-		}
-		known := false
-		for _, k := range kinds {
-			if kv[0] == k {
-				known = true
-			}
-		}
-		if !known {
-			return nil, fmt.Errorf("unknown workload kind %q (have %s)", kv[0], strings.Join(kinds, "/"))
-		}
-		w, err := strconv.Atoi(kv[1])
-		if err != nil || w < 0 {
-			return nil, fmt.Errorf("bad mix weight %q", kv[1])
-		}
-		if w == 0 {
-			continue
-		}
-		m.names = append(m.names, kv[0])
-		m.weights = append(m.weights, w)
-		m.total += w
-	}
-	if m.total == 0 {
-		return nil, fmt.Errorf("mix %q has no positive weights", s)
-	}
-	return m, nil
-}
-
-// pick draws a kind from the mix using the run's seed stream, so the
-// kind of run k is a pure function of the root seed.
-func (m *mixTable) pick(r *sim.Rand) string {
-	n := r.Intn(m.total)
-	for i, w := range m.weights {
-		if n < w {
-			return m.names[i]
-		}
-		n -= w
-	}
-	return m.names[len(m.names)-1]
-}
+// defaultRates sweeps from inside every substrate's capacity to well
+// past SODA's and Charlotte's saturation points.
+const defaultRates = "5,20,80,320"
 
 func parseSubstrates(s string) ([]lynx.Substrate, error) {
 	table := map[string]lynx.Substrate{
@@ -240,16 +70,201 @@ func parseSubstrates(s string) ([]lynx.Substrate, error) {
 	return out, nil
 }
 
-// measurement is one BENCH_load.json recording.
+// parseRates parses the -rates list; every entry must be a positive
+// number of arrivals per virtual second.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("rate must be positive, got %g", r)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rates")
+	}
+	return out, nil
+}
+
+// loadConfig is the resolved workload configuration.
+type loadConfig struct {
+	subs     []lynx.Substrate
+	mix      *load.Mix
+	runs     int // closed-loop replicas per substrate
+	parallel int
+	seed     uint64
+	rates    []float64
+	window   lynx.Duration
+}
+
+// wallKey canonicalizes the closed-loop workload for the wall gate.
+func (c loadConfig) wallKey() string {
+	return fmt.Sprintf("subs=%s mix=%s seed=%d runs=%d",
+		subNames(c.subs), c.mix, c.seed, c.runs)
+}
+
+// overloadKey canonicalizes the virtual-time sweep for the table gate.
+func (c loadConfig) overloadKey() string {
+	rs := make([]string, len(c.rates))
+	for i, r := range c.rates {
+		rs[i] = fmt.Sprintf("%g", r)
+	}
+	return fmt.Sprintf("subs=%s rates=%s mix=%s seed=%d window=%s",
+		subNames(c.subs), strings.Join(rs, ","), c.mix, c.seed,
+		time.Duration(c.window))
+}
+
+func subNames(subs []lynx.Substrate) string {
+	names := make([]string, len(subs))
+	for i, s := range subs {
+		names[i] = s.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// overloadRow is one (substrate, offered rate) line of the recorded
+// overload table. All fields are virtual-time derived and machine
+// independent.
+type overloadRow struct {
+	Substrate  string  `json:"substrate"`
+	Rate       float64 `json:"rate"`
+	Arrivals   int     `json:"arrivals"`
+	Completed  int     `json:"completed"`
+	MakespanMS float64 `json:"makespan_ms"`
+	Realized   float64 `json:"realized"`
+	P50MS      float64 `json:"sojourn_p50_ms"`
+	P95MS      float64 `json:"sojourn_p95_ms"`
+	P99MS      float64 `json:"sojourn_p99_ms"`
+}
+
+// overloadSpec is the sweep's grid: substrate × offered rate, one
+// deterministic load.Run per cell.
+func overloadSpec(c loadConfig) grid.Spec {
+	subVals := make([]any, len(c.subs))
+	for i, s := range c.subs {
+		subVals[i] = s
+	}
+	rateVals := make([]any, len(c.rates))
+	for i, r := range c.rates {
+		rateVals[i] = r
+	}
+	return grid.Spec{
+		Name: "lynxload overload",
+		Axes: []grid.Axis{
+			{Name: "substrate", Values: subVals},
+			{Name: "rate", Values: rateVals},
+		},
+		Replicas: 1,
+		Parallel: c.parallel,
+		RootSeed: c.seed,
+		Body: func(cell grid.Cell, r sweep.Run) sweep.Outcome {
+			res, err := load.Run(load.Options{
+				Substrate: cell.Value("substrate").(lynx.Substrate),
+				Rate:      cell.Value("rate").(float64),
+				Window:    c.window,
+				Mix:       c.mix,
+				Seed:      r.Seed,
+			})
+			if err != nil {
+				return sweep.Outcome{Err: err}
+			}
+			return sweep.Outcome{
+				Values: map[string]float64{
+					"arrivals":       float64(res.Arrivals),
+					"completed":      float64(res.Completed),
+					"makespan_ms":    float64(res.Makespan) / 1e6,
+					"realized":       res.Realized,
+					"sojourn_p50_ms": res.Sojourn.P50,
+					"sojourn_p95_ms": res.Sojourn.P95,
+					"sojourn_p99_ms": res.Sojourn.P99,
+				},
+				Metrics: res.Metrics,
+			}
+		},
+	}
+}
+
+// runOverload executes the sweep and flattens the grid into table rows
+// in enumeration order.
+func runOverload(c loadConfig) ([]overloadRow, *grid.Table, error) {
+	tbl := grid.Run(overloadSpec(c))
+	if tbl.Errs() > 0 {
+		for _, cr := range tbl.Cells {
+			if len(cr.Agg.Errs) > 0 {
+				return nil, tbl, fmt.Errorf("%s: %v", cr.Cell.Key(), cr.Agg.Errs[0])
+			}
+		}
+	}
+	rows := make([]overloadRow, len(tbl.Cells))
+	for i, cr := range tbl.Cells {
+		v := cr.Agg.Values
+		rows[i] = overloadRow{
+			Substrate:  cr.Cell.Str("substrate"),
+			Rate:       cr.Cell.Value("rate").(float64),
+			Arrivals:   int(v["arrivals"].Mean),
+			Completed:  int(v["completed"].Mean),
+			MakespanMS: v["makespan_ms"].Mean,
+			Realized:   v["realized"].Mean,
+			P50MS:      v["sojourn_p50_ms"].Mean,
+			P95MS:      v["sojourn_p95_ms"].Mean,
+			P99MS:      v["sojourn_p99_ms"].Mean,
+		}
+	}
+	if err := checkShape(rows); err != nil {
+		return nil, tbl, err
+	}
+	return rows, tbl, nil
+}
+
+// checkShape asserts the physics every overload table must satisfy
+// before it is recorded or gated: open-loop runs drain completely and
+// realized throughput never exceeds offered load (the engine measures,
+// it does not invent work).
+func checkShape(rows []overloadRow) error {
+	for _, r := range rows {
+		if r.Completed != r.Arrivals {
+			return fmt.Errorf("%s rate %g: %d of %d units completed",
+				r.Substrate, r.Rate, r.Completed, r.Arrivals)
+		}
+		// Realized is completed/makespan; a short burst can nominally
+		// exceed the offered average, but never wildly.
+		if r.Arrivals > 10 && r.Realized > r.Rate*1.5 {
+			return fmt.Errorf("%s rate %g: realized %g exceeds offered",
+				r.Substrate, r.Rate, r.Realized)
+		}
+	}
+	return nil
+}
+
+// runSingle is the -rate mode: one open-loop virtual run, full detail.
+func runSingle(c loadConfig, rate float64) (*load.Result, error) {
+	return load.Run(load.Options{
+		Substrate: c.subs[0],
+		Rate:      rate,
+		Window:    c.window,
+		Mix:       c.mix,
+		Seed:      c.seed,
+	})
+}
+
+// measurement is one BENCH_load.json recording: the wall-clock
+// closed-loop numbers (machine-matched gate) plus the virtual-time
+// overload table (machine-independent byte-equality gate).
 type measurement struct {
-	Workload   string                      `json:"workload"`
-	Runs       int                         `json:"runs"`
-	RunsPerSec float64                     `json:"runs_per_sec"`
-	CompleteUS map[string]float64          `json:"complete_us"`
-	MixRuns    map[string]int64            `json:"mix_runs"`
-	Events     map[string]map[string]int64 `json:"substrate_events"`
-	NumCPU     int                         `json:"num_cpu"`
-	GOMAXPROCS int                         `json:"gomaxprocs"`
+	Workload    string                      `json:"workload"`
+	Runs        int                         `json:"runs"`
+	RunsPerSec  float64                     `json:"runs_per_sec"`
+	CompleteUS  map[string]float64          `json:"complete_us"`
+	MixRuns     map[string]int64            `json:"mix_runs"`
+	Events      map[string]map[string]int64 `json:"substrate_events"`
+	NumCPU      int                         `json:"num_cpu"`
+	GOMAXPROCS  int                         `json:"gomaxprocs"`
+	OverloadKey string                      `json:"overload_key,omitempty"`
+	Overload    []overloadRow               `json:"overload,omitempty"`
 }
 
 // benchFile is the BENCH_load.json schema (baseline/current, like
@@ -260,38 +275,9 @@ type benchFile struct {
 	Current  *measurement `json:"current,omitempty"`
 }
 
-// loadConfig is the resolved workload configuration.
-type loadConfig struct {
-	subs     []lynx.Substrate
-	mix      *mixTable
-	runs     int // per substrate (max-throughput mode)
-	parallel int
-	seed     uint64
-	rate     float64 // >0 switches to open-loop arrivals
-	duration time.Duration
-}
-
-// workloadKey canonicalizes the workload so the gate never compares
-// measurements of different traffic.
-func (c loadConfig) workloadKey() string {
-	names := make([]string, len(c.subs))
-	for i, s := range c.subs {
-		names[i] = s.String()
-	}
-	mix := make([]string, len(c.mix.names))
-	for i, n := range c.mix.names {
-		mix[i] = fmt.Sprintf("%s=%d", n, c.mix.weights[i])
-	}
-	key := fmt.Sprintf("subs=%s mix=%s seed=%d",
-		strings.Join(names, ","), strings.Join(mix, ","), c.seed)
-	if c.rate > 0 {
-		return key + fmt.Sprintf(" rate=%g duration=%s", c.rate, c.duration)
-	}
-	return key + fmt.Sprintf(" runs=%d", c.runs)
-}
-
 // runMax drives the closed-loop max-throughput workload through the
-// grid runner: one cell per substrate, c.runs replicas each.
+// grid runner: one cell per substrate, c.runs replicas each, every
+// replica one load.RunOnce System with a mix-drawn kind.
 func runMax(c loadConfig) *measurement {
 	subVals := make([]any, len(c.subs))
 	for i, s := range c.subs {
@@ -306,9 +292,9 @@ func runMax(c loadConfig) *measurement {
 		RootSeed: c.seed,
 		Body: func(cell grid.Cell, r sweep.Run) sweep.Outcome {
 			rnd := sim.NewRand(r.Seed)
-			kind := c.mix.pick(rnd)
+			kind := c.mix.Pick(rnd)
 			t0 := time.Now()
-			m, err := runOne(cell.Value("substrate").(lynx.Substrate), kind, rnd.Uint64())
+			m, err := load.RunOnce(cell.Value("substrate").(lynx.Substrate), kind, rnd.Uint64())
 			return sweep.Outcome{
 				Values:  map[string]float64{"complete_us": float64(time.Since(t0).Microseconds())},
 				Metrics: m,
@@ -333,87 +319,29 @@ func runMax(c loadConfig) *measurement {
 			lats = append(lats, out.Values["complete_us"])
 		}
 		events[cr.Cell.Str("substrate")] = substrateEvents(cr.Agg.Merged)
-		for _, k := range kinds {
+		for _, k := range load.Kinds {
 			mixRuns[k] += cr.Agg.Merged.Value("load_runs_" + k)
 		}
 	}
+	for k, v := range mixRuns {
+		if v == 0 {
+			delete(mixRuns, k)
+		}
+	}
+	st := sweep.Summarize(lats)
 	total := c.runs * len(c.subs)
-	return finishMeasurement(c, total, elapsed, lats, mixRuns, events)
-}
-
-// runOpen drives the open-loop workload: arrivals at c.rate runs/sec
-// aggregate with exponential gaps for c.duration, each dispatched on
-// its own goroutine at its scheduled instant.
-func runOpen(c loadConfig) *measurement {
-	type arrival struct {
-		at   time.Duration
-		sub  lynx.Substrate
-		kind string
-		seed uint64
+	return &measurement{
+		Workload:   c.wallKey(),
+		Runs:       total,
+		RunsPerSec: float64(total) / elapsed.Seconds(),
+		CompleteUS: map[string]float64{
+			"mean": st.Mean, "p50": st.P50, "p95": st.P95, "p99": st.P99,
+		},
+		MixRuns:    mixRuns,
+		Events:     events,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	rnd := sim.NewRand(c.seed)
-	var arrivals []arrival
-	var at time.Duration
-	for at < c.duration {
-		arrivals = append(arrivals, arrival{
-			at:   at,
-			sub:  c.subs[rnd.Intn(len(c.subs))],
-			kind: c.mix.pick(rnd),
-			seed: rnd.Uint64(),
-		})
-		// Exponential interarrival gap at the aggregate rate. The -ln(u)
-		// transform of a uniform draw keeps the schedule a pure function
-		// of the seed.
-		gap := time.Duration(float64(time.Second) / c.rate * expDraw(rnd))
-		at += gap
-	}
-	var (
-		mu      sync.Mutex
-		lats    []float64
-		mixRuns = map[string]int64{}
-		merged  = map[string]*obs.Metrics{}
-		wg      sync.WaitGroup
-	)
-	for _, s := range c.subs {
-		merged[s.String()] = obs.NewMetrics()
-	}
-	start := time.Now()
-	for _, a := range arrivals {
-		wg.Add(1)
-		go func(a arrival) {
-			defer wg.Done()
-			if d := a.at - time.Since(start); d > 0 {
-				time.Sleep(d)
-			}
-			m, err := runOne(a.sub, a.kind, a.seed)
-			lat := float64((time.Since(start) - a.at).Microseconds())
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "lynxload: %v run failed: %v\n", a.sub, err)
-				return
-			}
-			lats = append(lats, lat)
-			mixRuns[a.kind]++
-			merged[a.sub.String()].Merge(m)
-		}(a)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	events := map[string]map[string]int64{}
-	for name, m := range merged {
-		events[name] = substrateEvents(m)
-	}
-	return finishMeasurement(c, len(arrivals), elapsed, lats, mixRuns, events)
-}
-
-// expDraw is a unit-mean exponential draw from the deterministic rand.
-func expDraw(r *sim.Rand) float64 {
-	u := r.Float64()
-	if u <= 0 {
-		u = 1e-12
-	}
-	return -math.Log(u)
 }
 
 // substrateEvents extracts the headline protocol-event counters from a
@@ -434,31 +362,8 @@ func substrateEvents(m *obs.Metrics) map[string]int64 {
 	return out
 }
 
-// finishMeasurement folds latencies and counts into the recorded form.
-func finishMeasurement(c loadConfig, runs int, elapsed time.Duration, lats []float64,
-	mixRuns map[string]int64, events map[string]map[string]int64) *measurement {
-	st := sweep.Summarize(lats)
-	for k, v := range mixRuns {
-		if v == 0 {
-			delete(mixRuns, k)
-		}
-	}
-	return &measurement{
-		Workload:   c.workloadKey(),
-		Runs:       runs,
-		RunsPerSec: float64(runs) / elapsed.Seconds(),
-		CompleteUS: map[string]float64{
-			"mean": st.Mean, "p50": st.P50, "p95": st.P95, "p99": st.P99,
-		},
-		MixRuns:    mixRuns,
-		Events:     events,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}
-}
-
 // report prints the human-readable load report.
-func report(m *measurement) {
+func report(m *measurement, tbl *grid.Table) {
 	fmt.Printf("lynxload: %s\n", m.Workload)
 	fmt.Printf("  %d runs, %.0f runs/s (NumCPU=%d GOMAXPROCS=%d)\n",
 		m.Runs, m.RunsPerSec, m.NumCPU, m.GOMAXPROCS)
@@ -489,9 +394,34 @@ func report(m *measurement) {
 		}
 		fmt.Printf("  events %-10s %s\n", s, strings.Join(parts, " "))
 	}
+	if tbl != nil {
+		fmt.Printf("overload sweep: %s\n", m.OverloadKey)
+		fmt.Print(tbl.RenderMatrix("substrate", "rate",
+			"realized", "sojourn_p50_ms", "sojourn_p95_ms", "sojourn_p99_ms"))
+	}
 }
 
-func load(path string) (*benchFile, error) {
+// reportSingle prints one -rate run in full.
+func reportSingle(sub lynx.Substrate, res *load.Result) {
+	fmt.Printf("lynxload: %v open-loop rate %g/s window %s\n",
+		sub, res.Offered, time.Duration(res.Window))
+	fmt.Printf("  arrivals %d completed %d makespan %s realized %.2f/s\n",
+		res.Arrivals, res.Completed, time.Duration(res.Makespan), res.Realized)
+	fmt.Printf("  sojourn ms: p50 %.3f p95 %.3f p99 %.3f max %.3f\n",
+		res.Sojourn.P50, res.Sojourn.P95, res.Sojourn.P99, res.Sojourn.Max)
+	kinds := make([]string, 0, len(res.ByKind))
+	for k := range res.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		s := res.ByKind[k]
+		fmt.Printf("  %-10s n=%-5d sojourn ms: p50 %.3f p95 %.3f p99 %.3f\n",
+			k, s.N, s.P50, s.P95, s.P99)
+	}
+}
+
+func loadFile(path string) (*benchFile, error) {
 	f := &benchFile{}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -500,6 +430,11 @@ func load(path string) (*benchFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(data) == 0 {
+		// An empty file (e.g. freshly touched, or /dev/null) means the
+		// same thing as a missing one: nothing recorded yet.
+		return f, nil
+	}
 	if err := json.Unmarshal(data, f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -507,12 +442,13 @@ func load(path string) (*benchFile, error) {
 }
 
 func save(path string, f *benchFile) error {
-	f.Note = "Load-generator benchmark: short lynx Systems/sec through the lynx/grid runner " +
-		"(mixed echo/pipeline/mesh traffic per substrate; see cmd/lynxload). " +
-		"make check fails on a >15% runs/sec regression vs current when run on the recording " +
-		"machine with the recorded workload (same NumCPU/GOMAXPROCS/workload string); " +
-		"refresh deliberately with `make bench-update`. num_cpu/gomaxprocs make the " +
-		"hardware-gated skips auditable from the artifact alone."
+	f.Note = "Load benchmark (cmd/lynxload). runs_per_sec: short lynx Systems/sec through the " +
+		"lynx/grid runner (mixed echo/pipeline/mesh traffic per substrate); make check fails on " +
+		"a >15% regression vs current only on the recording machine (same NumCPU/GOMAXPROCS/" +
+		"workload string). overload: the virtual-time open-loop sweep (lynx/load) — offered rate " +
+		"vs realized throughput and p50/p95/p99 virtual sojourn; every number is a pure function " +
+		"of the seed, so the gate demands byte-identical tables on ANY machine at any -parallel. " +
+		"Refresh deliberately with `make bench-update`."
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
@@ -520,19 +456,20 @@ func save(path string, f *benchFile) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// gateFails applies the machine- and workload-matched regression gate.
-func gateFails(rec, m *measurement) bool {
+// wallGateFails applies the machine- and workload-matched wall-clock
+// regression gate.
+func wallGateFails(rec, m *measurement) bool {
 	if rec == nil {
 		fmt.Println("lynxload: no recorded current numbers; record with `make bench-update`")
 		return false
 	}
 	if rec.NumCPU != m.NumCPU || rec.GOMAXPROCS != m.GOMAXPROCS {
-		fmt.Printf("lynxload: recorded on NumCPU=%d/GOMAXPROCS=%d, running on %d/%d; gate skipped\n",
+		fmt.Printf("lynxload: recorded on NumCPU=%d/GOMAXPROCS=%d, running on %d/%d; wall gate skipped\n",
 			rec.NumCPU, rec.GOMAXPROCS, m.NumCPU, m.GOMAXPROCS)
 		return false
 	}
 	if rec.Workload != m.Workload {
-		fmt.Printf("lynxload: recorded workload %q differs from %q; gate skipped\n",
+		fmt.Printf("lynxload: recorded workload %q differs from %q; wall gate skipped\n",
 			rec.Workload, m.Workload)
 		return false
 	}
@@ -545,18 +482,44 @@ func gateFails(rec, m *measurement) bool {
 	return false
 }
 
+// overloadGateFails applies the machine-independent table gate: the
+// recomputed overload table must be byte-identical to the recorded one.
+func overloadGateFails(rec, m *measurement) bool {
+	if rec == nil || len(rec.Overload) == 0 {
+		fmt.Println("lynxload: no recorded overload table; record with `make bench-update`")
+		return false
+	}
+	if rec.OverloadKey != m.OverloadKey {
+		fmt.Printf("lynxload: recorded overload sweep %q differs from %q; table gate skipped\n",
+			rec.OverloadKey, m.OverloadKey)
+		return false
+	}
+	recJSON, _ := json.Marshal(rec.Overload)
+	gotJSON, _ := json.Marshal(m.Overload)
+	if string(recJSON) != string(gotJSON) {
+		fmt.Fprintf(os.Stderr,
+			"lynxload: overload table drifted from BENCH_load.json (virtual-time results are seed-pure; "+
+				"this is a behavior change, not noise).\nrecorded: %s\nmeasured: %s\n"+
+				"Refresh deliberately with `make bench-update`.\n", recJSON, gotJSON)
+		return true
+	}
+	fmt.Println("lynxload: overload table matches recorded (byte-identical)")
+	return false
+}
+
 func main() {
 	var (
 		path       = flag.String("file", "BENCH_load.json", "trajectory file")
 		update     = flag.Bool("update", false, "rewrite the current numbers")
 		asBaseline = flag.Bool("as-baseline", false, "rewrite the baseline numbers")
 		substrates = flag.String("substrates", "charlotte,soda,chrysalis", "comma-separated substrate list")
-		mixFlag    = flag.String("mix", defaultMix, "traffic mix, kind=weight pairs")
+		mixFlag    = flag.String("mix", load.DefaultMix, "traffic mix, kind=weight pairs")
 		runs       = flag.Int("runs", 600, "max-throughput mode: runs per substrate")
-		parallel   = flag.Int("parallel", 0, "max-throughput mode: worker goroutines (default GOMAXPROCS)")
+		parallel   = flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS); never changes results")
 		seed       = flag.Uint64("seed", 1, "root seed (workload shape and System seeds)")
-		rate       = flag.Float64("rate", 0, "open-loop mode: aggregate arrivals/sec (0 = max throughput)")
-		duration   = flag.Duration("duration", 2*time.Second, "open-loop mode: generation window")
+		rate       = flag.Float64("rate", 0, "single open-loop virtual-time run at this rate (first -substrates entry)")
+		rates      = flag.String("rates", defaultRates, "overload sweep: offered rates, arrivals per virtual second")
+		window     = flag.Duration("window", time.Second, "open-loop arrival window (virtual time)")
 	)
 	flag.Parse()
 
@@ -565,29 +528,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lynxload:", err)
 		os.Exit(2)
 	}
-	mix, err := parseMix(*mixFlag)
+	mix, err := load.ParseMix(*mixFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lynxload:", err)
 		os.Exit(2)
 	}
+	rateList, err := parseRates(*rates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lynxload: -rates:", err)
+		os.Exit(2)
+	}
+	if *window <= 0 {
+		fmt.Fprintln(os.Stderr, "lynxload: -window must be positive")
+		os.Exit(2)
+	}
 	c := loadConfig{subs: subs, mix: mix, runs: *runs, parallel: *parallel,
-		seed: *seed, rate: *rate, duration: *duration}
+		seed: *seed, rates: rateList, window: lynx.Duration(*window)}
 
+	if *rate != 0 {
+		res, err := runSingle(c, *rate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lynxload:", err)
+			os.Exit(2)
+		}
+		reportSingle(c.subs[0], res)
+		return
+	}
+
+	// Bench mode: wall-clock closed loop (best of 3, like sweepbench)
+	// plus the deterministic virtual-time overload sweep.
 	var m *measurement
-	if c.rate > 0 {
-		m = runOpen(c)
-	} else {
-		// Best of 3: the throughput number feeds a regression gate, so
-		// shave scheduler noise the same way sweepbench does.
-		for i := 0; i < 3; i++ {
-			if r := runMax(c); m == nil || r.RunsPerSec > m.RunsPerSec {
-				m = r
-			}
+	for i := 0; i < 3; i++ {
+		if r := runMax(c); m == nil || r.RunsPerSec > m.RunsPerSec {
+			m = r
 		}
 	}
-	report(m)
+	overload, tbl, err := runOverload(c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lynxload: overload sweep:", err)
+		os.Exit(1)
+	}
+	m.OverloadKey = c.overloadKey()
+	m.Overload = overload
+	report(m, tbl)
 
-	f, err := load(*path)
+	f, err := loadFile(*path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lynxload:", err)
 		os.Exit(1)
@@ -598,7 +583,11 @@ func main() {
 	case *update:
 		f.Current = m
 	default:
-		if gateFails(f.Current, m) {
+		bad := wallGateFails(f.Current, m)
+		if overloadGateFails(f.Current, m) {
+			bad = true
+		}
+		if bad {
 			os.Exit(1)
 		}
 		return

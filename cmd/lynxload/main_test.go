@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/lynx"
+	"repro/lynx/load"
+)
+
+func testConfig(t *testing.T) loadConfig {
+	t.Helper()
+	mix, err := load.ParseMix(load.DefaultMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loadConfig{
+		subs:   []lynx.Substrate{lynx.Charlotte},
+		mix:    mix,
+		seed:   3,
+		rates:  []float64{25, 200},
+		window: lynx.Duration(200 * time.Millisecond),
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("5, 20,80.5")
+	if err != nil || len(got) != 3 || got[2] != 80.5 {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "5,0", "5,-1", "x", "5,,20"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Fatalf("parseRates(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSubstrates(t *testing.T) {
+	subs, err := parseSubstrates("soda, charlotte")
+	if err != nil || len(subs) != 2 || subs[0] != lynx.SODA {
+		t.Fatalf("parseSubstrates = %v, %v", subs, err)
+	}
+	for _, bad := range []string{"", "mars", "soda,mars"} {
+		if _, err := parseSubstrates(bad); err == nil {
+			t.Fatalf("parseSubstrates(%q) should fail", bad)
+		}
+	}
+}
+
+// runSingle is one single-System open-loop run; zero and negative
+// rates are rejected by the engine, not silently clamped.
+func TestRunSingleEdgeRates(t *testing.T) {
+	c := testConfig(t)
+	for _, bad := range []float64{0, -10} {
+		if _, err := runSingle(c, bad); err == nil {
+			t.Fatalf("rate %g should be rejected", bad)
+		}
+	}
+	res, err := runSingle(c, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Arrivals || res.Arrivals == 0 {
+		t.Fatalf("arrivals=%d completed=%d", res.Arrivals, res.Completed)
+	}
+}
+
+// The overload sweep flattens grid cells into rows in enumeration
+// order and passes the shape check.
+func TestRunOverloadRows(t *testing.T) {
+	c := testConfig(t)
+	rows, tbl, err := runOverload(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(c.subs)*len(c.rates) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Rate != c.rates[i%len(c.rates)] || r.Substrate != "charlotte" {
+			t.Fatalf("row %d out of enumeration order: %+v", i, r)
+		}
+		if r.Completed != r.Arrivals {
+			t.Fatalf("row %d did not drain: %+v", i, r)
+		}
+	}
+	if tbl.RenderMatrix("substrate", "rate", "realized") == "" {
+		t.Fatal("matrix render empty")
+	}
+}
+
+func TestCheckShape(t *testing.T) {
+	if err := checkShape([]overloadRow{{Arrivals: 5, Completed: 4}}); err == nil {
+		t.Fatal("undrained row should fail the shape check")
+	}
+	if err := checkShape([]overloadRow{{Rate: 10, Arrivals: 50, Completed: 50, Realized: 100}}); err == nil {
+		t.Fatal("realized far above offered should fail the shape check")
+	}
+	if err := checkShape([]overloadRow{{Rate: 10, Arrivals: 50, Completed: 50, Realized: 9}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The overload gate: skip on sweep mismatch, pass on byte-identical
+// tables, fail on any drift.
+func TestOverloadGate(t *testing.T) {
+	rows := []overloadRow{{Substrate: "soda", Rate: 20, Arrivals: 3, Completed: 3, Realized: 2.5}}
+	rec := &measurement{OverloadKey: "k", Overload: rows}
+	same := &measurement{OverloadKey: "k", Overload: append([]overloadRow(nil), rows...)}
+	if overloadGateFails(rec, same) {
+		t.Fatal("identical tables must pass")
+	}
+	if overloadGateFails(nil, same) || overloadGateFails(&measurement{}, same) {
+		t.Fatal("missing recording must not fail the gate")
+	}
+	other := &measurement{OverloadKey: "other", Overload: rows}
+	if overloadGateFails(rec, other) {
+		t.Fatal("different sweep key must skip, not fail")
+	}
+	drift := &measurement{OverloadKey: "k",
+		Overload: []overloadRow{{Substrate: "soda", Rate: 20, Arrivals: 3, Completed: 3, Realized: 2.6}}}
+	if !overloadGateFails(rec, drift) {
+		t.Fatal("drifted table must fail")
+	}
+}
+
+// The recorded measurement round-trips through the JSON schema.
+func TestMeasurementRoundTrip(t *testing.T) {
+	c := testConfig(t)
+	rows, _, err := runOverload(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &measurement{Workload: c.wallKey(), OverloadKey: c.overloadKey(), Overload: rows}
+	data, err := json.Marshal(benchFile{Current: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchFile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if overloadGateFails(back.Current, m) {
+		t.Fatal("round-tripped table must still be byte-identical")
+	}
+}

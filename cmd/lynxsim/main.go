@@ -7,7 +7,6 @@
 //
 //	lynxsim                                    # default echo workload
 //	lynxsim -substrate soda -clients 4 -ops 50
-//	lynxsim -mode sweep -payloads 0,256,1024,4096
 //	lynxsim -mode mesh -procs 8 -ops 40 -seed 3
 //	lynxsim -substrate charlotte -mode echo -payload 1000 -stats
 package main
@@ -17,25 +16,20 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/lynx"
-	"repro/lynx/grid"
-	"repro/lynx/sweep"
 )
 
 func main() {
 	var (
-		subName  = flag.String("substrate", "chrysalis", "charlotte|soda|chrysalis|ideal")
-		mode     = flag.String("mode", "echo", "echo|sweep|mesh")
-		clients  = flag.Int("clients", 2, "echo: number of client processes")
-		procs    = flag.Int("procs", 6, "mesh: number of peer processes")
-		ops      = flag.Int("ops", 20, "operations per client/peer")
-		payload  = flag.Int("payload", 0, "echo/mesh: payload bytes per direction")
-		payloads = flag.String("payloads", "0,128,512,1024,2048,4096", "sweep: payload list")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		stats    = flag.Bool("stats", false, "print kernel/binding statistics")
+		subName = flag.String("substrate", "chrysalis", "charlotte|soda|chrysalis|ideal")
+		mode    = flag.String("mode", "echo", "echo|mesh")
+		clients = flag.Int("clients", 2, "echo: number of client processes")
+		procs   = flag.Int("procs", 6, "mesh: number of peer processes")
+		ops     = flag.Int("ops", 20, "operations per client/peer")
+		payload = flag.Int("payload", 0, "echo/mesh: payload bytes per direction")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		stats   = flag.Bool("stats", false, "print kernel/binding statistics")
 	)
 	flag.Parse()
 
@@ -54,7 +48,8 @@ func main() {
 	case "echo":
 		runEcho(sub, *clients, *ops, *payload, *seed, *stats)
 	case "sweep":
-		runSweep(sub, *payloads, *ops, *seed)
+		fmt.Fprintln(os.Stderr, "lynxsim: -mode sweep was removed; use `lynxload -rates ...` or the lynx/grid package (README \"Configuration grids & load generation\")")
+		os.Exit(2)
 	case "mesh":
 		runMesh(sub, *procs, *ops, *payload, *seed, *stats)
 	default:
@@ -120,67 +115,6 @@ func runEcho(sub lynx.Substrate, clients, ops, payload int, seed uint64, showSta
 		total, float64(clients*ops)/(float64(total)/1e9))
 	if showStats {
 		printStats(sys, server)
-	}
-}
-
-// runSweep: the E3-style payload sweep on one substrate. Deprecated:
-// it is now nothing but a one-axis grid.Spec handed to the lynx/grid
-// runner — use lynx/grid directly (or cmd/lynxload for traffic) for
-// anything beyond this shape.
-func runSweep(sub lynx.Substrate, payloadList string, ops int, seed uint64) {
-	fmt.Fprintln(os.Stderr, "lynxsim: -mode sweep is deprecated; it is a thin wrapper over lynx/grid (see README \"Configuration grids & load generation\")")
-	var payloads []any
-	for _, f := range strings.Split(payloadList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lynxsim: bad payload %q\n", f)
-			os.Exit(2)
-		}
-		payloads = append(payloads, n)
-	}
-	tbl := grid.Run(grid.Spec{
-		Name:     "lynxsim payload sweep",
-		Axes:     []grid.Axis{{Name: "payload", Values: payloads}},
-		RootSeed: seed,
-		Body: func(c grid.Cell, r sweep.Run) sweep.Outcome {
-			n := c.Int("payload")
-			sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed, BufCap: n + 256})
-			var sum lynx.Duration
-			count := 0
-			data := make([]byte, n)
-			cl := sys.Spawn("c", func(t *lynx.Thread, boot []*lynx.End) {
-				for j := 0; j < ops; j++ {
-					start := t.Now()
-					if _, err := t.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
-						return
-					}
-					sum += lynx.Duration(t.Now() - start)
-					count++
-				}
-				t.Destroy(boot[0])
-			})
-			sv := sys.Spawn("s", func(t *lynx.Thread, boot []*lynx.End) {
-				t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
-					st.Reply(req, lynx.Msg{Data: req.Data()})
-				})
-			})
-			sys.Join(cl, sv)
-			err := sys.Run()
-			return sweep.Outcome{
-				Values: map[string]float64{"rtt_ns": float64(sum / lynx.Duration(max(count, 1)))},
-				Err:    err,
-			}
-		},
-	})
-	if n := tbl.Errs(); n > 0 {
-		fmt.Fprintf(os.Stderr, "lynxsim: %d sweep cell(s) failed\n", n)
-		os.Exit(1)
-	}
-	fmt.Printf("payload sweep on %v (%d ops per point; via lynx/grid)\n", sub, ops)
-	fmt.Printf("  %-10s %-12s\n", "bytes/dir", "mean RTT (ms)")
-	for _, cr := range tbl.Cells {
-		fmt.Printf("  %-10d %-12.2f\n", cr.Cell.Int("payload"),
-			lynx.Duration(cr.Agg.Values["rtt_ns"].Mean).Milliseconds())
 	}
 }
 

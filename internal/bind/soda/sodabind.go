@@ -379,11 +379,14 @@ func (tr *Transport) emit(ev core.Event) {
 }
 
 // BootLink creates a link between two bindings before their processes
-// start: loader wiring.
+// start: loader wiring. Names come from the kernel's unique-over-time
+// allocator — deriving them from len(ends) would recycle a name once an
+// end dies, and a recycled name aliases the dead end in every layer
+// that keys state by name (the run-time package's end table outlives
+// the binding's). Mid-run Launch churn makes that collision real.
 func BootLink(a, b *Transport) (core.TransEnd, core.TransEnd) {
-	a.kernel.Env() // same kernel assumed
-	nameA := soda.Name(uint64(2)<<48 | uint64(a.kp.ID())<<16 | uint64(len(a.ends)))
-	nameB := soda.Name(uint64(3)<<48 | uint64(b.kp.ID())<<16 | uint64(len(b.ends)))
+	nameA := a.kp.NewName(nil)
+	nameB := b.kp.NewName(nil)
 	esA := &endState{myName: nameA, farName: nameB, hint: b.kp.ID(), outstanding: map[uint64]uint64{}}
 	esB := &endState{myName: nameB, farName: nameA, hint: a.kp.ID(), outstanding: map[uint64]uint64{}}
 	a.ends[nameA] = esA
@@ -611,22 +614,33 @@ func (tr *Transport) armTimeout(ps *pendingSend, id soda.ReqID) {
 		return
 	}
 	gen := ps.gen
-	tr.env.After(tr.cfg.HintTimeout, func() {
+	var check func()
+	check = func() {
 		if ps.done || ps.cancel || ps.gen != gen {
 			return
 		}
-		if tr.kp.RequestDelivered(id) {
-			// The target saw it and is simply not accepting yet (its
-			// queue is closed): normal stop-and-wait blocking, not a
-			// stale hint.
+		switch tr.kp.RequestState(id) {
+		case soda.ReqDelivered, soda.ReqGone:
+			// Delivered: the target saw it and is simply not accepting
+			// yet (its queue is closed) — normal stop-and-wait blocking.
+			// Gone: completion or crash already handled elsewhere.
+			return
+		case soda.ReqInFlight:
+			// The frame is still crossing the bus. Congestion is not
+			// evidence of a stale hint — under overload a saturated
+			// medium holds frames far past any staleness timeout, and
+			// reacting with rediscovery broadcasts only feeds the
+			// congestion. Keep waiting.
+			tr.env.After(tr.cfg.HintTimeout, check)
 			return
 		}
-		// Undeliverable: the hinted process no longer advertises the
-		// name. Withdraw and repair the hint.
+		// Undeliverable: the frame reached the hinted process and found
+		// the name unadvertised. Withdraw and repair the hint.
 		tr.kp.Withdraw(nil, id)
 		delete(tr.pending, id)
 		tr.scheduleRecovery(ps.end, ps)
-	})
+	}
+	tr.env.After(tr.cfg.HintTimeout, check)
 }
 
 // CancelSend implements core.Transport: withdraw the put if unaccepted.

@@ -45,6 +45,7 @@ type Process struct {
 	liveThreads  int
 
 	ends         map[TransEnd]*End
+	endOrder     []TransEnd // creation order, for seed-stable exit teardown
 	events       eventQueue
 	pendingSends map[uint64]*sendRecord
 	pendingWakes []pendingWake
@@ -213,6 +214,17 @@ func (pr *Process) dispatch(p *sim.Proc) {
 		pr.handleEvent(ev)
 	}
 	pr.dead = true
+	// Orderly exit: destroy every still-live end first, so peers get the
+	// language's link-destroyed exception through the normal protocol. A
+	// silent disappearance would read as a crash on substrates (SODA)
+	// whose crash recovery runs expensive searches. Creation order keeps
+	// the announcement sequence seed-stable.
+	for _, te := range pr.endOrder {
+		if e, ok := pr.ends[te]; ok && !e.dead {
+			e.dead = true
+			pr.tr.Destroy(te)
+		}
+	}
 	pr.tr.Shutdown()
 	pr.env.Trace("lynx", "%s exits", pr.name)
 }
@@ -476,6 +488,7 @@ func (pr *Process) newEnd(te TransEnd) *End {
 		replyWaiters: make(map[uint64]*Thread),
 	}
 	pr.ends[te] = e
+	pr.endOrder = append(pr.endOrder, te)
 	return e
 }
 

@@ -119,6 +119,26 @@ func (t *Thread) Sleep(d sim.Duration) error {
 	return w.err
 }
 
+// SleepUntil blocks this thread until absolute virtual time at (or
+// returns immediately if at is not in the future). Like Sleep it is a
+// block point; unlike Sleep it cannot drift — a generator thread that
+// does work between wakeups still wakes exactly on its schedule, which
+// is what open-loop arrival processes need.
+func (t *Thread) SleepUntil(at sim.Time) error {
+	if at <= t.Now() {
+		return nil
+	}
+	pr := t.pr
+	th := t
+	pr.env.At(at, func() {
+		pr.wakeThread(th, wake{})
+		pr.events.put(Event{Kind: EvTick})
+	})
+	t.blocked = blockState{kind: blockSleep}
+	w := t.park()
+	return w.err
+}
+
 // Now reports current virtual time.
 func (t *Thread) Now() sim.Time { return t.pr.sp.Now() }
 

@@ -308,8 +308,10 @@ type request struct {
 	oob       OOB
 	data      []byte // requester's outgoing payload
 	recvBytes int    // requester's willingness to receive
+	arrived   bool   // request frame has crossed the bus to the target
 	delivered bool   // interrupt raised at target (name was advertised)
 	accepted  bool
+	withdrawn bool
 }
 
 // Process is one SODA node: client processor + kernel processor.
@@ -388,7 +390,9 @@ func (pr *Process) Advertises(n Name) bool { return pr.advertised[n] }
 func (pr *Process) pendingFor(n Name) []*request {
 	var rs []*request
 	for id := ReqID(1); id <= pr.k.nextReq; id++ {
-		if r, ok := pr.inbound[id]; ok && !r.delivered && !r.accepted && r.name == n {
+		// Only frames that have physically arrived: an Advertise must not
+		// deliver a request still serializing onto the bus.
+		if r, ok := pr.inbound[id]; ok && r.arrived && !r.delivered && !r.accepted && r.name == n {
 			rs = append(rs, r)
 		}
 	}
@@ -422,6 +426,11 @@ func (pr *Process) raise(ir Interrupt) {
 	if !pr.open || pr.handler == nil {
 		pr.queue = append(pr.queue, ir)
 		return
+	}
+	if ir.IKind == IntCompletion {
+		// The transfer's bookkeeping ends only now that the requester
+		// actually sees the completion (see Accept).
+		delete(pr.outbound, ir.Req)
 	}
 	pr.k.rec.Counter(obs.MKernelInterrupts).Inc()
 	pr.handler(ir)
@@ -467,13 +476,14 @@ func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []by
 	wire := pr.k.bus.SendTime(pr.k.env.Now(), pr.node, target.node, 32)
 	k := pr.k
 	k.env.After(k.costs.RequestPath+wire+k.costs.InterruptDelivery, func() {
-		if r.accepted || target.dead {
+		if r.withdrawn || r.accepted || target.dead {
 			return
 		}
+		r.arrived = true
 		if target.advertised[r.name] {
 			target.deliverRequest(r)
 		}
-		// Else: delayed; Advertise will deliver it (the kernel's
+		// Else: parked; Advertise will deliver it (the kernel's
 		// periodic retry, modeled without the bus traffic).
 	})
 	if k.rec.Active() {
@@ -515,7 +525,11 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 	}
 	r.accepted = true
 	delete(pr.inbound, id)
-	delete(requester.outbound, id)
+	// The requester's outbound entry survives (marked accepted) until its
+	// completion interrupt is actually dispatched: RequestDelivered must
+	// keep answering true across the accept→interrupt window, or a hint
+	// timeout firing inside it would misread a successful transfer as a
+	// stale hint and re-post a put that was already taken.
 	pr.k.rec.Counter(obs.MKernelAccepts).Inc()
 
 	// Transfer sizes: the smaller of the two parties' declarations.
@@ -590,6 +604,43 @@ func (pr *Process) Discover(p *sim.Proc, n Name) (ProcID, Status) {
 	return found, OK
 }
 
+// ReqState is the requester-visible lifecycle of an outstanding request.
+type ReqState int
+
+const (
+	// ReqGone: not outstanding (completed, crashed, or withdrawn).
+	ReqGone ReqState = iota
+	// ReqInFlight: the request frame is still crossing the bus. Says
+	// nothing about the hint's freshness — under load the shared medium
+	// can hold a frame far longer than any staleness timeout.
+	ReqInFlight
+	// ReqUndeliverable: the frame arrived but the target does not
+	// advertise the name. The hint is stale (or the advertiser is only
+	// briefly between names); recovery is warranted.
+	ReqUndeliverable
+	// ReqDelivered: the target has seen the request and is simply not
+	// accepting yet — normal stop-and-wait blocking.
+	ReqDelivered
+)
+
+// RequestState reports where an outstanding request of ours is in its
+// lifecycle. Bindings use this to tell bus congestion (ReqInFlight)
+// apart from a stale hint (ReqUndeliverable): only the latter should
+// trigger rediscovery.
+func (pr *Process) RequestState(id ReqID) ReqState {
+	r, ok := pr.outbound[id]
+	switch {
+	case !ok:
+		return ReqGone
+	case r.delivered:
+		return ReqDelivered
+	case r.arrived:
+		return ReqUndeliverable
+	default:
+		return ReqInFlight
+	}
+}
+
 // RequestDelivered reports whether an outstanding request of ours has
 // had its interrupt raised at the target (i.e. the target advertises the
 // name and has seen the descriptor). A LYNX binding uses this to
@@ -610,6 +661,7 @@ func (pr *Process) Withdraw(p *sim.Proc, id ReqID) Status {
 	if !ok || r.accepted {
 		return NoSuchRequest
 	}
+	r.withdrawn = true
 	delete(pr.outbound, id)
 	if target, tok := pr.k.procs[r.to]; tok {
 		delete(target.inbound, id)

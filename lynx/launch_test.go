@@ -82,6 +82,69 @@ func TestLaunchedProcessCanLaunch(t *testing.T) {
 	}
 }
 
+// TestLaunchGroupWiresSiblings: one LaunchGroup call assembles a
+// three-process pipeline mid-run — head wired to a relay, relay wired
+// to a sink — and the head reports completion on the launcher link.
+// Exercised on every substrate: this is the dynamic-composition surface
+// the virtual-time load engine builds its work units with.
+func TestLaunchGroupWiresSiblings(t *testing.T) {
+	allSubstrates(t, func(t *testing.T, sub lynx.Substrate) {
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 11})
+		var got string
+		boss := sys.Spawn("boss", func(th *lynx.Thread, boot []*lynx.End) {
+			specs := []lynx.ProcSpec{
+				{Name: "head", Main: func(ht *lynx.Thread, hboot []*lynx.End) {
+					// hboot[0] = launcher link, hboot[1] = relay link.
+					r, err := ht.Connect(hboot[1], "fwd", lynx.Msg{Data: []byte("ping")})
+					ht.Destroy(hboot[1])
+					msg := "error"
+					if err == nil {
+						msg = string(r.Data)
+					}
+					if _, err := ht.Connect(hboot[0], "done", lynx.Msg{Data: []byte(msg)}); err != nil {
+						t.Errorf("done: %v", err)
+					}
+					ht.Destroy(hboot[0])
+				}},
+				{Name: "relay", Main: func(rt *lynx.Thread, rboot []*lynx.End) {
+					// rboot[0] = head link, rboot[1] = sink link.
+					rt.Serve(rboot[0], func(st *lynx.Thread, req *lynx.Request) {
+						r, err := st.Connect(rboot[1], "fwd", lynx.Msg{Data: req.Data()})
+						if err != nil {
+							st.Reply(req, lynx.Msg{Data: []byte("relay-error")})
+							return
+						}
+						st.Reply(req, lynx.Msg{Data: r.Data})
+					})
+				}},
+				{Name: "sink", Main: func(kt *lynx.Thread, kboot []*lynx.End) {
+					kt.Serve(kboot[0], func(st *lynx.Thread, req *lynx.Request) {
+						st.Reply(req, lynx.Msg{Data: append(req.Data(), []byte("-pong")...)})
+					})
+				}},
+			}
+			head, refs := sys.LaunchGroup(th, specs, [][2]int{{0, 1}, {1, 2}})
+			if len(refs) != 3 || refs[1].Name() != "relay" {
+				t.Errorf("refs: %v", refs)
+			}
+			req, err := th.Receive(head)
+			if err != nil {
+				t.Errorf("receive done: %v", err)
+				return
+			}
+			got = string(req.Data())
+			th.Reply(req, lynx.Msg{})
+		})
+		_ = boss
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != "ping-pong" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
 // TestLaunchMovesChildLinkOnward: the launcher hands the child's link to
 // a third process (broker pattern with dynamically-created services).
 func TestLaunchMovesChildLinkOnward(t *testing.T) {

@@ -1,0 +1,210 @@
+// Package load is the virtual-time load engine: an open-loop arrival
+// process that runs INSIDE one simulated System, so queueing and
+// saturation are measured in virtual time and every number is a pure
+// function of the seed.
+//
+// A generator simproc draws exponential interarrival gaps from a
+// private seeded stream (sim.ArrivalStream), sleeps until each arrival
+// instant, and LaunchGroup-es a multi-process work unit — an echo pair,
+// a three-stage pipeline, or a four-peer mesh — into the running
+// System. Arrivals never wait for completions (open loop), so offered
+// load beyond the substrate's capacity builds a real queue: work units
+// contend for the same simulated kernels and network as every other
+// process, and their arrival-to-completion sojourn, recorded in virtual
+// time into obs histograms, grows without bound past saturation.
+//
+// Contrast with wall-clock load generation (cmd/lynxload's
+// max-throughput mode): there the host CPU is the resource under test
+// and numbers vary run to run; here the simulated machine is, and the
+// same seed yields byte-identical overload tables at any parallelism on
+// any host. That is what turns capacity and backpressure claims about
+// the three kernel bindings into pinned artifacts.
+//
+// Typical use:
+//
+//	res, err := load.Run(load.Options{
+//	    Substrate: lynx.Charlotte,
+//	    Rate:      400,              // arrivals per virtual second
+//	    Window:    2 * lynx.Second,  // generation window (virtual)
+//	    Seed:      1,
+//	})
+//	fmt.Println(res.Realized, res.Sojourn.P99) // deterministic
+package load
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/lynx"
+	"repro/lynx/sweep"
+)
+
+// Metric names the engine records into the System's obs registry.
+const (
+	// MSojournNs is the per-unit virtual-time sojourn histogram
+	// (arrival instant → completion report); per-kind variants are
+	// filed under MSojournNs + "{kind=<kind>}".
+	MSojournNs = "load_sojourn_ns"
+	// MArrivals counts launched work units; per-kind variants are
+	// filed under MArrivals + "{kind=<kind>}".
+	MArrivals = "load_arrivals_total"
+	// MCompleted counts work units that reported completion.
+	MCompleted = "load_completed_total"
+)
+
+// KindKey derives the per-kind variant of an engine metric name, e.g.
+// KindKey(MSojournNs, "echo") = "load_sojourn_ns{kind=echo}".
+func KindKey(name, kind string) string {
+	return fmt.Sprintf("%s{kind=%s}", name, kind)
+}
+
+// Options parameterizes one open-loop run.
+type Options struct {
+	// Substrate picks the kernel under load. Default Charlotte.
+	Substrate lynx.Substrate
+	// Seed drives everything: the System, the arrival schedule, and
+	// the workload mix draws, through disjoint stream splits. Default 1.
+	Seed uint64
+	// Rate is the offered load in work-unit arrivals per virtual
+	// second. It must be positive.
+	Rate float64
+	// Window is the arrival-generation window in virtual time:
+	// arrivals are injected on schedule until the first instant past
+	// it, then generation stops and the backlog drains. Default 1
+	// virtual second.
+	Window lynx.Duration
+	// Mix is the traffic mix. Default DefaultMix.
+	Mix *Mix
+	// Nodes is the simulated machine size (lynx.Config.Nodes). 0 =
+	// lynx default.
+	Nodes int
+	// MaxUnits caps the number of arrivals as a runaway guard when
+	// Rate×Window is enormous. Default 100000.
+	MaxUnits int
+}
+
+// Result is one run's report. Every field is virtual-time derived and
+// therefore deterministic in Options.
+type Result struct {
+	// Offered echoes Options.Rate.
+	Offered float64
+	// Arrivals is the number of work units injected inside Window.
+	Arrivals int
+	// Completed is how many reported completion before the System
+	// drained.
+	Completed int
+	// Window echoes Options.Window.
+	Window lynx.Duration
+	// Makespan is the virtual instant the last work unit reported
+	// completion — under overload it exceeds Window by the time needed
+	// to clear the backlog. (Not the System drain instant: that trails
+	// the last completion by protocol teardown and recovery timers,
+	// which are not useful work.)
+	Makespan lynx.Duration
+	// Realized is Completed per virtual second of Makespan: the
+	// throughput the substrate actually sustained. It saturates at the
+	// substrate's capacity as Offered crosses it.
+	Realized float64
+	// Sojourn summarizes per-unit virtual sojourn (arrival instant to
+	// completion report) in milliseconds, exact percentiles over all
+	// completed units.
+	Sojourn sweep.Stat
+	// ByKind holds the per-kind sojourn summaries (same units).
+	ByKind map[string]sweep.Stat
+	// Metrics is the System's pooled registry: kernel protocol events
+	// plus the engine's own load_* instruments.
+	Metrics *obs.Metrics
+}
+
+// Run executes one open-loop virtual-time load run.
+func Run(o Options) (*Result, error) {
+	if o.Rate <= 0 {
+		return nil, fmt.Errorf("load: rate must be positive, got %g", o.Rate)
+	}
+	if o.Window < 0 {
+		return nil, fmt.Errorf("load: negative window %v", o.Window)
+	}
+	if o.Window == 0 {
+		o.Window = lynx.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxUnits <= 0 {
+		o.MaxUnits = 100000
+	}
+	mix := o.Mix
+	if mix == nil {
+		var err error
+		if mix, err = ParseMix(DefaultMix); err != nil {
+			panic(err) // DefaultMix always parses
+		}
+	}
+
+	sys := lynx.NewSystem(lynx.Config{
+		Substrate: o.Substrate,
+		Seed:      sim.StreamSeed(o.Seed, 0),
+		Nodes:     o.Nodes,
+	})
+	m := sys.Metrics()
+	var (
+		sojournsMS []float64
+		byKindMS   = map[string][]float64{}
+		arrivals   int
+		completed  int
+		lastDone   lynx.Duration
+	)
+	sys.Spawn("loadgen", func(t *lynx.Thread, _ []*lynx.End) {
+		arr := sim.NewArrivalStream(sim.StreamSeed(o.Seed, 1), o.Rate)
+		kindRnd := sim.NewRand(sim.StreamSeed(o.Seed, 2))
+		for seq := 0; seq < o.MaxUnits; seq++ {
+			at := arr.Next()
+			if lynx.Duration(at) > o.Window {
+				return
+			}
+			if err := t.SleepUntil(at); err != nil {
+				return
+			}
+			kind := mix.Pick(kindRnd)
+			specs, wires := unitSpecs(kind, seq)
+			head, _ := sys.LaunchGroup(t, specs, wires)
+			arrivals++
+			m.Counter(MArrivals).Inc()
+			m.Counter(KindKey(MArrivals, kind)).Inc()
+			t.Serve(head, func(st *lynx.Thread, req *lynx.Request) {
+				sojourn := lynx.Duration(st.Now() - at)
+				lastDone = lynx.Duration(st.Now())
+				completed++
+				m.Counter(MCompleted).Inc()
+				m.Histogram(MSojournNs).Observe(sojourn)
+				m.Histogram(KindKey(MSojournNs, kind)).Observe(sojourn)
+				ms := float64(sojourn) / 1e6
+				sojournsMS = append(sojournsMS, ms)
+				byKindMS[kind] = append(byKindMS[kind], ms)
+				st.Reply(req, lynx.Msg{})
+			})
+		}
+	})
+	if err := sys.Run(); err != nil {
+		return nil, fmt.Errorf("load: %v run failed: %w", o.Substrate, err)
+	}
+
+	res := &Result{
+		Offered:   o.Rate,
+		Arrivals:  arrivals,
+		Completed: completed,
+		Window:    o.Window,
+		Makespan:  lastDone,
+		Sojourn:   sweep.Summarize(sojournsMS),
+		ByKind:    map[string]sweep.Stat{},
+		Metrics:   m,
+	}
+	if res.Makespan > 0 {
+		res.Realized = float64(completed) / (float64(res.Makespan) / float64(lynx.Second))
+	}
+	for kind, s := range byKindMS {
+		res.ByKind[kind] = sweep.Summarize(s)
+	}
+	return res, nil
+}

@@ -344,28 +344,72 @@ func (s *System) materialize() {
 // launcher by a fresh boot link; the launcher's end is returned, and the
 // child receives its end as boot[0].
 func (s *System) Launch(t *Thread, name string, main func(t *Thread, boot []*End)) (*End, *ProcRef) {
+	end, refs := s.LaunchGroup(t, []ProcSpec{{Name: name, Main: main}}, nil)
+	return end, refs[0]
+}
+
+// ProcSpec describes one process of a dynamically-launched group: its
+// name and main function, exactly as passed to Spawn.
+type ProcSpec struct {
+	Name string
+	Main func(t *Thread, boot []*End)
+}
+
+// LaunchGroup creates a set of NEW processes mid-run as one wired unit —
+// the dynamic-composition counterpart of Spawn+Join. Each wires entry
+// {a, b} wires a fresh boot link between specs[a] and specs[b] (indices
+// into specs, a ≠ b), in order. The launcher is joined to specs[0], the
+// group's head, and the launcher's end of that link is returned.
+//
+// Boot-slice layout: the head receives the launcher link as boot[0]
+// followed by its wire ends in wires order; every other process receives
+// only its wire ends, in wires order. Like Launch, LaunchGroup must be
+// called from a running thread of an existing process; the group's
+// processes start once the launcher next yields the processor.
+//
+// This is the minimal surface an in-simulation workload generator needs:
+// one call assembles a multi-process work unit (an echo pair, a
+// pipeline, a mesh) with its internal topology, handing the generator a
+// single link on which the unit reports completion.
+func (s *System) LaunchGroup(t *Thread, specs []ProcSpec, wires [][2]int) (*End, []*ProcRef) {
 	if !s.ran {
-		panic("lynx: Launch before Run (use Spawn + Join)")
+		panic("lynx: LaunchGroup before Run (use Spawn + Join)")
+	}
+	if len(specs) == 0 {
+		panic("lynx: LaunchGroup with no specs")
 	}
 	parent := s.byProc[t.Process()]
 	if parent == nil {
-		panic("lynx: Launch from a thread of an unknown process")
+		panic("lynx: LaunchGroup from a thread of an unknown process")
 	}
-	child := &ProcRef{sys: s, name: name, main: main}
-	s.attachTransport(child)
-	s.specs = append(s.specs, child)
-	s.join(parent, child) // kernel-level boot wiring works mid-run
+	refs := make([]*ProcRef, len(specs))
+	for i, spec := range specs {
+		child := &ProcRef{sys: s, name: spec.Name, main: spec.Main}
+		s.attachTransport(child)
+		s.specs = append(s.specs, child)
+		refs[i] = child
+	}
+	s.join(parent, refs[0]) // kernel-level boot wiring works mid-run
 	parentTE := parent.boots[len(parent.boots)-1]
-	childSpec := child
-	child.proc = core.NewProcess(s.env, name, child.tr, s.runtimeCosts(), func(ct *Thread) {
-		boot := make([]*End, len(childSpec.boots))
-		for i, te := range childSpec.boots {
-			boot[i] = ct.AdoptBootEnd(te)
+	for _, w := range wires {
+		if w[0] < 0 || w[0] >= len(specs) || w[1] < 0 || w[1] >= len(specs) || w[0] == w[1] {
+			panic(fmt.Sprintf("lynx: LaunchGroup wire %v out of range for %d specs", w, len(specs)))
 		}
-		childSpec.main(ct, boot)
-	})
-	s.byProc[child.proc] = child
-	return t.AdoptBootEnd(parentTE), child
+		s.join(refs[w[0]], refs[w[1]])
+	}
+	costs := s.runtimeCosts()
+	for _, child := range refs {
+		childSpec := child
+		child.proc = core.NewProcess(s.env, childSpec.name, child.tr, costs, func(ct *Thread) {
+			boot := make([]*End, len(childSpec.boots))
+			for i, te := range childSpec.boots {
+				boot[i] = ct.AdoptBootEnd(te)
+			}
+			childSpec.main(ct, boot)
+		})
+		s.byProc[child.proc] = child
+	}
+	return t.AdoptBootEnd(parentTE), refs
 }
 
 // Run executes the system until every process finishes (or an error
