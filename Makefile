@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-update bench-all
+.PHONY: check fmt vet build test race bench bench-update bench-all lynxd-smoke
 
 # check is the CI gate: formatting, vet, build, the full test suite
 # under the race detector, and the scheduler allocation-regression gate.
@@ -45,3 +45,11 @@ bench-update:
 # bench-all runs the full experiment + RPC benchmark suite once.
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# lynxd-smoke boots the daemon on an ephemeral port, runs a seeded
+# one-cell job through lynxctl, and asserts the streamed table is
+# byte-identical to the CLI's `lynxload -json` bytes (plus a clean
+# SIGTERM shutdown).
+lynxd-smoke:
+	$(GO) build -o bin/ ./cmd/lynxd ./cmd/lynxctl ./cmd/lynxload
+	sh scripts/lynxd_smoke.sh bin

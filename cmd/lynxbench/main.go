@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/expt"
 )
 
@@ -45,8 +46,7 @@ func main() {
 	if *one != "" {
 		r := expt.ByIDWith(*one, opts)
 		if r == nil {
-			fmt.Fprintf(os.Stderr, "lynxbench: unknown experiment %q\n", *one)
-			os.Exit(2)
+			cli.Usagef("lynxbench", "unknown experiment %q", *one)
 		}
 		if *asJSON {
 			emitJSON(r)
@@ -73,8 +73,7 @@ func main() {
 		}
 	}
 	if fail > 0 {
-		fmt.Fprintf(os.Stderr, "lynxbench: %d experiment(s) did not match the paper's shape\n", fail)
-		os.Exit(1)
+		cli.Failf("lynxbench", "%d experiment(s) did not match the paper's shape", fail)
 	}
 	if !*asJSON {
 		fmt.Println("all experiments match the paper's shape")
@@ -85,8 +84,5 @@ func main() {
 func emitJSON(v any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fmt.Fprintf(os.Stderr, "lynxbench: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check("lynxbench", enc.Encode(v))
 }

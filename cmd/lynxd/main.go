@@ -1,0 +1,84 @@
+// Command lynxd is the resident simulation service: a daemon that
+// accepts experiment, grid, and load jobs over an HTTP/JSON API,
+// executes them through the same deterministic lynx/grid + lynx/sweep
+// machinery the CLIs use, memoizes completed grid cells so repeated and
+// overlapping sweeps are incremental, and streams progress and results
+// as JSONL.
+//
+// A daemon-run sweep is byte-identical to the equivalent CLI run
+// (`lynxload -json`, `lynxbench -json`) at any -workers value, cold or
+// cached — the service exists to amortize and multiplex, never to
+// change results.
+//
+//	lynxd                         # listen on 127.0.0.1:8077
+//	lynxd -addr 127.0.0.1:0       # ephemeral port (printed on stdout)
+//	lynxd -workers 4 -queue 128
+//
+// See README "Resident service (lynxd)" for the API walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/lynx/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8077", "listen address (host:port; port 0 picks an ephemeral one)")
+		workers = flag.Int("workers", 0, "concurrent jobs (default GOMAXPROCS); never changes results")
+		queue   = flag.Int("queue", 64, "queued-job bound before submissions get 429")
+		cache   = flag.Int("cache", 4096, "cell result cache entries")
+		retry   = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef("lynxd", "unexpected arguments %q", flag.Args())
+	}
+	if *queue <= 0 || *cache <= 0 || *retry <= 0 {
+		cli.Usagef("lynxd", "-queue, -cache and -retry-after must be positive")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	cli.Check("lynxd", err)
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueLimit: *queue,
+		CacheCells: *cache,
+		RetryAfter: *retry,
+	})
+	srv := &http.Server{Handler: svc.Handler()}
+
+	// The listen line is the machine-readable startup handshake: scripts
+	// (make lynxd-smoke) read the actual port from it.
+	fmt.Printf("lynxd: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("lynxd: %v, shutting down\n", sig)
+	case err := <-errc:
+		cli.Failf("lynxd", "serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "lynxd: shutdown: %v\n", err)
+	}
+	svc.Close()
+}

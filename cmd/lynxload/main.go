@@ -16,7 +16,10 @@
 //     from load.RunOnce. This measures the host's Systems/sec and gates
 //     (>15%) only on the recording machine.
 //
-// A single open-loop run with full detail: lynxload -rate 150
+// The sweep itself lives in lynx/load (SweepSpec/Rows/Key), shared with
+// the lynxd daemon, so a daemon job and a CLI run of the same options
+// produce byte-identical tables. -json prints exactly that table (the
+// grid's JSONL rendering) to stdout and nothing else.
 //
 // Examples:
 //
@@ -24,6 +27,7 @@
 //	lynxload -update                # rewrite BENCH_load.json current numbers
 //	lynxload -rate 300 -window 2s   # one open-loop virtual-time run
 //	lynxload -rates 10,100,1000 -substrates soda
+//	lynxload -rates 30,60 -substrates charlotte -json   # machine-readable table
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/lynx"
@@ -48,27 +53,6 @@ import (
 // defaultRates sweeps from inside every substrate's capacity to well
 // past SODA's and Charlotte's saturation points.
 const defaultRates = "5,20,80,320"
-
-func parseSubstrates(s string) ([]lynx.Substrate, error) {
-	table := map[string]lynx.Substrate{
-		"charlotte": lynx.Charlotte,
-		"soda":      lynx.SODA,
-		"chrysalis": lynx.Chrysalis,
-		"ideal":     lynx.Ideal,
-	}
-	var out []lynx.Substrate
-	for _, name := range strings.Split(s, ",") {
-		sub, ok := table[strings.TrimSpace(name)]
-		if !ok {
-			return nil, fmt.Errorf("unknown substrate %q", name)
-		}
-		out = append(out, sub)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no substrates")
-	}
-	return out, nil
-}
 
 // parseRates parses the -rates list; every entry must be a positive
 // number of arrivals per virtual second.
@@ -101,21 +85,22 @@ type loadConfig struct {
 	window   lynx.Duration
 }
 
+// sweepOptions maps the config onto the shared overload-sweep engine.
+func (c loadConfig) sweepOptions() load.SweepOptions {
+	return load.SweepOptions{
+		Substrates: c.subs,
+		Rates:      c.rates,
+		Window:     c.window,
+		Mix:        c.mix,
+		Seed:       c.seed,
+		Parallel:   c.parallel,
+	}
+}
+
 // wallKey canonicalizes the closed-loop workload for the wall gate.
 func (c loadConfig) wallKey() string {
 	return fmt.Sprintf("subs=%s mix=%s seed=%d runs=%d",
 		subNames(c.subs), c.mix, c.seed, c.runs)
-}
-
-// overloadKey canonicalizes the virtual-time sweep for the table gate.
-func (c loadConfig) overloadKey() string {
-	rs := make([]string, len(c.rates))
-	for i, r := range c.rates {
-		rs[i] = fmt.Sprintf("%g", r)
-	}
-	return fmt.Sprintf("subs=%s rates=%s mix=%s seed=%d window=%s",
-		subNames(c.subs), strings.Join(rs, ","), c.mix, c.seed,
-		time.Duration(c.window))
 }
 
 func subNames(subs []lynx.Substrate) string {
@@ -126,118 +111,22 @@ func subNames(subs []lynx.Substrate) string {
 	return strings.Join(names, ",")
 }
 
-// overloadRow is one (substrate, offered rate) line of the recorded
-// overload table. All fields are virtual-time derived and machine
-// independent.
-type overloadRow struct {
-	Substrate  string  `json:"substrate"`
-	Rate       float64 `json:"rate"`
-	Arrivals   int     `json:"arrivals"`
-	Completed  int     `json:"completed"`
-	MakespanMS float64 `json:"makespan_ms"`
-	Realized   float64 `json:"realized"`
-	P50MS      float64 `json:"sojourn_p50_ms"`
-	P95MS      float64 `json:"sojourn_p95_ms"`
-	P99MS      float64 `json:"sojourn_p99_ms"`
-}
-
-// overloadSpec is the sweep's grid: substrate × offered rate, one
-// deterministic load.Run per cell.
-func overloadSpec(c loadConfig) grid.Spec {
-	subVals := make([]any, len(c.subs))
-	for i, s := range c.subs {
-		subVals[i] = s
+// runOverload executes the shared sweep and flattens the grid into
+// table rows in enumeration order.
+func runOverload(c loadConfig) ([]load.Row, *grid.Table, error) {
+	spec, err := load.SweepSpec(c.sweepOptions())
+	if err != nil {
+		return nil, nil, err
 	}
-	rateVals := make([]any, len(c.rates))
-	for i, r := range c.rates {
-		rateVals[i] = r
+	tbl := grid.Run(spec)
+	rows, err := load.Rows(tbl)
+	if err != nil {
+		return nil, tbl, err
 	}
-	return grid.Spec{
-		Name: "lynxload overload",
-		Axes: []grid.Axis{
-			{Name: "substrate", Values: subVals},
-			{Name: "rate", Values: rateVals},
-		},
-		Replicas: 1,
-		Parallel: c.parallel,
-		RootSeed: c.seed,
-		Body: func(cell grid.Cell, r sweep.Run) sweep.Outcome {
-			res, err := load.Run(load.Options{
-				Substrate: cell.Value("substrate").(lynx.Substrate),
-				Rate:      cell.Value("rate").(float64),
-				Window:    c.window,
-				Mix:       c.mix,
-				Seed:      r.Seed,
-			})
-			if err != nil {
-				return sweep.Outcome{Err: err}
-			}
-			return sweep.Outcome{
-				Values: map[string]float64{
-					"arrivals":       float64(res.Arrivals),
-					"completed":      float64(res.Completed),
-					"makespan_ms":    float64(res.Makespan) / 1e6,
-					"realized":       res.Realized,
-					"sojourn_p50_ms": res.Sojourn.P50,
-					"sojourn_p95_ms": res.Sojourn.P95,
-					"sojourn_p99_ms": res.Sojourn.P99,
-				},
-				Metrics: res.Metrics,
-			}
-		},
-	}
-}
-
-// runOverload executes the sweep and flattens the grid into table rows
-// in enumeration order.
-func runOverload(c loadConfig) ([]overloadRow, *grid.Table, error) {
-	tbl := grid.Run(overloadSpec(c))
-	if tbl.Errs() > 0 {
-		for _, cr := range tbl.Cells {
-			if len(cr.Agg.Errs) > 0 {
-				return nil, tbl, fmt.Errorf("%s: %v", cr.Cell.Key(), cr.Agg.Errs[0])
-			}
-		}
-	}
-	rows := make([]overloadRow, len(tbl.Cells))
-	for i, cr := range tbl.Cells {
-		v := cr.Agg.Values
-		rows[i] = overloadRow{
-			Substrate:  cr.Cell.Str("substrate"),
-			Rate:       cr.Cell.Value("rate").(float64),
-			Arrivals:   int(v["arrivals"].Mean),
-			Completed:  int(v["completed"].Mean),
-			MakespanMS: v["makespan_ms"].Mean,
-			Realized:   v["realized"].Mean,
-			P50MS:      v["sojourn_p50_ms"].Mean,
-			P95MS:      v["sojourn_p95_ms"].Mean,
-			P99MS:      v["sojourn_p99_ms"].Mean,
-		}
-	}
-	if err := checkShape(rows); err != nil {
+	if err := load.CheckShape(rows); err != nil {
 		return nil, tbl, err
 	}
 	return rows, tbl, nil
-}
-
-// checkShape asserts the physics every overload table must satisfy
-// before it is recorded or gated: open-loop runs drain completely and
-// realized throughput never exceeds offered load (the engine measures,
-// it does not invent work).
-func checkShape(rows []overloadRow) error {
-	for _, r := range rows {
-		if r.Completed != r.Arrivals {
-			return fmt.Errorf("%s rate %g: %d of %d units completed",
-				r.Substrate, r.Rate, r.Completed, r.Arrivals)
-		}
-		// Realized is completed/makespan; a short burst can nominally
-		// exceed the offered average, but never wildly.
-		if r.Arrivals > 10 && r.Realized > r.Rate*1.5 {
-			return fmt.Errorf("%s rate %g: realized %g exceeds offered",
-				r.Substrate, r.Rate, r.Realized)
-		}
-	}
-	return nil
 }
 
 // runSingle is the -rate mode: one open-loop virtual run, full detail.
@@ -264,7 +153,7 @@ type measurement struct {
 	NumCPU      int                         `json:"num_cpu"`
 	GOMAXPROCS  int                         `json:"gomaxprocs"`
 	OverloadKey string                      `json:"overload_key,omitempty"`
-	Overload    []overloadRow               `json:"overload,omitempty"`
+	Overload    []load.Row                  `json:"overload,omitempty"`
 }
 
 // benchFile is the BENCH_load.json schema (baseline/current, like
@@ -520,37 +409,36 @@ func main() {
 		rate       = flag.Float64("rate", 0, "single open-loop virtual-time run at this rate (first -substrates entry)")
 		rates      = flag.String("rates", defaultRates, "overload sweep: offered rates, arrivals per virtual second")
 		window     = flag.Duration("window", time.Second, "open-loop arrival window (virtual time)")
+		jsonOut    = flag.Bool("json", false, "print the overload sweep's grid table as JSONL to stdout and exit")
 	)
 	flag.Parse()
 
-	subs, err := parseSubstrates(*substrates)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lynxload:", err)
-		os.Exit(2)
-	}
+	subs, err := lynx.ParseSubstrates(*substrates)
+	cli.CheckUsage("lynxload", err)
 	mix, err := load.ParseMix(*mixFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lynxload:", err)
-		os.Exit(2)
-	}
+	cli.CheckUsage("lynxload", err)
 	rateList, err := parseRates(*rates)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lynxload: -rates:", err)
-		os.Exit(2)
+		cli.Usagef("lynxload", "-rates: %v", err)
 	}
 	if *window <= 0 {
-		fmt.Fprintln(os.Stderr, "lynxload: -window must be positive")
-		os.Exit(2)
+		cli.Usagef("lynxload", "-window must be positive")
 	}
 	c := loadConfig{subs: subs, mix: mix, runs: *runs, parallel: *parallel,
 		seed: *seed, rates: rateList, window: lynx.Duration(*window)}
 
+	if *jsonOut {
+		// Machine-readable mode: exactly the grid's JSONL table, the
+		// byte-level contract shared with a lynxd job of the same spec.
+		_, tbl, err := runOverload(c)
+		cli.Check("lynxload", err)
+		fmt.Print(tbl.RenderJSONL())
+		return
+	}
+
 	if *rate != 0 {
 		res, err := runSingle(c, *rate)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lynxload:", err)
-			os.Exit(2)
-		}
+		cli.Check("lynxload", err)
 		reportSingle(c.subs[0], res)
 		return
 	}
@@ -565,18 +453,14 @@ func main() {
 	}
 	overload, tbl, err := runOverload(c)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lynxload: overload sweep:", err)
-		os.Exit(1)
+		cli.Failf("lynxload", "overload sweep: %v", err)
 	}
-	m.OverloadKey = c.overloadKey()
+	m.OverloadKey = c.sweepOptions().Key()
 	m.Overload = overload
 	report(m, tbl)
 
 	f, err := loadFile(*path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lynxload:", err)
-		os.Exit(1)
-	}
+	cli.Check("lynxload", err)
 	switch {
 	case *asBaseline:
 		f.Baseline = m
@@ -592,9 +476,6 @@ func main() {
 		}
 		return
 	}
-	if err := save(*path, f); err != nil {
-		fmt.Fprintln(os.Stderr, "lynxload:", err)
-		os.Exit(1)
-	}
+	cli.Check("lynxload", save(*path, f))
 	fmt.Println("wrote", *path)
 }

@@ -37,13 +37,13 @@ func TestParseRates(t *testing.T) {
 }
 
 func TestParseSubstrates(t *testing.T) {
-	subs, err := parseSubstrates("soda, charlotte")
+	subs, err := lynx.ParseSubstrates("soda, charlotte")
 	if err != nil || len(subs) != 2 || subs[0] != lynx.SODA {
-		t.Fatalf("parseSubstrates = %v, %v", subs, err)
+		t.Fatalf("ParseSubstrates = %v, %v", subs, err)
 	}
 	for _, bad := range []string{"", "mars", "soda,mars"} {
-		if _, err := parseSubstrates(bad); err == nil {
-			t.Fatalf("parseSubstrates(%q) should fail", bad)
+		if _, err := lynx.ParseSubstrates(bad); err == nil {
+			t.Fatalf("ParseSubstrates(%q) should fail", bad)
 		}
 	}
 }
@@ -91,13 +91,13 @@ func TestRunOverloadRows(t *testing.T) {
 }
 
 func TestCheckShape(t *testing.T) {
-	if err := checkShape([]overloadRow{{Arrivals: 5, Completed: 4}}); err == nil {
+	if err := load.CheckShape([]load.Row{{Arrivals: 5, Completed: 4}}); err == nil {
 		t.Fatal("undrained row should fail the shape check")
 	}
-	if err := checkShape([]overloadRow{{Rate: 10, Arrivals: 50, Completed: 50, Realized: 100}}); err == nil {
+	if err := load.CheckShape([]load.Row{{Rate: 10, Arrivals: 50, Completed: 50, Realized: 100}}); err == nil {
 		t.Fatal("realized far above offered should fail the shape check")
 	}
-	if err := checkShape([]overloadRow{{Rate: 10, Arrivals: 50, Completed: 50, Realized: 9}}); err != nil {
+	if err := load.CheckShape([]load.Row{{Rate: 10, Arrivals: 50, Completed: 50, Realized: 9}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -105,9 +105,9 @@ func TestCheckShape(t *testing.T) {
 // The overload gate: skip on sweep mismatch, pass on byte-identical
 // tables, fail on any drift.
 func TestOverloadGate(t *testing.T) {
-	rows := []overloadRow{{Substrate: "soda", Rate: 20, Arrivals: 3, Completed: 3, Realized: 2.5}}
+	rows := []load.Row{{Substrate: "soda", Rate: 20, Arrivals: 3, Completed: 3, Realized: 2.5}}
 	rec := &measurement{OverloadKey: "k", Overload: rows}
-	same := &measurement{OverloadKey: "k", Overload: append([]overloadRow(nil), rows...)}
+	same := &measurement{OverloadKey: "k", Overload: append([]load.Row(nil), rows...)}
 	if overloadGateFails(rec, same) {
 		t.Fatal("identical tables must pass")
 	}
@@ -119,7 +119,7 @@ func TestOverloadGate(t *testing.T) {
 		t.Fatal("different sweep key must skip, not fail")
 	}
 	drift := &measurement{OverloadKey: "k",
-		Overload: []overloadRow{{Substrate: "soda", Rate: 20, Arrivals: 3, Completed: 3, Realized: 2.6}}}
+		Overload: []load.Row{{Substrate: "soda", Rate: 20, Arrivals: 3, Completed: 3, Realized: 2.6}}}
 	if !overloadGateFails(rec, drift) {
 		t.Fatal("drifted table must fail")
 	}
@@ -132,7 +132,7 @@ func TestMeasurementRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := &measurement{Workload: c.wallKey(), OverloadKey: c.overloadKey(), Overload: rows}
+	m := &measurement{Workload: c.wallKey(), OverloadKey: c.sweepOptions().Key(), Overload: rows}
 	data, err := json.Marshal(benchFile{Current: m})
 	if err != nil {
 		t.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/lynx"
 )
 
@@ -33,28 +34,18 @@ func main() {
 	)
 	flag.Parse()
 
-	sub, ok := map[string]lynx.Substrate{
-		"charlotte": lynx.Charlotte,
-		"soda":      lynx.SODA,
-		"chrysalis": lynx.Chrysalis,
-		"ideal":     lynx.Ideal,
-	}[*subName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lynxsim: unknown substrate %q\n", *subName)
-		os.Exit(2)
-	}
+	sub, err := lynx.ParseSubstrate(*subName)
+	cli.CheckUsage("lynxsim", err)
 
 	switch *mode {
 	case "echo":
 		runEcho(sub, *clients, *ops, *payload, *seed, *stats)
 	case "sweep":
-		fmt.Fprintln(os.Stderr, "lynxsim: -mode sweep was removed; use `lynxload -rates ...` or the lynx/grid package (README \"Configuration grids & load generation\")")
-		os.Exit(2)
+		cli.Usagef("lynxsim", "-mode sweep was removed; use `lynxload -rates ...` or the lynx/grid package (README \"Configuration grids & load generation\")")
 	case "mesh":
 		runMesh(sub, *procs, *ops, *payload, *seed, *stats)
 	default:
-		fmt.Fprintf(os.Stderr, "lynxsim: unknown mode %q\n", *mode)
-		os.Exit(2)
+		cli.Usagef("lynxsim", "unknown mode %q", *mode)
 	}
 }
 
@@ -104,10 +95,7 @@ func runEcho(sub lynx.Substrate, clients, ops, payload int, seed uint64, showSta
 		})
 		sys.Join(cl, server)
 	}
-	if err := sys.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "lynxsim: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check("lynxsim", sys.Run())
 	total := sys.Now()
 	fmt.Printf("echo on %v: %d clients x %d ops, %dB payload\n", sub, clients, ops, payload)
 	fmt.Printf("  latency: %s\n", latencySummary(rtts))
@@ -161,10 +149,7 @@ func runMesh(sub lynx.Substrate, procs, ops, payload int, seed uint64, showStats
 	for i := 0; i+2 < procs; i += 2 {
 		sys.Join(refs[i], refs[i+2])
 	}
-	if err := sys.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "lynxsim: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check("lynxsim", sys.Run())
 	fmt.Printf("mesh on %v: %d peers x %d ops: %d ok, %d errors (link teardown races), %v virtual\n",
 		sub, procs, ops, oks, errs, sys.Now())
 	if showStats {

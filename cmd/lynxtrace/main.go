@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/lynx"
@@ -39,25 +40,12 @@ func main() {
 	format := flag.String("format", "text", "trace output format: text|jsonl|chrome")
 	flag.Parse()
 
-	var sub lynx.Substrate
-	switch *subName {
-	case "charlotte":
-		sub = lynx.Charlotte
-	case "soda":
-		sub = lynx.SODA
-	case "chrysalis":
-		sub = lynx.Chrysalis
-	case "ideal":
-		sub = lynx.Ideal
-	default:
-		fmt.Fprintf(os.Stderr, "lynxtrace: unknown substrate %q\n", *subName)
-		os.Exit(2)
-	}
+	sub, err := lynx.ParseSubstrate(*subName)
+	cli.CheckUsage("lynxtrace", err)
 	switch *format {
 	case "text", "jsonl", "chrome":
 	default:
-		fmt.Fprintf(os.Stderr, "lynxtrace: unknown format %q (want text, jsonl or chrome)\n", *format)
-		os.Exit(2)
+		cli.Usagef("lynxtrace", "unknown format %q (want text, jsonl or chrome)", *format)
 	}
 
 	switch *fig {
@@ -66,8 +54,7 @@ func main() {
 	case 2:
 		figure2(sub, *format, *encl)
 	default:
-		fmt.Fprintf(os.Stderr, "lynxtrace: unknown figure %d\n", *fig)
-		os.Exit(2)
+		cli.Usagef("lynxtrace", "unknown figure %d", *fig)
 	}
 }
 
@@ -92,10 +79,7 @@ func attachOutput(sys *lynx.System, format string) (finish func()) {
 		ch := obs.NewChromeExporter()
 		sys.Obs().Attach(ch)
 		finish = func() {
-			if err := ch.Flush(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
-				os.Exit(1)
-			}
+			cli.Check("lynxtrace", ch.Flush(os.Stdout))
 		}
 	}
 	return finish
@@ -130,10 +114,7 @@ func figure2(sub lynx.Substrate, format string, k int) {
 		})
 	})
 	sys.Join(a, b)
-	if err := sys.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check("lynxtrace", sys.Run())
 	finish()
 	if cs := a.Stats().Charlotte(); cs != nil {
 		fmt.Fprintf(narrate, "\nprotocol summary: kernel sends=%d goaheads(B)=%d enc packets=%d\n",
@@ -189,9 +170,6 @@ func figure1(sub lynx.Substrate, format string) {
 	sys.Join(a, b)
 	sys.Join(d, c)
 	sys.Join(a, d)
-	if err := sys.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "lynxtrace: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check("lynxtrace", sys.Run())
 	finish()
 }

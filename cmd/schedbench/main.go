@@ -21,6 +21,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/sim"
 )
 
@@ -152,10 +153,7 @@ func main() {
 	flag.Parse()
 
 	f, err := load(*path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedbench:", err)
-		os.Exit(1)
-	}
+	cli.Check("schedbench", err)
 
 	failed := false
 	for _, bn := range benches {
@@ -194,16 +192,12 @@ func main() {
 	}
 
 	if *asBaseline || *update {
-		if err := save(*path, f); err != nil {
-			fmt.Fprintln(os.Stderr, "schedbench:", err)
-			os.Exit(1)
-		}
+		cli.Check("schedbench", save(*path, f))
 		fmt.Println("wrote", *path)
 		return
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "schedbench: regression gate failed (refresh deliberately with `make bench-update`)")
-		os.Exit(1)
+		cli.Failf("schedbench", "regression gate failed (refresh deliberately with `make bench-update`)")
 	}
 }
 

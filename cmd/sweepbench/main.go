@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cli"
 	"repro/lynx"
 	"repro/lynx/sweep"
 )
@@ -103,8 +104,7 @@ func measureAt(workers int) float64 {
 		agg := sweep.Sweep(sweep.Options{Replicas: repsPerMeasure, Parallel: workers, RootSeed: 1}, body)
 		elapsed := time.Since(start)
 		if len(agg.Errs) > 0 {
-			fmt.Fprintf(os.Stderr, "sweepbench: replica errors: %v\n", agg.Errs[0])
-			os.Exit(1)
+			cli.Failf("sweepbench", "replica errors: %v", agg.Errs[0])
 		}
 		if rps := float64(repsPerMeasure) / elapsed.Seconds(); rps > best {
 			best = rps
@@ -175,10 +175,7 @@ func main() {
 	flag.Parse()
 
 	f, err := load(*path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweepbench:", err)
-		os.Exit(1)
-	}
+	cli.Check("sweepbench", err)
 
 	m := measure()
 	switch {
@@ -192,10 +189,7 @@ func main() {
 		}
 		return
 	}
-	if err := save(*path, f); err != nil {
-		fmt.Fprintln(os.Stderr, "sweepbench:", err)
-		os.Exit(1)
-	}
+	cli.Check("sweepbench", save(*path, f))
 	fmt.Println("wrote", *path)
 }
 

@@ -1,0 +1,56 @@
+// Package cli fixes one exit-code convention for every repro binary:
+//
+//	exit 2 — usage error: bad flags or arguments; the invocation itself
+//	         is wrong, rerunning it unchanged cannot succeed.
+//	exit 1 — runtime failure: the invocation was well-formed but the
+//	         work failed (simulation error, gate regression, I/O).
+//	exit 0 — success.
+//
+// Both paths print one "tool: message" line to stderr, keeping stdout
+// clean for machine-readable output (-json and friends).
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Exit codes.
+const (
+	ExitFailure = 1
+	ExitUsage   = 2
+)
+
+// Stderr and Exit are seams for tests; production code never touches
+// them.
+var (
+	Stderr io.Writer = os.Stderr
+	Exit             = os.Exit
+)
+
+// Usagef reports a command-line usage error and exits 2.
+func Usagef(tool, format string, args ...any) {
+	fmt.Fprintf(Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	Exit(ExitUsage)
+}
+
+// Failf reports a runtime failure and exits 1.
+func Failf(tool, format string, args ...any) {
+	fmt.Fprintf(Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	Exit(ExitFailure)
+}
+
+// CheckUsage exits 2 with the error when err is non-nil.
+func CheckUsage(tool string, err error) {
+	if err != nil {
+		Usagef(tool, "%v", err)
+	}
+}
+
+// Check exits 1 with the error when err is non-nil.
+func Check(tool string, err error) {
+	if err != nil {
+		Failf(tool, "%v", err)
+	}
+}

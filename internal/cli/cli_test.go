@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// capture routes the package seams into a buffer and records the exit
+// code instead of terminating.
+func capture(t *testing.T, f func()) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := -1
+	oldErr, oldExit := Stderr, Exit
+	Stderr, Exit = &buf, func(c int) { code = c }
+	defer func() { Stderr, Exit = oldErr, oldExit }()
+	f()
+	return buf.String(), code
+}
+
+func TestUsagefExitsTwo(t *testing.T) {
+	out, code := capture(t, func() { Usagef("tool", "bad flag %q", "-x") })
+	if code != ExitUsage {
+		t.Fatalf("exit = %d, want %d", code, ExitUsage)
+	}
+	if want := "tool: bad flag \"-x\"\n"; out != want {
+		t.Fatalf("stderr = %q, want %q", out, want)
+	}
+}
+
+func TestFailfExitsOne(t *testing.T) {
+	out, code := capture(t, func() { Failf("tool", "boom") })
+	if code != ExitFailure {
+		t.Fatalf("exit = %d, want %d", code, ExitFailure)
+	}
+	if want := "tool: boom\n"; out != want {
+		t.Fatalf("stderr = %q, want %q", out, want)
+	}
+}
+
+func TestChecksPassThroughNil(t *testing.T) {
+	out, code := capture(t, func() {
+		Check("tool", nil)
+		CheckUsage("tool", nil)
+	})
+	if out != "" || code != -1 {
+		t.Fatalf("nil error must be a no-op, got (%q, %d)", out, code)
+	}
+	_, code = capture(t, func() { CheckUsage("tool", errors.New("e")) })
+	if code != ExitUsage {
+		t.Fatalf("CheckUsage exit = %d, want %d", code, ExitUsage)
+	}
+	_, code = capture(t, func() { Check("tool", errors.New("e")) })
+	if code != ExitFailure {
+		t.Fatalf("Check exit = %d, want %d", code, ExitFailure)
+	}
+}

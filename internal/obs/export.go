@@ -22,21 +22,63 @@ func (t *TextExporter) Event(ev Event) {
 	fmt.Fprintf(t.W, "%12v  %-12s %s\n", ev.At, src, ev.text())
 }
 
-// JSONLExporter writes one JSON object per event per line. Field order
-// is fixed by the Event struct, so a deterministic run produces a
-// byte-identical stream.
+// JSONLExporter writes one JSON object per event per line, directly to
+// W as events arrive — it never accumulates the whole stream, so
+// million-event runs export in constant memory. Field order is fixed by
+// the Event struct, so a deterministic run produces a byte-identical
+// stream.
+//
+// When W exposes a Flush method — bufio.Writer's Flush() error, or
+// http.ResponseWriter's Flush() via the http.Flusher interface — the
+// exporter calls it after every event, so a consumer tailing the stream
+// (lynxd's chunked job-stream endpoint, lynxtrace piped into a pager on
+// a long run) sees each event as soon as it is recorded rather than at
+// buffer boundaries.
 type JSONLExporter struct {
 	W io.Writer
+	// Err records the first write or flush error; once set, subsequent
+	// events are dropped (the stream is broken — typically the consumer
+	// hung up).
+	Err error
+
+	buf []byte
 }
+
+// flusher matches bufio.Writer-style sinks; httpFlusher matches
+// http.Flusher without importing net/http.
+type flusher interface{ Flush() error }
+type httpFlusher interface{ Flush() }
 
 // Event implements Sink.
 func (j *JSONLExporter) Event(ev Event) {
+	if j.Err != nil {
+		return
+	}
 	b, err := json.Marshal(ev)
 	if err != nil {
 		return
 	}
-	b = append(b, '\n')
-	j.W.Write(b)
+	// Reuse one scratch buffer for the line so steady-state export does
+	// not allocate beyond what encoding/json needs.
+	j.buf = append(j.buf[:0], b...)
+	j.buf = append(j.buf, '\n')
+	if _, err := j.W.Write(j.buf); err != nil {
+		j.Err = err
+		return
+	}
+	j.Err = j.Flush()
+}
+
+// Flush forwards to W's Flush method when it has one (no-op otherwise),
+// pushing buffered bytes to the consumer incrementally.
+func (j *JSONLExporter) Flush() error {
+	switch w := j.W.(type) {
+	case flusher:
+		return w.Flush()
+	case httpFlusher:
+		w.Flush()
+	}
+	return nil
 }
 
 // ChromeExporter buffers events and renders them as Chrome

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -197,5 +198,48 @@ func TestTextExporterFormat(t *testing.T) {
 	if !strings.Contains(out, "soda") || !strings.Contains(out, "soda.accept") ||
 		!strings.Contains(out, "p2") || !strings.Contains(out, "seq=9") {
 		t.Fatalf("text %q", out)
+	}
+}
+
+// flushCounter wraps a buffer and counts Flush calls, standing in for
+// bufio.Writer / an HTTP chunked response.
+type flushCounter struct {
+	bytes.Buffer
+	flushes int
+	err     error
+}
+
+func (f *flushCounter) Flush() error { f.flushes++; return f.err }
+
+// The JSONL exporter must push every event to the consumer as it
+// arrives: one write and one flush per event, no whole-buffer
+// accumulation, and a broken sink stops the stream via Err instead of
+// panicking or spinning.
+func TestJSONLExporterIncrementalFlush(t *testing.T) {
+	w := &flushCounter{}
+	j := &JSONLExporter{W: w}
+	for i := 0; i < 3; i++ {
+		j.Event(Event{Kind: KindKernelSend, Proc: i})
+	}
+	if w.flushes != 3 {
+		t.Fatalf("flushes = %d, want one per event", w.flushes)
+	}
+	lines := strings.Split(strings.TrimRight(w.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), w.String())
+	}
+	if j.Err != nil {
+		t.Fatalf("unexpected exporter error: %v", j.Err)
+	}
+
+	w.err = errors.New("consumer hung up")
+	j.Event(Event{Kind: KindKernelSend, Proc: 9})
+	if j.Err == nil {
+		t.Fatal("flush error must surface in Err")
+	}
+	before := w.Len()
+	j.Event(Event{Kind: KindKernelSend, Proc: 10})
+	if w.Len() != before {
+		t.Fatal("events after a sink error must be dropped")
 	}
 }

@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical returns a copy of s with its axes sorted by name (values
+// kept in declared order). Two Specs that differ only in axis
+// declaration order have the same canonical form, which is what makes
+// Fingerprint axis-order independent. Note that canonicalizing changes
+// the cell enumeration (and therefore the per-cell seed streams), so
+// Canonical is a keying aid, not a transparent pre-pass for Run: run
+// the spec as declared, key it canonically.
+func Canonical(s Spec) Spec {
+	axes := make([]Axis, len(s.Axes))
+	copy(axes, s.Axes)
+	sort.SliceStable(axes, func(i, j int) bool { return axes[i].Name < axes[j].Name })
+	s.Axes = axes
+	return s
+}
+
+// Fingerprint hashes the workload shape of a Spec: the canonical
+// (name-sorted) axes with their value lists in declared order, plus the
+// replica count. Value-list order matters — cell enumeration indexes
+// select seed streams, so reordering values genuinely changes results —
+// while axis declaration order, Name (a display label), Parallel (never
+// affects results), RootSeed (keyed separately by cache layers), and
+// the Body/Hook functions are all excluded. The hash is a SHA-256 hex
+// string computed from fmt.Sprint renderings, so it is stable across
+// machines and Go versions for value types with deterministic
+// formatting (ints, floats, strings, fmt.Stringers).
+func Fingerprint(s Spec) string {
+	c := Canonical(s)
+	h := sha256.New()
+	fmt.Fprintf(h, "grid.Spec|replicas=%d", normReplicas(s.Replicas))
+	for _, a := range c.Axes {
+		fmt.Fprintf(h, "|axis=%s:[", a.Name)
+		for i, v := range a.Values {
+			if i > 0 {
+				h.Write([]byte{','})
+			}
+			fmt.Fprint(h, v)
+		}
+		h.Write([]byte{']'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// normReplicas mirrors Run's default so Fingerprint agrees for
+// Replicas 0 and 1.
+func normReplicas(r int) int {
+	if r <= 0 {
+		return 1
+	}
+	return r
+}
+
+// CanonicalKey renders the cell as "name=value/..." with the axes
+// sorted by name — the axis-order-independent sibling of Key. Cells of
+// two grids that declare the same axes in different orders share
+// CanonicalKeys, which is what result caches key cells by.
+func (c Cell) CanonicalKey() string {
+	if len(c.axes) == 0 {
+		return "all"
+	}
+	parts := make([]string, len(c.axes))
+	for i, a := range c.axes {
+		parts[i] = fmt.Sprintf("%s=%v", a.Name, c.coord[i])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "/")
+}

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/lynx/sweep"
@@ -72,6 +73,24 @@ type Spec struct {
 	// from r.Seed and be safe to call concurrently (each call should
 	// build its own lynx.System; see the lynx concurrency contract).
 	Body func(c Cell, r sweep.Run) sweep.Outcome
+
+	// Hook, when non-nil, wraps each cell's execution — the result-cache
+	// injection point. run executes the cell's replica sweep and returns
+	// its aggregate; the hook may call it, or return a previously cached
+	// aggregate for an identical (cell, seeds, body) instead. Returning
+	// a cached aggregate MUST be equivalent to re-running the cell (same
+	// seeds, same body) or the determinism contract breaks; the returned
+	// aggregate is stored in the Table and must not be mutated after.
+	// Hooks run concurrently when Parallel > 1.
+	Hook func(c Cell, run func() *sweep.Aggregate) *sweep.Aggregate
+
+	// Progress, when non-nil, is called after each completed replica
+	// with the number done so far and the grid total
+	// (cells × replicas). Calls may arrive concurrently from worker
+	// goroutines and slightly out of order; done is monotonic per call
+	// site. Cells satisfied by Hook without running report their whole
+	// replica count at once. Progress must not mutate grid state.
+	Progress func(done, total int)
 }
 
 // Cell identifies one point of the cross product: its enumeration
@@ -179,14 +198,36 @@ func Run(s Spec) *Table {
 	if len(cells) == 1 {
 		cellParallel = parallel
 	}
+	total := len(cells) * replicas
+	var done atomic.Int64
 	runCell := func(i int) *CellResult {
 		c := cells[i]
-		agg := sweep.Sweep(sweep.Options{
-			Replicas: replicas,
-			Parallel: cellParallel,
-			RootSeed: root,
-			Seeds:    func(k int) uint64 { return sweep.CellSeed(root, c.Index, k) },
-		}, func(r sweep.Run) sweep.Outcome { return s.Body(c, r) })
+		var progress func(completed, n int)
+		if s.Progress != nil {
+			progress = func(completed, n int) {
+				s.Progress(int(done.Add(1)), total)
+			}
+		}
+		run := func() *sweep.Aggregate {
+			return sweep.Sweep(sweep.Options{
+				Replicas: replicas,
+				Parallel: cellParallel,
+				RootSeed: root,
+				Seeds:    func(k int) uint64 { return sweep.CellSeed(root, c.Index, k) },
+				Progress: progress,
+			}, func(r sweep.Run) sweep.Outcome { return s.Body(c, r) })
+		}
+		var agg *sweep.Aggregate
+		if s.Hook != nil {
+			ran := false
+			agg = s.Hook(c, func() *sweep.Aggregate { ran = true; return run() })
+			if !ran && s.Progress != nil {
+				// Cache hit: the cell's replicas complete all at once.
+				s.Progress(int(done.Add(int64(replicas))), total)
+			}
+		} else {
+			agg = run()
+		}
 		return &CellResult{Cell: c, Agg: agg}
 	}
 	workers := parallel

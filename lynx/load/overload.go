@@ -1,0 +1,210 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/lynx"
+	"repro/lynx/grid"
+	"repro/lynx/sweep"
+)
+
+// SweepOptions parameterizes a substrate × offered-rate overload sweep:
+// one deterministic open-loop Run per cell. cmd/lynxload's -rates mode
+// and lynxd's "load" jobs both build their grids here, which is what
+// makes a daemon-run sweep byte-identical to the CLI run of the same
+// options.
+type SweepOptions struct {
+	// Substrates lists the kernels under load; at least one.
+	Substrates []lynx.Substrate
+	// Rates lists the offered loads (arrivals per virtual second); all
+	// positive, at least one.
+	Rates []float64
+	// Window is the arrival-generation window (virtual). Default 1s.
+	Window lynx.Duration
+	// Mix is the traffic mix. Default DefaultMix.
+	Mix *Mix
+	// Seed is the sweep's root seed. Default 1.
+	Seed uint64
+	// Parallel is the grid worker count; never changes results.
+	Parallel int
+	// Hook and Progress pass through to the grid spec (cache injection
+	// and progress streaming; see grid.Spec).
+	Hook     func(c grid.Cell, run func() *sweep.Aggregate) *sweep.Aggregate
+	Progress func(done, total int)
+}
+
+// normalized fills in defaults and validates.
+func (o SweepOptions) normalized() (SweepOptions, error) {
+	if len(o.Substrates) == 0 {
+		return o, fmt.Errorf("load: sweep needs at least one substrate")
+	}
+	if len(o.Rates) == 0 {
+		return o, fmt.Errorf("load: sweep needs at least one rate")
+	}
+	for _, r := range o.Rates {
+		if r <= 0 {
+			return o, fmt.Errorf("load: rate must be positive, got %g", r)
+		}
+	}
+	if o.Window < 0 {
+		return o, fmt.Errorf("load: negative window %v", o.Window)
+	}
+	if o.Window == 0 {
+		o.Window = lynx.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Mix == nil {
+		mix, err := ParseMix(DefaultMix)
+		if err != nil {
+			panic(err) // DefaultMix always parses
+		}
+		o.Mix = mix
+	}
+	return o, nil
+}
+
+// Key canonicalizes the sweep for gate matching and job identity: the
+// string BENCH_load.json records as overload_key.
+func (o SweepOptions) Key() string {
+	o, err := o.normalized()
+	if err != nil {
+		return "invalid: " + err.Error()
+	}
+	subs := make([]string, len(o.Substrates))
+	for i, s := range o.Substrates {
+		subs[i] = s.String()
+	}
+	rs := make([]string, len(o.Rates))
+	for i, r := range o.Rates {
+		rs[i] = fmt.Sprintf("%g", r)
+	}
+	return fmt.Sprintf("subs=%s rates=%s mix=%s seed=%d window=%s",
+		strings.Join(subs, ","), strings.Join(rs, ","), o.Mix, o.Seed,
+		time.Duration(o.Window))
+}
+
+// SweepSpec builds the substrate × rate grid: cell (s, r) is one
+// load.Run at offered rate r on substrate s, seeded by the grid's
+// two-level stream split, so the whole table is a pure function of
+// (options, seed) at any Parallel.
+func SweepSpec(o SweepOptions) (grid.Spec, error) {
+	o, err := o.normalized()
+	if err != nil {
+		return grid.Spec{}, err
+	}
+	subVals := make([]any, len(o.Substrates))
+	for i, s := range o.Substrates {
+		subVals[i] = s
+	}
+	rateVals := make([]any, len(o.Rates))
+	for i, r := range o.Rates {
+		rateVals[i] = r
+	}
+	return grid.Spec{
+		Name: "lynxload overload",
+		Axes: []grid.Axis{
+			{Name: "substrate", Values: subVals},
+			{Name: "rate", Values: rateVals},
+		},
+		Replicas: 1,
+		Parallel: o.Parallel,
+		RootSeed: o.Seed,
+		Hook:     o.Hook,
+		Progress: o.Progress,
+		Body: func(cell grid.Cell, r sweep.Run) sweep.Outcome {
+			res, err := Run(Options{
+				Substrate: cell.Value("substrate").(lynx.Substrate),
+				Rate:      cell.Value("rate").(float64),
+				Window:    o.Window,
+				Mix:       o.Mix,
+				Seed:      r.Seed,
+			})
+			if err != nil {
+				return sweep.Outcome{Err: err}
+			}
+			return sweep.Outcome{
+				Values: map[string]float64{
+					"arrivals":       float64(res.Arrivals),
+					"completed":      float64(res.Completed),
+					"makespan_ms":    float64(res.Makespan) / 1e6,
+					"realized":       res.Realized,
+					"sojourn_p50_ms": res.Sojourn.P50,
+					"sojourn_p95_ms": res.Sojourn.P95,
+					"sojourn_p99_ms": res.Sojourn.P99,
+				},
+				Metrics: res.Metrics,
+			}
+		},
+	}, nil
+}
+
+// Row is one (substrate, offered rate) line of an overload table — the
+// record BENCH_load.json stores. All fields are virtual-time derived
+// and machine independent.
+type Row struct {
+	Substrate  string  `json:"substrate"`
+	Rate       float64 `json:"rate"`
+	Arrivals   int     `json:"arrivals"`
+	Completed  int     `json:"completed"`
+	MakespanMS float64 `json:"makespan_ms"`
+	Realized   float64 `json:"realized"`
+	P50MS      float64 `json:"sojourn_p50_ms"`
+	P95MS      float64 `json:"sojourn_p95_ms"`
+	P99MS      float64 `json:"sojourn_p99_ms"`
+}
+
+// Rows flattens an overload grid table into Row records in cell
+// enumeration order, surfacing the first replica error if any cell
+// failed.
+func Rows(tbl *grid.Table) ([]Row, error) {
+	if tbl.Errs() > 0 {
+		for _, cr := range tbl.Cells {
+			if len(cr.Agg.Errs) > 0 {
+				return nil, fmt.Errorf("%s: %v", cr.Cell.Key(), cr.Agg.Errs[0])
+			}
+		}
+	}
+	rows := make([]Row, len(tbl.Cells))
+	for i, cr := range tbl.Cells {
+		v := cr.Agg.Values
+		rows[i] = Row{
+			Substrate:  cr.Cell.Str("substrate"),
+			Rate:       cr.Cell.Value("rate").(float64),
+			Arrivals:   int(v["arrivals"].Mean),
+			Completed:  int(v["completed"].Mean),
+			MakespanMS: v["makespan_ms"].Mean,
+			Realized:   v["realized"].Mean,
+			P50MS:      v["sojourn_p50_ms"].Mean,
+			P95MS:      v["sojourn_p95_ms"].Mean,
+			P99MS:      v["sojourn_p99_ms"].Mean,
+		}
+	}
+	if err := CheckShape(rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// CheckShape asserts the physics every overload table must satisfy
+// before it is recorded or gated: open-loop runs drain completely and
+// realized throughput never wildly exceeds offered load (the engine
+// measures, it does not invent work).
+func CheckShape(rows []Row) error {
+	for _, r := range rows {
+		if r.Completed != r.Arrivals {
+			return fmt.Errorf("%s rate %g: %d of %d units completed",
+				r.Substrate, r.Rate, r.Completed, r.Arrivals)
+		}
+		// Realized is completed/makespan; a short burst can nominally
+		// exceed the offered average, but never wildly.
+		if r.Arrivals > 10 && r.Realized > r.Rate*1.5 {
+			return fmt.Errorf("%s rate %g: realized %g exceeds offered",
+				r.Substrate, r.Rate, r.Realized)
+		}
+	}
+	return nil
+}

@@ -56,6 +56,7 @@ package lynx
 
 import (
 	"fmt"
+	"strings"
 
 	chbind "repro/internal/bind/charlotte"
 	chrbind "repro/internal/bind/chrysalis"
@@ -131,6 +132,40 @@ func (s Substrate) String() string {
 	default:
 		return fmt.Sprintf("Substrate(%d)", int(s))
 	}
+}
+
+// ParseSubstrate is the inverse of Substrate.String: it resolves the
+// lowercase substrate name the CLIs and the lynxd job API use.
+func ParseSubstrate(name string) (Substrate, error) {
+	switch name {
+	case "charlotte":
+		return Charlotte, nil
+	case "soda":
+		return SODA, nil
+	case "chrysalis":
+		return Chrysalis, nil
+	case "ideal":
+		return Ideal, nil
+	default:
+		return 0, fmt.Errorf("unknown substrate %q (want charlotte, soda, chrysalis or ideal)", name)
+	}
+}
+
+// ParseSubstrates resolves a comma-separated substrate list (spaces
+// around names are ignored); the list must be non-empty.
+func ParseSubstrates(csv string) ([]Substrate, error) {
+	var out []Substrate
+	for _, name := range strings.Split(csv, ",") {
+		s, err := ParseSubstrate(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty substrate list")
+	}
+	return out, nil
 }
 
 // Config parameterizes a System. The zero value is a working Charlotte

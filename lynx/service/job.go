@@ -1,0 +1,551 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/obs"
+	"repro/lynx"
+	"repro/lynx/grid"
+	"repro/lynx/load"
+	"repro/lynx/sweep"
+)
+
+// JobRequest is the POST /jobs body: a kind selector plus the matching
+// spec block. Client, when set, names the fair-queue lane the job joins
+// (unset falls back to the submitter's remote address, so separate
+// machines are separate lanes by default).
+type JobRequest struct {
+	Kind   string   `json:"kind"` // "expt" | "grid" | "load"
+	Client string   `json:"client,omitempty"`
+	Expt   *ExptJob `json:"expt,omitempty"`
+	Grid   *GridJob `json:"grid,omitempty"`
+	Load   *LoadJob `json:"load,omitempty"`
+}
+
+// ExptJob runs catalogued experiments: one of the paper's E1..E13 by
+// id, or "all" for the full catalog, optionally replicated. The result
+// stream carries one JSON line per experiment Result — the same record
+// `lynxbench -json` renders.
+type ExptJob struct {
+	ID       string `json:"id"`
+	Reps     int    `json:"reps,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Parallel int    `json:"parallel,omitempty"`
+}
+
+// GridAxis mirrors grid.Axis for the wire: JSON numbers that are whole
+// become ints (so keys render "payload=1024", matching in-process
+// specs), other numbers stay floats, strings stay strings.
+type GridAxis struct {
+	Name   string `json:"name"`
+	Values []any  `json:"values"`
+}
+
+// GridJob runs a configuration grid over a registered body. Bodies are
+// server-side (functions cannot travel in JSON): "echo" measures one
+// echo round trip per replica over substrate/payload axes.
+type GridJob struct {
+	Body     string     `json:"body"`
+	Axes     []GridAxis `json:"axes"`
+	Replicas int        `json:"replicas,omitempty"`
+	Seed     uint64     `json:"seed,omitempty"`
+	Parallel int        `json:"parallel,omitempty"`
+}
+
+// LoadJob runs the substrate × offered-rate overload sweep — exactly
+// the grid `lynxload -rates` builds, so the streamed result table is
+// byte-identical to the CLI run of the same options.
+type LoadJob struct {
+	Substrates []string  `json:"substrates"`
+	Rates      []float64 `json:"rates"`
+	Window     string    `json:"window,omitempty"` // Go duration, default "1s"
+	Mix        string    `json:"mix,omitempty"`    // kind=weight pairs, default load.DefaultMix
+	Seed       uint64    `json:"seed,omitempty"`
+	Parallel   int       `json:"parallel,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the GET /jobs/{id} record (also embedded in submit
+// responses and the job list).
+type JobStatus struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Client string `json:"client"`
+	// Key names the job's workload identity: the overload sweep key for
+	// load jobs, body+fingerprint for grid jobs, the experiment id for
+	// expt jobs.
+	Key             string `json:"key"`
+	State           string `json:"state"`
+	CancelRequested bool   `json:"cancel_requested,omitempty"`
+	Done            int    `json:"progress_done"`
+	Total           int    `json:"progress_total"`
+	CacheHits       int64  `json:"cache_hits"`
+	CacheMisses     int64  `json:"cache_misses"`
+	ResultLines     int    `json:"result_lines"`
+	Error           string `json:"error,omitempty"`
+	Submitted       string `json:"submitted"`
+}
+
+// job is the daemon-side state of one submission. The stream history
+// (lines) is append-only: every subscriber replays it from the start
+// and then follows live appends, so a client attaching after completion
+// still reads the full deterministic stream.
+type job struct {
+	id     string
+	kind   string
+	client string
+	key    string
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	submitted time.Time
+	// run executes the job body; it must end by calling j.finish.
+	run func(s *Service, j *job)
+
+	mu              sync.Mutex
+	state           string
+	cancelRequested bool
+	// counted guards the service-level terminal-state counters: a job
+	// can reach a terminal state from either the worker or a cancel
+	// racing it, and must be tallied exactly once.
+	counted     bool
+	errText     string
+	lines       [][]byte
+	resultLines int
+	changed     chan struct{}
+	done        int
+	total       int
+	cacheHits   int64
+	cacheMisses int64
+	// rollup is the per-job pooled metric registry (every cell's
+	// instruments under its cell-key prefix), served at
+	// /jobs/{id}/metrics.
+	rollup *obs.Metrics
+}
+
+func newJob(id, kind, client, key string, now time.Time) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id: id, kind: kind, client: client, key: key,
+		ctx: ctx, cancel: cancel, submitted: now,
+		state: StateQueued, changed: make(chan struct{}),
+	}
+}
+
+// append adds one stream line (no trailing newline) and wakes
+// subscribers.
+func (j *job) append(line []byte) {
+	j.mu.Lock()
+	j.lines = append(j.lines, line)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// emit marshals an envelope record onto the stream.
+func (j *job) emit(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	j.append(b)
+}
+
+// envelope is the typed stream record. Verbatim result lines carry no
+// "type" key; everything else on the stream is an envelope.
+type envelope struct {
+	Type        string `json:"type"`
+	ID          string `json:"id,omitempty"`
+	Kind        string `json:"kind,omitempty"`
+	Key         string `json:"key,omitempty"`
+	State       string `json:"state,omitempty"`
+	Done        int    `json:"done,omitempty"`
+	Total       int    `json:"total,omitempty"`
+	Lines       int    `json:"lines,omitempty"`
+	CacheHits   int64  `json:"cache_hits,omitempty"`
+	CacheMisses int64  `json:"cache_misses,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// progress records replica completion and emits a progress envelope.
+func (j *job) progress(done, total int) {
+	j.mu.Lock()
+	if done > j.done {
+		j.done = done
+	}
+	j.total = total
+	j.mu.Unlock()
+	j.emit(envelope{Type: "progress", Done: done, Total: total})
+}
+
+// terminal reports whether the job reached a final state.
+func (j *job) terminal() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// finish transitions the job to a terminal state, appending the result
+// section (a "result" envelope announcing the verbatim line count, then
+// the lines byte-for-byte) and the closing "done" envelope.
+func (j *job) finish(state string, result [][]byte, err error) {
+	j.mu.Lock()
+	if j.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	if err != nil {
+		j.errText = err.Error()
+	}
+	j.resultLines = len(result)
+	hits, misses := j.cacheHits, j.cacheMisses
+	if len(result) > 0 {
+		head, _ := json.Marshal(envelope{Type: "result", Lines: len(result)})
+		j.lines = append(j.lines, head)
+		j.lines = append(j.lines, result...)
+	}
+	tail, _ := json.Marshal(envelope{
+		Type: "done", State: state, Error: j.errText,
+		CacheHits: hits, CacheMisses: misses,
+	})
+	j.lines = append(j.lines, tail)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// status snapshots the job for the HTTP status endpoints.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, Kind: j.kind, Client: j.client, Key: j.key,
+		State: j.state, CancelRequested: j.cancelRequested,
+		Done: j.done, Total: j.total,
+		CacheHits: j.cacheHits, CacheMisses: j.cacheMisses,
+		ResultLines: j.resultLines, Error: j.errText,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// splitLines turns a rendered multi-line string into stream lines.
+func splitLines(s string) [][]byte {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, "\n")
+	out := make([][]byte, len(parts))
+	for i, p := range parts {
+		out[i] = []byte(p)
+	}
+	return out
+}
+
+// buildJob validates a request and constructs the runnable job.
+func (s *Service) buildJob(req JobRequest, client string, now time.Time) (*job, error) {
+	if req.Client != "" {
+		client = req.Client
+	}
+	switch req.Kind {
+	case "expt":
+		if req.Expt == nil {
+			return nil, fmt.Errorf("kind %q needs an %q block", "expt", "expt")
+		}
+		return buildExptJob(*req.Expt, client, now)
+	case "grid":
+		if req.Grid == nil {
+			return nil, fmt.Errorf("kind %q needs a %q block", "grid", "grid")
+		}
+		return s.buildGridJob(*req.Grid, client, now)
+	case "load":
+		if req.Load == nil {
+			return nil, fmt.Errorf("kind %q needs a %q block", "load", "load")
+		}
+		return s.buildLoadJob(*req.Load, client, now)
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (want expt, grid or load)", req.Kind)
+	}
+}
+
+// buildExptJob validates and constructs a catalog-experiment job.
+// Experiment runs are not cell-cached (they flow through the expt
+// harness, not the grid runner); cancellation is honored while queued
+// and between experiments of an "all" run.
+func buildExptJob(spec ExptJob, client string, now time.Time) (*job, error) {
+	id := strings.ToUpper(strings.TrimSpace(spec.ID))
+	all := strings.EqualFold(spec.ID, "all")
+	if !all {
+		found := false
+		for _, e := range expt.Catalog() {
+			if strings.EqualFold(e.ID, id) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown experiment %q (want E1..E%d or all)", spec.ID, len(expt.Catalog()))
+		}
+	}
+	opts := expt.Options{Parallel: spec.Parallel, Reps: spec.Reps, RootSeed: spec.Seed}
+	key := fmt.Sprintf("expt:%s reps=%d seed=%d", strings.ToLower(id), max(1, spec.Reps), defaultSeed(spec.Seed))
+	j := newJob("", "expt", client, key, now)
+	j.run = func(s *Service, j *job) {
+		if j.ctx.Err() != nil {
+			j.finish(StateCanceled, nil, j.ctx.Err())
+			return
+		}
+		var results []*expt.Result
+		if all {
+			results = expt.AllWith(opts)
+		} else {
+			results = []*expt.Result{expt.ByIDWith(id, opts)}
+		}
+		lines := make([][]byte, 0, len(results))
+		for _, r := range results {
+			b, err := json.Marshal(r)
+			if err != nil {
+				j.finish(StateFailed, nil, err)
+				return
+			}
+			lines = append(lines, b)
+		}
+		j.progress(len(results), len(results))
+		j.finish(StateDone, lines, nil)
+	}
+	return j, nil
+}
+
+// buildLoadJob validates and constructs an overload-sweep job.
+func (s *Service) buildLoadJob(spec LoadJob, client string, now time.Time) (*job, error) {
+	subs := make([]lynx.Substrate, 0, len(spec.Substrates))
+	for _, name := range spec.Substrates {
+		sub, err := lynx.ParseSubstrate(name)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+	}
+	window := lynx.Duration(0)
+	if spec.Window != "" {
+		d, err := time.ParseDuration(spec.Window)
+		if err != nil {
+			return nil, fmt.Errorf("bad window %q: %v", spec.Window, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("window must be positive, got %s", d)
+		}
+		window = lynx.Duration(d)
+	}
+	var mix *load.Mix
+	if spec.Mix != "" {
+		m, err := load.ParseMix(spec.Mix)
+		if err != nil {
+			return nil, err
+		}
+		mix = m
+	}
+	opts := load.SweepOptions{
+		Substrates: subs,
+		Rates:      spec.Rates,
+		Window:     window,
+		Mix:        mix,
+		Seed:       spec.Seed,
+		Parallel:   spec.Parallel,
+	}
+	// Validate eagerly so submit reports bad specs as 400, not as a
+	// failed job.
+	if _, err := load.SweepSpec(opts); err != nil {
+		return nil, err
+	}
+	key := opts.Key()
+	// Everything outside the axes that shapes a cell's result belongs in
+	// the cache body identity; the seed-bearing parts are keyed per cell.
+	bodyID := fmt.Sprintf("load|window=%s|mix=%s",
+		keyField(key, "window"), keyField(key, "mix"))
+	j := newJob("", "load", client, key, now)
+	j.run = func(s *Service, j *job) {
+		o := opts
+		o.Hook = s.cacheHook(j, bodyID, 1, defaultSeed(o.Seed))
+		o.Progress = j.progress
+		gspec, err := load.SweepSpec(o)
+		if err != nil {
+			j.finish(StateFailed, nil, err)
+			return
+		}
+		tbl := grid.Run(gspec)
+		s.finishGridJob(j, tbl)
+	}
+	return j, nil
+}
+
+// keyField extracts "name=value" values from a canonical sweep key.
+func keyField(key, name string) string {
+	for _, part := range strings.Fields(key) {
+		if v, ok := strings.CutPrefix(part, name+"="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// gridBodies is the registry of server-side grid bodies a GridJob may
+// name. Each body declares the axes it requires.
+var gridBodies = map[string]struct {
+	axes []string
+	body func(c grid.Cell, r sweep.Run) sweep.Outcome
+}{
+	"echo": {axes: []string{"payload", "substrate"}, body: echoBody},
+}
+
+// buildGridJob validates and constructs a declarative-grid job.
+func (s *Service) buildGridJob(spec GridJob, client string, now time.Time) (*job, error) {
+	bdef, ok := gridBodies[spec.Body]
+	if !ok {
+		names := make([]string, 0, len(gridBodies))
+		for n := range gridBodies {
+			names = append(names, n)
+		}
+		return nil, fmt.Errorf("unknown grid body %q (have %s)", spec.Body, strings.Join(names, ", "))
+	}
+	if spec.Replicas < 0 {
+		return nil, fmt.Errorf("negative replicas %d", spec.Replicas)
+	}
+	axes := make([]grid.Axis, 0, len(spec.Axes))
+	seen := map[string]bool{}
+	for _, a := range spec.Axes {
+		if a.Name == "" || len(a.Values) == 0 {
+			return nil, fmt.Errorf("axis needs a name and at least one value")
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("duplicate axis %q", a.Name)
+		}
+		seen[a.Name] = true
+		vals := make([]any, len(a.Values))
+		for i, v := range a.Values {
+			vals[i] = normalizeAxisValue(v)
+		}
+		axes = append(axes, grid.Axis{Name: a.Name, Values: vals})
+	}
+	for _, want := range bdef.axes {
+		if !seen[want] {
+			return nil, fmt.Errorf("body %q needs axis %q", spec.Body, want)
+		}
+	}
+	// Validate every cell's axis values up front (substrate names,
+	// integer payloads) so bad specs fail the submit, not the run.
+	if err := validateCells(spec.Body, axes); err != nil {
+		return nil, err
+	}
+	gspec := grid.Spec{
+		Name:     "lynxd " + spec.Body,
+		Axes:     axes,
+		Replicas: spec.Replicas,
+		Parallel: spec.Parallel,
+		RootSeed: spec.Seed,
+		Body:     bdef.body,
+	}
+	key := fmt.Sprintf("grid:%s seed=%d fp=%s", spec.Body, defaultSeed(spec.Seed), grid.Fingerprint(gspec)[:16])
+	bodyID := "grid:" + spec.Body
+	j := newJob("", "grid", client, key, now)
+	j.run = func(s *Service, j *job) {
+		run := gspec
+		run.Hook = s.cacheHook(j, bodyID, normReplicas(run.Replicas), defaultSeed(run.RootSeed))
+		run.Progress = j.progress
+		tbl := grid.Run(run)
+		s.finishGridJob(j, tbl)
+	}
+	return j, nil
+}
+
+// validateCells dry-checks body-specific axis values.
+func validateCells(body string, axes []grid.Axis) error {
+	for _, a := range axes {
+		for _, v := range a.Values {
+			switch a.Name {
+			case "substrate":
+				if _, err := lynx.ParseSubstrate(fmt.Sprint(v)); err != nil {
+					return err
+				}
+			case "payload":
+				n, ok := v.(int)
+				if !ok || n < 0 {
+					return fmt.Errorf("payload axis values must be non-negative integers, got %v", v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// normalizeAxisValue maps JSON decoding artifacts onto the value types
+// in-process specs use: whole float64s become ints (so cell keys render
+// "payload=1024" identically in both worlds).
+func normalizeAxisValue(v any) any {
+	if f, ok := v.(float64); ok && f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return int(f)
+	}
+	return v
+}
+
+// echoBody measures one echo round trip: a client/server pair on the
+// cell's substrate exchanging the cell's payload in both directions.
+func echoBody(c grid.Cell, r sweep.Run) sweep.Outcome {
+	sub, err := lynx.ParseSubstrate(c.Str("substrate"))
+	if err != nil {
+		return sweep.Outcome{Err: err}
+	}
+	payload := c.Int("payload")
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed})
+	data := make([]byte, payload)
+	var rtt lynx.Duration
+	cl := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {
+		start := th.Now()
+		if _, err := th.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
+			return
+		}
+		rtt = lynx.Duration(th.Now() - start)
+		th.Destroy(boot[0])
+	})
+	sv := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
+		th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+			st.Reply(req, lynx.Msg{Data: req.Data()})
+		})
+	})
+	sys.Join(cl, sv)
+	if err := sys.Run(); err != nil {
+		return sweep.Outcome{Err: err}
+	}
+	return sweep.Outcome{
+		Values:  map[string]float64{"rtt_ms": float64(rtt) / 1e6},
+		Metrics: sys.Metrics(),
+	}
+}
+
+func defaultSeed(s uint64) uint64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+func normReplicas(r int) int {
+	if r <= 0 {
+		return 1
+	}
+	return r
+}

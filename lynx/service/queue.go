@@ -1,0 +1,75 @@
+package service
+
+import "sync"
+
+// fairQueue is the daemon's admission queue: a bounded set of pending
+// jobs organized as one FIFO per client, drained round-robin across
+// clients. One client submitting a burst of a hundred sweeps cannot
+// starve another's single job — the second client's head-of-line job is
+// at most one full round away — while each client's own jobs still run
+// in submission order. The bound is global: when size reaches limit,
+// push fails and the HTTP layer answers 429 with Retry-After instead of
+// queueing without bound.
+type fairQueue struct {
+	mu        sync.Mutex
+	limit     int
+	size      int
+	perClient map[string][]*job
+	// ring holds the clients that have pending jobs, in first-seen
+	// order; next is the round-robin cursor.
+	ring []string
+	next int
+}
+
+func newFairQueue(limit int) *fairQueue {
+	return &fairQueue{limit: limit, perClient: map[string][]*job{}}
+}
+
+// push appends j to client's FIFO; false when the global bound is hit.
+func (q *fairQueue) push(client string, j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.size >= q.limit {
+		return false
+	}
+	if _, ok := q.perClient[client]; !ok {
+		q.ring = append(q.ring, client)
+	}
+	q.perClient[client] = append(q.perClient[client], j)
+	q.size++
+	return true
+}
+
+// pop removes and returns the next job round-robin across clients, or
+// nil when the queue is empty.
+func (q *fairQueue) pop() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.ring) == 0 {
+		return nil
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	client := q.ring[q.next]
+	list := q.perClient[client]
+	j := list[0]
+	if len(list) == 1 {
+		delete(q.perClient, client)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// The cursor now points at the client that followed the removed
+		// one (or wraps on the next pop), preserving the rotation.
+	} else {
+		q.perClient[client] = list[1:]
+		q.next++
+	}
+	q.size--
+	return j
+}
+
+// depth reports the number of queued jobs.
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

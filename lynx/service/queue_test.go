@@ -1,0 +1,71 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func qjob(id string) *job { return newJob(id, "test", "", "", time.Time{}) }
+
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue(10)
+	// Client A bursts three jobs before B submits one: B's job must be
+	// served one round in, not after A's whole burst.
+	for _, id := range []string{"a1", "a2", "a3"} {
+		if !q.push("A", qjob(id)) {
+			t.Fatalf("push %s failed", id)
+		}
+	}
+	if !q.push("B", qjob("b1")) {
+		t.Fatal("push b1 failed")
+	}
+	var got []string
+	for j := q.pop(); j != nil; j = q.pop() {
+		got = append(got, j.id)
+	}
+	want := []string{"a1", "b1", "a2", "a3"}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+	if q.depth() != 0 {
+		t.Fatalf("depth = %d after drain", q.depth())
+	}
+}
+
+func TestFairQueueBound(t *testing.T) {
+	q := newFairQueue(2)
+	if !q.push("A", qjob("a1")) || !q.push("B", qjob("b1")) {
+		t.Fatal("pushes under the bound must succeed")
+	}
+	if q.push("C", qjob("c1")) {
+		t.Fatal("push past the bound must fail")
+	}
+	q.pop()
+	if !q.push("C", qjob("c1")) {
+		t.Fatal("push must succeed again after a pop frees a slot")
+	}
+}
+
+func TestFairQueuePreservesPerClientFIFO(t *testing.T) {
+	q := newFairQueue(10)
+	q.push("A", qjob("a1"))
+	q.push("A", qjob("a2"))
+	if got := q.pop().id; got != "a1" {
+		t.Fatalf("pop = %s, want a1", got)
+	}
+	q.push("A", qjob("a3"))
+	if got := q.pop().id; got != "a2" {
+		t.Fatalf("pop = %s, want a2", got)
+	}
+	if got := q.pop().id; got != "a3" {
+		t.Fatalf("pop = %s, want a3", got)
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue must return nil")
+	}
+}

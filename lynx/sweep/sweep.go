@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -58,6 +59,14 @@ type Options struct {
 	// lynx/grid runner uses to hand each grid cell its own seed stream
 	// (see CellSeed) while still fanning replicas through Sweep.
 	Seeds func(replica int) uint64
+	// Progress, when non-nil, is called after each replica's body
+	// returns, with the number completed so far and Replicas. With
+	// Parallel > 1 calls arrive concurrently from worker goroutines and
+	// may be slightly out of order (completed is monotonic per call, not
+	// across calls); the callback must be safe for concurrent use and
+	// must not influence results — it is observation only, so the
+	// determinism contract is unaffected.
+	Progress func(completed, total int)
 }
 
 // CellSeed derives the seed of replica rep of grid cell c under root: a
@@ -145,9 +154,16 @@ func Sweep(o Options, body func(r Run) Outcome) *Aggregate {
 		seed = func(i int) uint64 { return sim.StreamSeed(o.RootSeed, uint64(i)) }
 	}
 	outcomes := make([]Outcome, o.Replicas)
+	var completed atomic.Int64
+	runOne := func(i int) {
+		outcomes[i] = body(Run{Replica: i, Seed: seed(i)})
+		if o.Progress != nil {
+			o.Progress(int(completed.Add(1)), o.Replicas)
+		}
+	}
 	if o.Parallel == 1 {
 		for i := range outcomes {
-			outcomes[i] = body(Run{Replica: i, Seed: seed(i)})
+			runOne(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -157,7 +173,7 @@ func Sweep(o Options, body func(r Run) Outcome) *Aggregate {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					outcomes[i] = body(Run{Replica: i, Seed: seed(i)})
+					runOne(i)
 				}
 			}()
 		}

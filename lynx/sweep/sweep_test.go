@@ -3,7 +3,9 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/lynx"
@@ -181,5 +183,37 @@ func TestSweepCollectsErrors(t *testing.T) {
 	}
 	if agg.Values["v"].N != 2 {
 		t.Fatalf("value stat over surviving replicas: %+v", agg.Values["v"])
+	}
+}
+
+// Progress fires once per replica with a monotonic completed count and
+// never perturbs the aggregate (observation only).
+func TestSweepProgress(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	agg := Sweep(Options{Replicas: 8, Parallel: 4, Progress: func(completed, total int) {
+		if total != 8 {
+			t.Errorf("total = %d, want 8", total)
+		}
+		mu.Lock()
+		seen = append(seen, completed)
+		mu.Unlock()
+	}}, func(r Run) Outcome {
+		return Outcome{Values: map[string]float64{"seed": float64(r.Seed % 1000)}}
+	})
+	if len(seen) != 8 {
+		t.Fatalf("progress called %d times, want 8", len(seen))
+	}
+	sort.Ints(seen)
+	for i, c := range seen {
+		if c != i+1 {
+			t.Fatalf("completed counts = %v, want a permutation of 1..8", seen)
+		}
+	}
+	want := Sweep(Options{Replicas: 8, Parallel: 1}, func(r Run) Outcome {
+		return Outcome{Values: map[string]float64{"seed": float64(r.Seed % 1000)}}
+	})
+	if agg.Values["seed"] != want.Values["seed"] {
+		t.Fatal("progress callback changed the aggregate")
 	}
 }

@@ -1,0 +1,64 @@
+#!/bin/sh
+# lynxd end-to-end smoke: start the daemon on an ephemeral port, submit
+# a seeded one-cell load job through lynxctl, and assert the streamed
+# result table is byte-identical to the same sweep run via the CLI
+# (`lynxload -json`) — the daemon's determinism contract — then check
+# the daemon shuts down cleanly on SIGTERM.
+#
+# Usage: scripts/lynxd_smoke.sh [BIN_DIR]   (default ./bin)
+set -eu
+
+BIN=${1:-./bin}
+OUT=$(mktemp -d)
+DPID=
+cleanup() {
+	[ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+	rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+"$BIN/lynxd" -addr 127.0.0.1:0 >"$OUT/lynxd.log" 2>&1 &
+DPID=$!
+
+# The daemon's first stdout line announces the actual address.
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/^lynxd: listening on //p' "$OUT/lynxd.log")
+	[ -n "$ADDR" ] && break
+	kill -0 "$DPID" 2>/dev/null || { echo "lynxd-smoke: daemon died at startup"; cat "$OUT/lynxd.log"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "lynxd-smoke: daemon never announced its address"; cat "$OUT/lynxd.log"; exit 1; }
+export LYNXD_ADDR="$ADDR"
+
+# One seeded single-cell sweep: charlotte at 40/s over a 200ms window
+# (the same cell CI's seeded lynxload run exercises).
+"$BIN/lynxctl" submit '{"kind":"load","client":"smoke","load":{"substrates":["charlotte"],"rates":[40],"window":"200ms","seed":1}}' >"$OUT/submit.json"
+ID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$OUT/submit.json")
+[ -n "$ID" ] || { echo "lynxd-smoke: submit returned no job id"; cat "$OUT/submit.json"; exit 1; }
+
+# `result` blocks on the stream until the job completes, emitting only
+# the verbatim table lines.
+"$BIN/lynxctl" result "$ID" >"$OUT/daemon.jsonl"
+"$BIN/lynxload" -substrates charlotte -rates 40 -window 200ms -seed 1 -json >"$OUT/cli.jsonl"
+if ! cmp -s "$OUT/daemon.jsonl" "$OUT/cli.jsonl"; then
+	echo "lynxd-smoke: daemon result differs from lynxload -json (determinism contract broken)"
+	diff "$OUT/daemon.jsonl" "$OUT/cli.jsonl" | head -10 || true
+	exit 1
+fi
+
+# Clean shutdown: SIGTERM must end the process with exit 0.
+kill "$DPID"
+st=0
+wait "$DPID" || st=$?
+DPID=
+if [ "$st" -ne 0 ]; then
+	echo "lynxd-smoke: daemon exited $st on SIGTERM, want 0"
+	cat "$OUT/lynxd.log"
+	exit 1
+fi
+grep -q "shutting down" "$OUT/lynxd.log" || { echo "lynxd-smoke: no shutdown line"; cat "$OUT/lynxd.log"; exit 1; }
+
+echo "lynxd-smoke: ok (daemon table byte-identical to CLI, clean shutdown)"
