@@ -45,6 +45,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/lynx"
+	"repro/lynx/fault"
 	"repro/lynx/grid"
 	"repro/lynx/load"
 	"repro/lynx/sweep"
@@ -74,6 +75,44 @@ func parseRates(s string) ([]float64, error) {
 	return out, nil
 }
 
+// parseFaults parses the -faults list: "/"-separated fault scenarios,
+// each a registered name (drop10, part-heal, ...) or an inline plan
+// string; "default" expands to every registered scenario.
+func parseFaults(s string) ([]*fault.Plan, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []*fault.Plan
+	for _, part := range strings.Split(s, "/") {
+		part = strings.TrimSpace(part)
+		if part == "default" {
+			out = append(out, defaultScenarios()...)
+			continue
+		}
+		p, err := fault.ParseScenario(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// defaultScenarios resolves the registered scenario set, in registry
+// order.
+func defaultScenarios() []*fault.Plan {
+	names := fault.ScenarioNames()
+	plans := make([]*fault.Plan, len(names))
+	for i, name := range names {
+		p, err := fault.ParseScenario(name)
+		if err != nil {
+			panic(err) // registered scenarios always parse
+		}
+		plans[i] = p
+	}
+	return plans
+}
+
 // loadConfig is the resolved workload configuration.
 type loadConfig struct {
 	subs     []lynx.Substrate
@@ -83,6 +122,7 @@ type loadConfig struct {
 	seed     uint64
 	rates    []float64
 	window   lynx.Duration
+	faults   []*fault.Plan
 }
 
 // sweepOptions maps the config onto the shared overload-sweep engine.
@@ -94,6 +134,23 @@ func (c loadConfig) sweepOptions() load.SweepOptions {
 		Mix:        c.mix,
 		Seed:       c.seed,
 		Parallel:   c.parallel,
+		Faults:     c.faults,
+	}
+}
+
+// faultsOptions is the pinned overload-under-faults sweep bench mode
+// records and gates: every registered scenario crossed with the
+// configured substrates at one fixed rate inside a short window, so the
+// scenario axis is the only varying stress.
+func (c loadConfig) faultsOptions() load.SweepOptions {
+	return load.SweepOptions{
+		Substrates: c.subs,
+		Rates:      []float64{40},
+		Window:     250 * lynx.Millisecond,
+		Mix:        c.mix,
+		Seed:       c.seed,
+		Parallel:   c.parallel,
+		Faults:     defaultScenarios(),
 	}
 }
 
@@ -113,8 +170,8 @@ func subNames(subs []lynx.Substrate) string {
 
 // runOverload executes the shared sweep and flattens the grid into
 // table rows in enumeration order.
-func runOverload(c loadConfig) ([]load.Row, *grid.Table, error) {
-	spec, err := load.SweepSpec(c.sweepOptions())
+func runOverload(o load.SweepOptions) ([]load.Row, *grid.Table, error) {
+	spec, err := load.SweepSpec(o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -154,6 +211,8 @@ type measurement struct {
 	GOMAXPROCS  int                         `json:"gomaxprocs"`
 	OverloadKey string                      `json:"overload_key,omitempty"`
 	Overload    []load.Row                  `json:"overload,omitempty"`
+	FaultsKey   string                      `json:"faults_key,omitempty"`
+	Faults      []load.Row                  `json:"faults,omitempty"`
 }
 
 // benchFile is the BENCH_load.json schema (baseline/current, like
@@ -168,14 +227,10 @@ type benchFile struct {
 // grid runner: one cell per substrate, c.runs replicas each, every
 // replica one load.RunOnce System with a mix-drawn kind.
 func runMax(c loadConfig) *measurement {
-	subVals := make([]any, len(c.subs))
-	for i, s := range c.subs {
-		subVals[i] = s
-	}
 	start := time.Now()
 	tbl := grid.Run(grid.Spec{
 		Name:     "lynxload",
-		Axes:     []grid.Axis{{Name: "substrate", Values: subVals}},
+		Axes:     []grid.Axis{grid.AxisOf("substrate", c.subs...)},
 		Replicas: c.runs,
 		Parallel: c.parallel,
 		RootSeed: c.seed,
@@ -183,7 +238,7 @@ func runMax(c loadConfig) *measurement {
 			rnd := sim.NewRand(r.Seed)
 			kind := c.mix.Pick(rnd)
 			t0 := time.Now()
-			m, err := load.RunOnce(cell.Value("substrate").(lynx.Substrate), kind, rnd.Uint64())
+			m, err := load.RunOnce(grid.MustAs[lynx.Substrate](cell, "substrate"), kind, rnd.Uint64())
 			return sweep.Outcome{
 				Values:  map[string]float64{"complete_us": float64(time.Since(t0).Microseconds())},
 				Metrics: m,
@@ -287,6 +342,20 @@ func report(m *measurement, tbl *grid.Table) {
 		fmt.Printf("overload sweep: %s\n", m.OverloadKey)
 		fmt.Print(tbl.RenderMatrix("substrate", "rate",
 			"realized", "sojourn_p50_ms", "sojourn_p95_ms", "sojourn_p99_ms"))
+	}
+}
+
+// reportFaults prints the overload-under-faults table: one line per
+// (substrate, scenario), completion against arrivals plus realized
+// throughput and tail sojourn.
+func reportFaults(m *measurement) {
+	if len(m.Faults) == 0 {
+		return
+	}
+	fmt.Printf("faults sweep: %s\n", m.FaultsKey)
+	for _, r := range m.Faults {
+		fmt.Printf("  %-10s %-36s completed %3d/%-3d realized %7.2f/s p95 %8.3fms\n",
+			r.Substrate, r.Scenario, r.Completed, r.Arrivals, r.Realized, r.P95MS)
 	}
 }
 
@@ -396,6 +465,32 @@ func overloadGateFails(rec, m *measurement) bool {
 	return false
 }
 
+// faultsGateFails applies the same byte-equality gate to the
+// overload-under-faults table: faulted runs are still pure functions of
+// (spec, seed), so any drift is a behavior change.
+func faultsGateFails(rec, m *measurement) bool {
+	if rec == nil || len(rec.Faults) == 0 {
+		fmt.Println("lynxload: no recorded faults table; record with `make bench-update`")
+		return false
+	}
+	if rec.FaultsKey != m.FaultsKey {
+		fmt.Printf("lynxload: recorded faults sweep %q differs from %q; table gate skipped\n",
+			rec.FaultsKey, m.FaultsKey)
+		return false
+	}
+	recJSON, _ := json.Marshal(rec.Faults)
+	gotJSON, _ := json.Marshal(m.Faults)
+	if string(recJSON) != string(gotJSON) {
+		fmt.Fprintf(os.Stderr,
+			"lynxload: faults table drifted from BENCH_load.json (faulted runs are seed-pure; "+
+				"this is a behavior change, not noise).\nrecorded: %s\nmeasured: %s\n"+
+				"Refresh deliberately with `make bench-update`.\n", recJSON, gotJSON)
+		return true
+	}
+	fmt.Println("lynxload: faults table matches recorded (byte-identical)")
+	return false
+}
+
 func main() {
 	var (
 		path       = flag.String("file", "BENCH_load.json", "trajectory file")
@@ -409,6 +504,7 @@ func main() {
 		rate       = flag.Float64("rate", 0, "single open-loop virtual-time run at this rate (first -substrates entry)")
 		rates      = flag.String("rates", defaultRates, "overload sweep: offered rates, arrivals per virtual second")
 		window     = flag.Duration("window", time.Second, "open-loop arrival window (virtual time)")
+		faults     = flag.String("faults", "", "fault scenarios crossed with the sweep: '/'-separated names or inline plans; 'default' = all registered")
 		jsonOut    = flag.Bool("json", false, "print the overload sweep's grid table as JSONL to stdout and exit")
 	)
 	flag.Parse()
@@ -424,13 +520,18 @@ func main() {
 	if *window <= 0 {
 		cli.Usagef("lynxload", "-window must be positive")
 	}
+	faultList, err := parseFaults(*faults)
+	if err != nil {
+		cli.Usagef("lynxload", "-faults: %v", err)
+	}
 	c := loadConfig{subs: subs, mix: mix, runs: *runs, parallel: *parallel,
-		seed: *seed, rates: rateList, window: lynx.Duration(*window)}
+		seed: *seed, rates: rateList, window: lynx.Duration(*window),
+		faults: faultList}
 
 	if *jsonOut {
 		// Machine-readable mode: exactly the grid's JSONL table, the
 		// byte-level contract shared with a lynxd job of the same spec.
-		_, tbl, err := runOverload(c)
+		_, tbl, err := runOverload(c.sweepOptions())
 		cli.Check("lynxload", err)
 		fmt.Print(tbl.RenderJSONL())
 		return
@@ -451,13 +552,20 @@ func main() {
 			m = r
 		}
 	}
-	overload, tbl, err := runOverload(c)
+	overload, tbl, err := runOverload(c.sweepOptions())
 	if err != nil {
 		cli.Failf("lynxload", "overload sweep: %v", err)
 	}
 	m.OverloadKey = c.sweepOptions().Key()
 	m.Overload = overload
+	frows, _, err := runOverload(c.faultsOptions())
+	if err != nil {
+		cli.Failf("lynxload", "faults sweep: %v", err)
+	}
+	m.FaultsKey = c.faultsOptions().Key()
+	m.Faults = frows
 	report(m, tbl)
+	reportFaults(m)
 
 	f, err := loadFile(*path)
 	cli.Check("lynxload", err)
@@ -469,6 +577,9 @@ func main() {
 	default:
 		bad := wallGateFails(f.Current, m)
 		if overloadGateFails(f.Current, m) {
+			bad = true
+		}
+		if faultsGateFails(f.Current, m) {
 			bad = true
 		}
 		if bad {

@@ -70,7 +70,7 @@ func TestRunSingleEdgeRates(t *testing.T) {
 // order and passes the shape check.
 func TestRunOverloadRows(t *testing.T) {
 	c := testConfig(t)
-	rows, tbl, err := runOverload(c)
+	rows, tbl, err := runOverload(c.sweepOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestOverloadGate(t *testing.T) {
 // The recorded measurement round-trips through the JSON schema.
 func TestMeasurementRoundTrip(t *testing.T) {
 	c := testConfig(t)
-	rows, _, err := runOverload(c)
+	rows, _, err := runOverload(c.sweepOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

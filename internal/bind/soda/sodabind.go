@@ -598,7 +598,7 @@ func (tr *Transport) post(p *sim.Proc, ps *pendingSend) {
 		// could deadlock; backing off and retrying turns it into latency.
 		tr.c.pairLimitRetries.Inc()
 		tr.env.After(10*sim.Millisecond, func() {
-			if !ps.cancel && !ps.done {
+			if !ps.cancel && !ps.done && !tr.dead {
 				tr.post(nil, ps)
 			}
 		})
@@ -616,7 +616,11 @@ func (tr *Transport) armTimeout(ps *pendingSend, id soda.ReqID) {
 	gen := ps.gen
 	var check func()
 	check = func() {
-		if ps.done || ps.cancel || ps.gen != gen {
+		// A crashed process's watchdog must not outlive it: the kernel
+		// only raises IntCrash to live requesters, so a put from a dead
+		// process to a dead target stays ReqInFlight forever and an
+		// unconditional rearm would keep the simulation alive.
+		if ps.done || ps.cancel || ps.gen != gen || tr.dead {
 			return
 		}
 		switch tr.kp.RequestState(id) {

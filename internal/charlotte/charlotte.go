@@ -584,14 +584,49 @@ func (k *Kernel) tryMatch(l *link, sendSide int) {
 	if !snd.send.enclosure.Nil() {
 		cost += k.costs.MoveAgreement
 	}
-	var wire sim.Duration
-	if snd.owner.node != rcv.owner.node {
-		wire = k.net.SendTime(k.env.Now(), snd.owner.node, rcv.owner.node, n)
-	} else {
-		wire = sim.Duration(n) * 100 * sim.Nanosecond // local loopback copy
-	}
 	sendEnd := EndRef{l.id, sendSide}
-	k.env.After(cost+wire, func() { k.deliver(l, sendEnd) })
+	if snd.owner.node != rcv.owner.node {
+		k.transmit(snd.owner.node, rcv.owner.node, n, cost, func() { k.deliver(l, sendEnd) })
+	} else {
+		wire := sim.Duration(n) * 100 * sim.Nanosecond // local loopback copy
+		k.env.After(cost+wire, func() { k.deliver(l, sendEnd) })
+	}
+}
+
+// retransmitDelay is the kernel's frame-loss detection timeout: how
+// long after initiating an internode frame the sender resends when an
+// injected fault dropped it. Charlotte's real kernel piggybacked acks
+// on the link protocol; the constant stands in for that round trip.
+const retransmitDelay = 5 * sim.Millisecond
+
+// transmit charges one internode frame on the wire and schedules done
+// at its delivery instant, consulting the network's fault hook (if
+// any) for the frame's fate. A dropped frame is retransmitted after
+// retransmitDelay, re-reserving the medium at retransmission time and
+// getting re-judged by the hook (so a healed partition lets the retry
+// through). A duplicated frame charges the medium for the ghost copy
+// at delivery; the receiver sees one delivery (the kernel's link
+// protocol discards duplicates). Extra is injected latency. cpu is the
+// kernel path cost, charged once regardless of retries. With no hook
+// installed the path is byte-identical to a plain SendTime + After.
+func (k *Kernel) transmit(src, dst netsim.NodeID, nbytes int, cpu sim.Duration, done func()) {
+	wire := k.net.SendTime(k.env.Now(), src, dst, nbytes)
+	if h := k.net.FaultHook(); h != nil {
+		v := h.Frame(k.env.Now(), src, dst, nbytes, wire, false)
+		if v.Drop {
+			k.env.After(cpu+retransmitDelay, func() { k.transmit(src, dst, nbytes, 0, done) })
+			return
+		}
+		wire += v.Extra
+		if v.Dup {
+			k.env.After(cpu+wire, func() {
+				k.net.SendTime(k.env.Now(), src, dst, nbytes) // ghost copy occupies the medium
+				done()
+			})
+			return
+		}
+	}
+	k.env.After(cpu+wire, done)
 }
 
 // deliver completes a matched transfer: payload and enclosure reach the

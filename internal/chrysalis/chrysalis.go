@@ -353,12 +353,24 @@ func (pr *Process) obj(name ObjName) (*memObject, Status) {
 }
 
 // remoteCost returns the backplane charge for touching n bytes of an
-// object homed on another node.
+// object homed on another node, consulting the backplane's fault hook
+// (if any). Shared memory cannot lose a write, so faults surface as
+// latency: a Drop verdict doubles the transfer (the switch hardware
+// retries), a partition's Stall blocks the access until the heal, and
+// Extra models a degraded path. With no hook the charge is unchanged.
 func (pr *Process) remoteCost(o *memObject, n int) sim.Duration {
 	if o.home == pr.node {
 		return 0
 	}
-	return pr.k.bp.SendTime(pr.k.env.Now(), pr.node, o.home, n)
+	d := pr.k.bp.SendTime(pr.k.env.Now(), pr.node, o.home, n)
+	if h := pr.k.bp.FaultHook(); h != nil {
+		v := h.Frame(pr.k.env.Now(), pr.node, o.home, n, d, false)
+		if v.Drop {
+			d += d // hardware retry: the transfer crosses the switch twice
+		}
+		d += v.Extra + v.Stall
+	}
+	return d
 }
 
 // SetFlag16 atomically sets a 16-bit flag word at offset (microcoded,

@@ -43,6 +43,14 @@ type End struct {
 	inReq        []*WireMsg         // wanted requests not yet claimed by a thread
 	inReqAt      []sim.Time         // arrival time of each queued request (queue_wait_ns)
 	replyWaiters map[uint64]*Thread // request seq -> blocked connector
+	// earlyReplies holds replies that overtook the delivery confirmation
+	// of the request they answer: the sender is still in its send block
+	// (the request record is settling), so no replyWaiter exists yet.
+	// finishSend hands the reply over the moment the record settles. A
+	// transport whose receipt confirmation travels separately from the
+	// reply (SODA's completion frame can be dropped and retried while
+	// the reply proceeds) makes this ordering routine.
+	earlyReplies map[uint64]*Msg
 
 	// lastInterest caches what we last told the transport, to avoid
 	// redundant kernel traffic.

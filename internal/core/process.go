@@ -448,6 +448,20 @@ func (pr *Process) handleIncoming(ev Event) {
 	case KindReply:
 		t, ok := e.replyWaiters[m.Seq]
 		if !ok {
+			// The reply may have overtaken the delivery confirmation of
+			// the request it answers: the connector is then still in its
+			// send block, registered on a settling record rather than as
+			// a replyWaiter (the same window screen() admits). Hold the
+			// reply; finishSend delivers it when the record settles.
+			for _, rec := range e.outReq {
+				if rec.msg.Seq == m.Seq && rec.t != nil {
+					if e.earlyReplies == nil {
+						e.earlyReplies = make(map[uint64]*Msg)
+					}
+					e.earlyReplies[m.Seq] = &Msg{Data: m.Data, Links: links, op: m.Op}
+					return
+				}
+			}
 			// No coroutine wants this reply (it was aborted). On
 			// capable transports the *sender* has already been failed by
 			// the binding; here we just account for it and recover any
@@ -526,11 +540,30 @@ func (pr *Process) finishSend(rec *sendRecord, delivered bool) {
 			}
 		}
 		// Request senders stay blocked awaiting the reply; transition
-		// their block state.
+		// their block state — unless the reply already overtook this
+		// confirmation, in which case hand it over now.
 		if rec.msg.Kind == KindRequest && rec.t != nil {
-			rec.t.blocked = blockState{kind: blockReply, end: e, seq: rec.msg.Seq, op: rec.msg.Op}
-			e.replyWaiters[rec.msg.Seq] = rec.t
-			e.syncInterest()
+			if reply, ok := e.earlyReplies[rec.msg.Seq]; ok {
+				delete(e.earlyReplies, rec.msg.Seq)
+				if rec.msg.Op != "" && reply.op != rec.msg.Op {
+					pr.wakeThread(rec.t, wake{err: ErrBadReply})
+				} else {
+					pr.wakeThread(rec.t, wake{val: reply})
+				}
+				rec.t = nil
+			} else {
+				rec.t.blocked = blockState{kind: blockReply, end: e, seq: rec.msg.Seq, op: rec.msg.Op}
+				e.replyWaiters[rec.msg.Seq] = rec.t
+				e.syncInterest()
+			}
+		}
+	}
+	if rec.msg.Kind == KindRequest {
+		if _, ok := e.earlyReplies[rec.msg.Seq]; ok {
+			// Settled without a live waiter (failed send or aborted
+			// connector): the held reply is unwanted after all.
+			delete(e.earlyReplies, rec.msg.Seq)
+			pr.stats.UnwantedReplies++
 		}
 	}
 	pr.pump(e, rec.msg.Kind)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/soda"
 	"repro/lynx"
+	"repro/lynx/fault"
 )
 
 // The paper leaves two empirical questions open because the SODA
@@ -177,8 +178,13 @@ func runE13Episode(loss float64, seed uint64) (byDiscover, byFreeze bool) {
 		DiscoverRetries: 2,
 		HintTimeout:     120 * sim.Millisecond,
 	}
-	sys := lynx.NewSystem(lynx.Config{Substrate: lynx.SODA, Seed: seed, SODA: opts})
-	sys.Network().(*netsim.CSMABus).LossRate = loss
+	// The loss rate rides on a declarative fault plan (a bcast drop rule
+	// overrides the bus's default LossRate; point frames are untouched,
+	// so the episode is byte-identical to the old raw-field override).
+	sys := lynx.NewSystem(lynx.Config{
+		Substrate: lynx.SODA, Seed: seed, SODA: opts,
+		Faults: fault.BroadcastLoss(loss),
+	})
 
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 		e := boot[0]

@@ -25,6 +25,43 @@ import (
 // NodeID identifies a machine on a network.
 type NodeID int
 
+// FaultOutcome is the injected fate of one frame, as decided by a
+// FaultHook. The zero value means "deliver normally". Which fields a
+// medium honors depends on its reliability model: the droppable
+// networks (ring, bus) honor Drop (kernels retransmit), Dup (the ghost
+// copy occupies the medium and is discarded), and Extra; the reliable
+// backplane honors Extra and Stall and converts Drop into a doubled
+// transfer (the hardware retries, it cannot lose a write).
+type FaultOutcome struct {
+	// Drop loses the frame; the sender's reliability layer retransmits.
+	Drop bool
+	// Dup ghost-duplicates the frame; the copy is charged to the medium
+	// at delivery time and discarded by the receiver.
+	Dup bool
+	// Extra is added latency (reorder jitter, slow-node penalty).
+	Extra sim.Duration
+	// Stall is how long a reliable medium blocks before the transfer
+	// proceeds (a partition on the backplane stalls until the heal).
+	Stall sim.Duration
+}
+
+// FaultHook lets a fault injector intercept frames on a network. A nil
+// hook (the default) leaves every code path — including the medium's
+// rng draw sequence — byte-identical to an unfaulted run.
+type FaultHook interface {
+	// Frame decides the fate of one frame about to be charged wire time
+	// wire. It is consulted once per transmission attempt (so a
+	// retransmitted frame is re-judged).
+	Frame(now sim.Time, src, dst NodeID, nbytes int, wire sim.Duration, broadcast bool) FaultOutcome
+	// BroadcastLoss returns an override for the medium's broadcast loss
+	// rate, or a negative value to keep the medium's default. Override
+	// semantics: the returned rate replaces the default, it never
+	// compounds with it, and the medium still spends exactly one rng
+	// draw per reception — so a hook that mirrors the default rate is
+	// byte-identical to no hook.
+	BroadcastLoss() float64
+}
+
 // Network is the interface the kernel models use to charge wire time.
 type Network interface {
 	// Name identifies the model in traces and reports.
@@ -41,9 +78,26 @@ type Network interface {
 	// actually seen by the given destination (SODA's discover loses
 	// frames). Deterministic given the network's random source.
 	BroadcastDelivers(dst NodeID) bool
+	// SetFaultHook installs (or, with nil, removes) a fault injector.
+	SetFaultHook(FaultHook)
+	// FaultHook returns the installed injector, or nil. Kernels consult
+	// it at each transmission site.
+	FaultHook() FaultHook
 	// Stats exposes traffic counters.
 	Stats() *Stats
 }
+
+// faultable is the embeddable FaultHook slot shared by every network
+// model.
+type faultable struct {
+	hook FaultHook
+}
+
+// SetFaultHook implements Network.
+func (f *faultable) SetFaultHook(h FaultHook) { f.hook = h }
+
+// FaultHook implements Network.
+func (f *faultable) FaultHook() FaultHook { return f.hook }
 
 // Stats accumulates traffic counters for a network.
 type Stats struct {
@@ -82,6 +136,7 @@ func (m *medium) reserve(now sim.Time, acq, tx sim.Duration) sim.Time {
 // token (half a rotation on average, deterministically charged), then
 // holds the ring for the frame's serialization time.
 type TokenRing struct {
+	faultable
 	m             medium
 	Nodes         int
 	BitRate       int64        // bits per second
@@ -132,13 +187,20 @@ func (r *TokenRing) serialize(nbytes int) sim.Duration {
 // fixed carrier-sense delay plus exponential-ish backoff when the bus is
 // busy; broadcast frames are unreliable with a configurable loss rate.
 type CSMABus struct {
+	faultable
 	m          medium
 	BitRate    int64
 	SenseDelay sim.Duration
 	Backoff    sim.Duration // mean extra wait when the bus is found busy
 	FrameOver  int
-	LossRate   float64 // broadcast frame loss probability per receiver
-	rng        *sim.Rand
+	// LossRate is the default broadcast frame loss probability per
+	// receiver.
+	//
+	// Deprecated: prefer a fault plan's bcast drop rule
+	// (fault.BroadcastLoss), which overrides this field through the
+	// FaultHook; the field remains as the unfaulted default.
+	LossRate float64
+	rng      *sim.Rand
 }
 
 // NewCSMABus creates the SODA testbed bus: 1 Mbit/s with 1% broadcast
@@ -178,9 +240,18 @@ func (b *CSMABus) BroadcastTime(now sim.Time, src NodeID, nbytes int) sim.Durati
 	return d
 }
 
-// BroadcastDelivers implements Network.
+// BroadcastDelivers implements Network. An installed fault hook's
+// BroadcastLoss overrides (replaces) the default LossRate; either way
+// exactly one rng draw is consumed per reception, so installing a hook
+// that mirrors the default rate leaves the run byte-identical.
 func (b *CSMABus) BroadcastDelivers(NodeID) bool {
-	return !b.rng.Bool(b.LossRate)
+	rate := b.LossRate
+	if b.hook != nil {
+		if r := b.hook.BroadcastLoss(); r >= 0 {
+			rate = r
+		}
+	}
+	return !b.rng.Bool(rate)
 }
 
 // Stats implements Network.
@@ -196,6 +267,7 @@ func (b *CSMABus) serialize(nbytes int) sim.Duration {
 // Butterfly's log-depth switch means senders rarely serialize; we model
 // the switch as contention-free but charge a per-transfer setup cost.
 type Backplane struct {
+	faultable
 	stats     Stats
 	SetupCost sim.Duration
 	PerByte   sim.Duration

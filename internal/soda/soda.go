@@ -243,6 +243,40 @@ func NewKernel(env *sim.Env, bus *netsim.CSMABus, costs calib.SODACosts) *Kernel
 	}
 }
 
+// transmit charges one request/accept frame on the bus and schedules
+// deliver at its arrival instant, consulting the bus's fault hook (if
+// any) for the frame's fate. pre is the kernel path cost before the
+// wire and post the cost after it (copy loops, interrupt dispatch);
+// both are charged once regardless of retries. A dropped frame is
+// resent after the kernel's RetryInterval — the same periodic retry
+// SODA's kernel already uses for parked requests — and is re-judged by
+// the hook on each attempt, so a healed partition lets the retry
+// through. While a request frame is lost the requester still observes
+// ReqInFlight, so bindings keep waiting instead of misreading the loss
+// as a stale hint. A duplicated frame charges the bus for the ghost
+// copy at delivery; the kernel discards the duplicate (request and
+// completion handling are idempotent), so only bandwidth is lost. With
+// no hook installed the path is byte-identical to SendTime + After.
+func (k *Kernel) transmit(src, dst netsim.NodeID, nbytes int, pre, post sim.Duration, deliver func()) {
+	wire := k.bus.SendTime(k.env.Now(), src, dst, nbytes)
+	if h := k.bus.FaultHook(); h != nil {
+		v := h.Frame(k.env.Now(), src, dst, nbytes, wire, false)
+		if v.Drop {
+			k.env.After(pre+k.costs.RetryInterval, func() { k.transmit(src, dst, nbytes, 0, post, deliver) })
+			return
+		}
+		wire += v.Extra
+		if v.Dup {
+			k.env.After(pre+wire+post, func() {
+				k.bus.SendTime(k.env.Now(), src, dst, nbytes) // ghost copy occupies the bus
+				deliver()
+			})
+			return
+		}
+	}
+	k.env.After(pre+wire+post, deliver)
+}
+
 // Env returns the simulation environment.
 func (k *Kernel) Env() *sim.Env { return k.env }
 
@@ -473,9 +507,8 @@ func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []by
 	target.inbound[r.id] = r
 
 	// The request descriptor crosses the bus (a small frame).
-	wire := pr.k.bus.SendTime(pr.k.env.Now(), pr.node, target.node, 32)
 	k := pr.k
-	k.env.After(k.costs.RequestPath+wire+k.costs.InterruptDelivery, func() {
+	k.transmit(pr.node, target.node, 32, k.costs.RequestPath, k.costs.InterruptDelivery, func() {
 		if r.withdrawn || r.accepted || target.dead {
 			return
 		}
@@ -545,13 +578,12 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 	pr.k.rec.Counter(obs.MKernelBytes).Add(int64(n))
 
 	copyCost := sim.Duration(n) * pr.k.costs.PerByte
-	wire := pr.k.bus.SendTime(pr.k.env.Now(), pr.node, requester.node, n+32)
 	reply := make([]byte, len(toRequester))
 	copy(reply, toRequester)
 	sent := len(toAccepter)
 	k := pr.k
 	fromID := pr.id
-	k.env.After(k.costs.RequestPath+wire+copyCost+k.costs.InterruptDelivery, func() {
+	k.transmit(pr.node, requester.node, n+32, k.costs.RequestPath, copyCost+k.costs.InterruptDelivery, func() {
 		requester.raise(Interrupt{
 			IKind: IntCompletion, Req: id, From: fromID, OOB: oob,
 			Data: reply, Sent: sent,

@@ -1,0 +1,59 @@
+package grid
+
+import "fmt"
+
+// Typed axis and cell accessors. Axis.Values is []any because a grid
+// crosses heterogeneous dimensions, but almost every call site knows
+// the concrete type of the axis it built; these generic helpers replace
+// the bare `c.Value(name).(T)` assertion pattern with construction and
+// lookup that keep the type in one place and fail with an error that
+// names the axis, the value, and both types.
+
+// AxisOf builds an axis from a typed value slice.
+func AxisOf[T any](name string, values ...T) Axis {
+	vals := make([]any, len(values))
+	for i, v := range values {
+		vals[i] = v
+	}
+	return Axis{Name: name, Values: vals}
+}
+
+// As returns the cell's value on the named axis as a T. Unlike
+// Cell.Value it never panics: an unknown axis or a value of a
+// different type returns a descriptive error.
+func As[T any](c Cell, axis string) (T, error) {
+	var zero T
+	for i, a := range c.axes {
+		if a.Name != axis {
+			continue
+		}
+		v, ok := c.coord[i].(T)
+		if !ok {
+			return zero, fmt.Errorf("grid: axis %q holds %T (%v), not %T",
+				axis, c.coord[i], c.coord[i], zero)
+		}
+		return v, nil
+	}
+	return zero, fmt.Errorf("grid: cell %s has no axis %q", c.Key(), axis)
+}
+
+// MustAs is As for call sites that built the axis themselves, where a
+// mismatch is a programming error; it panics with As's error text.
+func MustAs[T any](c Cell, axis string) T {
+	v, err := As[T](c, axis)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Has reports whether the cell carries the named axis — the guard for
+// optional axes (a fault-scenario axis exists only on faulted sweeps).
+func (c Cell) Has(axis string) bool {
+	for _, a := range c.axes {
+		if a.Name == axis {
+			return true
+		}
+	}
+	return false
+}

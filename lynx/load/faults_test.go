@@ -1,0 +1,118 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/lynx"
+	"repro/lynx/fault"
+	"repro/lynx/grid"
+)
+
+// faultedRun is one cheap faulted load window.
+func faultedRun(t *testing.T, sub lynx.Substrate, plan *fault.Plan, seed uint64) *Result {
+	t.Helper()
+	res, err := Run(Options{
+		Substrate: sub,
+		Seed:      seed,
+		Rate:      40,
+		Window:    150 * lynx.Millisecond,
+		Faults:    plan,
+	})
+	if err != nil {
+		t.Fatalf("%v under %s seed %d: %v", sub, plan, seed, err)
+	}
+	return res
+}
+
+// TestFaultScenarioDeterminism runs every registered scenario on every
+// substrate twice with the same seed and demands identical results:
+// faulted runs must stay pure functions of (spec, seed). Crash/restart
+// scenarios exercise the kernels' termination sweeps — a regression
+// that wedges the drain shows up here as a hang cut short by the sim's
+// deadlock detector or the test timeout.
+func TestFaultScenarioDeterminism(t *testing.T) {
+	subs := []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis}
+	for _, sub := range subs {
+		for _, name := range fault.ScenarioNames() {
+			plan, err := fault.ParseScenario(name)
+			if err != nil {
+				t.Fatalf("scenario %q: %v", name, err)
+			}
+			a := faultedRun(t, sub, plan, 3)
+			b := faultedRun(t, sub, plan, 3)
+			if a.Arrivals != b.Arrivals || a.Completed != b.Completed ||
+				a.Makespan != b.Makespan || a.Realized != b.Realized {
+				t.Errorf("%v/%s: same seed diverged: %+v vs %+v", sub, name, a, b)
+			}
+			if !reflect.DeepEqual(a.Sojourn, b.Sojourn) || !reflect.DeepEqual(a.ByKind, b.ByKind) {
+				t.Errorf("%v/%s: sojourn stats diverged", sub, name)
+			}
+			if a.Completed > a.Arrivals {
+				t.Errorf("%v/%s: completed %d > arrivals %d", sub, name, a.Completed, a.Arrivals)
+			}
+			if !plan.Churns() && a.Completed != a.Arrivals {
+				t.Errorf("%v/%s: non-churn scenario lost work: %d of %d", sub, name, a.Completed, a.Arrivals)
+			}
+		}
+	}
+}
+
+// TestFaultsSweepParallelByteIdentical: the faulted sweep's JSONL bytes
+// are independent of the worker count — the property the BENCH gate and
+// the lynxd cell cache both stand on.
+func TestFaultsSweepParallelByteIdentical(t *testing.T) {
+	plans := []*fault.Plan{
+		fault.MustParse("none"),
+		fault.MustParse("drop(*->*,0.1)"),
+		fault.MustParse("crash(u1.*,60ms)"),
+	}
+	render := func(parallel int) string {
+		spec, err := SweepSpec(SweepOptions{
+			Substrates: []lynx.Substrate{lynx.Charlotte, lynx.SODA},
+			Rates:      []float64{40},
+			Window:     150 * lynx.Millisecond,
+			Seed:       2,
+			Faults:     plans,
+			Parallel:   parallel,
+		})
+		if err != nil {
+			t.Fatalf("SweepSpec: %v", err)
+		}
+		return grid.Run(spec).RenderJSONL()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Errorf("faulted sweep not parallel-invariant:\n-- parallel=1 --\n%s\n-- parallel=8 --\n%s", seq, par)
+	}
+}
+
+// TestHeavyDropCompletes: a 30% point-to-point drop is well past the
+// default scenarios' severity; retransmission must still deliver every
+// unit on every seed (the lynx-level early-reply regression test covers
+// the same regime at the protocol layer).
+func TestHeavyDropCompletes(t *testing.T) {
+	plan := fault.MustParse("drop(*->*,0.3)")
+	for seed := uint64(1); seed <= 20; seed++ {
+		res := faultedRun(t, lynx.SODA, plan, seed)
+		if res.Completed != res.Arrivals {
+			t.Errorf("seed %d: drop scenario lost work: %d of %d", seed, res.Completed, res.Arrivals)
+		}
+	}
+}
+
+// TestWholeUnitCrashDrains pins the watchdog regression found by fault
+// injection: crashing both halves of a unit left the dead client's
+// hint-staleness watchdog rearming forever (the kernel only raises
+// IntCrash to live requesters), so the run never drained. The fix bails
+// the watchdog when its transport is dead; a regression here hangs
+// until the test timeout.
+func TestWholeUnitCrashDrains(t *testing.T) {
+	plan := fault.MustParse("crash(u1.*,60ms)")
+	for seed := uint64(1); seed <= 5; seed++ {
+		res := faultedRun(t, lynx.SODA, plan, seed)
+		if res.Completed > res.Arrivals {
+			t.Errorf("seed %d: completed %d > arrivals %d", seed, res.Completed, res.Arrivals)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/lynx"
+	"repro/lynx/fault"
 	"repro/lynx/sweep"
 )
 
@@ -82,6 +83,13 @@ type Options struct {
 	// MaxUnits caps the number of arrivals as a runaway guard when
 	// Rate×Window is enormous. Default 100000.
 	MaxUnits int
+	// Faults is an optional declarative fault plan applied to the run
+	// (lynx.Config.Faults). The injector draws from its own seed
+	// streams, so a nil plan leaves the run byte-identical and the
+	// faulted run is still a pure function of (Options, Seed). A plan
+	// that crashes the generator ("loadgen") or work-unit processes
+	// ("u<seq>.<role>") makes Completed lag Arrivals — see CheckShape.
+	Faults *fault.Plan
 }
 
 // Result is one run's report. Every field is virtual-time derived and
@@ -146,6 +154,7 @@ func Run(o Options) (*Result, error) {
 		Substrate: o.Substrate,
 		Seed:      sim.StreamSeed(o.Seed, 0),
 		Nodes:     o.Nodes,
+		Faults:    o.Faults,
 	})
 	m := sys.Metrics()
 	var (

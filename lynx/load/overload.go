@@ -6,15 +6,16 @@ import (
 	"time"
 
 	"repro/lynx"
+	"repro/lynx/fault"
 	"repro/lynx/grid"
 	"repro/lynx/sweep"
 )
 
-// SweepOptions parameterizes a substrate × offered-rate overload sweep:
-// one deterministic open-loop Run per cell. cmd/lynxload's -rates mode
-// and lynxd's "load" jobs both build their grids here, which is what
-// makes a daemon-run sweep byte-identical to the CLI run of the same
-// options.
+// SweepOptions parameterizes a substrate × offered-rate overload sweep
+// (× fault scenario, when Faults is set): one deterministic open-loop
+// Run per cell. cmd/lynxload's -rates mode and lynxd's "load" jobs both
+// build their grids here, which is what makes a daemon-run sweep
+// byte-identical to the CLI run of the same options.
 type SweepOptions struct {
 	// Substrates lists the kernels under load; at least one.
 	Substrates []lynx.Substrate
@@ -27,6 +28,13 @@ type SweepOptions struct {
 	Mix *Mix
 	// Seed is the sweep's root seed. Default 1.
 	Seed uint64
+	// Faults optionally crosses the sweep with fault scenarios: each
+	// plan becomes one value of a third "scenario" grid axis (its
+	// canonical string is the axis value, so it flows into cell keys,
+	// fingerprints, and the lynxd cell cache unchanged). Empty means no
+	// scenario axis at all — the sweep enumerates, seeds, and renders
+	// exactly as before, byte for byte.
+	Faults []*fault.Plan
 	// Parallel is the grid worker count; never changes results.
 	Parallel int
 	// Hook and Progress pass through to the grid spec (cache injection
@@ -64,11 +72,20 @@ func (o SweepOptions) normalized() (SweepOptions, error) {
 		}
 		o.Mix = mix
 	}
+	for i, p := range o.Faults {
+		if p == nil {
+			o.Faults[i] = &fault.Plan{} // nil plan = the "none" scenario
+		} else if err := p.Validate(); err != nil {
+			return o, err
+		}
+	}
 	return o, nil
 }
 
 // Key canonicalizes the sweep for gate matching and job identity: the
-// string BENCH_load.json records as overload_key.
+// string BENCH_load.json records as overload_key (or faults_key for a
+// faulted sweep). A sweep without fault scenarios keys exactly as it
+// did before the scenario axis existed.
 func (o SweepOptions) Key() string {
 	o, err := o.normalized()
 	if err != nil {
@@ -82,47 +99,57 @@ func (o SweepOptions) Key() string {
 	for i, r := range o.Rates {
 		rs[i] = fmt.Sprintf("%g", r)
 	}
-	return fmt.Sprintf("subs=%s rates=%s mix=%s seed=%d window=%s",
+	key := fmt.Sprintf("subs=%s rates=%s mix=%s seed=%d window=%s",
 		strings.Join(subs, ","), strings.Join(rs, ","), o.Mix, o.Seed,
 		time.Duration(o.Window))
+	if len(o.Faults) > 0 {
+		fs := make([]string, len(o.Faults))
+		for i, p := range o.Faults {
+			fs[i] = p.String()
+		}
+		key += " faults=" + strings.Join(fs, "/")
+	}
+	return key
 }
 
-// SweepSpec builds the substrate × rate grid: cell (s, r) is one
-// load.Run at offered rate r on substrate s, seeded by the grid's
-// two-level stream split, so the whole table is a pure function of
-// (options, seed) at any Parallel.
+// SweepSpec builds the substrate × rate (× scenario) grid: each cell is
+// one load.Run, seeded by the grid's two-level stream split, so the
+// whole table is a pure function of (options, seed) at any Parallel.
+// The scenario axis exists only when Faults is non-empty; without it
+// the grid's enumeration order and per-cell seeds are unchanged from
+// the pre-fault layout.
 func SweepSpec(o SweepOptions) (grid.Spec, error) {
 	o, err := o.normalized()
 	if err != nil {
 		return grid.Spec{}, err
 	}
-	subVals := make([]any, len(o.Substrates))
-	for i, s := range o.Substrates {
-		subVals[i] = s
+	axes := []grid.Axis{
+		grid.AxisOf("substrate", o.Substrates...),
+		grid.AxisOf("rate", o.Rates...),
 	}
-	rateVals := make([]any, len(o.Rates))
-	for i, r := range o.Rates {
-		rateVals[i] = r
+	if len(o.Faults) > 0 {
+		axes = append(axes, grid.AxisOf("scenario", o.Faults...))
 	}
 	return grid.Spec{
-		Name: "lynxload overload",
-		Axes: []grid.Axis{
-			{Name: "substrate", Values: subVals},
-			{Name: "rate", Values: rateVals},
-		},
+		Name:     "lynxload overload",
+		Axes:     axes,
 		Replicas: 1,
 		Parallel: o.Parallel,
 		RootSeed: o.Seed,
 		Hook:     o.Hook,
 		Progress: o.Progress,
 		Body: func(cell grid.Cell, r sweep.Run) sweep.Outcome {
-			res, err := Run(Options{
-				Substrate: cell.Value("substrate").(lynx.Substrate),
-				Rate:      cell.Value("rate").(float64),
+			opts := Options{
+				Substrate: grid.MustAs[lynx.Substrate](cell, "substrate"),
+				Rate:      grid.MustAs[float64](cell, "rate"),
 				Window:    o.Window,
 				Mix:       o.Mix,
 				Seed:      r.Seed,
-			})
+			}
+			if cell.Has("scenario") {
+				opts.Faults = grid.MustAs[*fault.Plan](cell, "scenario")
+			}
+			res, err := Run(opts)
 			if err != nil {
 				return sweep.Outcome{Err: err}
 			}
@@ -142,9 +169,11 @@ func SweepSpec(o SweepOptions) (grid.Spec, error) {
 	}, nil
 }
 
-// Row is one (substrate, offered rate) line of an overload table — the
-// record BENCH_load.json stores. All fields are virtual-time derived
-// and machine independent.
+// Row is one (substrate, offered rate[, scenario]) line of an overload
+// table — the record BENCH_load.json stores. All fields are
+// virtual-time derived and machine independent. Scenario is the fault
+// plan's canonical string, present only on faulted sweeps (rows of an
+// unfaulted sweep marshal byte-identically to the pre-fault format).
 type Row struct {
 	Substrate  string  `json:"substrate"`
 	Rate       float64 `json:"rate"`
@@ -155,6 +184,7 @@ type Row struct {
 	P50MS      float64 `json:"sojourn_p50_ms"`
 	P95MS      float64 `json:"sojourn_p95_ms"`
 	P99MS      float64 `json:"sojourn_p99_ms"`
+	Scenario   string  `json:"scenario,omitempty"`
 }
 
 // Rows flattens an overload grid table into Row records in cell
@@ -173,7 +203,7 @@ func Rows(tbl *grid.Table) ([]Row, error) {
 		v := cr.Agg.Values
 		rows[i] = Row{
 			Substrate:  cr.Cell.Str("substrate"),
-			Rate:       cr.Cell.Value("rate").(float64),
+			Rate:       grid.MustAs[float64](cr.Cell, "rate"),
 			Arrivals:   int(v["arrivals"].Mean),
 			Completed:  int(v["completed"].Mean),
 			MakespanMS: v["makespan_ms"].Mean,
@@ -181,6 +211,9 @@ func Rows(tbl *grid.Table) ([]Row, error) {
 			P50MS:      v["sojourn_p50_ms"].Mean,
 			P95MS:      v["sojourn_p95_ms"].Mean,
 			P99MS:      v["sojourn_p99_ms"].Mean,
+		}
+		if cr.Cell.Has("scenario") {
+			rows[i].Scenario = cr.Cell.Str("scenario")
 		}
 	}
 	if err := CheckShape(rows); err != nil {
@@ -192,10 +225,23 @@ func Rows(tbl *grid.Table) ([]Row, error) {
 // CheckShape asserts the physics every overload table must satisfy
 // before it is recorded or gated: open-loop runs drain completely and
 // realized throughput never wildly exceeds offered load (the engine
-// measures, it does not invent work).
+// measures, it does not invent work). Rows under a churn scenario — a
+// plan that crashes or restarts processes — are exempt from the full
+// drain requirement (killed units never report), but completions can
+// still never exceed arrivals.
 func CheckShape(rows []Row) error {
 	for _, r := range rows {
-		if r.Completed != r.Arrivals {
+		churns := false
+		if r.Scenario != "" {
+			if p, err := fault.Parse(r.Scenario); err == nil {
+				churns = p.Churns()
+			}
+		}
+		switch {
+		case r.Completed > r.Arrivals:
+			return fmt.Errorf("%s rate %g: %d completed exceeds %d arrivals",
+				r.Substrate, r.Rate, r.Completed, r.Arrivals)
+		case !churns && r.Completed != r.Arrivals:
 			return fmt.Errorf("%s rate %g: %d of %d units completed",
 				r.Substrate, r.Rate, r.Completed, r.Arrivals)
 		}

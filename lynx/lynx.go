@@ -70,6 +70,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/soda"
+	"repro/lynx/fault"
 )
 
 // Re-exported language-level types: the Thread API is the LYNX
@@ -184,6 +185,16 @@ type Config struct {
 	// whose own BufCap is unset. Default 4096.
 	BufCap int
 
+	// Faults is an optional declarative fault plan (crash/restart
+	// schedules, frame drop/duplication/reorder, partitions, slow
+	// nodes, link storms — see lynx/fault). The plan compiles onto the
+	// network's fault hook and virtual-time timers at NewSystem; a
+	// faulted run is still a pure function of (Config, Seed). Nil or
+	// empty injects nothing, leaving the run byte-identical to an
+	// unfaulted one. An invalid plan panics at NewSystem (it is a
+	// configuration error; validate plans with fault.Parse).
+	Faults *fault.Plan
+
 	// Charlotte, SODA, and Chrysalis hold the substrate-specific knobs.
 	Charlotte CharlotteOptions
 	SODA      SODAOptions
@@ -210,6 +221,8 @@ type System struct {
 	chrK  *chrysalis.Kernel
 	fab   *ideal.Fabric
 	net   netsim.Network
+
+	inj *fault.Injector
 
 	specs    []*ProcRef
 	byProc   map[*core.Process]*ProcRef
@@ -260,7 +273,104 @@ func NewSystem(cfg Config) *System {
 	default:
 		panic(fmt.Sprintf("lynx: unknown substrate %v", cfg.Substrate))
 	}
+	if !cfg.Faults.Empty() {
+		s.inj = fault.NewInjector(env, cfg.Faults, cfg.Seed, cfg.Nodes)
+		if s.net != nil {
+			s.net.SetFaultHook(s.inj)
+			s.inj.StartStorms(s.net)
+		}
+		s.scheduleChurn()
+	}
 	return s
+}
+
+// scheduleChurn registers the plan's process-level events as
+// virtual-time timers. Names are resolved at fire time over the
+// then-current process population (which grows under Launch), in spawn
+// order, so the event schedule composes with dynamic workloads; an
+// event that resolves to nothing is counted as a miss.
+func (s *System) scheduleChurn() {
+	for _, ev := range s.cfg.Faults.Events {
+		switch e := ev.(type) {
+		case fault.Crash:
+			proc := e.Proc
+			s.env.At(sim.Time(e.At), func() {
+				if s.crashMatching(proc) == 0 {
+					s.inj.Note("miss")
+				}
+			})
+		case fault.Restart:
+			proc := e.Proc
+			s.env.At(sim.Time(e.At), func() {
+				if s.restartNamed(proc) {
+					s.inj.Note("restart")
+				} else {
+					s.inj.Note("miss")
+				}
+			})
+		}
+	}
+}
+
+// crashMatching kills every live process whose name matches pattern
+// (exact, or a trailing-* prefix like "u1.*") and returns how many it
+// killed.
+func (s *System) crashMatching(pattern string) int {
+	n := 0
+	for _, pr := range s.specs {
+		if pr.proc == nil || pr.proc.Dead() || !nameMatches(pattern, pr.name) {
+			continue
+		}
+		pr.proc.Crash()
+		s.inj.Note("crash")
+		n++
+	}
+	return n
+}
+
+func nameMatches(pattern, name string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "*"); ok {
+		return strings.HasPrefix(name, prefix)
+	}
+	return pattern == name
+}
+
+// restartNamed starts a fresh incarnation of the named process: a new
+// process with the same name and main function, placed round-robin
+// like any launch, with an empty boot slice — a restarted process
+// re-acquires capabilities through the substrate (Discover, Launch);
+// it inherits nothing from the dead incarnation. Returns false when no
+// spec carries the name.
+func (s *System) restartNamed(name string) bool {
+	var src *ProcRef
+	for _, pr := range s.specs {
+		if pr.name == name {
+			src = pr
+			break
+		}
+	}
+	if src == nil {
+		return false
+	}
+	child := &ProcRef{sys: s, name: src.name, main: src.main}
+	s.attachTransport(child)
+	s.specs = append(s.specs, child)
+	costs := s.runtimeCosts()
+	child.proc = core.NewProcess(s.env, child.name, child.tr, costs, func(t *Thread) {
+		child.main(t, nil)
+	})
+	s.byProc[child.proc] = child
+	return true
+}
+
+// FaultStats returns the fault injector's per-effect occurrence
+// counters (drop, dup, reorder, partition, slow, storm, crash,
+// restart, miss), or nil when the system runs without a fault plan.
+func (s *System) FaultStats() map[string]int64 {
+	if s.inj == nil {
+		return nil
+	}
+	return s.inj.Counts()
 }
 
 // Env exposes the simulation environment (tracing, custom events).

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -12,9 +13,9 @@ import (
 	"repro/internal/expt"
 	"repro/internal/obs"
 	"repro/lynx"
+	"repro/lynx/fault"
 	"repro/lynx/grid"
 	"repro/lynx/load"
-	"repro/lynx/sweep"
 )
 
 // JobRequest is the POST /jobs body: a kind selector plus the matching
@@ -61,7 +62,9 @@ type GridJob struct {
 
 // LoadJob runs the substrate × offered-rate overload sweep — exactly
 // the grid `lynxload -rates` builds, so the streamed result table is
-// byte-identical to the CLI run of the same options.
+// byte-identical to the CLI run of the same options. Faults optionally
+// crosses the sweep with fault scenarios (registered names like
+// "drop10" or inline fault-plan strings), mirroring `lynxload -faults`.
 type LoadJob struct {
 	Substrates []string  `json:"substrates"`
 	Rates      []float64 `json:"rates"`
@@ -69,6 +72,7 @@ type LoadJob struct {
 	Mix        string    `json:"mix,omitempty"`    // kind=weight pairs, default load.DefaultMix
 	Seed       uint64    `json:"seed,omitempty"`
 	Parallel   int       `json:"parallel,omitempty"`
+	Faults     []string  `json:"faults,omitempty"` // scenario names or inline plans
 }
 
 // Job states.
@@ -359,6 +363,14 @@ func (s *Service) buildLoadJob(spec LoadJob, client string, now time.Time) (*job
 		}
 		mix = m
 	}
+	var plans []*fault.Plan
+	for _, f := range spec.Faults {
+		p, err := fault.ParseScenario(f)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
 	opts := load.SweepOptions{
 		Substrates: subs,
 		Rates:      spec.Rates,
@@ -366,6 +378,7 @@ func (s *Service) buildLoadJob(spec LoadJob, client string, now time.Time) (*job
 		Mix:        mix,
 		Seed:       spec.Seed,
 		Parallel:   spec.Parallel,
+		Faults:     plans,
 	}
 	// Validate eagerly so submit reports bad specs as 400, not as a
 	// failed job.
@@ -403,23 +416,19 @@ func keyField(key, name string) string {
 	return ""
 }
 
-// gridBodies is the registry of server-side grid bodies a GridJob may
-// name. Each body declares the axes it requires.
-var gridBodies = map[string]struct {
-	axes []string
-	body func(c grid.Cell, r sweep.Run) sweep.Outcome
-}{
-	"echo": {axes: []string{"payload", "substrate"}, body: echoBody},
-}
-
-// buildGridJob validates and constructs a declarative-grid job.
+// buildGridJob validates and constructs a declarative-grid job. Bodies
+// come from the shared load.GridBodies registry, so a grid submitted
+// to the daemon runs the same cell function cmd/lynxload runs
+// in-process.
 func (s *Service) buildGridJob(spec GridJob, client string, now time.Time) (*job, error) {
-	bdef, ok := gridBodies[spec.Body]
+	bodies := load.GridBodies()
+	bdef, ok := bodies[spec.Body]
 	if !ok {
-		names := make([]string, 0, len(gridBodies))
-		for n := range gridBodies {
+		names := make([]string, 0, len(bodies))
+		for n := range bodies {
 			names = append(names, n)
 		}
+		sort.Strings(names)
 		return nil, fmt.Errorf("unknown grid body %q (have %s)", spec.Body, strings.Join(names, ", "))
 	}
 	if spec.Replicas < 0 {
@@ -441,7 +450,7 @@ func (s *Service) buildGridJob(spec GridJob, client string, now time.Time) (*job
 		}
 		axes = append(axes, grid.Axis{Name: a.Name, Values: vals})
 	}
-	for _, want := range bdef.axes {
+	for _, want := range bdef.Axes {
 		if !seen[want] {
 			return nil, fmt.Errorf("body %q needs axis %q", spec.Body, want)
 		}
@@ -457,7 +466,7 @@ func (s *Service) buildGridJob(spec GridJob, client string, now time.Time) (*job
 		Replicas: spec.Replicas,
 		Parallel: spec.Parallel,
 		RootSeed: spec.Seed,
-		Body:     bdef.body,
+		Body:     bdef.Body,
 	}
 	key := fmt.Sprintf("grid:%s seed=%d fp=%s", spec.Body, defaultSeed(spec.Seed), grid.Fingerprint(gspec)[:16])
 	bodyID := "grid:" + spec.Body
@@ -486,6 +495,10 @@ func validateCells(body string, axes []grid.Axis) error {
 				if !ok || n < 0 {
 					return fmt.Errorf("payload axis values must be non-negative integers, got %v", v)
 				}
+			case "scenario":
+				if _, err := fault.ParseScenario(fmt.Sprint(v)); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -500,40 +513,6 @@ func normalizeAxisValue(v any) any {
 		return int(f)
 	}
 	return v
-}
-
-// echoBody measures one echo round trip: a client/server pair on the
-// cell's substrate exchanging the cell's payload in both directions.
-func echoBody(c grid.Cell, r sweep.Run) sweep.Outcome {
-	sub, err := lynx.ParseSubstrate(c.Str("substrate"))
-	if err != nil {
-		return sweep.Outcome{Err: err}
-	}
-	payload := c.Int("payload")
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed})
-	data := make([]byte, payload)
-	var rtt lynx.Duration
-	cl := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {
-		start := th.Now()
-		if _, err := th.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
-			return
-		}
-		rtt = lynx.Duration(th.Now() - start)
-		th.Destroy(boot[0])
-	})
-	sv := sys.Spawn("server", func(th *lynx.Thread, boot []*lynx.End) {
-		th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
-			st.Reply(req, lynx.Msg{Data: req.Data()})
-		})
-	})
-	sys.Join(cl, sv)
-	if err := sys.Run(); err != nil {
-		return sweep.Outcome{Err: err}
-	}
-	return sweep.Outcome{
-		Values:  map[string]float64{"rtt_ms": float64(rtt) / 1e6},
-		Metrics: sys.Metrics(),
-	}
 }
 
 func defaultSeed(s uint64) uint64 {

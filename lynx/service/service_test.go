@@ -229,7 +229,7 @@ func TestGridEchoJobDeterministicAndCached(t *testing.T) {
 		},
 		Replicas: 2,
 		RootSeed: 7,
-		Body:     echoBody,
+		Body:     load.GridBodies()["echo"].Body,
 	})
 	want := strings.TrimRight(direct.RenderJSONL(), "\n")
 

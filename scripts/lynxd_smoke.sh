@@ -49,6 +49,20 @@ if ! cmp -s "$OUT/daemon.jsonl" "$OUT/cli.jsonl"; then
 	exit 1
 fi
 
+# Second leg: a faulted load job. The scenario name rides through the
+# job spec, becomes a grid axis value on the daemon side, and the
+# streamed table must still match the CLI byte for byte.
+"$BIN/lynxctl" submit '{"kind":"load","client":"smoke","load":{"substrates":["charlotte"],"rates":[40],"window":"200ms","seed":1,"faults":["drop10"]}}' >"$OUT/submit2.json"
+FID=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$OUT/submit2.json")
+[ -n "$FID" ] || { echo "lynxd-smoke: faults submit returned no job id"; cat "$OUT/submit2.json"; exit 1; }
+"$BIN/lynxctl" result "$FID" >"$OUT/daemon_faults.jsonl"
+"$BIN/lynxload" -substrates charlotte -rates 40 -window 200ms -seed 1 -faults drop10 -json >"$OUT/cli_faults.jsonl"
+if ! cmp -s "$OUT/daemon_faults.jsonl" "$OUT/cli_faults.jsonl"; then
+	echo "lynxd-smoke: daemon faults result differs from lynxload -faults -json"
+	diff "$OUT/daemon_faults.jsonl" "$OUT/cli_faults.jsonl" | head -10 || true
+	exit 1
+fi
+
 # Clean shutdown: SIGTERM must end the process with exit 0.
 kill "$DPID"
 st=0
