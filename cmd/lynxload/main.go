@@ -115,14 +115,15 @@ func defaultScenarios() []*fault.Plan {
 
 // loadConfig is the resolved workload configuration.
 type loadConfig struct {
-	subs     []lynx.Substrate
-	mix      *load.Mix
-	runs     int // closed-loop replicas per substrate
-	parallel int
-	seed     uint64
-	rates    []float64
-	window   lynx.Duration
-	faults   []*fault.Plan
+	subs       []lynx.Substrate
+	mix        *load.Mix
+	runs       int // closed-loop replicas per substrate
+	parallel   int
+	simWorkers int // in-System parallel worker cap; never changes results
+	seed       uint64
+	rates      []float64
+	window     lynx.Duration
+	faults     []*fault.Plan
 }
 
 // sweepOptions maps the config onto the shared overload-sweep engine.
@@ -134,6 +135,7 @@ func (c loadConfig) sweepOptions() load.SweepOptions {
 		Mix:        c.mix,
 		Seed:       c.seed,
 		Parallel:   c.parallel,
+		SimWorkers: c.simWorkers,
 		Faults:     c.faults,
 	}
 }
@@ -150,6 +152,7 @@ func (c loadConfig) faultsOptions() load.SweepOptions {
 		Mix:        c.mix,
 		Seed:       c.seed,
 		Parallel:   c.parallel,
+		SimWorkers: c.simWorkers,
 		Faults:     defaultScenarios(),
 	}
 }
@@ -189,11 +192,12 @@ func runOverload(o load.SweepOptions) ([]load.Row, *grid.Table, error) {
 // runSingle is the -rate mode: one open-loop virtual run, full detail.
 func runSingle(c loadConfig, rate float64) (*load.Result, error) {
 	return load.Run(load.Options{
-		Substrate: c.subs[0],
-		Rate:      rate,
-		Window:    c.window,
-		Mix:       c.mix,
-		Seed:      c.seed,
+		Substrate:  c.subs[0],
+		Rate:       rate,
+		Window:     c.window,
+		Mix:        c.mix,
+		Seed:       c.seed,
+		SimWorkers: c.simWorkers,
 	})
 }
 
@@ -500,6 +504,7 @@ func main() {
 		mixFlag    = flag.String("mix", load.DefaultMix, "traffic mix, kind=weight pairs")
 		runs       = flag.Int("runs", 600, "max-throughput mode: runs per substrate")
 		parallel   = flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS); never changes results")
+		simWorkers = flag.Int("simworkers", 1, "in-System parallel worker cap (lynx.Config.SimWorkers); never changes results")
 		seed       = flag.Uint64("seed", 1, "root seed (workload shape and System seeds)")
 		rate       = flag.Float64("rate", 0, "single open-loop virtual-time run at this rate (first -substrates entry)")
 		rates      = flag.String("rates", defaultRates, "overload sweep: offered rates, arrivals per virtual second")
@@ -525,8 +530,8 @@ func main() {
 		cli.Usagef("lynxload", "-faults: %v", err)
 	}
 	c := loadConfig{subs: subs, mix: mix, runs: *runs, parallel: *parallel,
-		seed: *seed, rates: rateList, window: lynx.Duration(*window),
-		faults: faultList}
+		simWorkers: *simWorkers, seed: *seed, rates: rateList,
+		window: lynx.Duration(*window), faults: faultList}
 
 	if *jsonOut {
 		// Machine-readable mode: exactly the grid's JSONL table, the

@@ -12,6 +12,15 @@
 // The baseline section records the engine before the fast-path rewrite
 // (PR 2) and is never touched by -update, so every future run shows the
 // cumulative speedup; the current section is the regression reference.
+//
+// It also sweeps the conservative parallel engine (sim.EnterParallel)
+// over a partitioned timer workload at 1, 2, and 4 workers and records
+// the events/s per worker count as the "scaling" section. Wall-clock
+// scaling is hardware-dependent, so the >= 2x-at-4-workers assertion
+// only runs on machines with at least 4 CPUs (the artifact records
+// num_cpu and the gate outcome, so a SKIP is auditable), and -update /
+// -as-baseline refuse to overwrite numbers recorded on a bigger
+// machine from a 1-CPU run unless -force is given.
 package main
 
 import (
@@ -19,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/sim"
@@ -39,10 +50,14 @@ type benchRecord struct {
 	Current  *measurement `json:"current,omitempty"`
 }
 
-// benchFile is the BENCH_sched.json schema.
+// benchFile is the BENCH_sched.json schema. NumCPU is the recording
+// machine's CPU count — the update guard reads it so a 1-CPU run cannot
+// silently clobber numbers recorded on real hardware.
 type benchFile struct {
 	Note    string                  `json:"note"`
+	NumCPU  int                     `json:"num_cpu,omitempty"`
 	Benches map[string]*benchRecord `json:"benches"`
+	Scaling *scalingMeasurement     `json:"scaling,omitempty"`
 }
 
 // bench is one scheduler workload. eventsPerOp converts ns/op into
@@ -106,6 +121,91 @@ var benches = []bench{
 	}},
 }
 
+// Parallel-scaling workload shape: independent groups of procs looping
+// on short timers — the partitionable topology class the conservative
+// engine accelerates. 8 groups x 4 procs x 30k delay events per proc
+// keeps a sweep under a second per worker count while dwarfing the
+// per-window barrier cost.
+const (
+	scalingGroups        = 8
+	scalingProcsPerGroup = 4
+	scalingEventsPerProc = 30000
+	// minScaling is the acceptance threshold for events/s at 4 workers
+	// versus 1 (only checkable on >= 4 CPUs).
+	minScaling = 2.0
+)
+
+var scalingWorkers = []int{1, 2, 4}
+
+// scalingMeasurement records the parallel-engine sweep: events/s per
+// worker count plus the gate outcome on the recording machine
+// ("checked" or "SKIP (n CPU)").
+type scalingMeasurement struct {
+	EventsPerSec map[string]float64 `json:"events_per_sec"`
+	Scaling4v1   float64            `json:"scaling_4v1"`
+	ScalingGate  string             `json:"scaling_gate"`
+}
+
+// runScaling times one partitioned run at the given worker count and
+// returns wall-clock events/s (best of three to shed OS-scheduler
+// noise).
+func runScaling(workers int) float64 {
+	best := 0.0
+	for try := 0; try < 3; try++ {
+		root := sim.NewEnv(1)
+		shards := root.EnterParallel(sim.ParallelOptions{Groups: scalingGroups, Workers: workers})
+		for _, sh := range shards {
+			for p := 0; p < scalingProcsPerGroup; p++ {
+				sh.Spawn("p", func(p *sim.Proc) {
+					for {
+						p.Delay(sim.Microsecond)
+					}
+				})
+			}
+		}
+		start := time.Now()
+		horizon := sim.Time(scalingEventsPerProc) * sim.Time(sim.Microsecond)
+		if err := root.RunUntil(horizon); err != nil {
+			cli.Failf("schedbench", "scaling run: %v", err)
+		}
+		elapsed := time.Since(start).Seconds()
+		events := float64(scalingGroups * scalingProcsPerGroup * scalingEventsPerProc)
+		if eps := events / elapsed; eps > best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// measureScaling sweeps the worker counts and applies the hardware-gated
+// scaling assertion. Returns the recording and whether the gate failed.
+func measureScaling() (*scalingMeasurement, bool) {
+	m := &scalingMeasurement{EventsPerSec: map[string]float64{}}
+	for _, w := range scalingWorkers {
+		eps := runScaling(w)
+		m.EventsPerSec[fmt.Sprint(w)] = eps
+		fmt.Printf("sched_parallel workers=%d %12.0f events/s\n", w, eps)
+	}
+	if one := m.EventsPerSec["1"]; one > 0 {
+		m.Scaling4v1 = m.EventsPerSec["4"] / one
+	}
+	failed := false
+	if ncpu := runtime.NumCPU(); ncpu >= 4 {
+		m.ScalingGate = "checked"
+		if m.Scaling4v1 < minScaling {
+			fmt.Fprintf(os.Stderr, "schedbench: parallel scaling 4v1 = %.2fx, want >= %.1fx\n",
+				m.Scaling4v1, minScaling)
+			failed = true
+		}
+		fmt.Printf("sched_parallel scaling 4v1 = %.2fx (NumCPU=%d)\n", m.Scaling4v1, ncpu)
+	} else {
+		m.ScalingGate = fmt.Sprintf("SKIP (%d CPU)", ncpu)
+		fmt.Printf("sched_parallel scaling gate SKIP (%d CPU): 4v1 = %.2fx not asserted\n",
+			ncpu, m.Scaling4v1)
+	}
+	return m, failed
+}
+
 func measure(bn bench) measurement {
 	r := testing.Benchmark(bn.fn)
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -138,7 +238,9 @@ func load(path string) (*benchFile, error) {
 func save(path string, f *benchFile) error {
 	f.Note = "Scheduler microbench trajectory. baseline = pre-fast-path engine (PR 2); " +
 		"current = last recording (refresh with `make bench-update`). " +
-		"make check fails on >10% allocs/op regression vs current."
+		"make check fails on >10% allocs/op regression vs current. " +
+		"scaling = parallel-engine events/s per worker count; its >=2x-at-4-workers " +
+		"gate only runs on >=4-CPU machines (see scaling_gate/num_cpu)."
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
@@ -150,10 +252,20 @@ func main() {
 	path := flag.String("file", "BENCH_sched.json", "trajectory file")
 	update := flag.Bool("update", false, "rewrite the current numbers")
 	asBaseline := flag.Bool("as-baseline", false, "rewrite the baseline numbers")
+	force := flag.Bool("force", false, "allow -update/-as-baseline to overwrite numbers recorded on a bigger machine")
 	flag.Parse()
 
 	f, err := load(*path)
 	cli.Check("schedbench", err)
+
+	// The update guard: wall-clock numbers recorded on real hardware must
+	// not be silently replaced by a 1-CPU container run (which would also
+	// re-disarm the scaling gate). Closes the ROADMAP housekeeping note.
+	if (*update || *asBaseline) && !*force && f.NumCPU > 1 && runtime.NumCPU() == 1 {
+		cli.Failf("schedbench",
+			"refusing to overwrite %s recorded on %d CPUs with a 1-CPU run (re-record on comparable hardware, or pass -force)",
+			*path, f.NumCPU)
+	}
 
 	failed := false
 	for _, bn := range benches {
@@ -191,7 +303,12 @@ func main() {
 		}
 	}
 
+	scaling, scalingFailed := measureScaling()
+	failed = failed || scalingFailed
+
 	if *asBaseline || *update {
+		f.Scaling = scaling
+		f.NumCPU = runtime.NumCPU()
 		cli.Check("schedbench", save(*path, f))
 		fmt.Println("wrote", *path)
 		return

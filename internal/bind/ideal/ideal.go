@@ -22,11 +22,23 @@ import (
 
 // Fabric is the shared medium connecting ideal transports: the analogue
 // of one kernel instance.
+//
+// The fabric itself holds no timing state, which is what makes the
+// ideal substrate the one that can execute under a parallel partition:
+// every mutable structure is either per-link (links connect transports
+// of one proc group, so only that group touches them) or a commutative
+// atomic counter. Transports carry the env that schedules them (a shard
+// env under partitioned runs; see SetEnv).
 type Fabric struct {
 	env      *sim.Env
 	nextLink int
 	links    map[int]*link
 	rec      *obs.Recorder
+	// Message counters are pre-created so the hot path never inserts
+	// into the registry map (shard envs may count concurrently).
+	msgs         *obs.Counter
+	bytes        *obs.Counter
+	linkDestroys *obs.Counter
 	// Latency is the fixed one-way message latency; PerByte adds a
 	// payload-proportional component.
 	Latency sim.Duration
@@ -35,12 +47,16 @@ type Fabric struct {
 
 // NewFabric creates a fabric with the given base latency.
 func NewFabric(env *sim.Env, latency sim.Duration, perByte sim.Duration) *Fabric {
+	rec := obs.NewRecorder(env, "ideal")
 	return &Fabric{
-		env:     env,
-		links:   make(map[int]*link),
-		rec:     obs.NewRecorder(env, "ideal"),
-		Latency: latency,
-		PerByte: perByte,
+		env:          env,
+		links:        make(map[int]*link),
+		rec:          rec,
+		msgs:         rec.Counter(obs.MKernelMessages),
+		bytes:        rec.Counter(obs.MKernelBytes),
+		linkDestroys: rec.Counter(obs.MLinkDestroys),
+		Latency:      latency,
+		PerByte:      perByte,
 	}
 }
 
@@ -85,6 +101,7 @@ type flight struct {
 // Transport is one process's view of the fabric.
 type Transport struct {
 	f     *Fabric
+	env   *sim.Env
 	name  string
 	sink  func(core.Event)
 	owned map[EndID]bool
@@ -97,10 +114,19 @@ var _ core.Capable = (*Transport)(nil)
 func (f *Fabric) NewTransport(name string) *Transport {
 	return &Transport{
 		f:     f,
+		env:   f.env,
 		name:  name,
 		owned: make(map[EndID]bool),
 	}
 }
+
+// SetEnv rebinds the transport's scheduling env. A partitioned run
+// assigns each process's transport the shard env its proc group runs
+// on, so message-delay timers land on that group's event set. Linked
+// transports always share a group (links are created inside one
+// process and enclosure passing cannot leave the group), so delivery
+// stays group-local.
+func (tr *Transport) SetEnv(env *sim.Env) { tr.env = env }
 
 // SetSink implements core.Transport. The ideal fabric charges no kernel
 // CPU, so the simproc is unused.
@@ -121,6 +147,13 @@ func (tr *Transport) Capabilities() core.Capabilities {
 // MakeLink implements core.Transport.
 func (tr *Transport) MakeLink() (core.TransEnd, core.TransEnd, error) {
 	f := tr.f
+	if f.env.ParallelRunning() {
+		// The link table and id sequence are fabric-global; creating
+		// links while shard groups execute concurrently would race and
+		// make link ids interleaving-dependent. Run with SimWorkers=1
+		// for workloads that create links mid-run.
+		panic("ideal: MakeLink during a parallel run (use SimWorkers=1 for mid-run link creation)")
+	}
 	f.nextLink++
 	l := &link{id: f.nextLink}
 	for i := range l.ends {
@@ -132,7 +165,7 @@ func (tr *Transport) MakeLink() (core.TransEnd, core.TransEnd, error) {
 	tr.owned[a] = true
 	tr.owned[b] = true
 	if f.rec.Active() {
-		f.rec.Emit(obs.Event{Kind: obs.KindLinkMake, Link: l.id})
+		f.rec.EmitEnv(tr.env, obs.Event{Kind: obs.KindLinkMake, Link: l.id})
 	}
 	return a, b, nil
 }
@@ -164,9 +197,9 @@ func (tr *Transport) destroyLink(l *link, cause EndID) {
 		return
 	}
 	l.dead = true
-	tr.f.rec.Counter(obs.MLinkDestroys).Inc()
+	tr.f.linkDestroys.Inc()
 	if tr.f.rec.Active() {
-		tr.f.rec.Emit(obs.Event{Kind: obs.KindLinkDestroy, Link: l.id})
+		tr.f.rec.EmitEnv(tr.env, obs.Event{Kind: obs.KindLinkDestroy, Link: l.id})
 	}
 	for side := range l.ends {
 		es := &l.ends[side]
@@ -204,22 +237,23 @@ func (tr *Transport) StartSend(te core.TransEnd, m *core.WireMsg, tag uint64) er
 	fl := &flight{msg: m, tag: tag, from: tr, fromEnd: id}
 	es.inFlight[tag] = fl
 	if tr.f.rec.Active() {
-		tr.f.rec.Emit(obs.Event{Kind: obs.KindKernelSend, Link: l.id, Seq: m.Seq, Bytes: len(m.Data), Detail: id.String()})
+		tr.f.rec.EmitEnv(tr.env, obs.Event{Kind: obs.KindKernelSend, Link: l.id, Seq: m.Seq, Bytes: len(m.Data), Detail: id.String()})
 	}
 	delay := tr.f.Latency + sim.Duration(len(m.Data))*tr.f.PerByte
-	tr.f.env.After(delay, func() {
+	tr.env.After(delay, func() {
 		if fl.cancelled || l.dead {
 			return
 		}
 		far := &l.ends[1-id.Side]
 		far.held = append(far.held, fl)
-		tr.f.flush(l, 1-id.Side)
+		tr.f.flush(l, 1-id.Side, tr.env)
 	})
 	return nil
 }
 
 // flush delivers held messages on l's given side that are now wanted.
-func (f *Fabric) flush(l *link, side int) {
+// env is the shard env executing the flush (the fabric env when serial).
+func (f *Fabric) flush(l *link, side int, env *sim.Env) {
 	es := &l.ends[side]
 	farEnd := EndID{l.id, side}
 	kept := es.held[:0]
@@ -244,10 +278,10 @@ func (f *Fabric) flush(l *link, side int) {
 		fl.delivered = true
 		src := &l.ends[fl.fromEnd.Side]
 		delete(src.inFlight, fl.tag)
-		f.rec.Counter(obs.MKernelMessages).Inc()
-		f.rec.Counter(obs.MKernelBytes).Add(int64(len(fl.msg.Data)))
+		f.msgs.Inc()
+		f.bytes.Add(int64(len(fl.msg.Data)))
 		if f.rec.Active() {
-			f.rec.Emit(obs.Event{Kind: obs.KindKernelDeliver, Link: l.id, Seq: fl.msg.Seq, Bytes: len(fl.msg.Data), Detail: farEnd.String()})
+			f.rec.EmitEnv(env, obs.Event{Kind: obs.KindKernelDeliver, Link: l.id, Seq: fl.msg.Seq, Bytes: len(fl.msg.Data), Detail: farEnd.String()})
 		}
 		// Move enclosure ownership across transports.
 		for _, enc := range fl.msg.Encl {
@@ -261,7 +295,7 @@ func (f *Fabric) flush(l *link, side int) {
 			ees.owner = es.owner
 			es.owner.owned[id] = true
 			if f.rec.Active() {
-				f.rec.Emit(obs.Event{Kind: obs.KindLinkMove, Link: id.Link, Detail: id.String()})
+				f.rec.EmitEnv(env, obs.Event{Kind: obs.KindLinkMove, Link: id.Link, Detail: id.String()})
 			}
 		}
 		es.owner.sink(core.Event{Kind: core.EvIncoming, End: farEnd, Msg: fl.msg})
@@ -301,7 +335,7 @@ func (tr *Transport) SetInterest(te core.TransEnd, wantRequests, wantReplies boo
 		return
 	}
 	es.wantReq, es.wantRep = wantRequests, wantReplies
-	tr.f.flush(l, id.Side)
+	tr.f.flush(l, id.Side, tr.env)
 }
 
 // Shutdown implements core.Transport: destroy everything still owned.

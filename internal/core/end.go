@@ -88,7 +88,7 @@ func (e *End) takeQueued() *WireMsg {
 		wait := sim.Duration(pr.env.Now() - at)
 		pr.queueHist.Observe(wait)
 		if pr.rec.Active() {
-			pr.rec.Emit(obs.Event{Kind: obs.KindQueueService, Src: pr.name, Seq: m.Seq, Wait: wait, Detail: m.Op})
+			pr.rec.EmitEnv(pr.env, obs.Event{Kind: obs.KindQueueService, Src: pr.name, Seq: m.Seq, Wait: wait, Detail: m.Op})
 		}
 	}
 	return m

@@ -209,7 +209,7 @@ func (pr *Process) dispatch(p *sim.Proc) {
 		wait := sim.Duration(pr.env.Now() - blockedAt)
 		pr.blockHist.Observe(wait)
 		if pr.rec.Active() {
-			pr.rec.Emit(obs.Event{Kind: obs.KindQueueWait, Src: pr.name, Wait: wait})
+			pr.rec.EmitEnv(pr.env, obs.Event{Kind: obs.KindQueueWait, Src: pr.name, Wait: wait})
 		}
 		pr.handleEvent(ev)
 	}

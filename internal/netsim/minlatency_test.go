@@ -1,0 +1,43 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMinLatency(t *testing.T) {
+	ring := NewTokenRing(10)
+	if got := MinLatency(ring); got != ring.serialize(0) || got <= 0 {
+		t.Fatalf("ring MinLatency = %v, want zero-payload frame time %v", got, ring.serialize(0))
+	}
+	bus := NewCSMABus(sim.NewRand(1))
+	if got := MinLatency(bus); got != bus.SenseDelay+bus.serialize(0) || got <= 0 {
+		t.Fatalf("bus MinLatency = %v", got)
+	}
+	bp := NewBackplane()
+	if got := MinLatency(bp); got != bp.SetupCost || got <= 0 {
+		t.Fatalf("backplane MinLatency = %v, want %v", got, bp.SetupCost)
+	}
+	// MinLatency must be a true lower bound on the models' SendTime.
+	for _, n := range []Network{NewTokenRing(10), NewCSMABus(sim.NewRand(1)), NewBackplane()} {
+		min := MinLatency(n)
+		for _, nbytes := range []int{0, 1, 64, 4096} {
+			if d := n.SendTime(0, 0, 1, nbytes); d < min {
+				t.Fatalf("%s: SendTime(%d bytes) = %v < MinLatency %v", n.Name(), nbytes, d, min)
+			}
+		}
+	}
+	// A model without the hook reports 0 (parallel windows disabled).
+	if got := MinLatency(&nullNet{}); got != 0 {
+		t.Fatalf("hookless MinLatency = %v, want 0", got)
+	}
+}
+
+type nullNet struct{ faultable }
+
+func (nullNet) Name() string                                        { return "null" }
+func (nullNet) SendTime(sim.Time, NodeID, NodeID, int) sim.Duration { return 0 }
+func (nullNet) BroadcastTime(sim.Time, NodeID, int) sim.Duration    { return -1 }
+func (nullNet) BroadcastDelivers(NodeID) bool                       { return false }
+func (nullNet) Stats() *Stats                                       { return &Stats{} }

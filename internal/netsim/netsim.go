@@ -14,6 +14,27 @@
 // paper's latencies are dominated by kernel CPU path length, and what the
 // reproduction needs from the network is the correct per-byte slope and
 // ordering of media speeds (10 Mbit ring vs 1 Mbit bus vs memory bus).
+//
+// # Parallel-execution coupling
+//
+// The conservative parallel engine (sim.EnterParallel) partitions procs
+// into groups and needs two facts from a network model:
+//
+//   - A lookahead lower bound: MinLatency reports the smallest possible
+//     delay between initiating a transfer and any remote effect. For a
+//     model with per-frame serialization this is the zero-payload frame
+//     time; it is a sound conservative window width because no message
+//     can influence another node sooner.
+//   - Whether the medium couples otherwise-independent node groups. The
+//     ring and bus do: every SendTime call reads and writes one shared
+//     busyUntil reservation (and the bus draws from a shared rng when
+//     found busy), so *all* nodes on one ring/bus form a single group —
+//     their events must execute serially. The same holds for fault
+//     hooks: a hook installed on a medium runs on whichever group drives
+//     that medium, so faulted media must stay single-group. Substrates
+//     built on these media therefore collapse to the serial path; only
+//     media with no shared mutable state (the ideal fabric) can split
+//     into multiple groups.
 package netsim
 
 import (
@@ -178,6 +199,11 @@ func (r *TokenRing) BroadcastDelivers(NodeID) bool { return false }
 // Stats implements Network.
 func (r *TokenRing) Stats() *Stats { return &r.m.stats }
 
+// MinLatency reports the smallest possible cross-node delay: even with
+// the token in hand, an empty frame still serializes its header and
+// trailer at the link rate.
+func (r *TokenRing) MinLatency() sim.Duration { return r.serialize(0) }
+
 func (r *TokenRing) serialize(nbytes int) sim.Duration {
 	bits := int64(nbytes+r.FrameOverhead) * 8
 	return sim.Duration(bits * int64(sim.Second) / r.BitRate)
@@ -257,6 +283,10 @@ func (b *CSMABus) BroadcastDelivers(NodeID) bool {
 // Stats implements Network.
 func (b *CSMABus) Stats() *Stats { return &b.m.stats }
 
+// MinLatency reports the smallest possible cross-node delay: carrier
+// sense on an idle bus plus the zero-payload frame time.
+func (b *CSMABus) MinLatency() sim.Duration { return b.SenseDelay + b.serialize(0) }
+
 func (b *CSMABus) serialize(nbytes int) sim.Duration {
 	bits := int64(nbytes+b.FrameOver) * 8
 	return sim.Duration(bits * int64(sim.Second) / b.BitRate)
@@ -302,3 +332,22 @@ func (bp *Backplane) BroadcastDelivers(NodeID) bool { return false }
 
 // Stats implements Network.
 func (bp *Backplane) Stats() *Stats { return &bp.stats }
+
+// MinLatency reports the smallest possible cross-node delay: the
+// per-transfer switch setup cost.
+func (bp *Backplane) MinLatency() sim.Duration { return bp.SetupCost }
+
+// MinLatency reports a conservative lookahead for n: the smallest delay
+// between initiating any transfer and its remote effect, or 0 when the
+// model does not expose one (0 disables windowed parallelism). Note that
+// a finite MinLatency is necessary but not sufficient for multi-group
+// execution — see the package comment on medium coupling: the ring and
+// bus share per-medium reservation state, so their nodes must stay in
+// one group regardless of lookahead.
+func MinLatency(n Network) sim.Duration {
+	type minLatency interface{ MinLatency() sim.Duration }
+	if m, ok := n.(minLatency); ok {
+		return m.MinLatency()
+	}
+	return 0
+}

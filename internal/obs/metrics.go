@@ -5,14 +5,17 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
 
 // Counter is a monotonically-increasing named count. The nil *Counter
 // is a valid no-op, so hot paths can increment unconditionally even
-// when no registry is attached.
-type Counter struct{ n int64 }
+// when no registry is attached. Increments are atomic: shard envs of a
+// parallel partition bump shared counters concurrently, and addition
+// commutes, so totals are independent of worker interleaving.
+type Counter struct{ n atomic.Int64 }
 
 // Inc adds one.
 func (c *Counter) Inc() { c.Add(1) }
@@ -20,7 +23,7 @@ func (c *Counter) Inc() { c.Add(1) }
 // Add adds d. No-op on a nil counter.
 func (c *Counter) Add(d int64) {
 	if c != nil {
-		c.n += d
+		c.n.Add(d)
 	}
 }
 
@@ -29,17 +32,23 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.n
+	return c.n.Load()
 }
 
 // Histogram accumulates virtual-time durations: count/sum/min/max plus
 // log2 buckets (bucket i counts observations in [2^i, 2^(i+1)) ns).
-// The nil *Histogram is a valid no-op.
+// The nil *Histogram is a valid no-op. Like Counter, observations are
+// atomic and commutative (adds plus monotone extrema CAS), so parallel
+// shard envs can observe into one histogram and land identical state
+// regardless of interleaving.
 type Histogram struct {
-	count    int64
-	sum      int64
-	min, max int64
-	buckets  [48]int64
+	count atomic.Int64
+	sum   atomic.Int64
+	// minPlus holds min+1 so the zero value still means "no
+	// observations yet" (observed values are clamped >= 0).
+	minPlus atomic.Int64
+	max     atomic.Int64
+	buckets [48]atomic.Int64
 }
 
 // Observe records one duration.
@@ -51,15 +60,37 @@ func (h *Histogram) Observe(d sim.Duration) {
 	if v < 0 {
 		v = 0
 	}
-	h.count++
-	h.sum += v
-	if h.count == 1 || v < h.min {
-		h.min = v
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.lowerMin(v + 1)
+	h.raiseMax(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// lowerMin lowers minPlus to vp unless an equal-or-lower value is set.
+func (h *Histogram) lowerMin(vp int64) {
+	for {
+		cur := h.minPlus.Load()
+		if cur != 0 && cur <= vp {
+			return
+		}
+		if h.minPlus.CompareAndSwap(cur, vp) {
+			return
+		}
 	}
-	if v > h.max {
-		h.max = v
+}
+
+// raiseMax raises max to v unless an equal-or-higher value is set.
+func (h *Histogram) raiseMax(v int64) {
+	for {
+		cur := h.max.Load()
+		if cur >= v {
+			return
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			return
+		}
 	}
-	h.buckets[bits.Len64(uint64(v))]++
 }
 
 // Count returns the number of observations (0 for nil).
@@ -67,7 +98,7 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the total observed duration.
@@ -75,15 +106,19 @@ func (h *Histogram) Sum() sim.Duration {
 	if h == nil {
 		return 0
 	}
-	return sim.Duration(h.sum)
+	return sim.Duration(h.sum.Load())
 }
 
 // Mean returns the average observed duration (0 when empty).
 func (h *Histogram) Mean() sim.Duration {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return 0
 	}
-	return sim.Duration(h.sum / h.count)
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum.Load() / n)
 }
 
 // Max returns the largest observed duration.
@@ -91,7 +126,7 @@ func (h *Histogram) Max() sim.Duration {
 	if h == nil {
 		return 0
 	}
-	return sim.Duration(h.max)
+	return sim.Duration(h.max.Load())
 }
 
 // Min returns the smallest observed duration (0 when empty).
@@ -99,7 +134,11 @@ func (h *Histogram) Min() sim.Duration {
 	if h == nil {
 		return 0
 	}
-	return sim.Duration(h.min)
+	mp := h.minPlus.Load()
+	if mp == 0 {
+		return 0
+	}
+	return sim.Duration(mp - 1)
 }
 
 // Merge folds other's observations into h: counts and sums add, the
@@ -107,19 +146,17 @@ func (h *Histogram) Min() sim.Duration {
 // replica histograms this way is exact for count/sum/min/max and
 // bucket-resolution for quantiles. No-op when other is nil or empty.
 func (h *Histogram) Merge(other *Histogram) {
-	if h == nil || other == nil || other.count == 0 {
+	if h == nil || other == nil || other.count.Load() == 0 {
 		return
 	}
-	if h.count == 0 || other.min < h.min {
-		h.min = other.min
+	if omp := other.minPlus.Load(); omp != 0 {
+		h.lowerMin(omp)
 	}
-	if other.max > h.max {
-		h.max = other.max
-	}
-	h.count += other.count
-	h.sum += other.sum
+	h.raiseMax(other.max.Load())
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
 	for i := range h.buckets {
-		h.buckets[i] += other.buckets[i]
+		h.buckets[i].Add(other.buckets[i].Load())
 	}
 }
 
@@ -129,7 +166,7 @@ func (h *Histogram) Merge(other *Histogram) {
 // within a factor of two — adequate for the p50/p95/p99 columns of
 // sweep reports, where replica-to-replica spread dominates.
 func (h *Histogram) Quantile(q float64) sim.Duration {
-	if h == nil || h.count == 0 {
+	if h == nil || h.count.Load() == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -138,9 +175,11 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(h.count)
+	max, min := h.max.Load(), int64(h.Min())
+	rank := q * float64(h.count.Load())
 	var seen float64
-	for i, n := range h.buckets {
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
 		if n == 0 {
 			continue
 		}
@@ -148,17 +187,17 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 			lo, hi := bucketBounds(i)
 			frac := (rank - seen) / float64(n)
 			v := float64(lo) + frac*float64(hi-lo)
-			if v > float64(h.max) {
-				v = float64(h.max)
+			if v > float64(max) {
+				v = float64(max)
 			}
-			if v < float64(h.min) {
-				v = float64(h.min)
+			if v < float64(min) {
+				v = float64(min)
 			}
 			return sim.Duration(v)
 		}
 		seen += float64(n)
 	}
-	return sim.Duration(h.max)
+	return sim.Duration(max)
 }
 
 // bucketBounds returns the value range [lo, hi) covered by log2 bucket i.
@@ -169,10 +208,14 @@ func bucketBounds(i int) (lo, hi int64) {
 	return 1 << (i - 1), 1 << i
 }
 
-// Metrics is a registry of named counters and histograms. All access
-// happens from the simulation's serialized processes, so no locking is
-// needed; the nil *Metrics hands out nil (no-op) instruments, which is
-// the cheap default the instrumentation relies on.
+// Metrics is a registry of named counters and histograms. Instrument
+// updates are atomic (parallel shard envs increment shared instruments
+// concurrently), but the name→instrument maps themselves are unlocked:
+// instruments must be created during single-threaded phases (setup,
+// serial execution, or post-run), which the kernels guarantee by
+// pre-creating every instrument they touch mid-run. The nil *Metrics
+// hands out nil (no-op) instruments, which is the cheap default the
+// instrumentation relies on.
 type Metrics struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
@@ -241,7 +284,7 @@ func (m *Metrics) SumPrefix(prefix string) int64 {
 	var total int64
 	for name, c := range m.counters {
 		if strings.HasPrefix(name, prefix) {
-			total += c.n
+			total += c.n.Load()
 		}
 	}
 	return total
@@ -257,12 +300,12 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	}
 	out := make(map[string]int64, len(m.counters)+3*len(m.hists))
 	for name, c := range m.counters {
-		out[name] = c.n
+		out[name] = c.n.Load()
 	}
 	for name, h := range m.hists {
-		out[name+"_count"] = h.count
-		out[name+"_sum_ns"] = h.sum
-		out[name+"_max_ns"] = h.max
+		out[name+"_count"] = h.count.Load()
+		out[name+"_sum_ns"] = h.sum.Load()
+		out[name+"_max_ns"] = h.max.Load()
 	}
 	return out
 }
@@ -278,7 +321,7 @@ func (m *Metrics) Merge(other *Metrics) {
 		return
 	}
 	for name, c := range other.counters {
-		m.Counter(name).Add(c.n)
+		m.Counter(name).Add(c.n.Load())
 	}
 	for name, h := range other.hists {
 		m.Histogram(name).Merge(h)
@@ -297,7 +340,7 @@ func (m *Metrics) MergePrefixed(prefix string, other *Metrics) {
 		return
 	}
 	for name, c := range other.counters {
-		m.Counter(prefix + "/" + name).Add(c.n)
+		m.Counter(prefix + "/" + name).Add(c.n.Load())
 	}
 	for name, h := range other.hists {
 		m.Histogram(prefix + "/" + name).Merge(h)

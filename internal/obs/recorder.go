@@ -60,13 +60,46 @@ func (r *Recorder) Active() bool { return r != nil && len(r.sinks) > 0 }
 // Emit stamps the event with the current virtual time and the
 // recorder's substrate, then fans it out. No-op when inactive.
 func (r *Recorder) Emit(ev Event) {
+	if !r.Active() { // also guards the nil receiver before touching r.env
+		return
+	}
+	r.EmitEnv(r.env, ev)
+}
+
+// EmitEnv is Emit reading the clock of env instead of the recorder's
+// own env. Instrumented code executing on a shard env of a parallel
+// partition emits through the shard (whose clock is the one advancing);
+// the event is then sequenced into the shard's merge log so sink output
+// is byte-identical to the serial run at any worker count.
+func (r *Recorder) EmitEnv(env *sim.Env, ev Event) {
 	if !r.Active() {
 		return
 	}
-	ev.At = r.env.Now()
+	ev.At = env.Now()
 	if ev.Substrate == "" {
 		ev.Substrate = r.sub
 	}
+	if env.Sequencing() {
+		env.Sequenced(func() { r.deliver(ev) })
+		return
+	}
+	r.deliver(ev)
+}
+
+// EmitAt is Emit with an explicit timestamp, for sinks fed from replayed
+// trace callbacks whose env clock no longer matches the event.
+func (r *Recorder) EmitAt(at sim.Time, ev Event) {
+	if !r.Active() {
+		return
+	}
+	ev.At = at
+	if ev.Substrate == "" {
+		ev.Substrate = r.sub
+	}
+	r.deliver(ev)
+}
+
+func (r *Recorder) deliver(ev Event) {
 	for _, s := range r.sinks {
 		s.Event(ev)
 	}

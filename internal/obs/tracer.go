@@ -52,7 +52,9 @@ type TraceAdapter struct {
 // Resume implements sim.Tracer (scheduling is not exported).
 func (a *TraceAdapter) Resume(sim.Time, int, string) {}
 
-// Event implements sim.Tracer.
+// Event implements sim.Tracer. The event is stamped with the tracer's
+// own timestamp (not the recorder env's clock): replayed parallel-run
+// trace callbacks arrive after the env clock has moved on.
 func (a *TraceAdapter) Event(now sim.Time, source, msg string) {
-	a.R.Emit(Event{Kind: KindMark, Src: source, Detail: msg})
+	a.R.EmitAt(now, Event{Kind: KindMark, Src: source, Detail: msg})
 }

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fullTracer records both scheduling resumes and user events, so the
+// serial-vs-parallel comparisons pin the complete interleave, not just
+// user trace points.
+type fullTracer struct{ lines []string }
+
+func (t *fullTracer) Resume(now Time, pid int, name string) {
+	t.lines = append(t.lines, fmt.Sprintf("%v run p%d(%s)", now, pid, name))
+}
+
+func (t *fullTracer) Event(now Time, source, msg string) {
+	t.lines = append(t.lines, fmt.Sprintf("%v %s %s", now, source, msg))
+}
+
+// buildMixedWorkload constructs the same program over envs[g] per group:
+// the serial baseline passes one env for every group, a parallel run
+// passes the shard envs. It exercises boot-FIFO interleaving, timer
+// cascades (callbacks waking waiters), nested callbacks, same-instant
+// timer ties across groups, Yield churn, and a cancelled sleep timer.
+func buildMixedWorkload(envs []*Env) {
+	for g := range envs {
+		g := g
+		env := envs[g]
+		wq := NewWaitQueue(env, fmt.Sprintf("q%d", g))
+		env.Spawn(fmt.Sprintf("cons%d", g), func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				v := wq.Wait(p)
+				env.Trace("cons", "g%d got %v", g, v)
+				p.Delay(2 * Microsecond)
+			}
+		})
+		env.Spawn(fmt.Sprintf("prod%d", g), func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Delay(10 * Microsecond) // same instants in every group
+				env.Trace("prod", "g%d tick %d", g, i)
+				wq.WakeValue(i)
+			}
+		})
+		env.After(25*Microsecond, func() {
+			env.Trace("cb", "g%d outer", g)
+			env.After(5*Microsecond, func() {
+				env.Trace("cb", "g%d inner", g)
+			})
+		})
+		victim := env.Spawn(fmt.Sprintf("victim%d", g), func(p *Proc) {
+			p.Delay(Second) // killed long before this completes
+		})
+		victim.KillAt(Time(40 * Microsecond))
+		env.Spawn(fmt.Sprintf("yield%d", g), func(p *Proc) {
+			p.Yield()
+			p.Yield()
+			env.Trace("yield", "g%d done", g)
+		})
+	}
+}
+
+func runMixedSerial(groups int, limit Time) ([]string, Time, error) {
+	env := NewEnv(42)
+	tr := &fullTracer{}
+	env.SetTracer(tr)
+	envs := make([]*Env, groups)
+	for i := range envs {
+		envs[i] = env
+	}
+	buildMixedWorkload(envs)
+	err := env.RunUntil(limit)
+	return tr.lines, env.Now(), err
+}
+
+func runMixedParallel(groups, workers int, limit Time) ([]string, Time, error) {
+	root := NewEnv(42)
+	tr := &fullTracer{}
+	root.SetTracer(tr)
+	shards := root.EnterParallel(ParallelOptions{Groups: groups, Workers: workers})
+	buildMixedWorkload(shards)
+	err := root.RunUntil(limit)
+	return tr.lines, root.Now(), err
+}
+
+func diffLines(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if strings.Join(want, "\n") == strings.Join(got, "\n") {
+		return
+	}
+	n := len(want)
+	if len(got) > n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		w, g := "<none>", "<none>"
+		if i < len(want) {
+			w = want[i]
+		}
+		if i < len(got) {
+			g = got[i]
+		}
+		if w != g {
+			t.Fatalf("%s: first divergence at line %d:\n  serial:   %s\n  parallel: %s", label, i, w, g)
+		}
+	}
+	t.Fatalf("%s: traces differ in length: %d vs %d", label, len(want), len(got))
+}
+
+// TestParallelMatchesSerial pins the core determinism contract: a
+// partitioned run of non-interacting groups replays the exact trace of
+// the serial run that interleaves the same groups on one env, at any
+// worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	const groups = 4
+	want, wantNow, wantErr := runMixedSerial(groups, -1)
+	if wantErr != nil {
+		t.Fatalf("serial run: %v", wantErr)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial run produced no trace")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, gotNow, err := runMixedParallel(groups, workers, -1)
+		if err != nil {
+			t.Fatalf("parallel run (workers=%d): %v", workers, err)
+		}
+		diffLines(t, fmt.Sprintf("workers=%d", workers), want, got)
+		if gotNow != wantNow {
+			t.Fatalf("workers=%d: final clock %v, want %v", workers, gotNow, wantNow)
+		}
+	}
+}
+
+// TestParallelMatchesSerialAtHorizon is the same contract under a
+// RunUntil horizon that cuts the run mid-flight.
+func TestParallelMatchesSerialAtHorizon(t *testing.T) {
+	const groups = 3
+	const limit = Time(26 * Microsecond) // between the outer and inner callbacks
+	want, wantNow, wantErr := runMixedSerial(groups, limit)
+	if wantErr != nil {
+		t.Fatalf("serial run: %v", wantErr)
+	}
+	for _, workers := range []int{1, 3} {
+		got, gotNow, err := runMixedParallel(groups, workers, limit)
+		if err != nil {
+			t.Fatalf("parallel run (workers=%d): %v", workers, err)
+		}
+		diffLines(t, fmt.Sprintf("horizon workers=%d", workers), want, got)
+		if gotNow != wantNow {
+			t.Fatalf("workers=%d: clock at horizon %v, want %v", workers, gotNow, wantNow)
+		}
+	}
+}
+
+// TestParallelDeadlockMatchesSerial pins that a partitioned deadlock
+// reports the identical error string (time and merged diagnostics) the
+// serial run produces.
+func TestParallelDeadlockMatchesSerial(t *testing.T) {
+	build := func(envs []*Env) {
+		for g := range envs {
+			g := g
+			env := envs[g]
+			wq := NewWaitQueue(env, fmt.Sprintf("stuckq%d", g))
+			env.Spawn(fmt.Sprintf("stuck%d", g), func(p *Proc) {
+				p.Delay(Duration(g+1) * Microsecond)
+				wq.Wait(p) // never woken
+			})
+		}
+	}
+	serial := NewEnv(7)
+	envs := []*Env{serial, serial, serial}
+	build(envs)
+	serialErr := serial.Run()
+	if serialErr == nil {
+		t.Fatal("serial run should deadlock")
+	}
+	for _, workers := range []int{1, 2} {
+		root := NewEnv(7)
+		shards := root.EnterParallel(ParallelOptions{Groups: 3, Workers: workers})
+		build(shards)
+		err := root.Run()
+		if err == nil {
+			t.Fatal("parallel run should deadlock")
+		}
+		if err.Error() != serialErr.Error() {
+			t.Fatalf("workers=%d deadlock error:\n  serial:   %q\n  parallel: %q", workers, serialErr, err)
+		}
+	}
+}
+
+// TestParallelUnobserved checks the logging-free path (no tracer): the
+// run completes, clocks agree with serial, and no replay machinery is
+// engaged.
+func TestParallelUnobserved(t *testing.T) {
+	const groups = 4
+	_, wantNow, err := runMixedSerial(groups, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := NewEnv(42)
+	shards := root.EnterParallel(ParallelOptions{Groups: groups, Workers: 4})
+	buildMixedWorkload(shards)
+	if err := root.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if root.Now() != wantNow {
+		t.Fatalf("unobserved final clock %v, want %v", root.Now(), wantNow)
+	}
+	for _, sh := range shards {
+		if len(sh.sh.recs) != 0 {
+			t.Fatal("unobserved run kept merge logs")
+		}
+	}
+}
+
+// buildRing wires groups into a SendGroup ring: each group's proc sends
+// a message to the next group at exactly the lookahead delay, the
+// tightest legal coupling.
+func buildRing(envs []*Env, la Duration) {
+	for g := range envs {
+		g := g
+		env := envs[g]
+		dst := envs[(g+1)%len(envs)]
+		env.Spawn(fmt.Sprintf("ring%d", g), func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Delay(10 * Microsecond)
+				i := i
+				env.SendGroup(dst, la, func() {
+					dst.Trace("msg", "g%d sent #%d", g, i)
+				})
+			}
+		})
+	}
+}
+
+// TestParallelLookaheadWorkerInvariance pins the finite-lookahead mode:
+// cross-group messages exist, and the merged trace is identical at any
+// worker count.
+func TestParallelLookaheadWorkerInvariance(t *testing.T) {
+	const groups = 4
+	const la = 50 * Microsecond
+	run := func(workers int) []string {
+		root := NewEnv(9)
+		tr := &fullTracer{}
+		root.SetTracer(tr)
+		shards := root.EnterParallel(ParallelOptions{Groups: groups, Workers: workers, Lookahead: la})
+		buildRing(shards, la)
+		if err := root.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tr.lines
+	}
+	want := run(1)
+	delivered := 0
+	for _, l := range want {
+		if strings.Contains(l, "sent #") {
+			delivered++
+		}
+	}
+	if delivered != groups*5 {
+		t.Fatalf("delivered %d ring messages, want %d", delivered, groups*5)
+	}
+	for _, workers := range []int{2, 4} {
+		diffLines(t, fmt.Sprintf("ring workers=%d", workers), want, run(workers))
+	}
+}
+
+func TestSendGroupRejectsShortDelay(t *testing.T) {
+	root := NewEnv(1)
+	shards := root.EnterParallel(ParallelOptions{Groups: 2, Workers: 2, Lookahead: 10 * Microsecond})
+	shards[0].Spawn("sender", func(p *Proc) {
+		shards[0].SendGroup(shards[1], 5*Microsecond, func() {})
+	})
+	err := root.Run()
+	if err == nil || !strings.Contains(err.Error(), "below partition lookahead") {
+		t.Fatalf("short SendGroup delay: err = %v", err)
+	}
+}
+
+func TestSendGroupRejectsZeroLookahead(t *testing.T) {
+	root := NewEnv(1)
+	shards := root.EnterParallel(ParallelOptions{Groups: 2, Workers: 2})
+	shards[0].Spawn("sender", func(p *Proc) {
+		shards[0].SendGroup(shards[1], 5*Microsecond, func() {})
+	})
+	err := root.Run()
+	if err == nil || !strings.Contains(err.Error(), "without a finite lookahead") {
+		t.Fatalf("SendGroup without lookahead: err = %v", err)
+	}
+}
+
+// TestParallelSpawnRestrictions pins the pid-determinism guards: no
+// spawning on the partitioned root, no mid-run spawning on shards.
+func TestParallelSpawnRestrictions(t *testing.T) {
+	root := NewEnv(1)
+	shards := root.EnterParallel(ParallelOptions{Groups: 2, Workers: 2})
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "partitioned env") {
+				t.Fatalf("Spawn on partitioned root: recover = %v", r)
+			}
+		}()
+		root.Spawn("bad", func(p *Proc) {})
+	}()
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "partitioned env") {
+				t.Fatalf("After on partitioned root: recover = %v", r)
+			}
+		}()
+		root.After(Microsecond, func() {})
+	}()
+
+	shards[0].Spawn("late-spawner", func(p *Proc) {
+		p.Delay(Microsecond)
+		shards[0].Spawn("too-late", func(p *Proc) {})
+	})
+	err := root.Run()
+	if err == nil || !strings.Contains(err.Error(), "during a parallel run") {
+		t.Fatalf("mid-run shard Spawn: err = %v", err)
+	}
+}
+
+// TestParallelShardPIDsMatchSerial pins that pids are assigned in
+// program order across shards, identical to the serial run.
+func TestParallelShardPIDsMatchSerial(t *testing.T) {
+	root := NewEnv(1)
+	shards := root.EnterParallel(ParallelOptions{Groups: 3, Workers: 3})
+	var ids []int
+	for g, env := range shards {
+		p1 := env.Spawn(fmt.Sprintf("a%d", g), func(p *Proc) {})
+		p2 := env.Spawn(fmt.Sprintf("b%d", g), func(p *Proc) {})
+		ids = append(ids, p1.ID(), p2.ID())
+	}
+	for i, id := range ids {
+		if id != i+1 {
+			t.Fatalf("pid order %v, want 1..%d in program order", ids, len(ids))
+		}
+	}
+	if err := root.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnterParallelGuards pins the preconditions.
+func TestEnterParallelGuards(t *testing.T) {
+	expectPanic := func(label, want string, fn func()) {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), want) {
+				t.Fatalf("%s: recover = %v, want substring %q", label, r, want)
+			}
+		}()
+		fn()
+	}
+	e := NewEnv(1)
+	e.Spawn("p", func(p *Proc) {})
+	expectPanic("non-empty env", "already has procs", func() {
+		e.EnterParallel(ParallelOptions{Groups: 2})
+	})
+	e2 := NewEnv(1)
+	e2.EnterParallel(ParallelOptions{Groups: 2})
+	expectPanic("double partition", "already partitioned", func() {
+		e2.EnterParallel(ParallelOptions{Groups: 2})
+	})
+	expectPanic("zero groups", "at least one group", func() {
+		NewEnv(1).EnterParallel(ParallelOptions{Groups: 0})
+	})
+}
+
+// TestShardRunRejected: shards are driven by the root env only.
+func TestShardRunRejected(t *testing.T) {
+	root := NewEnv(1)
+	shards := root.EnterParallel(ParallelOptions{Groups: 2})
+	if err := shards[0].Run(); err == nil || !strings.Contains(err.Error(), "shard env") {
+		t.Fatalf("Run on shard: err = %v", err)
+	}
+}

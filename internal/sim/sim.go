@@ -106,6 +106,16 @@ type Env struct {
 	// allQueues is populated by NewWaitQueue; used only for deadlock
 	// diagnostics.
 	allQueues []*WaitQueue
+
+	// sh is non-nil when this env is one shard (proc group) of a
+	// parallel partition; par is non-nil on the root env that owns the
+	// partition. See parallel.go.
+	sh  *shardState
+	par *parCoord
+	// overHorizon stashes the timer a windowed (shard) run popped
+	// beyond its horizon, so the next window can re-arm it. A serial
+	// RunUntil abandons that timer, exactly as before.
+	overHorizon *timer
 }
 
 // NewEnv creates an environment whose random source is seeded with seed.
@@ -130,18 +140,25 @@ func (e *Env) SetTracer(t Tracer) { e.tracer = t }
 // Trace emits a user trace event if a tracer is installed. It may be
 // called from simproc context or from timer callbacks.
 func (e *Env) Trace(source, event string, args ...any) {
-	if e.tracer != nil {
-		e.tracer.Event(e.now, source, fmt.Sprintf(event, args...))
+	if e.tracer == nil {
+		return
 	}
+	if sh := e.sh; sh != nil && sh.logging && sh.co.running {
+		// Defer to the merge replay so the serial interleave is
+		// reproduced exactly (see parallel.go).
+		tr, now, msg := e.tracer, e.now, fmt.Sprintf(event, args...)
+		sh.emit(now, func() { tr.Event(now, source, msg) })
+		return
+	}
+	e.tracer.Event(e.now, source, fmt.Sprintf(event, args...))
 }
 
 // Spawn creates a new simproc running fn and places it at the back of the
 // ready queue. It may be called before Run or from simproc/timer context.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
-	e.nextPID++
 	p := &Proc{
 		env:  e,
-		id:   e.nextPID,
+		id:   e.allocPID(),
 		name: name,
 		gate: make(chan struct{}, 1),
 		fn:   fn,
@@ -149,6 +166,27 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.live++
 	e.ready.push(p)
 	return p
+}
+
+// allocPID assigns the next proc id. Shard envs draw from the root's
+// counter during setup (so pid assignment matches the serial run that
+// would have spawned the same procs in the same program order on one
+// env) and refuse mid-run spawns, which would make pids depend on the
+// nondeterministic interleaving of concurrently executing groups.
+func (e *Env) allocPID() int {
+	if e.par != nil {
+		panic("sim: Spawn on a partitioned env (spawn on one of its shard envs)")
+	}
+	if sh := e.sh; sh != nil {
+		if sh.co.running {
+			panic("sim: Spawn on a shard env during a parallel run")
+		}
+		sh.co.bootQueue = append(sh.co.bootQueue, sh.idx)
+		sh.co.root.nextPID++
+		return sh.co.root.nextPID
+	}
+	e.nextPID++
+	return e.nextPID
 }
 
 // After schedules fn to run in scheduler context at now+d. The callback
@@ -173,11 +211,19 @@ func (e *Env) At(t Time, fn func()) {
 
 // schedFunc schedules a callback timer.
 func (e *Env) schedFunc(t Time, fn func()) {
+	if e.par != nil {
+		panic("sim: timer on a partitioned env (schedule on one of its shard envs)")
+	}
 	tm := e.allocTimer()
 	tm.at = t
 	e.seq++
 	tm.seq = e.seq
 	tm.fn = fn
+	if sh := e.sh; sh != nil && (sh.logging || !sh.co.running) {
+		// Setup-time scheds are always recorded (the prelog must be
+		// complete before the run decides whether it is observed).
+		sh.onSched(tm)
+	}
 	e.timers.push(tm)
 }
 
@@ -189,9 +235,18 @@ func (e *Env) schedSleep(t Time, p *Proc) *timer {
 	e.seq++
 	tm.seq = e.seq
 	tm.proc = p
+	if sh := e.sh; sh != nil && (sh.logging || !sh.co.running) {
+		sh.onSched(tm)
+	}
 	e.timers.push(tm)
 	return tm
 }
+
+// timerChunk is the arena granularity for shard envs. Shards allocate
+// timers in chunks so each group's timer state lives in a handful of
+// contiguous blocks owned by that group's cache lines, instead of
+// heap-interleaved one-at-a-time allocations shared across groups.
+const timerChunk = 256
 
 // allocTimer takes a timer from the freelist, or allocates one.
 func (e *Env) allocTimer() *timer {
@@ -199,6 +254,14 @@ func (e *Env) allocTimer() *timer {
 		e.timerFree = t.nextFree
 		t.nextFree = nil
 		return t
+	}
+	if e.sh != nil {
+		chunk := make([]timer, timerChunk)
+		for i := len(chunk) - 1; i > 0; i-- {
+			chunk[i].nextFree = e.timerFree
+			e.timerFree = &chunk[i]
+		}
+		return &chunk[0]
 	}
 	return &timer{}
 }
@@ -231,20 +294,19 @@ func (e *Env) Run() error {
 // limit (limit >= 0), the run stops cleanly and returns nil. Procs still
 // live at the horizon are abandoned.
 func (e *Env) RunUntil(limit Time) error {
+	if e.par != nil {
+		return e.par.runRoot(limit)
+	}
+	if e.sh != nil {
+		return errors.New("sim: Run on a shard env (run the partitioned root env)")
+	}
 	if e.running {
 		return errors.New("sim: Run re-entered")
 	}
 	e.running = true
 	defer func() { e.running = false }()
 
-	e.limit = limit
-	if n := e.next(); n != nil {
-		// Hand the token to the first runnable proc; it and its
-		// successors schedule each other directly. The token comes back
-		// here only when the run is over.
-		e.transfer(n)
-		<-e.mainGate
-	}
+	e.runCore(limit)
 	switch e.end {
 	case endStopped:
 		return e.stopErr
@@ -252,6 +314,28 @@ func (e *Env) RunUntil(limit Time) error {
 		return fmt.Errorf("%w at %v\n%s", ErrDeadlock, e.now, e.diagnose())
 	default: // endDone, endLimit
 		return nil
+	}
+}
+
+// runCore executes scheduling decisions until the run (or, for a shard
+// env, the current window) is over; e.end records why it stopped.
+func (e *Env) runCore(limit Time) {
+	e.limit = limit
+	if sh := e.sh; sh != nil {
+		sh.inBlock = false
+		if t := e.overHorizon; t != nil {
+			// Re-arm the timer the previous window popped beyond its
+			// bound.
+			e.overHorizon = nil
+			e.timers.push(t)
+		}
+	}
+	if n := e.next(); n != nil {
+		// Hand the token to the first runnable proc; it and its
+		// successors schedule each other directly. The token comes back
+		// here only when the run is over.
+		e.transfer(n)
+		<-e.mainGate
 	}
 }
 
@@ -266,10 +350,17 @@ func (e *Env) next() *Proc {
 			return nil
 		}
 		if p := e.ready.pop(); p != nil {
-			if e.tracer != nil {
+			if sh := e.sh; sh != nil && sh.logging {
+				sh.onResume(e, p)
+			} else if e.tracer != nil {
 				e.tracer.Resume(e.now, p.id, p.name)
 			}
 			return p
+		}
+		if sh := e.sh; sh != nil {
+			// The ready queue drained: the current timer block (if any)
+			// has run to completion.
+			sh.inBlock = false
 		}
 		if e.timers.len() > 0 {
 			t := e.timers.pop()
@@ -278,14 +369,20 @@ func (e *Env) next() *Proc {
 				continue // discard without advancing the clock
 			}
 			if e.limit >= 0 && t.at > e.limit {
-				// Beyond the horizon: the popped timer is abandoned with
-				// the procs (not recycled — a sleeping proc may still
-				// reference it).
+				if e.sh != nil {
+					// A windowed run re-arms the timer at the next
+					// window; a serial RunUntil abandons it along with
+					// the procs.
+					e.overHorizon = t
+				}
 				e.end = endLimit
 				return nil
 			}
 			if t.at > e.now {
 				e.now = t.at
+			}
+			if sh := e.sh; sh != nil && sh.logging {
+				sh.onFire(t)
 			}
 			e.fire(t)
 			continue
@@ -347,11 +444,25 @@ func (e *Env) finish() {
 // wake moves p to the back of the ready queue. It is idempotent per park:
 // p must currently be parked and not already readied.
 func (e *Env) wake(p *Proc) {
+	if sh := e.sh; sh != nil && !sh.inBlock && (sh.logging || !sh.co.running) {
+		sh.onBootPush()
+	}
 	e.ready.push(p)
 }
 
 // diagnose renders the set of parked procs for deadlock reports.
 func (e *Env) diagnose() string {
+	lines := e.diagnoseLines()
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return "  (no registered wait queues; procs blocked on raw parks)"
+	}
+	return strings.Join(lines, "\n")
+}
+
+// diagnoseLines renders one line per parked proc, unsorted (the parallel
+// coordinator merges lines from several shards before sorting).
+func (e *Env) diagnoseLines() []string {
 	// The env does not keep a central registry of parked procs (they are
 	// reachable from their wait queues); wait queues register themselves
 	// here on first use so diagnostics can enumerate their waiters.
@@ -361,11 +472,7 @@ func (e *Env) diagnose() string {
 			lines = append(lines, fmt.Sprintf("  proc %d (%s) blocked on %s", p.id, p.name, wq.name))
 		}
 	}
-	sort.Strings(lines)
-	if len(lines) == 0 {
-		return "  (no registered wait queues; procs blocked on raw parks)"
-	}
-	return strings.Join(lines, "\n")
+	return lines
 }
 
 // procRing is a growable ring buffer of procs: the FIFO ready queue
@@ -418,6 +525,9 @@ type timer struct {
 	proc      *Proc
 	cancelled bool
 	nextFree  *timer
+	// logID identifies this timer in a shard's merge log (parallel.go);
+	// meaningful only while the owning shard is logging.
+	logID int
 }
 
 // timerLess orders timers by firing time, ties broken by scheduling

@@ -48,7 +48,10 @@ func (wq *WaitQueue) WakeValue(v any) bool {
 	wq.waiters = wq.waiters[0:copy(wq.waiters, wq.waiters[1:])]
 	p.waitQ = nil
 	p.wakeValue = v
-	wq.env.wake(p)
+	// Wake through the proc's own env: a queue created on one env must
+	// still ready waiters onto the env that schedules them (relevant
+	// when procs live on shard envs of a parallel partition).
+	p.env.wake(p)
 	return true
 }
 

@@ -80,6 +80,13 @@ type Options struct {
 	// Nodes is the simulated machine size (lynx.Config.Nodes). 0 =
 	// lynx default.
 	Nodes int
+	// SimWorkers is lynx.Config.SimWorkers: the in-System parallel
+	// worker cap. It never changes results — a load run's boot graph is
+	// the single loadgen process (work units arrive via LaunchGroup), so
+	// today it always collapses to the serial loop — but the knob is
+	// plumbed end to end so cache keys and job specs treat it as what it
+	// is: an execution hint, not a parameter. 0 = serial.
+	SimWorkers int
 	// MaxUnits caps the number of arrivals as a runaway guard when
 	// Rate×Window is enormous. Default 100000.
 	MaxUnits int
@@ -151,10 +158,11 @@ func Run(o Options) (*Result, error) {
 	}
 
 	sys := lynx.NewSystem(lynx.Config{
-		Substrate: o.Substrate,
-		Seed:      sim.StreamSeed(o.Seed, 0),
-		Nodes:     o.Nodes,
-		Faults:    o.Faults,
+		Substrate:  o.Substrate,
+		Seed:       sim.StreamSeed(o.Seed, 0),
+		Nodes:      o.Nodes,
+		SimWorkers: o.SimWorkers,
+		Faults:     o.Faults,
 	})
 	m := sys.Metrics()
 	var (

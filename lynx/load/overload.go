@@ -37,6 +37,12 @@ type SweepOptions struct {
 	Faults []*fault.Plan
 	// Parallel is the grid worker count; never changes results.
 	Parallel int
+	// SimWorkers is the in-System parallel worker cap passed to every
+	// cell's run (load.Options.SimWorkers); like Parallel it never
+	// changes results, so it is EXCLUDED from Key() — a sweep at any
+	// SimWorkers must hit the same cache entries and match the same
+	// gates as the serial sweep.
+	SimWorkers int
 	// Hook and Progress pass through to the grid spec (cache injection
 	// and progress streaming; see grid.Spec).
 	Hook     func(c grid.Cell, run func() *sweep.Aggregate) *sweep.Aggregate
@@ -140,11 +146,12 @@ func SweepSpec(o SweepOptions) (grid.Spec, error) {
 		Progress: o.Progress,
 		Body: func(cell grid.Cell, r sweep.Run) sweep.Outcome {
 			opts := Options{
-				Substrate: grid.MustAs[lynx.Substrate](cell, "substrate"),
-				Rate:      grid.MustAs[float64](cell, "rate"),
-				Window:    o.Window,
-				Mix:       o.Mix,
-				Seed:      r.Seed,
+				Substrate:  grid.MustAs[lynx.Substrate](cell, "substrate"),
+				Rate:       grid.MustAs[float64](cell, "rate"),
+				Window:     o.Window,
+				Mix:        o.Mix,
+				Seed:       r.Seed,
+				SimWorkers: o.SimWorkers,
 			}
 			if cell.Has("scenario") {
 				opts.Faults = grid.MustAs[*fault.Plan](cell, "scenario")

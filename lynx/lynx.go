@@ -52,6 +52,24 @@
 // what the lynx/sweep harness exploits to fan replicated simulations
 // across cores while keeping each run bit-for-bit deterministic in its
 // seed.
+//
+// # Parallel execution inside one System
+//
+// Config.SimWorkers > 1 additionally parallelizes the event loop WITHIN
+// a single System, when that is provably safe: on the Ideal substrate,
+// without a fault plan, when the boot-join graph splits into two or more
+// connected components. Each component becomes one shard of a
+// conservative parallel discrete-event engine (sim.EnterParallel) and
+// components execute concurrently on up to SimWorkers OS threads. The
+// determinism contract is absolute: a run at any SimWorkers value
+// produces byte-identical traces, metrics, and results to SimWorkers=1
+// with the same seed — observers replay in the exact serial interleave.
+// When the preconditions do not hold (kernel substrates share one
+// network medium and one rng; faulted runs share the injector; a
+// single-component topology has nothing to split) the engine collapses
+// to the ordinary serial loop, which is trivially byte-identical.
+// Dynamic process creation (Launch/LaunchGroup) is incompatible with an
+// engaged parallel run and panics; use SimWorkers=1 for such workloads.
 package lynx
 
 import (
@@ -184,6 +202,15 @@ type Config struct {
 	// BufCap is the maximum message size, inherited by every substrate
 	// whose own BufCap is unset. Default 4096.
 	BufCap int
+	// SimWorkers caps how many event-loop shards execute concurrently
+	// inside this System. Default (and any value <= 1) is the serial
+	// loop. Values > 1 engage the conservative parallel engine when the
+	// run is provably partitionable — Ideal substrate, no fault plan,
+	// boot-join graph with >= 2 connected components — and collapse to
+	// serial otherwise. SimWorkers never changes results: same seed ⇒
+	// byte-identical traces and metrics at every worker count, so it is
+	// excluded from sweep cache keys.
+	SimWorkers int
 
 	// Faults is an optional declarative fault plan (crash/restart
 	// schedules, frame drop/duplication/reorder, partitions, slow
@@ -228,12 +255,19 @@ type System struct {
 	byProc   map[*core.Process]*ProcRef
 	nextNode int
 	ran      bool
+
+	// joins records boot-time Join edges as spec-index pairs; materialize
+	// runs union-find over them to find independent components.
+	joins [][2]int
+	// parallel is set when materialize engaged the parallel engine.
+	parallel bool
 }
 
 // ProcRef names a spawned process before and after Run.
 type ProcRef struct {
 	sys   *System
 	name  string
+	idx   int // position in sys.specs (component lookup)
 	main  func(*Thread, []*End)
 	tr    core.Transport
 	boots []core.TransEnd
@@ -352,7 +386,7 @@ func (s *System) restartNamed(name string) bool {
 	if src == nil {
 		return false
 	}
-	child := &ProcRef{sys: s, name: src.name, main: src.main}
+	child := &ProcRef{sys: s, name: src.name, idx: len(s.specs), main: src.main}
 	s.attachTransport(child)
 	s.specs = append(s.specs, child)
 	costs := s.runtimeCosts()
@@ -386,7 +420,7 @@ func (s *System) Spawn(name string, main func(t *Thread, boot []*End)) *ProcRef 
 	if s.ran {
 		panic("lynx: Spawn after Run")
 	}
-	pr := &ProcRef{sys: s, name: name, main: main}
+	pr := &ProcRef{sys: s, name: name, idx: len(s.specs), main: main}
 	s.attachTransport(pr)
 	s.specs = append(s.specs, pr)
 	return pr
@@ -423,8 +457,12 @@ func (s *System) Join(a, b *ProcRef) {
 	s.join(a, b)
 }
 
-// join wires the link; shared by Join and Launch.
+// join wires the link; shared by Join and Launch. Boot-time joins are
+// recorded for the component analysis that drives parallel execution.
 func (s *System) join(a, b *ProcRef) {
+	if !s.ran {
+		s.joins = append(s.joins, [2]int{a.idx, b.idx})
+	}
 	var ta, tb core.TransEnd
 	switch s.cfg.Substrate {
 	case Charlotte:
@@ -462,16 +500,91 @@ func (s *System) runtimeCosts() calib.LynxRuntimeCosts {
 	}
 }
 
+// planParallel decides whether this run may execute in parallel. When
+// eligible — SimWorkers > 1, Ideal substrate, no fault injector, and a
+// boot-join graph with at least two connected components — it partitions
+// the env into one shard per component and returns the spec → shard
+// mapping; otherwise it returns the identity mapping onto the serial
+// env. Eligibility is deliberately conservative: the kernel substrates
+// funnel every process through one netsim medium (shared busyUntil and
+// rng — see internal/netsim's parallel-coupling note), and the fault
+// injector is a single mutable schedule, so only Ideal multi-component
+// unfaulted topologies are provably partitionable.
+func (s *System) planParallel() func(*ProcRef) *sim.Env {
+	serial := func(*ProcRef) *sim.Env { return s.env }
+	if s.cfg.SimWorkers <= 1 || s.cfg.Substrate != Ideal || s.inj != nil || len(s.specs) < 2 {
+		return serial
+	}
+	// Union-find over the boot-join edges.
+	parent := make([]int, len(s.specs))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, j := range s.joins {
+		if ra, rb := find(j[0]), find(j[1]); ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// Number components in first-appearance (spawn) order so the
+	// spec → shard mapping is deterministic.
+	groupOf := make(map[int]int)
+	comp := make([]int, len(s.specs))
+	for i := range s.specs {
+		r := find(i)
+		g, ok := groupOf[r]
+		if !ok {
+			g = len(groupOf)
+			groupOf[r] = g
+		}
+		comp[i] = g
+	}
+	if len(groupOf) < 2 {
+		return serial
+	}
+	shards := s.env.EnterParallel(sim.ParallelOptions{
+		Groups:  len(groupOf),
+		Workers: s.cfg.SimWorkers,
+		// Lookahead 0: components never interact, windows are unbounded.
+		Lookahead: 0,
+		// Observers (obs sinks, exporters) attach between NewSystem and
+		// Run; consult the recorder at run time so they still replay in
+		// serial order.
+		ObservedFn: func() bool { return s.fab.Obs().Active() },
+	})
+	s.parallel = true
+	return func(pr *ProcRef) *sim.Env { return shards[comp[pr.idx]] }
+}
+
+// Parallel reports whether the parallel engine engaged for this run
+// (false until Run, and false whenever eligibility collapsed the run to
+// the serial loop).
+func (s *System) Parallel() bool { return s.parallel }
+
 // materialize creates the core processes (idempotent).
 func (s *System) materialize() {
 	if s.ran {
 		return
 	}
 	s.ran = true
+	envFor := s.planParallel()
 	costs := s.runtimeCosts()
 	for _, pr := range s.specs {
 		spec := pr
-		pr.proc = core.NewProcess(s.env, spec.name, spec.tr, costs, func(t *Thread) {
+		env := envFor(pr)
+		if pr.idTr != nil {
+			// Move the transport's timers/emissions onto the process's
+			// shard env; both ends of every link live in one component,
+			// so a link's traffic always runs on one shard.
+			pr.idTr.SetEnv(env)
+		}
+		pr.proc = core.NewProcess(env, spec.name, spec.tr, costs, func(t *Thread) {
 			boot := make([]*End, len(spec.boots))
 			for i, te := range spec.boots {
 				boot[i] = t.AdoptBootEnd(te)
@@ -523,13 +636,16 @@ func (s *System) LaunchGroup(t *Thread, specs []ProcSpec, wires [][2]int) (*End,
 	if len(specs) == 0 {
 		panic("lynx: LaunchGroup with no specs")
 	}
+	if s.parallel {
+		panic("lynx: LaunchGroup during a parallel run (SimWorkers > 1); dynamic process creation needs SimWorkers=1")
+	}
 	parent := s.byProc[t.Process()]
 	if parent == nil {
 		panic("lynx: LaunchGroup from a thread of an unknown process")
 	}
 	refs := make([]*ProcRef, len(specs))
 	for i, spec := range specs {
-		child := &ProcRef{sys: s, name: spec.Name, main: spec.Main}
+		child := &ProcRef{sys: s, name: spec.Name, idx: len(s.specs), main: spec.Main}
 		s.attachTransport(child)
 		s.specs = append(s.specs, child)
 		refs[i] = child

@@ -17,7 +17,15 @@ import (
 // protocol events for it.
 func runFigure1(t *testing.T, sub lynx.Substrate, sink obs.Sink) {
 	t.Helper()
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 1})
+	runFigure1Cfg(t, lynx.Config{Substrate: sub, Seed: 1}, sink)
+}
+
+// runFigure1Cfg is runFigure1 with a caller-supplied Config (the
+// determinism tests replay it at several SimWorkers values).
+func runFigure1Cfg(t *testing.T, cfg lynx.Config, sink obs.Sink) {
+	t.Helper()
+	sub := cfg.Substrate
+	sys := lynx.NewSystem(cfg)
 	sys.Obs().Attach(sink)
 	a := sys.Spawn("A", func(th *lynx.Thread, boot []*lynx.End) {
 		th.Connect(boot[0], "take3a", lynx.Msg{Links: []*lynx.End{boot[1]}})

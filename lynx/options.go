@@ -55,6 +55,11 @@ func (cfg Config) normalized() Config {
 	if cfg.BufCap <= 0 {
 		cfg.BufCap = 4096
 	}
+	// SimWorkers <= 0 is the serial default; the value never affects
+	// results (see Config.SimWorkers), only wall-clock execution.
+	if cfg.SimWorkers <= 0 {
+		cfg.SimWorkers = 1
+	}
 	if cfg.Tuned {
 		cfg.Chrysalis.Tuned = true
 	}

@@ -3,12 +3,14 @@ package lynx_test
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/obs"
 	"repro/lynx"
+	"repro/lynx/fault"
 )
 
 // updateGolden regenerates the scheduler-determinism golden traces:
@@ -16,37 +18,174 @@ import (
 //	go test ./lynx -run TestSchedulerGoldenTraces -update-golden
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden traces")
 
+// compareGolden pins got against the named golden file (rewriting it
+// under -update-golden).
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	if len(got) == 0 {
+		t.Fatal("no events emitted")
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSONL trace drifted from golden %s:\ngot %d bytes, want %d bytes",
+			path, len(got), len(want))
+	}
+}
+
 // TestSchedulerGoldenTraces pins the exact JSONL event stream of the
-// figure-1 workload on every substrate. The golden files were recorded
-// before the fast-path scheduler rewrite (PR 2); any scheduling-order or
-// virtual-time drift in the discrete-event engine shows up here as a
-// byte-level diff. Regenerate deliberately with -update-golden.
+// figure-1 workload on every substrate, at SimWorkers 1, 2, and 4. The
+// golden files were recorded before the fast-path scheduler rewrite
+// (PR 2) and before the parallel engine existed; any scheduling-order
+// or virtual-time drift in the discrete-event engine shows up here as a
+// byte-level diff, and so would any worker-count dependence (figure 1
+// is a single connected component, so every worker count must collapse
+// to the identical serial run — on kernel substrates because they are
+// never partitionable, on Ideal because one component is nothing to
+// split). Regenerate deliberately with -update-golden.
 func TestSchedulerGoldenTraces(t *testing.T) {
 	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis, lynx.Ideal} {
-		t.Run(sub.String(), func(t *testing.T) {
-			var got bytes.Buffer
-			runFigure1(t, sub, &obs.JSONLExporter{W: &got})
-			if got.Len() == 0 {
-				t.Fatal("no events emitted")
-			}
-			path := filepath.Join("testdata", "golden_trace_"+sub.String()+".jsonl")
-			if *updateGolden {
-				if err := os.MkdirAll("testdata", 0o755); err != nil {
-					t.Fatal(err)
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", sub, workers), func(t *testing.T) {
+				if *updateGolden && workers != 1 {
+					t.Skip("goldens are recorded at SimWorkers=1")
 				}
-				if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
-					t.Fatal(err)
+				var got bytes.Buffer
+				runFigure1Cfg(t, lynx.Config{Substrate: sub, Seed: 1, SimWorkers: workers},
+					&obs.JSONLExporter{W: &got})
+				compareGolden(t, "golden_trace_"+sub.String()+".jsonl", got.Bytes())
+			})
+		}
+	}
+}
+
+// runEchoTrio runs the parallel-engine acceptance workload: three
+// independent client/server echo pairs — a boot-join graph with three
+// connected components, the shape SimWorkers > 1 partitions on the
+// Ideal substrate. Each client ships a few round trips with
+// virtual-time pauses so shard clocks interleave nontrivially. Returns
+// the JSONL trace and whether the parallel engine engaged.
+func runEchoTrio(t *testing.T, cfg lynx.Config) ([]byte, bool) {
+	t.Helper()
+	sys := lynx.NewSystem(cfg)
+	var buf bytes.Buffer
+	sys.Obs().Attach(&obs.JSONLExporter{W: &buf})
+	for i := 0; i < 3; i++ {
+		i := i
+		client := sys.Spawn(fmt.Sprintf("client-%d", i), func(th *lynx.Thread, boot []*lynx.End) {
+			for n := 0; n < 3; n++ {
+				reply, err := th.Connect(boot[0], "echo", lynx.Msg{Data: []byte{byte(i), byte(n)}})
+				if err != nil {
+					t.Errorf("client-%d: %v", i, err)
+					return
 				}
-				return
+				if len(reply.Data) != 2 {
+					t.Errorf("client-%d: bad echo %v", i, reply.Data)
+				}
+				th.Delay(lynx.Duration(i+1) * 100 * lynx.Microsecond)
 			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden trace (run with -update-golden): %v", err)
+			th.Destroy(boot[0])
+		})
+		server := sys.Spawn(fmt.Sprintf("server-%d", i), func(th *lynx.Thread, boot []*lynx.End) {
+			th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+				st.Reply(req, lynx.Msg{Data: req.Data()})
+			})
+		})
+		sys.Join(client, server)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return buf.Bytes(), sys.Parallel()
+}
+
+// TestParallelWorkerGoldenTraces: a genuinely partitionable Ideal
+// workload must produce byte-identical JSONL traces at every SimWorkers
+// value, pinned against a golden recorded at SimWorkers=1 (i.e. by the
+// plain serial engine). This is the tentpole determinism contract: the
+// parallel engine's replay reconstructs the exact serial interleave.
+func TestParallelWorkerGoldenTraces(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			cfg := lynx.Config{Substrate: lynx.Ideal, Seed: 7, SimWorkers: workers}
+			got, parallel := runEchoTrio(t, cfg)
+			if wantPar := workers > 1; parallel != wantPar {
+				t.Fatalf("Parallel() = %v at SimWorkers=%d, want %v", parallel, workers, wantPar)
 			}
-			if !bytes.Equal(got.Bytes(), want) {
-				t.Errorf("JSONL trace drifted from golden %s:\ngot %d bytes, want %d bytes",
-					path, got.Len(), len(want))
+			if *updateGolden && workers != 1 {
+				t.Skip("goldens are recorded at SimWorkers=1")
 			}
+			compareGolden(t, "golden_trace_parallel_ideal.jsonl", got)
 		})
 	}
+}
+
+// TestFaultedWorkerInvariance: a faulted run is never partitionable
+// (the injector is one mutable schedule), so every SimWorkers value
+// must collapse to the identical serial run — byte for byte, without
+// the parallel engine engaging.
+func TestFaultedWorkerInvariance(t *testing.T) {
+	plan := &fault.Plan{Events: []fault.Event{fault.Crash{Proc: "server-1", At: 300 * lynx.Microsecond}}}
+	trace := func(workers int) []byte {
+		cfg := lynx.Config{Substrate: lynx.Ideal, Seed: 7, SimWorkers: workers, Faults: plan}
+		got, parallel := runFaultedTrio(t, cfg)
+		if parallel {
+			t.Fatalf("parallel engine engaged on a faulted run (SimWorkers=%d)", workers)
+		}
+		return got
+	}
+	base := trace(1)
+	if len(base) == 0 {
+		t.Fatal("no events emitted")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := trace(workers); !bytes.Equal(got, base) {
+			t.Errorf("faulted trace differs at SimWorkers=%d: got %d bytes, want %d",
+				workers, len(got), len(base))
+		}
+	}
+}
+
+// runFaultedTrio is runEchoTrio's crash-tolerant twin: clients swallow
+// link errors (the fault plan kills server-1 mid-run) and the run is
+// bounded in virtual time so the orphaned client cannot hang the test.
+func runFaultedTrio(t *testing.T, cfg lynx.Config) ([]byte, bool) {
+	t.Helper()
+	sys := lynx.NewSystem(cfg)
+	var buf bytes.Buffer
+	sys.Obs().Attach(&obs.JSONLExporter{W: &buf})
+	for i := 0; i < 3; i++ {
+		i := i
+		client := sys.Spawn(fmt.Sprintf("client-%d", i), func(th *lynx.Thread, boot []*lynx.End) {
+			for n := 0; n < 3; n++ {
+				if _, err := th.Connect(boot[0], "echo", lynx.Msg{Data: []byte{byte(i), byte(n)}}); err != nil {
+					return // server crashed under us: expected for pair 1
+				}
+				th.Delay(lynx.Duration(i+1) * 100 * lynx.Microsecond)
+			}
+			th.Destroy(boot[0])
+		})
+		server := sys.Spawn(fmt.Sprintf("server-%d", i), func(th *lynx.Thread, boot []*lynx.End) {
+			th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+				st.Reply(req, lynx.Msg{Data: req.Data()})
+			})
+		})
+		sys.Join(client, server)
+	}
+	if err := sys.RunFor(20 * lynx.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return buf.Bytes(), sys.Parallel()
 }

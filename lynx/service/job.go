@@ -72,7 +72,13 @@ type LoadJob struct {
 	Mix        string    `json:"mix,omitempty"`    // kind=weight pairs, default load.DefaultMix
 	Seed       uint64    `json:"seed,omitempty"`
 	Parallel   int       `json:"parallel,omitempty"`
-	Faults     []string  `json:"faults,omitempty"` // scenario names or inline plans
+	// SimWorkers is the in-System parallel worker cap
+	// (load.SweepOptions.SimWorkers). Like Parallel it never changes
+	// results, so it is excluded from the job key and the cell-cache
+	// body identity: a SimWorkers=4 job hits the cache entries a
+	// SimWorkers=1 job populated.
+	SimWorkers int      `json:"sim_workers,omitempty"`
+	Faults     []string `json:"faults,omitempty"` // scenario names or inline plans
 }
 
 // Job states.
@@ -378,6 +384,7 @@ func (s *Service) buildLoadJob(spec LoadJob, client string, now time.Time) (*job
 		Mix:        mix,
 		Seed:       spec.Seed,
 		Parallel:   spec.Parallel,
+		SimWorkers: spec.SimWorkers,
 		Faults:     plans,
 	}
 	// Validate eagerly so submit reports bad specs as 400, not as a

@@ -1,0 +1,45 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSimWorkersSharesCache: SimWorkers is an execution hint, not a
+// workload parameter — a job at any SimWorkers value must carry the
+// same key as the serial job and be served from the cells it cached.
+// A SimWorkers=4 sweep submitted after a SimWorkers=1 sweep therefore
+// runs nothing: every cell is a cache hit, and the table is
+// byte-identical.
+func TestSimWorkersSharesCache(t *testing.T) {
+	_, ts := startService(t, Config{Workers: 1})
+
+	runWith := func(workers int) (JobStatus, []string) {
+		req := loadReq()
+		req.Load.SimWorkers = workers
+		resp, st := submit(t, ts, req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status = %d", resp.StatusCode)
+		}
+		_, result := collectStream(t, ts, st.ID)
+		return waitState(t, ts, st.ID, StateDone), result
+	}
+
+	serial, serialLines := runWith(1)
+	if serial.CacheMisses != 2 || serial.CacheHits != 0 {
+		t.Fatalf("serial run cache = %d hits / %d misses, want 0/2", serial.CacheHits, serial.CacheMisses)
+	}
+
+	wide, wideLines := runWith(4)
+	if wide.CacheHits != 2 || wide.CacheMisses != 0 {
+		t.Fatalf("SimWorkers=4 cache = %d hits / %d misses, want 2/0 (worker count leaked into the cache identity)",
+			wide.CacheHits, wide.CacheMisses)
+	}
+	if wide.Key != serial.Key {
+		t.Fatalf("SimWorkers leaked into the job key:\n%s\nvs\n%s", wide.Key, serial.Key)
+	}
+	if got, want := strings.Join(wideLines, "\n"), strings.Join(serialLines, "\n"); got != want {
+		t.Fatalf("SimWorkers changed the table:\n%s\nvs\n%s", got, want)
+	}
+}
