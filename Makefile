@@ -49,7 +49,9 @@ bench-all:
 # lynxd-smoke boots the daemon on an ephemeral port, runs a seeded
 # one-cell job through lynxctl, and asserts the streamed table is
 # byte-identical to the CLI's `lynxload -json` bytes (plus a clean
-# SIGTERM shutdown).
+# SIGTERM shutdown). It also runs a traced job and follows its live
+# event stream with `lynxtrace -follow`, asserting well-formed JSONL
+# and a non-empty end-of-run ring dump.
 lynxd-smoke:
-	$(GO) build -o bin/ ./cmd/lynxd ./cmd/lynxctl ./cmd/lynxload
+	$(GO) build -o bin/ ./cmd/lynxd ./cmd/lynxctl ./cmd/lynxload ./cmd/lynxtrace
 	sh scripts/lynxd_smoke.sh bin

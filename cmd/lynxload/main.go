@@ -500,6 +500,7 @@ func main() {
 		path       = flag.String("file", "BENCH_load.json", "trajectory file")
 		update     = flag.Bool("update", false, "rewrite the current numbers")
 		asBaseline = flag.Bool("as-baseline", false, "rewrite the baseline numbers")
+		force      = flag.Bool("force", false, "allow -update/-as-baseline to overwrite numbers recorded on a bigger machine")
 		substrates = flag.String("substrates", "charlotte,soda,chrysalis", "comma-separated substrate list")
 		mixFlag    = flag.String("mix", load.DefaultMix, "traffic mix, kind=weight pairs")
 		runs       = flag.Int("runs", 600, "max-throughput mode: runs per substrate")
@@ -547,6 +548,23 @@ func main() {
 		cli.Check("lynxload", err)
 		reportSingle(c.subs[0], res)
 		return
+	}
+
+	// Same update guard as schedbench/sweepbench, checked before the
+	// (slow) measurement: wall-clock numbers recorded on real hardware
+	// must not be silently replaced by a 1-CPU container run.
+	if (*update || *asBaseline) && !*force && runtime.NumCPU() == 1 {
+		f, err := loadFile(*path)
+		cli.Check("lynxload", err)
+		prior := f.Current
+		if *asBaseline {
+			prior = f.Baseline
+		}
+		if prior != nil && prior.NumCPU > 1 {
+			cli.Failf("lynxload",
+				"refusing to overwrite %s recorded on %d CPUs with a 1-CPU run (re-record on comparable hardware, or pass -force)",
+				*path, prior.NumCPU)
+		}
 	}
 
 	// Bench mode: wall-clock closed loop (best of 3, like sweepbench)

@@ -6,6 +6,7 @@
 //	lynxtrace -fig 2 -substrate soda
 //	lynxtrace -fig 1 -format jsonl  # machine-readable event stream
 //	lynxtrace -fig 1 -format chrome > trace.json   # chrome://tracing
+//	lynxtrace -follow JOB -addr localhost:8080     # live lynxd job trace
 //
 // The trace shows every kernel call and protocol message with its
 // virtual timestamp, making the difference between the substrates'
@@ -15,13 +16,23 @@
 // Chrome trace-event document (load in chrome://tracing or Perfetto).
 // In the machine formats only events go to stdout; narration goes to
 // stderr.
+//
+// -follow switches lynxtrace from replaying a built-in figure to
+// tailing a running lynxd job's flight-recorder stream
+// (GET /jobs/{id}/trace): JSONL lines pass through verbatim ("jsonl",
+// the default here) or re-render as a Chrome trace document ("chrome");
+// the command exits when the job reaches a terminal state.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/obs"
@@ -38,15 +49,23 @@ func main() {
 	encl := flag.Int("enclosures", 3, "enclosures to move (figure 2)")
 	subName := flag.String("substrate", "charlotte", "charlotte|soda|chrysalis|ideal")
 	format := flag.String("format", "text", "trace output format: text|jsonl|chrome")
+	follow := flag.String("follow", "", "follow a lynxd job's live trace stream by job ID (exits at job completion)")
+	addr := flag.String("addr", "localhost:8080", "lynxd address for -follow")
 	flag.Parse()
 
-	sub, err := lynx.ParseSubstrate(*subName)
-	cli.CheckUsage("lynxtrace", err)
 	switch *format {
 	case "text", "jsonl", "chrome":
 	default:
 		cli.Usagef("lynxtrace", "unknown format %q (want text, jsonl or chrome)", *format)
 	}
+
+	if *follow != "" {
+		followJob(*addr, *follow, *format)
+		return
+	}
+
+	sub, err := lynx.ParseSubstrate(*subName)
+	cli.CheckUsage("lynxtrace", err)
 
 	switch *fig {
 	case 1:
@@ -56,6 +75,68 @@ func main() {
 	default:
 		cli.Usagef("lynxtrace", "unknown figure %d", *fig)
 	}
+}
+
+// followJob tails a lynxd job's flight-recorder stream. The daemon
+// holds the connection open until the job reaches a terminal state, so
+// a plain GET is the whole protocol. Lines are either recorded events
+// or dump envelopes ({"type":"dump",...}); envelopes pass through in
+// jsonl mode and narrate to stderr in the rendered modes.
+func followJob(addr, id, format string) {
+	// Accept both a bare host:port and a full URL (lynxd announces
+	// "listening on http://host:port", which scripts pass through).
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	url := fmt.Sprintf("%s/jobs/%s/trace", strings.TrimRight(addr, "/"), id)
+	resp, err := http.Get(url)
+	cli.Check("lynxtrace", err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		cli.Usagef("lynxtrace", "GET %s: %s: %s", url, resp.Status, body)
+	}
+
+	var render func(line []byte)
+	switch format {
+	case "text":
+		text := &obs.TextExporter{W: os.Stdout}
+		render = func(line []byte) { renderLine(line, text.Event) }
+	case "jsonl":
+		render = func(line []byte) {
+			os.Stdout.Write(line)
+			os.Stdout.Write([]byte{'\n'})
+		}
+	case "chrome":
+		ch := obs.NewChromeStream(os.Stdout)
+		defer func() { cli.Check("lynxtrace", ch.Close()) }()
+		render = func(line []byte) { renderLine(line, ch.Event) }
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		render(sc.Bytes())
+	}
+	cli.Check("lynxtrace", sc.Err())
+}
+
+// renderLine decodes one stream line and hands recorded events to emit;
+// dump envelopes and undecodable lines narrate to stderr instead.
+func renderLine(line []byte, emit func(obs.Event)) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil || probe.Type != "" {
+		fmt.Fprintf(os.Stderr, "%s\n", line)
+		return
+	}
+	var ev obs.Event
+	if err := json.Unmarshal(line, &ev); err != nil {
+		fmt.Fprintf(os.Stderr, "%s\n", line)
+		return
+	}
+	emit(ev)
 }
 
 // attachOutput wires the chosen format into the system's recorder and

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// cpuSeconds falls back to zero where rusage is unavailable; the
+// overhead probe then measures wall clock (see runOverhead).
+func cpuSeconds() float64 { return 0 }

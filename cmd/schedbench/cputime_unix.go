@@ -1,0 +1,18 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// cpuSeconds returns the process's cumulative user+system CPU time.
+// The recorder-overhead gate measures with it instead of wall clock:
+// on shared hardware (1-CPU CI containers) wall time includes whatever
+// the OS scheduler stole from the run, which flaps a 5% threshold,
+// while CPU time bills only the work the run actually did.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Nano()+ru.Stime.Nano()) / 1e9
+}

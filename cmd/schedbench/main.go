@@ -27,13 +27,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sim"
+	"repro/lynx"
+	"repro/lynx/load"
 )
 
 // measurement is one bench's recorded numbers.
@@ -54,10 +59,11 @@ type benchRecord struct {
 // machine's CPU count — the update guard reads it so a 1-CPU run cannot
 // silently clobber numbers recorded on real hardware.
 type benchFile struct {
-	Note    string                  `json:"note"`
-	NumCPU  int                     `json:"num_cpu,omitempty"`
-	Benches map[string]*benchRecord `json:"benches"`
-	Scaling *scalingMeasurement     `json:"scaling,omitempty"`
+	Note     string                  `json:"note"`
+	NumCPU   int                     `json:"num_cpu,omitempty"`
+	Benches  map[string]*benchRecord `json:"benches"`
+	Scaling  *scalingMeasurement     `json:"scaling,omitempty"`
+	Overhead *overheadMeasurement    `json:"recorder_overhead,omitempty"`
 }
 
 // bench is one scheduler workload. eventsPerOp converts ns/op into
@@ -206,6 +212,158 @@ func measureScaling() (*scalingMeasurement, bool) {
 	return m, failed
 }
 
+// Recorder-overhead probe. The penalty a recorder mode inflicts is
+// per-event cost added / per-event cost of the untraced workload. The
+// two factors are measured separately because they live at different
+// scales: the added cost (tens of ns) comes from a testing.Benchmark
+// tight loop over a representative instrumented site, which averages
+// over millions of iterations and is stable even on shared 1-CPU CI
+// hardware; the baseline (microseconds per protocol event) comes from
+// CPU-timing a real open-loop load run. Timing two full runs and
+// differencing them — the obvious approach — cannot resolve a 5%
+// threshold on shared hardware: the identical deterministic run varies
+// by ±20-40% CPU time with host frequency scaling, swamping the
+// effect. Dividing instead keeps that noise where it is harmless: the
+// baseline is taken as the MINIMUM over several runs (noise only adds
+// time), which biases the denominator low and the reported penalty
+// high — the strict direction for a gate.
+const (
+	overheadRate      = 400
+	overheadWindow    = lynx.Second
+	overheadBaseTries = 5
+	overheadSampleK   = 64
+	// Acceptance thresholds: events/s penalty vs the untraced run.
+	maxCountersPenalty = 0.05
+	maxSampledPenalty  = 0.15
+)
+
+// overheadMeasurement records the recorder-overhead probe: the
+// workload's per-event baseline, each mode's added per-event cost, the
+// derived events/s, and the penalty ratios the gate asserts.
+type overheadMeasurement struct {
+	Events             int                `json:"events"`
+	BaseNsPerEvent     float64            `json:"base_ns_per_event"`
+	CountersNsPerEvent float64            `json:"counters_ns_per_event"`
+	SampledNsPerEvent  float64            `json:"sampled_ns_per_event"`
+	EventsPerSec       map[string]float64 `json:"events_per_sec"`
+	CountersPenaltyPct float64            `json:"counters_penalty_pct"`
+	SampledPenaltyPct  float64            `json:"sampled_penalty_pct"`
+	Gate               string             `json:"gate"`
+}
+
+// countSink tallies recorded events — the calibration run uses it to
+// learn how many protocol events the overhead workload emits.
+type countSink struct{ n int }
+
+func (c *countSink) Event(obs.Event) { c.n++ }
+
+// runOverhead times one run of the fixed overhead workload under the
+// given trace configuration (nil = untraced) and returns the CPU
+// seconds it consumed (wall seconds where rusage is unavailable).
+func runOverhead(tr *flight.Config) float64 {
+	runtime.GC()
+	cpu0, wall0 := cpuSeconds(), time.Now()
+	if _, err := load.Run(load.Options{
+		Substrate: lynx.Charlotte,
+		Rate:      overheadRate,
+		Window:    overheadWindow,
+		Seed:      1,
+		Trace:     tr,
+	}); err != nil {
+		cli.Failf("schedbench", "overhead run: %v", err)
+	}
+	if cpu0 > 0 {
+		return cpuSeconds() - cpu0
+	}
+	return time.Since(wall0).Seconds()
+}
+
+// emitBench is the instrumented-site shape the kernels use, as a tight
+// benchmark loop: gate on Active, build a Detail string only when the
+// recorder wants it, emit. Its ns/op is the per-event cost a workload
+// pays once a flight recorder in the given mode is attached.
+func emitBench(mode flight.Mode, sink obs.Sink) func(b *testing.B) {
+	return func(b *testing.B) {
+		rec := obs.NewRecorder(sim.NewEnv(1), "bench")
+		rec.Attach(flight.New(flight.Config{Mode: mode, SampleK: overheadSampleK, Sink: sink}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec.Active() {
+				var detail string
+				if rec.WantDetail() {
+					detail = fmt.Sprintf("Wait -> end<%d.%d> send OK", i&7, i&1)
+				}
+				rec.Emit(obs.Event{Kind: obs.KindQueueService, Proc: 1, Link: 2, Bytes: 64, Detail: detail})
+			}
+		}
+	}
+}
+
+// minBenchNs runs fn under testing.Benchmark three times and returns
+// the fastest ns/op — matching the minimum bias of the baseline so the
+// ratio compares two fast-period measurements.
+func minBenchNs(fn func(b *testing.B)) float64 {
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(fn)
+		if ns := float64(r.T.Nanoseconds()) / float64(r.N); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// measureOverhead measures the workload baseline and each mode's added
+// per-event cost, derives the penalties, and applies the gates.
+// Returns the recording and whether a gate failed.
+func measureOverhead() (*overheadMeasurement, bool) {
+	// Calibrate the event count once with a full-mode counting sink
+	// (doubles as the warmup run).
+	cnt := &countSink{}
+	runOverhead(&flight.Config{Mode: flight.Full, Sink: cnt})
+	events := cnt.n
+
+	base := 0.0
+	for i := 0; i < overheadBaseTries; i++ {
+		if el := runOverhead(nil); base == 0 || el < base {
+			base = el
+		}
+	}
+	baseNs := base * 1e9 / float64(events)
+
+	ctrNs := minBenchNs(emitBench(flight.Counters, nil))
+	smpNs := minBenchNs(emitBench(flight.Sampled, &obs.JSONLExporter{W: io.Discard}))
+
+	m := &overheadMeasurement{
+		Events:             events,
+		BaseNsPerEvent:     baseNs,
+		CountersNsPerEvent: ctrNs,
+		SampledNsPerEvent:  smpNs,
+		EventsPerSec: map[string]float64{
+			"untraced":      1e9 / baseNs,
+			"counters-only": 1e9 / (baseNs + ctrNs),
+			"sampled":       1e9 / (baseNs + smpNs),
+		},
+		CountersPenaltyPct: ctrNs / baseNs * 100,
+		SampledPenaltyPct:  smpNs / baseNs * 100,
+		Gate:               "checked",
+	}
+	fmt.Printf("recorder_overhead %d events: untraced %.0f ev/s, counters-only %+.1f%%, sampled(K=%d) %+.1f%%\n",
+		events, m.EventsPerSec["untraced"], m.CountersPenaltyPct, overheadSampleK, m.SampledPenaltyPct)
+	failed := false
+	if m.CountersPenaltyPct > maxCountersPenalty*100 {
+		fmt.Fprintf(os.Stderr, "schedbench: counters-only recorder penalty %.1f%%, want <= %.0f%%\n",
+			m.CountersPenaltyPct, maxCountersPenalty*100)
+		failed = true
+	}
+	if m.SampledPenaltyPct > maxSampledPenalty*100 {
+		fmt.Fprintf(os.Stderr, "schedbench: sampled recorder penalty %.1f%%, want <= %.0f%%\n",
+			m.SampledPenaltyPct, maxSampledPenalty*100)
+		failed = true
+	}
+	return m, failed
+}
+
 func measure(bn bench) measurement {
 	r := testing.Benchmark(bn.fn)
 	ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -217,7 +375,7 @@ func measure(bn bench) measurement {
 	}
 }
 
-func load(path string) (*benchFile, error) {
+func loadFile(path string) (*benchFile, error) {
 	f := &benchFile{Benches: map[string]*benchRecord{}}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -240,7 +398,9 @@ func save(path string, f *benchFile) error {
 		"current = last recording (refresh with `make bench-update`). " +
 		"make check fails on >10% allocs/op regression vs current. " +
 		"scaling = parallel-engine events/s per worker count; its >=2x-at-4-workers " +
-		"gate only runs on >=4-CPU machines (see scaling_gate/num_cpu)."
+		"gate only runs on >=4-CPU machines (see scaling_gate/num_cpu). " +
+		"recorder_overhead = flight-recorder events/s penalty vs untraced " +
+		"(ratio-based, always gated: counters-only <=5%, sampled K=64 <=15%)."
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
@@ -255,7 +415,7 @@ func main() {
 	force := flag.Bool("force", false, "allow -update/-as-baseline to overwrite numbers recorded on a bigger machine")
 	flag.Parse()
 
-	f, err := load(*path)
+	f, err := loadFile(*path)
 	cli.Check("schedbench", err)
 
 	// The update guard: wall-clock numbers recorded on real hardware must
@@ -267,7 +427,13 @@ func main() {
 			*path, f.NumCPU)
 	}
 
-	failed := false
+	// Overhead first: the microbenches and the scaling sweep park
+	// thousands of never-terminating sim procs whose stacks every later
+	// GC must scan, which would bill the recorder modes (the only
+	// allocating runs) for garbage they didn't make.
+	overhead, overheadFailed := measureOverhead()
+
+	failed := overheadFailed
 	for _, bn := range benches {
 		m := measure(bn)
 		rec := f.Benches[bn.name]
@@ -308,6 +474,7 @@ func main() {
 
 	if *asBaseline || *update {
 		f.Scaling = scaling
+		f.Overhead = overhead
 		f.NumCPU = runtime.NumCPU()
 		cli.Check("schedbench", save(*path, f))
 		fmt.Println("wrote", *path)

@@ -172,10 +172,22 @@ func main() {
 	path := flag.String("file", "BENCH_sweep.json", "trajectory file")
 	update := flag.Bool("update", false, "rewrite the current numbers")
 	asBaseline := flag.Bool("as-baseline", false, "rewrite the baseline numbers")
+	force := flag.Bool("force", false, "allow -update/-as-baseline to overwrite numbers recorded on a bigger machine")
 	flag.Parse()
 
 	f, err := load(*path)
 	cli.Check("sweepbench", err)
+
+	// Same update guard as schedbench: numbers recorded on real hardware
+	// must not be silently replaced by a 1-CPU container run (which would
+	// also re-disarm the scaling gate).
+	if !*force && runtime.NumCPU() == 1 {
+		if prior := pickRecorded(f, *update, *asBaseline); prior != nil && prior.NumCPU > 1 {
+			cli.Failf("sweepbench",
+				"refusing to overwrite %s recorded on %d CPUs with a 1-CPU run (re-record on comparable hardware, or pass -force)",
+				*path, prior.NumCPU)
+		}
+	}
 
 	m := measure()
 	switch {
@@ -191,6 +203,18 @@ func main() {
 	}
 	cli.Check("sweepbench", save(*path, f))
 	fmt.Println("wrote", *path)
+}
+
+// pickRecorded returns the measurement the current invocation would
+// overwrite (nil when none is recorded or nothing is being rewritten).
+func pickRecorded(f *benchFile, update, asBaseline bool) *measurement {
+	switch {
+	case asBaseline:
+		return f.Baseline
+	case update:
+		return f.Current
+	}
+	return nil
 }
 
 // gateFails applies the regression and scaling gates against the

@@ -244,9 +244,12 @@ func (tr *Transport) Stats() *Stats {
 // is watching.
 func (tr *Transport) emit(kind obs.Kind, es *endState, seq uint64, detail string) {
 	if tr.rec.Active() {
-		d := es.ref.String()
-		if detail != "" {
-			d = detail + " " + d
+		var d string
+		if tr.rec.WantDetail() {
+			d = es.ref.String()
+			if detail != "" {
+				d = detail + " " + d
+			}
 		}
 		tr.rec.Emit(obs.Event{Kind: kind, Proc: tr.kp.ID(), Seq: seq, Detail: d})
 	}

@@ -378,9 +378,12 @@ func (pr *Process) Send(p *sim.Proc, e EndRef, data []byte, enclosure EndRef) St
 	es.send = &activity{dir: SendDir, data: buf, enclosure: enclosure}
 	es.sendSeq++
 	if pr.k.rec.Active() {
-		detail := e.String()
-		if !enclosure.Nil() {
-			detail += " enc=" + enclosure.String()
+		var detail string
+		if pr.k.rec.WantDetail() {
+			detail = e.String()
+			if !enclosure.Nil() {
+				detail += " enc=" + enclosure.String()
+			}
 		}
 		pr.k.rec.Emit(obs.Event{
 			Kind: obs.KindKernelSend, Proc: pr.id, Link: e.link,
@@ -405,9 +408,13 @@ func (pr *Process) Receive(p *sim.Proc, e EndRef, capacity int) Status {
 	}
 	es.recv = &activity{dir: RecvDir, capacity: capacity}
 	if pr.k.rec.Active() {
+		var detail string
+		if pr.k.rec.WantDetail() {
+			detail = e.String()
+		}
 		pr.k.rec.Emit(obs.Event{
 			Kind: obs.KindKernelReceive, Proc: pr.id, Link: e.link,
-			Bytes: capacity, Detail: e.String(),
+			Bytes: capacity, Detail: detail,
 		})
 	}
 	// A send may be waiting on the far end.
@@ -445,9 +452,13 @@ func (pr *Process) Cancel(p *sim.Proc, e EndRef, d Direction) Status {
 	}
 	*slot = nil
 	if pr.k.rec.Active() {
+		var detail string
+		if pr.k.rec.WantDetail() {
+			detail = fmt.Sprintf("%v %v", e, d)
+		}
 		pr.k.rec.Emit(obs.Event{
 			Kind: obs.KindKernelCancel, Proc: pr.id, Link: e.link,
-			Detail: fmt.Sprintf("%v %v", e, d),
+			Detail: detail,
 		})
 	}
 	return OK
@@ -459,9 +470,13 @@ func (pr *Process) Wait(p *sim.Proc) Description {
 	d := pr.completions.Get(p).(Description)
 	p.Delay(pr.k.costs.KernelCall)
 	if pr.k.rec.Active() {
+		var detail string
+		if pr.k.rec.WantDetail() {
+			detail = fmt.Sprintf("Wait -> %v %v %v", d.End, d.Dir, d.Status)
+		}
 		pr.k.rec.Emit(obs.Event{
 			Kind: obs.KindQueueService, Proc: pr.id, Link: d.End.link, Bytes: d.Length,
-			Detail: fmt.Sprintf("Wait -> %v %v %v", d.End, d.Dir, d.Status),
+			Detail: detail,
 		})
 	}
 	return d

@@ -101,6 +101,10 @@ var kindNames = [...]string{
 	KindMark:          "mark",
 }
 
+// NumKinds is the number of defined kinds — sized for per-kind counter
+// arrays (the flight recorder indexes one by Kind).
+const NumKinds = len(kindNames)
+
 func (k Kind) String() string {
 	if int(k) < len(kindNames) && kindNames[k] != "" {
 		return kindNames[k]

@@ -108,6 +108,49 @@ type chromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
+// newChromeEvent converts one typed event into its trace-array entry
+// (shared by the buffered and streaming Chrome exporters).
+func newChromeEvent(ev Event) chromeEvent {
+	ce := chromeEvent{
+		Name:  ev.Kind.String(),
+		Cat:   ev.Substrate,
+		Ph:    "i",
+		Ts:    float64(ev.At) / 1e3, // virtual ns -> trace µs
+		Pid:   ev.Proc,
+		Tid:   ev.Thread,
+		Scope: "t",
+	}
+	if ce.Cat == "" {
+		ce.Cat = "trace"
+	}
+	args := make(map[string]any)
+	if ev.Src != "" {
+		args["src"] = ev.Src
+	}
+	if ev.Peer != 0 {
+		args["peer"] = ev.Peer
+	}
+	if ev.Link != 0 {
+		args["link"] = ev.Link
+	}
+	if ev.Seq != 0 {
+		args["seq"] = ev.Seq
+	}
+	if ev.Bytes != 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Wait != 0 {
+		args["wait_ns"] = int64(ev.Wait)
+	}
+	if ev.Detail != "" {
+		args["detail"] = ev.Detail
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	return ce
+}
+
 // Flush writes the buffered events as a complete Chrome trace JSON
 // document and clears the buffer.
 func (c *ChromeExporter) Flush(w io.Writer) error {
@@ -115,44 +158,7 @@ func (c *ChromeExporter) Flush(w io.Writer) error {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{TraceEvents: make([]chromeEvent, 0, len(c.events))}
 	for _, ev := range c.events {
-		ce := chromeEvent{
-			Name:  ev.Kind.String(),
-			Cat:   ev.Substrate,
-			Ph:    "i",
-			Ts:    float64(ev.At) / 1e3, // virtual ns -> trace µs
-			Pid:   ev.Proc,
-			Tid:   ev.Thread,
-			Scope: "t",
-		}
-		if ce.Cat == "" {
-			ce.Cat = "trace"
-		}
-		args := make(map[string]any)
-		if ev.Src != "" {
-			args["src"] = ev.Src
-		}
-		if ev.Peer != 0 {
-			args["peer"] = ev.Peer
-		}
-		if ev.Link != 0 {
-			args["link"] = ev.Link
-		}
-		if ev.Seq != 0 {
-			args["seq"] = ev.Seq
-		}
-		if ev.Bytes != 0 {
-			args["bytes"] = ev.Bytes
-		}
-		if ev.Wait != 0 {
-			args["wait_ns"] = int64(ev.Wait)
-		}
-		if ev.Detail != "" {
-			args["detail"] = ev.Detail
-		}
-		if len(args) > 0 {
-			ce.Args = args
-		}
-		doc.TraceEvents = append(doc.TraceEvents, ce)
+		doc.TraceEvents = append(doc.TraceEvents, newChromeEvent(ev))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -161,6 +167,68 @@ func (c *ChromeExporter) Flush(w io.Writer) error {
 	}
 	c.events = c.events[:0]
 	return nil
+}
+
+// ChromeStream renders events as Chrome trace JSON incrementally: each
+// event is written (and flushed, when W supports it) as it arrives, so
+// a long run streams in constant memory — the flight recorder's
+// long-run export path. The JSON Array Format tolerates a missing
+// closing bracket, so even an aborted stream loads in Perfetto; Close
+// writes the proper terminator.
+type ChromeStream struct {
+	W io.Writer
+	// Err records the first write error; once set, events are dropped.
+	Err error
+
+	started bool
+}
+
+// NewChromeStream creates a streaming exporter over w.
+func NewChromeStream(w io.Writer) *ChromeStream { return &ChromeStream{W: w} }
+
+// Event implements Sink.
+func (c *ChromeStream) Event(ev Event) {
+	if c.Err != nil {
+		return
+	}
+	sep := ",\n"
+	if !c.started {
+		sep = "{\"traceEvents\":[\n"
+		c.started = true
+	}
+	b, err := json.Marshal(newChromeEvent(ev))
+	if err != nil {
+		return
+	}
+	if _, err := io.WriteString(c.W, sep); err != nil {
+		c.Err = err
+		return
+	}
+	if _, err := c.W.Write(b); err != nil {
+		c.Err = err
+		return
+	}
+	switch w := c.W.(type) {
+	case flusher:
+		c.Err = w.Flush()
+	case httpFlusher:
+		w.Flush()
+	}
+}
+
+// Close terminates the JSON array. Safe on an empty stream.
+func (c *ChromeStream) Close() error {
+	if c.Err != nil {
+		return c.Err
+	}
+	doc := "{\"traceEvents\":[]}\n"
+	if c.started {
+		doc = "\n]}\n"
+	}
+	if _, err := io.WriteString(c.W, doc); err != nil {
+		c.Err = err
+	}
+	return c.Err
 }
 
 // RecordingSink keeps events in memory for test assertions.

@@ -1,0 +1,253 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// feed pushes n events with distinct times/seqs through the recorder.
+func feed(f *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		f.Event(obs.Event{
+			At:   sim.Time(i) * sim.Time(sim.Microsecond),
+			Kind: obs.KindQueueService,
+			Proc: i & 7,
+			Seq:  uint64(i),
+		})
+	}
+}
+
+// collectSink gathers forwarded events for assertions.
+type collectSink struct{ evs []obs.Event }
+
+func (c *collectSink) Event(ev obs.Event) { c.evs = append(c.evs, ev) }
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"", Off, true},
+		{"off", Off, true},
+		{"full", Full, true},
+		{"sampled", Sampled, true},
+		{"counters", Counters, true},
+		{"counters-only", Counters, true},
+		{"verbose", Off, false},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// The ring keeps exactly the last N events, oldest-first, across wrap.
+func TestRingWrap(t *testing.T) {
+	f := New(Config{Mode: Counters, Ring: 8})
+	feed(f, 20)
+	if got := f.RingLen(); got != 8 {
+		t.Fatalf("RingLen = %d, want 8", got)
+	}
+	snap := f.Snapshot()
+	for i, ev := range snap {
+		if want := uint64(12 + i); ev.Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if f.Seen() != 20 {
+		t.Errorf("Seen = %d, want 20", f.Seen())
+	}
+	if f.KindCount(obs.KindQueueService) != 20 {
+		t.Errorf("KindCount = %d, want 20", f.KindCount(obs.KindQueueService))
+	}
+}
+
+// Non-power-of-two capacities round up.
+func TestRingRoundsUp(t *testing.T) {
+	f := New(Config{Ring: 5})
+	if got := len(f.ring); got != 8 {
+		t.Fatalf("ring capacity = %d, want 8", got)
+	}
+}
+
+// Counters mode forwards nothing; Full forwards everything.
+func TestModesForwarding(t *testing.T) {
+	for _, tc := range []struct {
+		mode Mode
+		want int
+	}{{Full, 100}, {Counters, 0}} {
+		sink := &collectSink{}
+		f := New(Config{Mode: tc.mode, Sink: sink})
+		feed(f, 100)
+		if len(sink.evs) != tc.want {
+			t.Errorf("%v forwarded %d events, want %d", tc.mode, len(sink.evs), tc.want)
+		}
+		if f.Exported() != uint64(tc.want) {
+			t.Errorf("%v Exported = %d, want %d", tc.mode, f.Exported(), tc.want)
+		}
+	}
+}
+
+// Sampled mode exports the same ordinals for the same seed, different
+// ordinals for a different seed, and roughly 1-in-K of the stream.
+func TestSampledDeterminism(t *testing.T) {
+	run := func(seed uint64) []uint64 {
+		sink := &collectSink{}
+		f := New(Config{Mode: Sampled, SampleK: 16, Seed: seed, Sink: sink})
+		feed(f, 4096)
+		var seqs []uint64
+		for _, ev := range sink.evs {
+			seqs = append(seqs, ev.Seq)
+		}
+		return seqs
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatal("seed 7 sampled nothing in 4096 events at K=16")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed sampled %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at export %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// ~4096/16 = 256 expected; a hash this uniform stays well inside 2x.
+	if n := len(a); n < 128 || n > 512 {
+		t.Errorf("sampled %d of 4096 at K=16, want ~256", n)
+	}
+	if c := run(8); len(c) == len(a) && func() bool {
+		for i := range c {
+			if c[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Error("different seeds sampled identical ordinals")
+	}
+}
+
+// WantDetail predicts exactly the events the sampler will export: an
+// emit site that builds Detail only under WantDetail loses no Detail on
+// any exported event, and counters mode never wants any.
+func TestWantDetailMatchesSampling(t *testing.T) {
+	sink := &collectSink{}
+	f := New(Config{Mode: Sampled, SampleK: 8, Seed: 3, Sink: sink})
+	for i := 0; i < 2048; i++ {
+		var detail string
+		if f.WantDetail() {
+			detail = "kept"
+		}
+		f.Event(obs.Event{Seq: uint64(i), Detail: detail})
+	}
+	if len(sink.evs) == 0 {
+		t.Fatal("nothing sampled")
+	}
+	for _, ev := range sink.evs {
+		if ev.Detail != "kept" {
+			t.Fatalf("exported event %d lost its Detail", ev.Seq)
+		}
+	}
+	ctr := New(Config{Mode: Counters})
+	if ctr.WantDetail() {
+		t.Error("counters mode wants Detail")
+	}
+	full := New(Config{Mode: Full})
+	if !full.WantDetail() {
+		t.Error("full mode declines Detail")
+	}
+	var nilRec *Recorder
+	if nilRec.WantDetail() {
+		t.Error("nil recorder wants Detail")
+	}
+}
+
+// The hot path allocates nothing in any mode (the sink here keeps the
+// event without marshalling, like the ring itself).
+func TestEventZeroAlloc(t *testing.T) {
+	discard := &collectSink{evs: make([]obs.Event, 0, 1<<16)}
+	for _, mode := range []Mode{Full, Sampled, Counters} {
+		f := New(Config{Mode: mode, Ring: 1024, Sink: discard})
+		ev := obs.Event{Kind: obs.KindQueueService, Proc: 1, Seq: 42, Detail: "d"}
+		if n := testing.AllocsPerRun(1000, func() { f.Event(ev) }); n != 0 {
+			t.Errorf("%v mode: %v allocs per Event, want 0", mode, n)
+		}
+	}
+}
+
+// A dump is one header line plus the ringed events, all valid JSON,
+// delivered in a single Write.
+func TestDumpJSONL(t *testing.T) {
+	f := New(Config{Mode: Counters, Ring: 16})
+	feed(f, 40)
+	var buf bytes.Buffer
+	writes := 0
+	if err := f.DumpJSONL(writerFunc(func(p []byte) (int, error) {
+		writes++
+		return buf.Write(p)
+	}), "test-dump"); err != nil {
+		t.Fatal(err)
+	}
+	if writes != 1 {
+		t.Fatalf("dump issued %d writes, want 1", writes)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty dump")
+	}
+	var hdr dumpHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("bad dump header: %v", err)
+	}
+	if hdr.Type != "dump" || hdr.Reason != "test-dump" || hdr.Seen != 40 || hdr.Ring != 16 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	lines := 0
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad dump line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 16 {
+		t.Fatalf("dump carried %d events, want 16", lines)
+	}
+	if f.Dumps() != 1 {
+		t.Fatalf("Dumps = %d, want 1", f.Dumps())
+	}
+}
+
+// Anomaly records the reason and dumps the ring when a writer is
+// attached; the nil recorder swallows it.
+func TestAnomalyDump(t *testing.T) {
+	var buf bytes.Buffer
+	f := New(Config{Mode: Counters, Ring: 8, DumpTo: &buf})
+	feed(f, 4)
+	f.Anomaly("shape-check failure")
+	if got := f.Anomalies(); len(got) != 1 || got[0] != "shape-check failure" {
+		t.Fatalf("Anomalies = %v", got)
+	}
+	if f.Dumps() != 1 || buf.Len() == 0 {
+		t.Fatal("anomaly did not dump the ring")
+	}
+	var nilRec *Recorder
+	nilRec.Anomaly("ignored") // must not panic
+	if nilRec.Dump("ignored") != nil {
+		t.Fatal("nil Dump must be a no-op")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (w writerFunc) Write(p []byte) (int, error) { return w(p) }

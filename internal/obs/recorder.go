@@ -57,6 +57,39 @@ func (r *Recorder) Attach(s Sink) {
 // code checks before building an Event.
 func (r *Recorder) Active() bool { return r != nil && len(r.sinks) > 0 }
 
+// DetailHinter is an optional Sink refinement: a sink that discards
+// some events' Detail strings (a counters-only or sampled flight
+// recorder) reports whether the NEXT event's Detail will be kept, so
+// instrumented sites can skip fmt work nobody will ever read.
+type DetailHinter interface {
+	WantDetail() bool
+}
+
+// WantDetail reports whether any attached sink will keep the next
+// event's Detail string. Sites check it (after Active) around Detail
+// construction only — the event itself is still emitted either way.
+// The "next event" prediction is exact because delivery is serial and
+// a site emits immediately after the check, with no simulation step in
+// between. Under sequenced (parallel-replay) delivery events are
+// buffered and delivered later, so "next" is unknowable at the call
+// site — and racy to guess — hence always true there: parallel runs
+// pay full Detail cost but stay byte-identical to serial output.
+func (r *Recorder) WantDetail() bool {
+	if !r.Active() {
+		return false
+	}
+	if r.env != nil && r.env.Sequencing() {
+		return true
+	}
+	for _, s := range r.sinks {
+		h, ok := s.(DetailHinter)
+		if !ok || h.WantDetail() {
+			return true
+		}
+	}
+	return false
+}
+
 // Emit stamps the event with the current virtual time and the
 // recorder's substrate, then fans it out. No-op when inactive.
 func (r *Recorder) Emit(ev Event) {

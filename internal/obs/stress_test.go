@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// stressValues is the deterministic observation set the stress tests
+// shard: a spread of magnitudes so min/max/bucket paths all engage,
+// including repeated extrema so the CAS loops race on equal values.
+func stressValues() []sim.Duration {
+	vals := make([]sim.Duration, 0, 4096)
+	v := uint64(12345)
+	for i := 0; i < 4096; i++ {
+		// xorshift keeps the set seed-free but fixed across runs.
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		vals = append(vals, sim.Duration(v%1_000_000))
+	}
+	// Pin exact extrema at known positions in several shards.
+	vals[0], vals[1000], vals[2000] = 0, 0, 2_000_000
+	vals[3000] = 2_000_000
+	return vals
+}
+
+// TestMetricsConcurrentStress hammers one shared Counter and one shared
+// Histogram from many goroutines — the parallel-partition pattern,
+// where shard envs of one simulation observe into the same registry
+// concurrently — and checks the result against a serially-built
+// reference. Increments commute and the extrema CAS loops are monotone,
+// so every interleaving must land the identical state. Run under -race
+// (make check does) this also proves the atomics are data-race clean.
+func TestMetricsConcurrentStress(t *testing.T) {
+	vals := stressValues()
+	const workers = 8
+
+	ref := &Histogram{}
+	for _, v := range vals {
+		ref.Observe(v)
+	}
+
+	shared := &Histogram{}
+	cnt := &Counter{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(vals); i += workers {
+				shared.Observe(vals[i])
+				cnt.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if cnt.Value() != int64(len(vals)) {
+		t.Errorf("counter = %d, want %d", cnt.Value(), len(vals))
+	}
+	assertHistogramsEqual(t, "concurrent shared", shared, ref)
+}
+
+// TestHistogramShardMergeMatchesSerial builds one histogram per shard
+// concurrently, merges them, and checks the merged state is exactly the
+// serial reference: Merge's adds and widening CAS extrema make the
+// shard decomposition invisible. Counters merge through the same Add
+// path, asserted alongside.
+func TestHistogramShardMergeMatchesSerial(t *testing.T) {
+	vals := stressValues()
+	const shards = 4
+
+	ref := &Histogram{}
+	for _, v := range vals {
+		ref.Observe(v)
+	}
+
+	parts := make([]*Histogram, shards)
+	counts := make([]*Counter, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		parts[s], counts[s] = &Histogram{}, &Counter{}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(vals); i += shards {
+				parts[s].Observe(vals[i])
+				counts[s].Inc()
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	merged := &Histogram{}
+	total := &Counter{}
+	for s := 0; s < shards; s++ {
+		merged.Merge(parts[s])
+		total.Add(counts[s].Value())
+	}
+	if total.Value() != int64(len(vals)) {
+		t.Errorf("merged counter = %d, want %d", total.Value(), len(vals))
+	}
+	assertHistogramsEqual(t, "shard-merged", merged, ref)
+}
+
+func assertHistogramsEqual(t *testing.T, label string, got, want *Histogram) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Errorf("%s: count = %d, want %d", label, got.Count(), want.Count())
+	}
+	if got.Sum() != want.Sum() {
+		t.Errorf("%s: sum = %d, want %d", label, got.Sum(), want.Sum())
+	}
+	if got.Min() != want.Min() {
+		t.Errorf("%s: min = %d, want %d", label, got.Min(), want.Min())
+	}
+	if got.Max() != want.Max() {
+		t.Errorf("%s: max = %d, want %d", label, got.Max(), want.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Errorf("%s: q%.0f = %d, want %d", label, q*100, g, w)
+		}
+	}
+}

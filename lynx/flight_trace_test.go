@@ -1,0 +1,122 @@
+package lynx_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/lynx"
+)
+
+// runTrioFlight runs the echo-trio workload (three independent
+// client/server pairs — the partitionable shape, see runEchoTrio) with
+// the System's flight recorder wired to a JSONL exporter, and returns
+// the exported trace plus whether the parallel engine engaged.
+func runTrioFlight(t *testing.T, cfg lynx.Config) ([]byte, *flight.Recorder, bool) {
+	t.Helper()
+	sys := lynx.NewSystem(cfg)
+	var buf bytes.Buffer
+	sys.Flight().Attach(&obs.JSONLExporter{W: &buf})
+	for i := 0; i < 3; i++ {
+		i := i
+		client := sys.Spawn(fmt.Sprintf("client-%d", i), func(th *lynx.Thread, boot []*lynx.End) {
+			for n := 0; n < 3; n++ {
+				reply, err := th.Connect(boot[0], "echo", lynx.Msg{Data: []byte{byte(i), byte(n)}})
+				if err != nil {
+					t.Errorf("client-%d: %v", i, err)
+					return
+				}
+				if len(reply.Data) != 2 {
+					t.Errorf("client-%d: bad echo %v", i, reply.Data)
+				}
+				th.Delay(lynx.Duration(i+1) * 100 * lynx.Microsecond)
+			}
+			th.Destroy(boot[0])
+		})
+		server := sys.Spawn(fmt.Sprintf("server-%d", i), func(th *lynx.Thread, boot []*lynx.End) {
+			th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+				st.Reply(req, lynx.Msg{Data: req.Data()})
+			})
+		})
+		sys.Join(client, server)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return buf.Bytes(), sys.Flight(), sys.Parallel()
+}
+
+// TestFlightFullModeMatchesDirectTrace: a full-mode flight recorder is
+// a pass-through — the JSONL stream leaving it is byte-identical to the
+// stream an exporter attached directly to the obs recorder sees. This
+// is the "full mode is today's behavior" contract that keeps the
+// scheduler goldens valid for traced runs.
+func TestFlightFullModeMatchesDirectTrace(t *testing.T) {
+	cfg := lynx.Config{Substrate: lynx.Ideal, Seed: 7}
+	full := cfg
+	full.Trace = lynx.TraceOptions{Mode: flight.Full}
+	got, fr, _ := runTrioFlight(t, full)
+
+	// The identical workload, untraced, with the exporter attached
+	// directly to the obs recorder (runEchoTrio's wiring).
+	want, _ := runEchoTrio(t, cfg)
+	if len(want) == 0 {
+		t.Fatal("untraced run emitted nothing")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("full-mode trace differs from direct trace: %d bytes vs %d", len(got), len(want))
+	}
+	if fr.Seen() != fr.Exported() {
+		t.Errorf("full mode: seen %d != exported %d", fr.Seen(), fr.Exported())
+	}
+}
+
+// TestSampledTraceWorkerInvariance is the tentpole determinism gate for
+// sampled mode: the same seed must export the byte-identical 1-in-K
+// trace at SimWorkers 1, 2 and 4 — with the parallel engine genuinely
+// engaged at the higher counts — because sampling hashes serial-replay
+// ordinals, not arrival order.
+func TestSampledTraceWorkerInvariance(t *testing.T) {
+	trace := func(workers int) []byte {
+		cfg := lynx.Config{Substrate: lynx.Ideal, Seed: 7, SimWorkers: workers,
+			Trace: lynx.TraceOptions{Mode: flight.Sampled, SampleK: 4}}
+		got, fr, parallel := runTrioFlight(t, cfg)
+		if wantPar := workers > 1; parallel != wantPar {
+			t.Fatalf("Parallel() = %v at SimWorkers=%d, want %v", parallel, workers, wantPar)
+		}
+		if fr.Exported() == 0 || fr.Exported() >= fr.Seen() {
+			t.Fatalf("SimWorkers=%d: exported %d of %d seen — not a strict sample",
+				workers, fr.Exported(), fr.Seen())
+		}
+		return got
+	}
+	base := trace(1)
+	if len(base) == 0 {
+		t.Fatal("no events sampled at SimWorkers=1 (K=4)")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := trace(workers); !bytes.Equal(got, base) {
+			t.Errorf("sampled trace differs at SimWorkers=%d: got %d bytes, want %d",
+				workers, len(got), len(base))
+		}
+	}
+}
+
+// TestCountersModeExportsNothing: counters-only still rings and counts
+// but forwards no events downstream.
+func TestCountersModeExportsNothing(t *testing.T) {
+	cfg := lynx.Config{Substrate: lynx.Ideal, Seed: 7,
+		Trace: lynx.TraceOptions{Mode: flight.Counters, Ring: 64}}
+	got, fr, _ := runTrioFlight(t, cfg)
+	if len(got) != 0 {
+		t.Errorf("counters mode exported %d bytes", len(got))
+	}
+	if fr.Seen() == 0 || fr.RingLen() == 0 {
+		t.Errorf("counters mode saw %d events, ring %d — want both nonzero", fr.Seen(), fr.RingLen())
+	}
+	if fr.Exported() != 0 {
+		t.Errorf("counters mode exported %d events", fr.Exported())
+	}
+}

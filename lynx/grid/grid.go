@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/lynx/sweep"
 )
 
@@ -91,6 +92,13 @@ type Spec struct {
 	// site. Cells satisfied by Hook without running report their whole
 	// replica count at once. Progress must not mutate grid state.
 	Progress func(done, total int)
+
+	// Trace passes through to every cell's sweep (sweep.Options.Trace):
+	// the flight-recorder configuration bodies may honor. Recording is
+	// pure observation, so Trace is no part of the grid's identity —
+	// spec canonicalization, fingerprints, and cell caches all exclude
+	// it, exactly like Parallel.
+	Trace *flight.Config
 }
 
 // Cell identifies one point of the cross product: its enumeration
@@ -215,6 +223,7 @@ func Run(s Spec) *Table {
 				RootSeed: root,
 				Seeds:    func(k int) uint64 { return sweep.CellSeed(root, c.Index, k) },
 				Progress: progress,
+				Trace:    s.Trace,
 			}, func(r sweep.Run) sweep.Outcome { return s.Body(c, r) })
 		}
 		var agg *sweep.Aggregate

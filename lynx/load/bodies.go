@@ -45,7 +45,8 @@ func echoBody(c grid.Cell, r sweep.Run) sweep.Outcome {
 		return sweep.Outcome{Err: err}
 	}
 	payload := c.Int("payload")
-	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed})
+	sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed, Trace: TraceConfig(r.Trace)})
+	AttachTrace(sys, r.Trace)
 	data := make([]byte, payload)
 	var rtt lynx.Duration
 	cl := sys.Spawn("client", func(th *lynx.Thread, boot []*lynx.End) {
@@ -65,6 +66,7 @@ func echoBody(c grid.Cell, r sweep.Run) sweep.Outcome {
 	if err := sys.Run(); err != nil {
 		return sweep.Outcome{Err: err}
 	}
+	sys.Flight().Dump("run-complete")
 	return sweep.Outcome{
 		Values:  map[string]float64{"rtt_ms": float64(rtt) / 1e6},
 		Metrics: sys.Metrics(),
@@ -79,13 +81,15 @@ func unitBody(kind string) func(c grid.Cell, r sweep.Run) sweep.Outcome {
 		if err != nil {
 			return sweep.Outcome{Err: err}
 		}
-		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed})
+		sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: r.Seed, Trace: TraceConfig(r.Trace)})
+		AttachTrace(sys, r.Trace)
 		if err := Build(sys, kind); err != nil {
 			return sweep.Outcome{Err: err}
 		}
 		if err := sys.Run(); err != nil {
 			return sweep.Outcome{Err: err}
 		}
+		sys.Flight().Dump("run-complete")
 		return sweep.Outcome{
 			Values:  map[string]float64{"makespan_ms": float64(sys.Now()) / 1e6},
 			Metrics: sys.Metrics(),
@@ -117,6 +121,7 @@ func faultsBody(c grid.Cell, r sweep.Run) sweep.Outcome {
 		Window:    faultsBodyWindow,
 		Seed:      r.Seed,
 		Faults:    plan,
+		Trace:     r.Trace,
 	})
 	if err != nil {
 		return sweep.Outcome{Err: err}

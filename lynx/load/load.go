@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sim"
 	"repro/lynx"
 	"repro/lynx/fault"
@@ -97,6 +98,45 @@ type Options struct {
 	// that crashes the generator ("loadgen") or work-unit processes
 	// ("u<seq>.<role>") makes Completed lag Arrivals — see CheckShape.
 	Faults *fault.Plan
+	// Trace, when non-nil, engages the flight recorder for the run:
+	// Mode/SampleK/Ring shape lynx.Config.Trace, Sink receives the
+	// exported event stream, DumpTo receives ring dumps. Dumps fire on
+	// the run's anomaly hooks — a run error or fault-plan panic, a
+	// Deadline breach, a shape-check failure — and once at end of run.
+	// Recording never changes Result, so Trace is excluded from sweep
+	// keys and cache identity.
+	Trace *flight.Config
+	// Deadline, when positive, is the per-unit virtual sojourn budget:
+	// the first completion whose arrival→completion sojourn exceeds it
+	// fires the deadline-breach anomaly hook (recording only — units
+	// are never cancelled). 0 = no deadline.
+	Deadline lynx.Duration
+}
+
+// TraceConfig lowers a thread-through flight config onto
+// lynx.Config.Trace (the zero TraceOptions for nil — mode Off).
+func TraceConfig(t *flight.Config) lynx.TraceOptions {
+	if t == nil {
+		return lynx.TraceOptions{}
+	}
+	return lynx.TraceOptions{Mode: t.Mode, SampleK: t.SampleK, Ring: t.Ring}
+}
+
+// AttachTrace wires a thread-through flight config's destinations onto
+// a freshly built System's flight recorder: the export sink attaches
+// to the recorder (so sampling applies) and the dump writer is set.
+// No-op when either side is absent.
+func AttachTrace(sys *lynx.System, t *flight.Config) {
+	fr := sys.Flight()
+	if t == nil || fr == nil {
+		return
+	}
+	if t.Sink != nil {
+		fr.Attach(t.Sink)
+	}
+	if t.DumpTo != nil {
+		fr.SetDumpWriter(t.DumpTo)
+	}
 }
 
 // Result is one run's report. Every field is virtual-time derived and
@@ -163,7 +203,10 @@ func Run(o Options) (*Result, error) {
 		Nodes:      o.Nodes,
 		SimWorkers: o.SimWorkers,
 		Faults:     o.Faults,
+		Trace:      TraceConfig(o.Trace),
 	})
+	AttachTrace(sys, o.Trace)
+	fr := sys.Flight()
 	m := sys.Metrics()
 	var (
 		sojournsMS []float64
@@ -171,6 +214,7 @@ func Run(o Options) (*Result, error) {
 		arrivals   int
 		completed  int
 		lastDone   lynx.Duration
+		breached   bool
 	)
 	sys.Spawn("loadgen", func(t *lynx.Thread, _ []*lynx.End) {
 		arr := sim.NewArrivalStream(sim.StreamSeed(o.Seed, 1), o.Rate)
@@ -191,6 +235,13 @@ func Run(o Options) (*Result, error) {
 			m.Counter(KindKey(MArrivals, kind)).Inc()
 			t.Serve(head, func(st *lynx.Thread, req *lynx.Request) {
 				sojourn := lynx.Duration(st.Now() - at)
+				if o.Deadline > 0 && sojourn > o.Deadline && !breached {
+					// First breach only: one dump shows the lead-up, and
+					// an overloaded run would otherwise dump per unit.
+					breached = true
+					fr.Anomaly(fmt.Sprintf("deadline breach: unit sojourn %v > %v",
+						sojourn, o.Deadline))
+				}
 				lastDone = lynx.Duration(st.Now())
 				completed++
 				m.Counter(MCompleted).Inc()
@@ -203,7 +254,7 @@ func Run(o Options) (*Result, error) {
 			})
 		}
 	})
-	if err := sys.Run(); err != nil {
+	if err := runGuarded(sys, fr); err != nil {
 		return nil, fmt.Errorf("load: %v run failed: %w", o.Substrate, err)
 	}
 
@@ -223,5 +274,47 @@ func Run(o Options) (*Result, error) {
 	for kind, s := range byKindMS {
 		res.ByKind[kind] = sweep.Summarize(s)
 	}
+	if fr != nil {
+		if reason := shapeAnomaly(o, res); reason != "" {
+			fr.Anomaly("shape: " + reason)
+		}
+		// The on-demand end-of-run dump: even a clean sampled or
+		// counters-only run leaves a full last-N ring in the trace
+		// stream. (sys.Run already fired the run-error anomaly if the
+		// run failed.)
+		if err := fr.Dump("run-complete"); err != nil {
+			return nil, fmt.Errorf("load: trace dump: %w", err)
+		}
+	}
 	return res, nil
+}
+
+// runGuarded executes the system, converting a mid-run panic (a
+// fault-plan defect, an injector bug) into a flight-recorder anomaly —
+// the ring dump lands before the panic unwinds past the caller.
+func runGuarded(sys *lynx.System, fr *flight.Recorder) error {
+	defer func() {
+		if p := recover(); p != nil {
+			fr.Anomaly(fmt.Sprintf("panic: %v", p))
+			panic(p)
+		}
+	}()
+	return sys.Run()
+}
+
+// shapeAnomaly applies CheckShape's physics to a single run's result,
+// returning a non-empty reason on violation: completions beyond
+// arrivals, an incomplete drain without a churn scenario, or realized
+// throughput wildly exceeding offered load.
+func shapeAnomaly(o Options, res *Result) string {
+	churns := o.Faults.Churns()
+	switch {
+	case res.Completed > res.Arrivals:
+		return fmt.Sprintf("%d completed exceeds %d arrivals", res.Completed, res.Arrivals)
+	case !churns && res.Completed != res.Arrivals:
+		return fmt.Sprintf("%d of %d units completed", res.Completed, res.Arrivals)
+	case res.Arrivals > 10 && res.Realized > res.Offered*1.5:
+		return fmt.Sprintf("realized %g exceeds offered %g", res.Realized, res.Offered)
+	}
+	return ""
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/flight"
 	"repro/lynx"
 	"repro/lynx/fault"
 	"repro/lynx/grid"
@@ -43,6 +44,12 @@ type SweepOptions struct {
 	// SimWorkers must hit the same cache entries and match the same
 	// gates as the serial sweep.
 	SimWorkers int
+	// Trace is the flight-recorder configuration handed to every cell's
+	// run (load.Options.Trace). Recording never changes results, so —
+	// exactly like SimWorkers — Trace is EXCLUDED from Key(): a sampled
+	// or counters-only sweep keys identically to an untraced one and
+	// must hit the same cache entries and match the same gates.
+	Trace *flight.Config
 	// Hook and Progress pass through to the grid spec (cache injection
 	// and progress streaming; see grid.Spec).
 	Hook     func(c grid.Cell, run func() *sweep.Aggregate) *sweep.Aggregate
@@ -144,6 +151,7 @@ func SweepSpec(o SweepOptions) (grid.Spec, error) {
 		RootSeed: o.Seed,
 		Hook:     o.Hook,
 		Progress: o.Progress,
+		Trace:    o.Trace,
 		Body: func(cell grid.Cell, r sweep.Run) sweep.Outcome {
 			opts := Options{
 				Substrate:  grid.MustAs[lynx.Substrate](cell, "substrate"),
@@ -152,6 +160,7 @@ func SweepSpec(o SweepOptions) (grid.Spec, error) {
 				Mix:        o.Mix,
 				Seed:       r.Seed,
 				SimWorkers: o.SimWorkers,
+				Trace:      r.Trace,
 			}
 			if cell.Has("scenario") {
 				opts.Faults = grid.MustAs[*fault.Plan](cell, "scenario")

@@ -86,6 +86,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sim"
 	"repro/internal/soda"
 	"repro/lynx/fault"
@@ -212,6 +213,14 @@ type Config struct {
 	// excluded from sweep cache keys.
 	SimWorkers int
 
+	// Trace configures the flight recorder (internal/obs/flight): a
+	// bounded ring of the last-N protocol events with full, sampled, or
+	// counters-only export. The zero value (mode Off) creates no
+	// recorder and leaves the untraced fast path untouched. Like
+	// SimWorkers, the mode never changes simulation results — it only
+	// shapes what is recorded — so it is excluded from sweep cache keys.
+	Trace TraceOptions
+
 	// Faults is an optional declarative fault plan (crash/restart
 	// schedules, frame drop/duplication/reorder, partitions, slow
 	// nodes, link storms — see lynx/fault). The plan compiles onto the
@@ -250,6 +259,7 @@ type System struct {
 	net   netsim.Network
 
 	inj *fault.Injector
+	fr  *flight.Recorder
 
 	specs    []*ProcRef
 	byProc   map[*core.Process]*ProcRef
@@ -306,6 +316,19 @@ func NewSystem(cfg Config) *System {
 		s.fab = ideal.NewFabric(env, 100*sim.Microsecond, 100*sim.Nanosecond)
 	default:
 		panic(fmt.Sprintf("lynx: unknown substrate %v", cfg.Substrate))
+	}
+	if cfg.Trace.Mode != flight.Off {
+		// The flight recorder attaches as an ordinary obs sink, which
+		// makes the recorder Active(): instrumented code builds events
+		// and (under a parallel partition) replays them in serial
+		// order — the property the sampled mode's determinism rests on.
+		s.fr = flight.New(flight.Config{
+			Mode:    cfg.Trace.Mode,
+			SampleK: cfg.Trace.SampleK,
+			Ring:    cfg.Trace.Ring,
+			Seed:    cfg.Seed,
+		})
+		s.Obs().Attach(s.fr)
 	}
 	if !cfg.Faults.Empty() {
 		s.inj = fault.NewInjector(env, cfg.Faults, cfg.Seed, cfg.Nodes)
@@ -677,13 +700,21 @@ func (s *System) LaunchGroup(t *Thread, specs []ProcSpec, wires [][2]int) (*End,
 // such as deadlock occurs).
 func (s *System) Run() error {
 	s.materialize()
-	return s.env.Run()
+	err := s.env.Run()
+	if err != nil {
+		s.fr.Anomaly("run error: " + err.Error())
+	}
+	return err
 }
 
 // RunFor executes the system up to the given virtual-time horizon.
 func (s *System) RunFor(d Duration) error {
 	s.materialize()
-	return s.env.RunUntil(sim.Time(d))
+	err := s.env.RunUntil(sim.Time(d))
+	if err != nil {
+		s.fr.Anomaly("run error: " + err.Error())
+	}
+	return err
 }
 
 // Now reports virtual time.
@@ -764,6 +795,14 @@ func (s *System) Obs() *obs.Recorder {
 	}
 	return nil
 }
+
+// Flight returns the system's flight recorder, or nil when
+// Config.Trace.Mode is Off. When a mode is engaged, export sinks must
+// attach here — not to Obs() directly, which would bypass sampling:
+//
+//	sys.Flight().Attach(&obs.JSONLExporter{W: out})
+//	sys.Flight().SetDumpWriter(out)
+func (s *System) Flight() *flight.Recorder { return s.fr }
 
 // Metrics returns the active substrate's metric registry. It is
 // nil-safe end to end: when no recorder exists (a zero-value System) it

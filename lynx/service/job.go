@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/lynx"
 	"repro/lynx/fault"
 	"repro/lynx/grid"
@@ -58,6 +59,12 @@ type GridJob struct {
 	Replicas int        `json:"replicas,omitempty"`
 	Seed     uint64     `json:"seed,omitempty"`
 	Parallel int        `json:"parallel,omitempty"`
+	// Trace engages the flight recorder for every cell run: "full",
+	// "sampled" or "counters" ("" = off). The live event stream and ring
+	// dumps are served at GET /jobs/{id}/trace as JSONL. Recording never
+	// changes results, so — like Parallel — the mode is excluded from
+	// the job key and the cell-cache identity.
+	Trace string `json:"trace,omitempty"`
 }
 
 // LoadJob runs the substrate × offered-rate overload sweep — exactly
@@ -79,6 +86,13 @@ type LoadJob struct {
 	// SimWorkers=1 job populated.
 	SimWorkers int      `json:"sim_workers,omitempty"`
 	Faults     []string `json:"faults,omitempty"` // scenario names or inline plans
+	// Trace engages the flight recorder for every cell run: "full",
+	// "sampled" or "counters" ("" = off). The live event stream and ring
+	// dumps are served at GET /jobs/{id}/trace as JSONL. Like
+	// SimWorkers, the mode never changes results and is excluded from
+	// the job key and the cell-cache body identity: a sampled job hits
+	// the cache entries a full-mode (or untraced) job populated.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Job states.
@@ -107,6 +121,7 @@ type JobStatus struct {
 	CacheHits       int64  `json:"cache_hits"`
 	CacheMisses     int64  `json:"cache_misses"`
 	ResultLines     int    `json:"result_lines"`
+	TraceLines      int    `json:"trace_lines,omitempty"`
 	Error           string `json:"error,omitempty"`
 	Submitted       string `json:"submitted"`
 }
@@ -127,6 +142,10 @@ type job struct {
 	// run executes the job body; it must end by calling j.finish.
 	run func(s *Service, j *job)
 
+	// traced marks a job submitted with a trace mode; GET
+	// /jobs/{id}/trace is 404 otherwise.
+	traced bool
+
 	mu              sync.Mutex
 	state           string
 	cancelRequested bool
@@ -138,10 +157,15 @@ type job struct {
 	lines       [][]byte
 	resultLines int
 	changed     chan struct{}
-	done        int
-	total       int
-	cacheHits   int64
-	cacheMisses int64
+	// traceLines is the append-only trace stream history (event lines
+	// and ring-dump lines), replayed+followed by /jobs/{id}/trace
+	// subscribers exactly like lines is by /stream subscribers.
+	traceLines   [][]byte
+	traceChanged chan struct{}
+	done         int
+	total        int
+	cacheHits    int64
+	cacheMisses  int64
 	// rollup is the per-job pooled metric registry (every cell's
 	// instruments under its cell-key prefix), served at
 	// /jobs/{id}/metrics.
@@ -154,6 +178,7 @@ func newJob(id, kind, client, key string, now time.Time) *job {
 		id: id, kind: kind, client: client, key: key,
 		ctx: ctx, cancel: cancel, submitted: now,
 		state: StateQueued, changed: make(chan struct{}),
+		traceChanged: make(chan struct{}),
 	}
 }
 
@@ -174,6 +199,64 @@ func (j *job) emit(v any) {
 		return
 	}
 	j.append(b)
+}
+
+// appendTrace adds trace stream lines (no trailing newlines) in one
+// lock acquisition — a multi-line ring dump lands atomically — and
+// wakes trace subscribers.
+func (j *job) appendTrace(lines [][]byte) {
+	if len(lines) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.traceLines = append(j.traceLines, lines...)
+	close(j.traceChanged)
+	j.traceChanged = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// jobTraceSink adapts the job trace stream to obs.Sink: each exported
+// event becomes one JSONL line. Marshalling happens outside the job
+// lock, so concurrent cells of a parallel sweep can export at once —
+// lines from different cells interleave, but each line is whole.
+type jobTraceSink struct{ j *job }
+
+func (t jobTraceSink) Event(ev obs.Event) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	t.j.appendTrace([][]byte{b})
+}
+
+// jobTraceWriter adapts the job trace stream to io.Writer for ring
+// dumps: the buffer (one dump = one Write, by the flight recorder's
+// dump contract) is split into lines and appended atomically. Bytes
+// are copied — the recorder reuses its dump buffer.
+type jobTraceWriter struct{ j *job }
+
+func (t jobTraceWriter) Write(p []byte) (int, error) {
+	var lines [][]byte
+	for _, ln := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		if ln != "" {
+			lines = append(lines, []byte(ln))
+		}
+	}
+	t.j.appendTrace(lines)
+	return len(p), nil
+}
+
+// traceConfig builds the flight thread-through config wiring a job's
+// trace destinations (nil for mode Off).
+func (j *job) traceConfig(mode flight.Mode) *flight.Config {
+	if mode == flight.Off {
+		return nil
+	}
+	return &flight.Config{
+		Mode:   mode,
+		Sink:   jobTraceSink{j},
+		DumpTo: jobTraceWriter{j},
+	}
 }
 
 // envelope is the typed stream record. Verbatim result lines carry no
@@ -235,6 +318,10 @@ func (j *job) finish(state string, result [][]byte, err error) {
 	j.lines = append(j.lines, tail)
 	close(j.changed)
 	j.changed = make(chan struct{})
+	// Wake trace followers too: they return at terminal state and would
+	// otherwise wait for a trace line that never comes.
+	close(j.traceChanged)
+	j.traceChanged = make(chan struct{})
 	j.mu.Unlock()
 }
 
@@ -247,7 +334,8 @@ func (j *job) status() JobStatus {
 		State: j.state, CancelRequested: j.cancelRequested,
 		Done: j.done, Total: j.total,
 		CacheHits: j.cacheHits, CacheMisses: j.cacheMisses,
-		ResultLines: j.resultLines, Error: j.errText,
+		ResultLines: j.resultLines, TraceLines: len(j.traceLines),
+		Error:     j.errText,
 		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 }
@@ -387,6 +475,10 @@ func (s *Service) buildLoadJob(spec LoadJob, client string, now time.Time) (*job
 		SimWorkers: spec.SimWorkers,
 		Faults:     plans,
 	}
+	mode, err := flight.ParseMode(spec.Trace)
+	if err != nil {
+		return nil, err
+	}
 	// Validate eagerly so submit reports bad specs as 400, not as a
 	// failed job.
 	if _, err := load.SweepSpec(opts); err != nil {
@@ -395,13 +487,18 @@ func (s *Service) buildLoadJob(spec LoadJob, client string, now time.Time) (*job
 	key := opts.Key()
 	// Everything outside the axes that shapes a cell's result belongs in
 	// the cache body identity; the seed-bearing parts are keyed per cell.
+	// The trace mode is deliberately absent from both the key and the
+	// body identity: recording never changes results, so a sampled job
+	// must hit the cells a full-mode or untraced job populated.
 	bodyID := fmt.Sprintf("load|window=%s|mix=%s",
 		keyField(key, "window"), keyField(key, "mix"))
 	j := newJob("", "load", client, key, now)
+	j.traced = mode != flight.Off
 	j.run = func(s *Service, j *job) {
 		o := opts
 		o.Hook = s.cacheHook(j, bodyID, 1, defaultSeed(o.Seed))
 		o.Progress = j.progress
+		o.Trace = j.traceConfig(mode)
 		gspec, err := load.SweepSpec(o)
 		if err != nil {
 			j.finish(StateFailed, nil, err)
@@ -467,6 +564,10 @@ func (s *Service) buildGridJob(spec GridJob, client string, now time.Time) (*job
 	if err := validateCells(spec.Body, axes); err != nil {
 		return nil, err
 	}
+	mode, err := flight.ParseMode(spec.Trace)
+	if err != nil {
+		return nil, err
+	}
 	gspec := grid.Spec{
 		Name:     "lynxd " + spec.Body,
 		Axes:     axes,
@@ -478,10 +579,12 @@ func (s *Service) buildGridJob(spec GridJob, client string, now time.Time) (*job
 	key := fmt.Sprintf("grid:%s seed=%d fp=%s", spec.Body, defaultSeed(spec.Seed), grid.Fingerprint(gspec)[:16])
 	bodyID := "grid:" + spec.Body
 	j := newJob("", "grid", client, key, now)
+	j.traced = mode != flight.Off
 	j.run = func(s *Service, j *job) {
 		run := gspec
 		run.Hook = s.cacheHook(j, bodyID, normReplicas(run.Replicas), defaultSeed(run.RootSeed))
 		run.Progress = j.progress
+		run.Trace = j.traceConfig(mode)
 		tbl := grid.Run(run)
 		s.finishGridJob(j, tbl)
 	}

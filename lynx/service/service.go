@@ -366,6 +366,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -476,6 +477,55 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap["lynxd_cache_misses"] = misses
 	snap["lynxd_queue_depth"] = int64(s.queue.depth())
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTrace streams the job's flight-recorder trace as JSONL: replay
+// of everything recorded so far, then live follow until the job reaches
+// a terminal state or the client hangs up. Only jobs submitted with a
+// trace mode have a trace; others get 404.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if !j.traced {
+		writeError(w, http.StatusNotFound, "job %s was not submitted with a trace mode", j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	fl, _ := w.(http.Flusher)
+	i := 0
+	for {
+		j.mu.Lock()
+		lines := j.traceLines[i:]
+		i = len(j.traceLines)
+		terminal := j.terminal()
+		changed := j.traceChanged
+		j.mu.Unlock()
+		for _, ln := range lines {
+			// Two writes, never append(ln, '\n'): trace lines are shared
+			// across subscribers and must not be mutated.
+			if _, err := w.Write(ln); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+		}
+		if len(lines) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // handleStream replays the job's full line history and then follows

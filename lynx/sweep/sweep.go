@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sim"
 )
 
@@ -67,6 +68,16 @@ type Options struct {
 	// must not influence results — it is observation only, so the
 	// determinism contract is unaffected.
 	Progress func(completed, total int)
+	// Trace, when non-nil, is the flight-recorder configuration handed
+	// to every replica via Run.Trace. Like Parallel it is pure
+	// observation — recording never changes simulation results — so it
+	// is no part of a sweep's identity (cache keys exclude it). Bodies
+	// that honor it configure lynx.Config.Trace from its mode fields and
+	// attach its Sink/DumpTo to the System's flight recorder; with
+	// Parallel > 1 those destinations receive events from several
+	// replicas concurrently and must serialize internally (the lynxd job
+	// trace writer does).
+	Trace *flight.Config
 }
 
 // CellSeed derives the seed of replica rep of grid cell c under root: a
@@ -101,6 +112,9 @@ func (o Options) normalized() Options {
 type Run struct {
 	Replica int
 	Seed    uint64
+	// Trace echoes Options.Trace (nil when the sweep is untraced); see
+	// there for the contract.
+	Trace *flight.Config
 }
 
 // Outcome is one replica's report: named scalar measurements, an
@@ -156,7 +170,7 @@ func Sweep(o Options, body func(r Run) Outcome) *Aggregate {
 	outcomes := make([]Outcome, o.Replicas)
 	var completed atomic.Int64
 	runOne := func(i int) {
-		outcomes[i] = body(Run{Replica: i, Seed: seed(i)})
+		outcomes[i] = body(Run{Replica: i, Seed: seed(i), Trace: o.Trace})
 		if o.Progress != nil {
 			o.Progress(int(completed.Add(1)), o.Replicas)
 		}
