@@ -120,6 +120,7 @@ type loadConfig struct {
 	runs       int // closed-loop replicas per substrate
 	parallel   int
 	simWorkers int // in-System parallel worker cap; never changes results
+	gens       int // load-generator processes per run; >1 changes the workload
 	seed       uint64
 	rates      []float64
 	window     lynx.Duration
@@ -136,6 +137,7 @@ func (c loadConfig) sweepOptions() load.SweepOptions {
 		Seed:       c.seed,
 		Parallel:   c.parallel,
 		SimWorkers: c.simWorkers,
+		Gens:       c.gens,
 		Faults:     c.faults,
 	}
 }
@@ -153,6 +155,7 @@ func (c loadConfig) faultsOptions() load.SweepOptions {
 		Seed:       c.seed,
 		Parallel:   c.parallel,
 		SimWorkers: c.simWorkers,
+		Gens:       c.gens,
 		Faults:     defaultScenarios(),
 	}
 }
@@ -198,6 +201,7 @@ func runSingle(c loadConfig, rate float64) (*load.Result, error) {
 		Mix:        c.mix,
 		Seed:       c.seed,
 		SimWorkers: c.simWorkers,
+		Gens:       c.gens,
 	})
 }
 
@@ -506,6 +510,7 @@ func main() {
 		runs       = flag.Int("runs", 600, "max-throughput mode: runs per substrate")
 		parallel   = flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS); never changes results")
 		simWorkers = flag.Int("simworkers", 1, "in-System parallel worker cap (lynx.Config.SimWorkers); never changes results")
+		gens       = flag.Int("gens", 1, "load-generator processes per run; >=2 partitions the run (workload parameter: changes arrival schedules)")
 		seed       = flag.Uint64("seed", 1, "root seed (workload shape and System seeds)")
 		rate       = flag.Float64("rate", 0, "single open-loop virtual-time run at this rate (first -substrates entry)")
 		rates      = flag.String("rates", defaultRates, "overload sweep: offered rates, arrivals per virtual second")
@@ -531,7 +536,7 @@ func main() {
 		cli.Usagef("lynxload", "-faults: %v", err)
 	}
 	c := loadConfig{subs: subs, mix: mix, runs: *runs, parallel: *parallel,
-		simWorkers: *simWorkers, seed: *seed, rates: rateList,
+		simWorkers: *simWorkers, gens: *gens, seed: *seed, rates: rateList,
 		window: lynx.Duration(*window), faults: faultList}
 
 	if *jsonOut {

@@ -139,17 +139,32 @@ const (
 	// minScaling is the acceptance threshold for events/s at 4 workers
 	// versus 1 (only checkable on >= 4 CPUs).
 	minScaling = 2.0
+	// Connected-topology workload: a full lynx System on the Charlotte
+	// token ring — a CONNECTED shared medium, partitioned into
+	// per-group segments by the finite MinLatency bound — with 8
+	// client/server pairs each shipping connOpsPerClient RPCs. This is
+	// the finite-lookahead path end to end (kernel, binding, medium
+	// segments), not just the bare timer engine, so its scaling floor
+	// is lower: protocol work serializes on per-shard medium
+	// reservations that the timer workload never touches.
+	connGroups       = 8
+	connOpsPerClient = 400
+	minConnScaling   = 1.5
 )
 
 var scalingWorkers = []int{1, 2, 4}
 
 // scalingMeasurement records the parallel-engine sweep: events/s per
 // worker count plus the gate outcome on the recording machine
-// ("checked" or "SKIP (n CPU)").
+// ("checked" or "SKIP (n CPU)"). The connected_* fields are the same
+// sweep over the finite-lookahead token-ring workload (lynx RPCs/s per
+// worker count).
 type scalingMeasurement struct {
-	EventsPerSec map[string]float64 `json:"events_per_sec"`
-	Scaling4v1   float64            `json:"scaling_4v1"`
-	ScalingGate  string             `json:"scaling_gate"`
+	EventsPerSec  map[string]float64 `json:"events_per_sec"`
+	Scaling4v1    float64            `json:"scaling_4v1"`
+	ScalingGate   string             `json:"scaling_gate"`
+	ConnOpsPerSec map[string]float64 `json:"connected_ops_per_sec,omitempty"`
+	Conn4v1       float64            `json:"connected_4v1,omitempty"`
 }
 
 // runScaling times one partitioned run at the given worker count and
@@ -183,17 +198,67 @@ func runScaling(workers int) float64 {
 	return best
 }
 
+// runScalingConnected times the connected-topology workload at the
+// given worker count and returns wall-clock RPCs/s (best of three).
+// The System partitions because the boot graph has connGroups
+// components and the token ring's MinLatency licenses finite-lookahead
+// segments — a serial collapse here would silently turn this into a
+// measurement of nothing, so the partition is asserted.
+func runScalingConnected(workers int) float64 {
+	best := 0.0
+	for try := 0; try < 3; try++ {
+		sys := lynx.NewSystem(lynx.Config{Substrate: lynx.Charlotte, Seed: 1, SimWorkers: workers})
+		for g := 0; g < connGroups; g++ {
+			client := sys.Spawn(fmt.Sprintf("client-%d", g), func(t *lynx.Thread, boot []*lynx.End) {
+				data := make([]byte, 32)
+				for i := 0; i < connOpsPerClient; i++ {
+					if _, err := t.Connect(boot[0], "echo", lynx.Msg{Data: data}); err != nil {
+						cli.Failf("schedbench", "connected scaling rpc: %v", err)
+					}
+				}
+				t.Destroy(boot[0])
+			})
+			server := sys.Spawn(fmt.Sprintf("server-%d", g), func(t *lynx.Thread, boot []*lynx.End) {
+				t.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+					st.Reply(req, lynx.Msg{Data: req.Data()})
+				})
+			})
+			sys.Join(client, server)
+		}
+		start := time.Now()
+		if err := sys.Run(); err != nil {
+			cli.Failf("schedbench", "connected scaling run: %v", err)
+		}
+		if !sys.Partitioned() {
+			cli.Failf("schedbench", "connected scaling workload did not partition (serial collapse)")
+		}
+		elapsed := time.Since(start).Seconds()
+		if ops := float64(connGroups*connOpsPerClient) / elapsed; ops > best {
+			best = ops
+		}
+	}
+	return best
+}
+
 // measureScaling sweeps the worker counts and applies the hardware-gated
 // scaling assertion. Returns the recording and whether the gate failed.
 func measureScaling() (*scalingMeasurement, bool) {
-	m := &scalingMeasurement{EventsPerSec: map[string]float64{}}
+	m := &scalingMeasurement{EventsPerSec: map[string]float64{}, ConnOpsPerSec: map[string]float64{}}
 	for _, w := range scalingWorkers {
 		eps := runScaling(w)
 		m.EventsPerSec[fmt.Sprint(w)] = eps
 		fmt.Printf("sched_parallel workers=%d %12.0f events/s\n", w, eps)
 	}
+	for _, w := range scalingWorkers {
+		ops := runScalingConnected(w)
+		m.ConnOpsPerSec[fmt.Sprint(w)] = ops
+		fmt.Printf("sched_parallel_connected workers=%d %12.0f rpcs/s\n", w, ops)
+	}
 	if one := m.EventsPerSec["1"]; one > 0 {
 		m.Scaling4v1 = m.EventsPerSec["4"] / one
+	}
+	if one := m.ConnOpsPerSec["1"]; one > 0 {
+		m.Conn4v1 = m.ConnOpsPerSec["4"] / one
 	}
 	failed := false
 	if ncpu := runtime.NumCPU(); ncpu >= 4 {
@@ -203,11 +268,17 @@ func measureScaling() (*scalingMeasurement, bool) {
 				m.Scaling4v1, minScaling)
 			failed = true
 		}
-		fmt.Printf("sched_parallel scaling 4v1 = %.2fx (NumCPU=%d)\n", m.Scaling4v1, ncpu)
+		if m.Conn4v1 < minConnScaling {
+			fmt.Fprintf(os.Stderr, "schedbench: connected scaling 4v1 = %.2fx, want >= %.1fx\n",
+				m.Conn4v1, minConnScaling)
+			failed = true
+		}
+		fmt.Printf("sched_parallel scaling 4v1 = %.2fx, connected 4v1 = %.2fx (NumCPU=%d)\n",
+			m.Scaling4v1, m.Conn4v1, ncpu)
 	} else {
 		m.ScalingGate = fmt.Sprintf("SKIP (%d CPU)", ncpu)
-		fmt.Printf("sched_parallel scaling gate SKIP (%d CPU): 4v1 = %.2fx not asserted\n",
-			ncpu, m.Scaling4v1)
+		fmt.Printf("sched_parallel scaling gate SKIP (%d CPU): 4v1 = %.2fx, connected 4v1 = %.2fx not asserted\n",
+			ncpu, m.Scaling4v1, m.Conn4v1)
 	}
 	return m, failed
 }

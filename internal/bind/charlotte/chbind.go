@@ -223,6 +223,11 @@ func New(env *sim.Env, kp *charlotte.Process, bufCap int) *Transport {
 // Obs returns the recorder this binding reports into (the kernel's).
 func (tr *Transport) Obs() *obs.Recorder { return tr.rec }
 
+// SetEnv rebinds the transport's scheduling env. A partitioned run
+// calls this (before SetSink spawns the pump) so the binding's
+// simprocs and events live on its process's home shard env.
+func (tr *Transport) SetEnv(env *sim.Env) { tr.env = env }
+
 // Stats returns a snapshot of the binding's protocol counters.
 func (tr *Transport) Stats() *Stats {
 	return &Stats{
@@ -251,7 +256,7 @@ func (tr *Transport) emit(kind obs.Kind, es *endState, seq uint64, detail string
 				d = detail + " " + d
 			}
 		}
-		tr.rec.Emit(obs.Event{Kind: kind, Proc: tr.kp.ID(), Seq: seq, Detail: d})
+		tr.rec.EmitEnv(tr.env, obs.Event{Kind: kind, Proc: tr.kp.ID(), Seq: seq, Detail: d})
 	}
 }
 

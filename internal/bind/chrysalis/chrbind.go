@@ -205,11 +205,16 @@ func New(env *sim.Env, k *chrysalis.Kernel, kp *chrysalis.Process, bufCap int) *
 // Obs returns the recorder this binding reports into (the kernel's).
 func (tr *Transport) Obs() *obs.Recorder { return tr.rec }
 
+// SetEnv rebinds the transport's scheduling env. A partitioned run
+// calls this (before SetSink spawns the binding's simprocs) so its
+// timers, mailboxes, and pumps live on its process's home shard env.
+func (tr *Transport) SetEnv(env *sim.Env) { tr.env = env }
+
 // obsEmit records a binding-protocol event when a trace sink is
 // attached; counters are maintained unconditionally.
 func (tr *Transport) obsEmit(kind obs.Kind, link int, detail string) {
 	if tr.rec.Active() {
-		tr.rec.Emit(obs.Event{Kind: kind, Proc: tr.kp.ID(), Link: link, Detail: detail})
+		tr.rec.EmitEnv(tr.env, obs.Event{Kind: kind, Proc: tr.kp.ID(), Link: link, Detail: detail})
 	}
 }
 

@@ -14,6 +14,7 @@ package ideal
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -23,17 +24,20 @@ import (
 // Fabric is the shared medium connecting ideal transports: the analogue
 // of one kernel instance.
 //
-// The fabric itself holds no timing state, which is what makes the
-// ideal substrate the one that can execute under a parallel partition:
-// every mutable structure is either per-link (links connect transports
-// of one proc group, so only that group touches them) or a commutative
-// atomic counter. Transports carry the env that schedules them (a shard
-// env under partitioned runs; see SetEnv).
+// The fabric itself holds no timing state: every mutable structure is
+// either per-link (links connect transports of one proc group, so only
+// that group touches them), per partition group (the link table and id
+// sequence — see Partition), or a commutative atomic counter.
+// Transports carry the env that schedules them (a shard env under
+// partitioned runs; see SetEnv).
 type Fabric struct {
-	env      *sim.Env
-	nextLink int
-	links    map[int]*link
-	rec      *obs.Recorder
+	env   *sim.Env
+	links map[int]*link // boot map; read-only once partitioned
+
+	def    *fgroup   // the unpartitioned group (boot allocator)
+	groups []*fgroup // non-nil after Partition
+
+	rec *obs.Recorder
 	// Message counters are pre-created so the hot path never inserts
 	// into the registry map (shard envs may count concurrently).
 	msgs         *obs.Counter
@@ -48,7 +52,7 @@ type Fabric struct {
 // NewFabric creates a fabric with the given base latency.
 func NewFabric(env *sim.Env, latency sim.Duration, perByte sim.Duration) *Fabric {
 	rec := obs.NewRecorder(env, "ideal")
-	return &Fabric{
+	f := &Fabric{
 		env:          env,
 		links:        make(map[int]*link),
 		rec:          rec,
@@ -57,6 +61,51 @@ func NewFabric(env *sim.Env, latency sim.Duration, perByte sim.Duration) *Fabric
 		linkDestroys: rec.Counter(obs.MLinkDestroys),
 		Latency:      latency,
 		PerByte:      perByte,
+	}
+	f.def = &fgroup{f: f, idx: -1, links: f.links, nextLink: 1, stride: 1}
+	return f
+}
+
+// fgroup is one partition group of the fabric: an overlay map for
+// links created mid-run plus a strided id allocator whose output
+// depends only on this group's own call order.
+type fgroup struct {
+	f        *Fabric
+	idx      int // -1 for the default (unpartitioned) group
+	links    map[int]*link
+	nextLink int
+	stride   int
+}
+
+// findLink resolves a link id against the group overlay, then the
+// shared boot map.
+func (g *fgroup) findLink(id int) (*link, bool) {
+	if l, ok := g.links[id]; ok {
+		return l, true
+	}
+	if g.idx >= 0 {
+		l, ok := g.f.links[id]
+		return l, ok
+	}
+	return nil, false
+}
+
+// Partition splits the fabric into k groups for a conservative
+// parallel run. Link ids allocated from here on are strided per group,
+// so mid-run MakeLink stays deterministic at any worker count. Call
+// before the run starts, then AssignGroup every transport.
+func (f *Fabric) Partition(k int) {
+	if f.groups != nil {
+		panic("ideal: Partition called twice")
+	}
+	f.groups = make([]*fgroup, k)
+	for i := range f.groups {
+		f.groups[i] = &fgroup{
+			f: f, idx: i,
+			links:    make(map[int]*link),
+			nextLink: f.def.nextLink + i,
+			stride:   k,
+		}
 	}
 }
 
@@ -101,6 +150,7 @@ type flight struct {
 // Transport is one process's view of the fabric.
 type Transport struct {
 	f     *Fabric
+	g     *fgroup
 	env   *sim.Env
 	name  string
 	sink  func(core.Event)
@@ -114,11 +164,25 @@ var _ core.Capable = (*Transport)(nil)
 func (f *Fabric) NewTransport(name string) *Transport {
 	return &Transport{
 		f:     f,
+		g:     f.def,
 		env:   f.env,
 		name:  name,
 		owned: make(map[EndID]bool),
 	}
 }
+
+// NewTransportIn creates a transport directly in partition group g:
+// the home-group placement for processes launched after the run has
+// started.
+func (f *Fabric) NewTransportIn(g int, name string) *Transport {
+	tr := f.NewTransport(name)
+	tr.g = f.groups[g]
+	return tr
+}
+
+// AssignGroup moves a boot-created transport into partition group g.
+// Call after Fabric.Partition, before the run starts.
+func (tr *Transport) AssignGroup(g int) { tr.g = tr.f.groups[g] }
 
 // SetEnv rebinds the transport's scheduling env. A partitioned run
 // assigns each process's transport the shard env its proc group runs
@@ -144,23 +208,19 @@ func (tr *Transport) Capabilities() core.Capabilities {
 	}
 }
 
-// MakeLink implements core.Transport.
+// MakeLink implements core.Transport. The link table and id sequence
+// are per partition group, so mid-run link creation is legal under a
+// parallel run and its ids depend only on the group's own call order.
 func (tr *Transport) MakeLink() (core.TransEnd, core.TransEnd, error) {
 	f := tr.f
-	if f.env.ParallelRunning() {
-		// The link table and id sequence are fabric-global; creating
-		// links while shard groups execute concurrently would race and
-		// make link ids interleaving-dependent. Run with SimWorkers=1
-		// for workloads that create links mid-run.
-		panic("ideal: MakeLink during a parallel run (use SimWorkers=1 for mid-run link creation)")
-	}
-	f.nextLink++
-	l := &link{id: f.nextLink}
+	g := tr.g
+	l := &link{id: g.nextLink}
+	g.nextLink += g.stride
 	for i := range l.ends {
 		l.ends[i].owner = tr
 		l.ends[i].inFlight = make(map[uint64]*flight)
 	}
-	f.links[l.id] = l
+	g.links[l.id] = l
 	a, b := EndID{l.id, 0}, EndID{l.id, 1}
 	tr.owned[a] = true
 	tr.owned[b] = true
@@ -175,7 +235,7 @@ func (tr *Transport) end(te core.TransEnd) (*link, EndID, *endState, error) {
 	if !ok {
 		return nil, EndID{}, nil, fmt.Errorf("ideal: bad TransEnd %T", te)
 	}
-	l, ok := tr.f.links[id.Link]
+	l, ok := tr.g.findLink(id.Link)
 	if !ok {
 		return nil, id, nil, core.ErrLinkDestroyed
 	}
@@ -283,10 +343,11 @@ func (f *Fabric) flush(l *link, side int, env *sim.Env) {
 		if f.rec.Active() {
 			f.rec.EmitEnv(env, obs.Event{Kind: obs.KindKernelDeliver, Link: l.id, Seq: fl.msg.Seq, Bytes: len(fl.msg.Data), Detail: farEnd.String()})
 		}
-		// Move enclosure ownership across transports.
+		// Move enclosure ownership across transports (group-local: an
+		// enclosure travels between transports of one partition group).
 		for _, enc := range fl.msg.Encl {
 			id := enc.(EndID)
-			el, ok := f.links[id.Link]
+			el, ok := es.owner.g.findLink(id.Link)
 			if !ok {
 				continue
 			}
@@ -317,7 +378,7 @@ func (tr *Transport) CancelSend(te core.TransEnd, tag uint64) bool {
 	fl.cancelled = true
 	delete(es.inFlight, tag)
 	// Remove from the far side's held list if it already arrived there.
-	l := tr.f.links[te.(EndID).Link]
+	l, _ := tr.g.findLink(te.(EndID).Link)
 	far := &l.ends[1-te.(EndID).Side]
 	for i, h := range far.held {
 		if h == fl {
@@ -339,10 +400,22 @@ func (tr *Transport) SetInterest(te core.TransEnd, wantRequests, wantReplies boo
 }
 
 // Shutdown implements core.Transport: destroy everything still owned.
-// Must not block (it runs from kill hooks).
+// Must not block (it runs from kill hooks). Ends are destroyed in id
+// order: destruction emits events, so randomized map order would make
+// same-seed runs diverge.
 func (tr *Transport) Shutdown() {
+	ids := make([]EndID, 0, len(tr.owned))
 	for id := range tr.owned {
-		if l, ok := tr.f.links[id.Link]; ok {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Link != ids[j].Link {
+			return ids[i].Link < ids[j].Link
+		}
+		return ids[i].Side < ids[j].Side
+	})
+	for _, id := range ids {
+		if l, ok := tr.g.findLink(id.Link); ok {
 			tr.destroyLink(l, id)
 		}
 	}
@@ -352,7 +425,7 @@ func (tr *Transport) Shutdown() {
 // message — boot-time wiring for tests and examples (the loader handing
 // a newborn process its initial links).
 func MoveOwnership(f *Fabric, from, to *Transport, id EndID) {
-	l, ok := f.links[id.Link]
+	l, ok := from.g.findLink(id.Link)
 	if !ok {
 		return
 	}

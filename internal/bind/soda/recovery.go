@@ -93,7 +93,7 @@ func (tr *Transport) freezeSearch(p *sim.Proc, target soda.Name) (soda.ProcID, b
 	tr.searchHint = 0
 	tr.searchLeft = 0
 	payload := binary.LittleEndian.AppendUint64(nil, uint64(target))
-	for _, id := range tr.kernel.LiveIDs() {
+	for _, id := range tr.kp.LiveIDs() {
 		if id == tr.kp.ID() {
 			continue
 		}

@@ -153,28 +153,103 @@ type Stats struct {
 // Kernel is the (logically replicated) Charlotte kernel. One Kernel
 // value serves all nodes; per-node CPU costs are charged to the calling
 // process's simproc and internode wire time to the netsim model.
+//
+// For conservative parallel runs the kernel is split into groups
+// (Partition): each group owns a shard env, a network segment, a
+// strided id allocator, and an overlay link map, so processes of
+// different groups share no mutable kernel state mid-run. The links
+// created before partitioning stay in the shared boot map, which is
+// read-only from then on (destruction tombstones the link record, it
+// never deletes the map entry).
 type Kernel struct {
 	env   *sim.Env
 	net   netsim.Network
 	costs calib.CharlotteCosts
 
-	links    map[int]*link
-	nextLink int
-	nextPID  int
+	links map[int]*link // boot map; read-only once partitioned
+
+	def    *kgroup   // the unpartitioned group (boot allocator)
+	groups []*kgroup // non-nil after Partition
 
 	rec   *obs.Recorder
 	calls map[string]*obs.Counter // kernel-call name -> counter handle
 }
 
+// kgroup is one partition group of the kernel: the shard env its
+// processes run on, the network segment they transmit over, an overlay
+// map for links created mid-run, and strided id allocators whose output
+// depends only on this group's own call order.
+type kgroup struct {
+	k   *Kernel
+	idx int // -1 for the default (unpartitioned) group
+	env *sim.Env
+	net netsim.Network
+
+	links    map[int]*link // == k.links for the default group
+	nextLink int
+	nextPID  int
+	stride   int
+}
+
+// findLink resolves a link id against the group overlay, then the
+// shared boot map.
+func (g *kgroup) findLink(id int) (*link, bool) {
+	if l, ok := g.links[id]; ok {
+		return l, true
+	}
+	if g.idx >= 0 {
+		l, ok := g.k.links[id]
+		return l, ok
+	}
+	return nil, false
+}
+
 // NewKernel creates a Charlotte kernel over the given network model.
 func NewKernel(env *sim.Env, net netsim.Network, costs calib.CharlotteCosts) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		env:   env,
 		net:   net,
 		costs: costs,
 		links: make(map[int]*link),
 		rec:   obs.NewRecorder(env, "charlotte"),
 		calls: make(map[string]*obs.Counter),
+	}
+	k.def = &kgroup{k: k, idx: -1, env: env, net: net, links: k.links, nextLink: 1, nextPID: 1, stride: 1}
+	// Pre-create every instrument touched mid-run: the metrics registry
+	// is unlocked, so lazily inserting from concurrently executing
+	// groups would race on the name map.
+	for _, what := range []string{"MakeLink", "Send", "Receive", "Cancel", "Wait", "Destroy"} {
+		k.calls[what] = k.rec.Counter(obs.MKernelCalls + "{call=" + what + "}")
+	}
+	for _, name := range []string{obs.MLinkDestroys, obs.MKernelMessages, obs.MKernelBytes, obs.MEnclosureMoves} {
+		k.rec.Counter(name)
+	}
+	return k
+}
+
+// Partition splits the kernel into one group per shard env for a
+// conservative parallel run: group i's processes run on envs[i] and
+// transmit over nets[i] (its per-group medium segment). Ids allocated
+// from here on are strided per group, so mid-run MakeLink/NewProcessIn
+// stay deterministic at any worker count. Call before the run starts,
+// then AssignGroup every process.
+func (k *Kernel) Partition(envs []*sim.Env, nets []netsim.Network) {
+	if len(envs) != len(nets) {
+		panic("charlotte: Partition needs one network segment per shard env")
+	}
+	if k.groups != nil {
+		panic("charlotte: Partition called twice")
+	}
+	stride := len(envs)
+	k.groups = make([]*kgroup, stride)
+	for i := range envs {
+		k.groups[i] = &kgroup{
+			k: k, idx: i, env: envs[i], net: nets[i],
+			links:    make(map[int]*link),
+			nextLink: k.def.nextLink + i,
+			nextPID:  k.def.nextPID + i,
+			stride:   stride,
+		}
 	}
 }
 
@@ -201,15 +276,11 @@ func (k *Kernel) Stats() *Stats {
 	return st
 }
 
-// countCall bumps the per-call-name kernel counter, caching handles so
-// the hot path is one map probe.
+// countCall bumps the per-call-name kernel counter. Every call name is
+// pre-created in NewKernel (the map must not grow mid-run: groups read
+// it concurrently).
 func (k *Kernel) countCall(what string) {
-	c, ok := k.calls[what]
-	if !ok {
-		c = k.rec.Counter(obs.MKernelCalls + "{call=" + what + "}")
-		k.calls[what] = c
-	}
-	c.Inc()
+	k.calls[what].Inc()
 }
 
 // link is the kernel's record of a link: two ends, each with at most one
@@ -241,6 +312,7 @@ type activity struct {
 // target of activity-completion notifications.
 type Process struct {
 	k           *Kernel
+	g           *kgroup
 	id          int
 	node        netsim.NodeID
 	completions *sim.Mailbox
@@ -252,16 +324,42 @@ type Process struct {
 // Process's kernel calls must be made from simproc context (they charge
 // virtual CPU time via p).
 func (k *Kernel) NewProcess(node netsim.NodeID) *Process {
-	k.nextPID++
+	return k.newProcessIn(k.def, node)
+}
+
+// NewProcessIn registers a process directly into partition group g —
+// the home-shard placement path for processes launched mid-run, whose
+// pid comes from the group's strided allocator.
+func (k *Kernel) NewProcessIn(g int, node netsim.NodeID) *Process {
+	return k.newProcessIn(k.groups[g], node)
+}
+
+func (k *Kernel) newProcessIn(g *kgroup, node netsim.NodeID) *Process {
+	id := g.nextPID
+	g.nextPID += g.stride
 	pr := &Process{
 		k:           k,
-		id:          k.nextPID,
+		g:           g,
+		id:          id,
 		node:        node,
-		completions: sim.NewMailbox(k.env, fmt.Sprintf("charlotte.p%d.completions", k.nextPID)),
+		completions: sim.NewMailbox(g.env, fmt.Sprintf("charlotte.p%d.completions", id)),
 		ends:        make(map[EndRef]bool),
 	}
 	return pr
 }
+
+// AssignGroup moves a boot-time process into partition group g (its
+// home shard). The completion mailbox is recreated on the group's env —
+// safe before the run starts, when no waiter exists.
+func (pr *Process) AssignGroup(g int) {
+	kg := pr.k.groups[g]
+	pr.g = kg
+	pr.completions = sim.NewMailbox(kg.env, fmt.Sprintf("charlotte.p%d.completions", pr.id))
+}
+
+// Group reports the partition group pr was assigned to, or -1 before
+// partitioning.
+func (pr *Process) Group() int { return pr.g.idx }
 
 // ID returns the process id.
 func (pr *Process) ID() int { return pr.id }
@@ -290,30 +388,35 @@ func (pr *Process) MakeLink(p *sim.Proc) (end1, end2 EndRef, st Status) {
 	if pr.dead {
 		return EndRef{}, EndRef{}, Destroyed
 	}
-	pr.k.nextLink++
-	l := &link{id: pr.k.nextLink}
+	g := pr.g
+	l := &link{id: g.nextLink}
+	g.nextLink += g.stride
 	l.ends[0].owner = pr
 	l.ends[1].owner = pr
-	pr.k.links[l.id] = l
+	g.links[l.id] = l
 	e1 := EndRef{link: l.id, side: 0}
 	e2 := EndRef{link: l.id, side: 1}
 	pr.ends[e1] = true
 	pr.ends[e2] = true
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{Kind: obs.KindLinkMake, Proc: pr.id, Link: l.id})
+		pr.k.rec.EmitEnv(g.env, obs.Event{Kind: obs.KindLinkMake, Proc: pr.id, Link: l.id})
 	}
 	return e1, e2, OK
 }
 
 // BootLink creates a link with one end owned by each of two processes,
-// without charging kernel time: the loader's initial wiring, performed
-// before the simulation starts.
+// without charging kernel time: the loader's initial wiring. The link
+// is allocated from a's group, so mid-run launches (both processes on
+// one shard, per lynx's home-shard placement) get group-local strided
+// ids; before partitioning a's group is the default group and the
+// allocation is the classic serial sequence.
 func (k *Kernel) BootLink(a, b *Process) (EndRef, EndRef) {
-	k.nextLink++
-	l := &link{id: k.nextLink}
+	g := a.g
+	l := &link{id: g.nextLink}
+	g.nextLink += g.stride
 	l.ends[0].owner = a
 	l.ends[1].owner = b
-	k.links[l.id] = l
+	g.links[l.id] = l
 	e1 := EndRef{link: l.id, side: 0}
 	e2 := EndRef{link: l.id, side: 1}
 	a.ends[e1] = true
@@ -324,7 +427,7 @@ func (k *Kernel) BootLink(a, b *Process) (EndRef, EndRef) {
 // lookup validates that e names a live link end owned by pr and returns
 // the link. It maps every failure to the status the real kernel returns.
 func (pr *Process) lookup(e EndRef) (*link, Status) {
-	l, ok := pr.k.links[e.link]
+	l, ok := pr.g.findLink(e.link)
 	if !ok {
 		return nil, Destroyed
 	}
@@ -385,7 +488,7 @@ func (pr *Process) Send(p *sim.Proc, e EndRef, data []byte, enclosure EndRef) St
 				detail += " enc=" + enclosure.String()
 			}
 		}
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindKernelSend, Proc: pr.id, Link: e.link,
 			Bytes: len(data), Detail: detail,
 		})
@@ -412,7 +515,7 @@ func (pr *Process) Receive(p *sim.Proc, e EndRef, capacity int) Status {
 		if pr.k.rec.WantDetail() {
 			detail = e.String()
 		}
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindKernelReceive, Proc: pr.id, Link: e.link,
 			Bytes: capacity, Detail: detail,
 		})
@@ -446,7 +549,7 @@ func (pr *Process) Cancel(p *sim.Proc, e EndRef, d Direction) Status {
 	}
 	if d == SendDir && !(*slot).enclosure.Nil() {
 		// Release the moving end: the move never happened.
-		if el, ok := pr.k.links[(*slot).enclosure.link]; ok {
+		if el, ok := pr.g.findLink((*slot).enclosure.link); ok {
 			el.ends[(*slot).enclosure.side].moving = false
 		}
 	}
@@ -456,7 +559,7 @@ func (pr *Process) Cancel(p *sim.Proc, e EndRef, d Direction) Status {
 		if pr.k.rec.WantDetail() {
 			detail = fmt.Sprintf("%v %v", e, d)
 		}
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindKernelCancel, Proc: pr.id, Link: e.link,
 			Detail: detail,
 		})
@@ -474,7 +577,7 @@ func (pr *Process) Wait(p *sim.Proc) Description {
 		if pr.k.rec.WantDetail() {
 			detail = fmt.Sprintf("Wait -> %v %v %v", d.End, d.Dir, d.Status)
 		}
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindQueueService, Proc: pr.id, Link: d.End.link, Bytes: d.Length,
 			Detail: detail,
 		})
@@ -506,7 +609,7 @@ func (pr *Process) Destroy(p *sim.Proc, e EndRef) Status {
 	if st != OK {
 		return st
 	}
-	pr.k.destroyLink(l)
+	pr.k.destroyLink(pr.g, l)
 	return OK
 }
 
@@ -518,21 +621,24 @@ func (pr *Process) Terminate() {
 	}
 	pr.dead = true
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{Kind: obs.KindMark, Proc: pr.id, Detail: "terminate"})
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{Kind: obs.KindMark, Proc: pr.id, Detail: "terminate"})
 	}
 	for e := range pr.ends {
-		if l, ok := pr.k.links[e.link]; ok && !l.destroyed {
-			pr.k.destroyLink(l)
+		if l, ok := pr.g.findLink(e.link); ok && !l.destroyed {
+			pr.k.destroyLink(pr.g, l)
 		}
 	}
 }
 
-// destroyLink marks the link destroyed and flushes completions.
-func (k *Kernel) destroyLink(l *link) {
+// destroyLink marks the link destroyed and flushes completions. The
+// caller passes the partition group the link lives in (destruction
+// tombstones the record; the link stays in its map so stale EndRefs
+// keep resolving to Destroyed).
+func (k *Kernel) destroyLink(g *kgroup, l *link) {
 	l.destroyed = true
 	k.rec.Counter(obs.MLinkDestroys).Inc()
 	if k.rec.Active() {
-		k.rec.Emit(obs.Event{Kind: obs.KindLinkDestroy, Link: l.id})
+		k.rec.EmitEnv(g.env, obs.Event{Kind: obs.KindLinkDestroy, Link: l.id})
 	}
 	for side := 0; side < 2; side++ {
 		es := &l.ends[side]
@@ -546,7 +652,7 @@ func (k *Kernel) destroyLink(l *link) {
 				// The move never completes; the enclosed end is released
 				// back to the sender (best case; E8 explores the crash
 				// case where even this is impossible).
-				if el, ok := k.links[es.send.enclosure.link]; ok {
+				if el, ok := g.findLink(es.send.enclosure.link); ok {
 					el.ends[es.send.enclosure.side].moving = false
 				}
 			}
@@ -600,11 +706,12 @@ func (k *Kernel) tryMatch(l *link, sendSide int) {
 		cost += k.costs.MoveAgreement
 	}
 	sendEnd := EndRef{l.id, sendSide}
+	g := snd.owner.g
 	if snd.owner.node != rcv.owner.node {
-		k.transmit(snd.owner.node, rcv.owner.node, n, cost, func() { k.deliver(l, sendEnd) })
+		g.transmit(snd.owner.node, rcv.owner.node, n, cost, func() { k.deliver(g, l, sendEnd) })
 	} else {
 		wire := sim.Duration(n) * 100 * sim.Nanosecond // local loopback copy
-		k.env.After(cost+wire, func() { k.deliver(l, sendEnd) })
+		g.env.After(cost+wire, func() { k.deliver(g, l, sendEnd) })
 	}
 }
 
@@ -624,29 +731,29 @@ const retransmitDelay = 5 * sim.Millisecond
 // protocol discards duplicates). Extra is injected latency. cpu is the
 // kernel path cost, charged once regardless of retries. With no hook
 // installed the path is byte-identical to a plain SendTime + After.
-func (k *Kernel) transmit(src, dst netsim.NodeID, nbytes int, cpu sim.Duration, done func()) {
-	wire := k.net.SendTime(k.env.Now(), src, dst, nbytes)
-	if h := k.net.FaultHook(); h != nil {
-		v := h.Frame(k.env.Now(), src, dst, nbytes, wire, false)
+func (g *kgroup) transmit(src, dst netsim.NodeID, nbytes int, cpu sim.Duration, done func()) {
+	wire := g.net.SendTime(g.env.Now(), src, dst, nbytes)
+	if h := g.net.FaultHook(); h != nil {
+		v := h.Frame(g.env.Now(), src, dst, nbytes, wire, false)
 		if v.Drop {
-			k.env.After(cpu+retransmitDelay, func() { k.transmit(src, dst, nbytes, 0, done) })
+			g.env.After(cpu+retransmitDelay, func() { g.transmit(src, dst, nbytes, 0, done) })
 			return
 		}
 		wire += v.Extra
 		if v.Dup {
-			k.env.After(cpu+wire, func() {
-				k.net.SendTime(k.env.Now(), src, dst, nbytes) // ghost copy occupies the medium
+			g.env.After(cpu+wire, func() {
+				g.net.SendTime(g.env.Now(), src, dst, nbytes) // ghost copy occupies the medium
 				done()
 			})
 			return
 		}
 	}
-	k.env.After(cpu+wire, done)
+	g.env.After(cpu+wire, done)
 }
 
 // deliver completes a matched transfer: payload and enclosure reach the
 // receiver, and both parties get completion descriptions.
-func (k *Kernel) deliver(l *link, sendEnd EndRef) {
+func (k *Kernel) deliver(g *kgroup, l *link, sendEnd EndRef) {
 	snd := &l.ends[sendEnd.side]
 	rcv := &l.ends[1-sendEnd.side]
 	act := snd.send
@@ -672,7 +779,7 @@ func (k *Kernel) deliver(l *link, sendEnd EndRef) {
 	k.rec.Counter(obs.MKernelMessages).Inc()
 	k.rec.Counter(obs.MKernelBytes).Add(int64(n))
 	if k.rec.Active() {
-		k.rec.Emit(obs.Event{
+		k.rec.EmitEnv(g.env, obs.Event{
 			Kind: obs.KindKernelDeliver, Proc: sender.id, Peer: receiver.id,
 			Link: l.id, Bytes: n,
 		})
@@ -681,7 +788,7 @@ func (k *Kernel) deliver(l *link, sendEnd EndRef) {
 	// Move the enclosure: ownership passes to the receiver; the
 	// three-party agreement concludes.
 	if !act.enclosure.Nil() {
-		if el, ok := k.links[act.enclosure.link]; ok {
+		if el, ok := g.findLink(act.enclosure.link); ok {
 			ees := &el.ends[act.enclosure.side]
 			ees.moving = false
 			if ees.owner != nil {
@@ -691,7 +798,7 @@ func (k *Kernel) deliver(l *link, sendEnd EndRef) {
 			receiver.ends[act.enclosure] = true
 			k.rec.Counter(obs.MEnclosureMoves).Inc()
 			if k.rec.Active() {
-				k.rec.Emit(obs.Event{
+				k.rec.EmitEnv(g.env, obs.Event{
 					Kind: obs.KindLinkMove, Proc: sender.id, Peer: receiver.id,
 					Link: act.enclosure.link, Detail: act.enclosure.String(),
 				})

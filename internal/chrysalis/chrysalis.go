@@ -25,6 +25,7 @@ package chrysalis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/calib"
 	"repro/internal/netsim"
@@ -108,16 +109,29 @@ type Stats struct {
 
 // Kernel is the Chrysalis instance shared by all processors of one
 // Butterfly machine.
+//
+// For conservative parallel runs the kernel is split into groups
+// (Partition): each group owns a shard env, a backplane segment,
+// strided allocators, and overlay maps for objects/events/queues
+// created mid-run, so processes of different groups share no mutable
+// kernel state. Structures allocated before partitioning stay in the
+// shared boot maps, which are read-only from then on (reclaiming a
+// boot object tombstones its record; the map entry survives). Kernel
+// names are unforgeable capabilities handed over links, and links
+// never cross partition groups, so no correct program reaches another
+// group's structures.
 type Kernel struct {
 	env   *sim.Env
 	bp    *netsim.Backplane
 	costs calib.ChrysalisCosts
 
+	// Boot maps; read-only once partitioned.
 	objects map[ObjName]*memObject
 	events  map[EventName]*eventBlock
 	queues  map[QueueName]*dualQueue
-	nextID  uint32
-	nextPID int
+
+	def    *kgroup   // the unpartitioned group (boot allocator)
+	groups []*kgroup // non-nil after Partition
 
 	rec *obs.Recorder
 	// Cached counter handles: atomic flag ops are the hottest path in
@@ -132,10 +146,70 @@ type Kernel struct {
 	TuneFactor float64
 }
 
+// kgroup is one partition group of the kernel: the shard env its
+// processes run on, the backplane segment their remote accesses
+// charge, overlay maps for structures allocated mid-run, and strided
+// id allocators whose output depends only on this group's own call
+// order.
+type kgroup struct {
+	k   *Kernel
+	idx int // -1 for the default (unpartitioned) group
+	env *sim.Env
+	bp  *netsim.Backplane
+
+	objects map[ObjName]*memObject    // == k.objects for the default group
+	events  map[EventName]*eventBlock // == k.events for the default group
+	queues  map[QueueName]*dualQueue  // == k.queues for the default group
+
+	nextID  uint32
+	nextPID int
+	stride  int
+}
+
+func (g *kgroup) newID() uint32 {
+	id := g.nextID
+	g.nextID += uint32(g.stride)
+	return id
+}
+
+func (g *kgroup) findObj(name ObjName) (*memObject, bool) {
+	if o, ok := g.objects[name]; ok {
+		return o, !o.dead
+	}
+	if g.idx >= 0 {
+		if o, ok := g.k.objects[name]; ok {
+			return o, !o.dead
+		}
+	}
+	return nil, false
+}
+
+func (g *kgroup) findEvent(name EventName) (*eventBlock, bool) {
+	if ev, ok := g.events[name]; ok {
+		return ev, true
+	}
+	if g.idx >= 0 {
+		ev, ok := g.k.events[name]
+		return ev, ok
+	}
+	return nil, false
+}
+
+func (g *kgroup) findQueue(name QueueName) (*dualQueue, bool) {
+	if q, ok := g.queues[name]; ok {
+		return q, true
+	}
+	if g.idx >= 0 {
+		q, ok := g.k.queues[name]
+		return q, ok
+	}
+	return nil, false
+}
+
 // NewKernel creates a Chrysalis kernel over the given backplane.
 func NewKernel(env *sim.Env, bp *netsim.Backplane, costs calib.ChrysalisCosts) *Kernel {
 	rec := obs.NewRecorder(env, "chrysalis")
-	return &Kernel{
+	k := &Kernel{
 		env:         env,
 		bp:          bp,
 		costs:       costs,
@@ -154,6 +228,40 @@ func NewKernel(env *sim.Env, bp *netsim.Backplane, costs calib.ChrysalisCosts) *
 		cReclaimed:  rec.Counter(obs.MObjectsReclaimed),
 		cTornRead:   rec.Counter(obs.MTornReads),
 		TuneFactor:  1.0,
+	}
+	k.def = &kgroup{
+		k: k, idx: -1, env: env, bp: bp,
+		objects: k.objects, events: k.events, queues: k.queues,
+		nextID: 1, nextPID: 1, stride: 1,
+	}
+	return k
+}
+
+// Partition splits the kernel into one group per shard env for a
+// conservative parallel run: group i's processes run on envs[i] and
+// charge remote accesses to bps[i] (its per-group backplane segment).
+// Ids allocated from here on are strided per group, so mid-run
+// allocation stays deterministic at any worker count. Call before the
+// run starts, then AssignGroup every process.
+func (k *Kernel) Partition(envs []*sim.Env, bps []*netsim.Backplane) {
+	if len(envs) != len(bps) {
+		panic("chrysalis: Partition needs one backplane segment per shard env")
+	}
+	if k.groups != nil {
+		panic("chrysalis: Partition called twice")
+	}
+	stride := len(envs)
+	k.groups = make([]*kgroup, stride)
+	for i := range envs {
+		k.groups[i] = &kgroup{
+			k: k, idx: i, env: envs[i], bp: bps[i],
+			objects: make(map[ObjName]*memObject),
+			events:  make(map[EventName]*eventBlock),
+			queues:  make(map[QueueName]*dualQueue),
+			nextID:  k.def.nextID + uint32(i),
+			nextPID: k.def.nextPID + i,
+			stride:  stride,
+		}
 	}
 }
 
@@ -193,11 +301,6 @@ func charge(p *sim.Proc, d sim.Duration) {
 	}
 }
 
-func (k *Kernel) newID() uint32 {
-	k.nextID++
-	return k.nextID
-}
-
 // memObject is a kernel memory object.
 type memObject struct {
 	name ObjName
@@ -206,7 +309,11 @@ type memObject struct {
 	// alias data.
 	refs         int
 	freeWhenZero bool
-	home         netsim.NodeID // memory module holding the object
+	// dead marks a reclaimed boot object: once the kernel is
+	// partitioned the shared boot map is read-only, so reclamation
+	// tombstones the record instead of deleting the entry.
+	dead bool
+	home netsim.NodeID // memory module holding the object
 	// midWrite marks a 32-bit field currently half-written: offset -> old
 	// high half. Read32 during the window returns the torn mix.
 	midWrite map[int]uint16
@@ -234,6 +341,7 @@ type dualQueue struct {
 // blocks.
 type Process struct {
 	k      *Kernel
+	g      *kgroup
 	id     int
 	node   netsim.NodeID
 	mapped map[ObjName]bool
@@ -242,9 +350,29 @@ type Process struct {
 
 // NewProcess registers a process on the given node.
 func (k *Kernel) NewProcess(node netsim.NodeID) *Process {
-	k.nextPID++
-	return &Process{k: k, id: k.nextPID, node: node, mapped: make(map[ObjName]bool)}
+	return newProcessIn(k.def, node)
 }
+
+// NewProcessIn registers a process directly in partition group g: the
+// home-group placement for processes launched after the run has
+// started. Its id comes from the group's strided allocator.
+func (k *Kernel) NewProcessIn(g int, node netsim.NodeID) *Process {
+	return newProcessIn(k.groups[g], node)
+}
+
+func newProcessIn(g *kgroup, node netsim.NodeID) *Process {
+	id := g.nextPID
+	g.nextPID += g.stride
+	return &Process{k: g.k, g: g, id: id, node: node, mapped: make(map[ObjName]bool)}
+}
+
+// AssignGroup moves a boot-registered process into partition group g.
+// Call after Kernel.Partition, before the run starts.
+func (pr *Process) AssignGroup(g int) { pr.g = pr.k.groups[g] }
+
+// Group returns the index of the process's partition group (-1 when
+// unpartitioned).
+func (pr *Process) Group() int { return pr.g.idx }
 
 // ID returns the process id.
 func (pr *Process) ID() int { return pr.id }
@@ -257,8 +385,8 @@ func (pr *Process) Node() netsim.NodeID { return pr.node }
 // lives on the caller's node.
 func (pr *Process) AllocObject(p *sim.Proc, size int) ObjName {
 	charge(p, pr.k.cost(pr.k.costs.MapObject))
-	name := ObjName(pr.k.newID())
-	pr.k.objects[name] = &memObject{
+	name := ObjName(pr.g.newID())
+	pr.g.objects[name] = &memObject{
 		name:     name,
 		data:     make([]byte, size),
 		refs:     1,
@@ -274,7 +402,7 @@ func (pr *Process) AllocObject(p *sim.Proc, size int) ObjName {
 // incrementing its reference count.
 func (pr *Process) Map(p *sim.Proc, name ObjName) Status {
 	charge(p, pr.k.cost(pr.k.costs.MapObject))
-	o, ok := pr.k.objects[name]
+	o, ok := pr.g.findObj(name)
 	if !ok {
 		return NoSuchObject
 	}
@@ -293,7 +421,7 @@ func (pr *Process) Unmap(p *sim.Proc, name ObjName) Status {
 	if p != nil {
 		charge(p, pr.k.cost(pr.k.costs.MapObject/2))
 	}
-	o, ok := pr.k.objects[name]
+	o, ok := pr.g.findObj(name)
 	if !ok {
 		return NoSuchObject
 	}
@@ -303,28 +431,35 @@ func (pr *Process) Unmap(p *sim.Proc, name ObjName) Status {
 	delete(pr.mapped, name)
 	o.refs--
 	pr.k.cUnmaps.Inc()
-	pr.k.maybeReclaim(o)
+	pr.g.maybeReclaim(o)
 	return OK
 }
 
 // FreeWhenUnreferenced tells the kernel to reclaim the object when its
 // reference count reaches zero.
 func (pr *Process) FreeWhenUnreferenced(p *sim.Proc, name ObjName) Status {
-	o, ok := pr.k.objects[name]
+	o, ok := pr.g.findObj(name)
 	if !ok {
 		return NoSuchObject
 	}
 	o.freeWhenZero = true
-	pr.k.maybeReclaim(o)
+	pr.g.maybeReclaim(o)
 	return OK
 }
 
-func (k *Kernel) maybeReclaim(o *memObject) {
-	if o.refs <= 0 && o.freeWhenZero {
-		delete(k.objects, o.name)
+func (g *kgroup) maybeReclaim(o *memObject) {
+	if o.refs <= 0 && o.freeWhenZero && !o.dead {
+		o.dead = true
+		if _, mine := g.objects[o.name]; mine {
+			// The overlay (or the unpartitioned boot map) is private to
+			// this group, so the entry itself can go; a boot object under
+			// a partitioned kernel keeps its tombstoned entry instead.
+			delete(g.objects, o.name)
+		}
+		k := g.k
 		k.cReclaimed.Inc()
 		if k.rec.Active() {
-			k.rec.Emit(obs.Event{
+			k.rec.EmitEnv(g.env, obs.Event{
 				Kind: obs.KindMark, Link: int(o.name), Detail: "object reclaimed",
 			})
 		}
@@ -334,7 +469,7 @@ func (k *Kernel) maybeReclaim(o *memObject) {
 // Refs reports the object's reference count (tests and invariants).
 func (k *Kernel) Refs(name ObjName) (int, bool) {
 	o, ok := k.objects[name]
-	if !ok {
+	if !ok || o.dead {
 		return 0, false
 	}
 	return o.refs, true
@@ -342,7 +477,7 @@ func (k *Kernel) Refs(name ObjName) (int, bool) {
 
 // obj validates access and returns the object.
 func (pr *Process) obj(name ObjName) (*memObject, Status) {
-	o, ok := pr.k.objects[name]
+	o, ok := pr.g.findObj(name)
 	if !ok {
 		return nil, NoSuchObject
 	}
@@ -362,9 +497,10 @@ func (pr *Process) remoteCost(o *memObject, n int) sim.Duration {
 	if o.home == pr.node {
 		return 0
 	}
-	d := pr.k.bp.SendTime(pr.k.env.Now(), pr.node, o.home, n)
-	if h := pr.k.bp.FaultHook(); h != nil {
-		v := h.Frame(pr.k.env.Now(), pr.node, o.home, n, d, false)
+	g := pr.g
+	d := g.bp.SendTime(g.env.Now(), pr.node, o.home, n)
+	if h := g.bp.FaultHook(); h != nil {
+		v := h.Frame(g.env.Now(), pr.node, o.home, n, d, false)
 		if v.Drop {
 			d += d // hardware retry: the transfer crosses the switch twice
 		}
@@ -389,7 +525,7 @@ func (pr *Process) SetFlag16(p *sim.Proc, name ObjName, offset int, v uint16) (u
 	o.data[offset] = byte(v)
 	o.data[offset+1] = byte(v >> 8)
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindFlagSet, Proc: pr.id, Link: int(name),
 			Detail: fmt.Sprintf("set@%d=%#x", offset, v),
 		})
@@ -414,7 +550,7 @@ func (pr *Process) OrFlag16(p *sim.Proc, name ObjName, offset int, bits uint16) 
 	o.data[offset] = byte(v)
 	o.data[offset+1] = byte(v >> 8)
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindFlagSet, Proc: pr.id, Link: int(name),
 			Detail: fmt.Sprintf("or@%d=%#x", offset, bits),
 		})
@@ -439,7 +575,7 @@ func (pr *Process) AndFlag16(p *sim.Proc, name ObjName, offset int, mask uint16)
 	o.data[offset] = byte(v)
 	o.data[offset+1] = byte(v >> 8)
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindFlagSet, Proc: pr.id, Link: int(name),
 			Detail: fmt.Sprintf("and@%d=%#x", offset, mask),
 		})
@@ -497,7 +633,7 @@ func (pr *Process) Read32(p *sim.Proc, name ObjName, offset int) (uint32, Status
 	if _, torn := o.midWrite[offset]; torn {
 		pr.k.cTornRead.Inc()
 		if pr.k.rec.Active() {
-			pr.k.rec.Emit(obs.Event{
+			pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 				Kind: obs.KindTornRead, Proc: pr.id, Link: int(name),
 				Detail: fmt.Sprintf("offset %d", offset),
 			})
@@ -542,11 +678,14 @@ func (pr *Process) ReadBytes(p *sim.Proc, name ObjName, offset, n int) ([]byte, 
 // NewEvent allocates an event block owned by the caller.
 func (pr *Process) NewEvent(p *sim.Proc) EventName {
 	charge(p, pr.k.cost(pr.k.costs.EventPost))
-	name := EventName(pr.k.newID())
-	pr.k.events[name] = &eventBlock{
+	name := EventName(pr.g.newID())
+	pr.g.events[name] = &eventBlock{
 		name:  name,
 		owner: pr,
-		wq:    sim.NewWaitQueue(pr.k.env, fmt.Sprintf("chrysalis.ev%d", name)),
+		// The wait queue lives on the owner's group env: only the owner
+		// may wait, and posters are group-local (event names travel over
+		// links, which never cross partition groups).
+		wq: sim.NewWaitQueue(pr.g.env, fmt.Sprintf("chrysalis.ev%d", name)),
 	}
 	return name
 }
@@ -554,7 +693,7 @@ func (pr *Process) NewEvent(p *sim.Proc) EventName {
 // EventPost performs V: it posts the event with a 32-bit datum, waking
 // the owner if it is waiting. Any process that knows the name may post.
 func (pr *Process) EventPost(p *sim.Proc, name EventName, datum uint32) Status {
-	ev, ok := pr.k.events[name]
+	ev, ok := pr.g.findEvent(name)
 	if !ok {
 		return NoSuchEvent
 	}
@@ -574,7 +713,7 @@ func (pr *Process) EventPost(p *sim.Proc, name EventName, datum uint32) Status {
 // EventWait performs P: the owner blocks until the event is posted and
 // receives the datum. Only the owner may wait.
 func (pr *Process) EventWait(p *sim.Proc, name EventName) (uint32, Status) {
-	ev, ok := pr.k.events[name]
+	ev, ok := pr.g.findEvent(name)
 	if !ok {
 		return 0, NoSuchEvent
 	}
@@ -601,8 +740,8 @@ func (k *Kernel) EventPosted(name EventName) bool {
 // NewDualQueue allocates a dual queue with the given data capacity.
 func (pr *Process) NewDualQueue(p *sim.Proc, capacity int) QueueName {
 	charge(p, pr.k.cost(pr.k.costs.Enqueue))
-	name := QueueName(pr.k.newID())
-	pr.k.queues[name] = &dualQueue{name: name, capacity: capacity}
+	name := QueueName(pr.g.newID())
+	pr.g.queues[name] = &dualQueue{name: name, capacity: capacity}
 	return name
 }
 
@@ -611,7 +750,7 @@ func (pr *Process) NewDualQueue(p *sim.Proc, capacity int) QueueName {
 // datum instead ("an enqueue operation on a queue containing event block
 // names actually posts a queued event").
 func (pr *Process) Enqueue(p *sim.Proc, name QueueName, datum uint32) Status {
-	q, ok := pr.k.queues[name]
+	q, ok := pr.g.findQueue(name)
 	if !ok || q.dead {
 		return NoSuchQueue
 	}
@@ -622,10 +761,10 @@ func (pr *Process) Enqueue(p *sim.Proc, name QueueName, datum uint32) Status {
 	if len(q.waiters) > 0 {
 		evName := q.waiters[0]
 		q.waiters = q.waiters[0:copy(q.waiters, q.waiters[1:])]
-		if ev, ok := pr.k.events[evName]; ok && !ev.posted {
+		if ev, ok := pr.g.findEvent(evName); ok && !ev.posted {
 			pr.k.cEventPosts.Inc()
 			if pr.k.rec.Active() {
-				pr.k.rec.Emit(obs.Event{
+				pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 					Kind: obs.KindQueueFlip, Proc: pr.id, Link: int(name),
 					Detail: "enqueue posted queued event",
 				})
@@ -649,7 +788,7 @@ func (pr *Process) Enqueue(p *sim.Proc, name QueueName, datum uint32) Status {
 // empty, subsequent dequeue operations actually enqueue event block
 // names").
 func (pr *Process) Dequeue(p *sim.Proc, name QueueName, ev EventName) (uint32, bool, Status) {
-	q, ok := pr.k.queues[name]
+	q, ok := pr.g.findQueue(name)
 	if !ok || q.dead {
 		return 0, false, NoSuchQueue
 	}
@@ -662,7 +801,7 @@ func (pr *Process) Dequeue(p *sim.Proc, name QueueName, ev EventName) (uint32, b
 	}
 	q.waiters = append(q.waiters, ev)
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindQueueFlip, Proc: pr.id, Link: int(name),
 			Detail: "dequeue on empty enqueued event name",
 		})
@@ -688,12 +827,19 @@ func (pr *Process) Terminate() {
 	}
 	pr.dead = true
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{Kind: obs.KindMark, Proc: pr.id, Detail: "terminate"})
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{Kind: obs.KindMark, Proc: pr.id, Detail: "terminate"})
 	}
+	// Walk mapped objects in name order: reclamation emits events, so
+	// randomized map order would make same-seed runs diverge.
+	names := make([]ObjName, 0, len(pr.mapped))
 	for name := range pr.mapped {
-		if o, ok := pr.k.objects[name]; ok {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, name := range names {
+		if o, ok := pr.g.findObj(name); ok {
 			o.refs--
-			pr.k.maybeReclaim(o)
+			pr.g.maybeReclaim(o)
 		}
 	}
 	pr.mapped = make(map[ObjName]bool)

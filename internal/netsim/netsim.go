@@ -25,16 +25,25 @@
 //     model with per-frame serialization this is the zero-payload frame
 //     time; it is a sound conservative window width because no message
 //     can influence another node sooner.
-//   - Whether the medium couples otherwise-independent node groups. The
-//     ring and bus do: every SendTime call reads and writes one shared
-//     busyUntil reservation (and the bus draws from a shared rng when
-//     found busy), so *all* nodes on one ring/bus form a single group —
-//     their events must execute serially. The same holds for fault
-//     hooks: a hook installed on a medium runs on whichever group drives
-//     that medium, so faulted media must stay single-group. Substrates
-//     built on these media therefore collapse to the serial path; only
-//     media with no shared mutable state (the ideal fabric) can split
-//     into multiple groups.
+//   - Whether the medium couples otherwise-independent node groups. As
+//     built, the ring and bus do: every SendTime call reads and writes
+//     one shared busyUntil reservation (and the bus draws from a shared
+//     rng when found busy). Partition splits that shared state into
+//     per-group SEGMENTS — clones sharing the parent's configuration but
+//     each carrying its own occupancy reservation, its own rng stream
+//     (forked from the parent in segment-index order, so the assignment
+//     of streams to groups is a pure function of the partition, not of
+//     worker scheduling), its own traffic counters, and its own fault
+//     hook slot. A group that only ever talks to itself then touches
+//     only its own segment, which is exactly the case the run-time
+//     layer's partitioner arranges: groups are connected components of
+//     the boot link graph, and processes in different components never
+//     exchange frames. The finite MinLatency bound is what makes the
+//     decomposition conservative — no un-modeled sub-lookahead coupling
+//     exists between segments — and the parent's Stats() aggregates its
+//     own counters with every segment's, so whole-run totals are
+//     unchanged (read it after the run; mid-run aggregation would race
+//     with concurrently-executing segments).
 package netsim
 
 import (
@@ -129,6 +138,14 @@ type Stats struct {
 	BusyTime sim.Duration
 }
 
+// add accumulates o into s (segment aggregation).
+func (s *Stats) add(o *Stats) {
+	s.Messages += o.Messages
+	s.Broadcasts += o.Broadcasts
+	s.Bytes += o.Bytes
+	s.BusyTime += o.BusyTime
+}
+
 func (s *Stats) String() string {
 	return fmt.Sprintf("msgs=%d bcasts=%d bytes=%d busy=%v",
 		s.Messages, s.Broadcasts, s.Bytes, s.BusyTime)
@@ -163,6 +180,9 @@ type TokenRing struct {
 	BitRate       int64        // bits per second
 	HopLatency    sim.Duration // per-station token forwarding latency
 	FrameOverhead int          // header+trailer bytes per frame
+
+	segs []*TokenRing // per-group segments (see Partition)
+	agg  Stats        // cached aggregate for Stats() when segmented
 }
 
 // NewTokenRing creates a ring with the Crystal testbed's parameters:
@@ -196,8 +216,39 @@ func (r *TokenRing) BroadcastTime(sim.Time, NodeID, int) sim.Duration { return -
 // BroadcastDelivers implements Network.
 func (r *TokenRing) BroadcastDelivers(NodeID) bool { return false }
 
-// Stats implements Network.
-func (r *TokenRing) Stats() *Stats { return &r.m.stats }
+// Stats implements Network. When the ring has been Partitioned, the
+// returned snapshot aggregates the parent's own counters with every
+// segment's; read it only after the run (aggregating mid-run would race
+// with concurrently-executing segments).
+func (r *TokenRing) Stats() *Stats {
+	if len(r.segs) == 0 {
+		return &r.m.stats
+	}
+	r.agg = r.m.stats
+	for _, s := range r.segs {
+		r.agg.add(s.Stats())
+	}
+	return &r.agg
+}
+
+// Partition splits the ring into k segments for conservative parallel
+// execution: each segment shares the parent's configuration but has its
+// own occupancy reservation, counters, and fault hook slot, so node
+// groups that never exchange frames can drive their segments
+// concurrently. The parent's Stats() aggregates over the segments.
+func (r *TokenRing) Partition(k int) []*TokenRing {
+	segs := make([]*TokenRing, k)
+	for i := range segs {
+		segs[i] = &TokenRing{
+			Nodes:         r.Nodes,
+			BitRate:       r.BitRate,
+			HopLatency:    r.HopLatency,
+			FrameOverhead: r.FrameOverhead,
+		}
+	}
+	r.segs = append(r.segs, segs...)
+	return segs
+}
 
 // MinLatency reports the smallest possible cross-node delay: even with
 // the token in hand, an empty frame still serializes its header and
@@ -227,6 +278,9 @@ type CSMABus struct {
 	// FaultHook; the field remains as the unfaulted default.
 	LossRate float64
 	rng      *sim.Rand
+
+	segs []*CSMABus // per-group segments (see Partition)
+	agg  Stats      // cached aggregate for Stats() when segmented
 }
 
 // NewCSMABus creates the SODA testbed bus: 1 Mbit/s with 1% broadcast
@@ -280,8 +334,43 @@ func (b *CSMABus) BroadcastDelivers(NodeID) bool {
 	return !b.rng.Bool(rate)
 }
 
-// Stats implements Network.
-func (b *CSMABus) Stats() *Stats { return &b.m.stats }
+// Stats implements Network. When the bus has been Partitioned, the
+// returned snapshot aggregates the parent's own counters with every
+// segment's; read it only after the run.
+func (b *CSMABus) Stats() *Stats {
+	if len(b.segs) == 0 {
+		return &b.m.stats
+	}
+	b.agg = b.m.stats
+	for _, s := range b.segs {
+		b.agg.add(s.Stats())
+	}
+	return &b.agg
+}
+
+// Partition splits the bus into k segments for conservative parallel
+// execution: each segment shares the parent's configuration but carries
+// its own occupancy reservation, counters, fault hook slot, and — the
+// part the byte-identity contract leans on — its own rng stream, forked
+// from the parent's in segment-index order so the stream a group draws
+// backoff jitter and broadcast losses from depends only on the
+// partition, never on worker scheduling. The parent's Stats()
+// aggregates over the segments.
+func (b *CSMABus) Partition(k int) []*CSMABus {
+	segs := make([]*CSMABus, k)
+	for i := range segs {
+		segs[i] = &CSMABus{
+			BitRate:    b.BitRate,
+			SenseDelay: b.SenseDelay,
+			Backoff:    b.Backoff,
+			FrameOver:  b.FrameOver,
+			LossRate:   b.LossRate,
+			rng:        b.rng.Fork(),
+		}
+	}
+	b.segs = append(b.segs, segs...)
+	return segs
+}
 
 // MinLatency reports the smallest possible cross-node delay: carrier
 // sense on an idle bus plus the zero-payload frame time.
@@ -301,6 +390,9 @@ type Backplane struct {
 	stats     Stats
 	SetupCost sim.Duration
 	PerByte   sim.Duration
+
+	segs []*Backplane // per-group segments (see Partition)
+	agg  Stats        // cached aggregate for Stats() when segmented
 }
 
 // NewBackplane creates a Butterfly-calibrated backplane (68000-era block
@@ -330,8 +422,33 @@ func (bp *Backplane) BroadcastTime(sim.Time, NodeID, int) sim.Duration { return 
 // BroadcastDelivers implements Network.
 func (bp *Backplane) BroadcastDelivers(NodeID) bool { return false }
 
-// Stats implements Network.
-func (bp *Backplane) Stats() *Stats { return &bp.stats }
+// Stats implements Network. When the backplane has been Partitioned,
+// the returned snapshot aggregates the parent's own counters with every
+// segment's; read it only after the run.
+func (bp *Backplane) Stats() *Stats {
+	if len(bp.segs) == 0 {
+		return &bp.stats
+	}
+	bp.agg = bp.stats
+	for _, s := range bp.segs {
+		bp.agg.add(s.Stats())
+	}
+	return &bp.agg
+}
+
+// Partition splits the backplane into k segments for conservative
+// parallel execution. The switch model is contention-free, so the only
+// shared mutable state is the counters and the fault hook slot; each
+// segment gets its own of both. The parent's Stats() aggregates over
+// the segments.
+func (bp *Backplane) Partition(k int) []*Backplane {
+	segs := make([]*Backplane, k)
+	for i := range segs {
+		segs[i] = &Backplane{SetupCost: bp.SetupCost, PerByte: bp.PerByte}
+	}
+	bp.segs = append(bp.segs, segs...)
+	return segs
+}
 
 // MinLatency reports the smallest possible cross-node delay: the
 // per-transfer switch setup cost.
@@ -339,11 +456,11 @@ func (bp *Backplane) MinLatency() sim.Duration { return bp.SetupCost }
 
 // MinLatency reports a conservative lookahead for n: the smallest delay
 // between initiating any transfer and its remote effect, or 0 when the
-// model does not expose one (0 disables windowed parallelism). Note that
-// a finite MinLatency is necessary but not sufficient for multi-group
-// execution — see the package comment on medium coupling: the ring and
-// bus share per-medium reservation state, so their nodes must stay in
-// one group regardless of lookahead.
+// model does not expose one (0 disables windowed parallelism). A
+// positive MinLatency is what licenses splitting the medium into
+// per-group segments (Partition): it certifies that the model has no
+// sub-lookahead coupling between node groups beyond the occupancy and
+// rng state the segments privatize.
 func MinLatency(n Network) sim.Duration {
 	type minLatency interface{ MinLatency() sim.Duration }
 	if m, ok := n.(minLatency); ok {

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/sim"
@@ -210,13 +211,16 @@ func bucketBounds(i int) (lo, hi int64) {
 
 // Metrics is a registry of named counters and histograms. Instrument
 // updates are atomic (parallel shard envs increment shared instruments
-// concurrently), but the name→instrument maps themselves are unlocked:
-// instruments must be created during single-threaded phases (setup,
-// serial execution, or post-run), which the kernels guarantee by
-// pre-creating every instrument they touch mid-run. The nil *Metrics
-// hands out nil (no-op) instruments, which is the cheap default the
-// instrumentation relies on.
+// concurrently), and the name→instrument maps are guarded by a
+// read-write lock so instruments may also be created mid-run — a
+// process launched into a running partition allocates its per-process
+// counters while other shards execute. Kernels still pre-create their
+// fixed-name instruments (the lock's fast path is a read lock, but
+// setup-time creation keeps hot paths on cached handles). The nil
+// *Metrics hands out nil (no-op) instruments, which is the cheap
+// default the instrumentation relies on.
 type Metrics struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 }
@@ -235,11 +239,18 @@ func (m *Metrics) Counter(name string) *Counter {
 	if m == nil {
 		return nil
 	}
+	m.mu.RLock()
 	c, ok := m.counters[name]
-	if !ok {
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	if c, ok = m.counters[name]; !ok {
 		c = &Counter{}
 		m.counters[name] = c
 	}
+	m.mu.Unlock()
 	return c
 }
 
@@ -248,11 +259,18 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	if m == nil {
 		return nil
 	}
+	m.mu.RLock()
 	h, ok := m.hists[name]
-	if !ok {
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	if h, ok = m.hists[name]; !ok {
 		h = &Histogram{}
 		m.hists[name] = h
 	}
+	m.mu.Unlock()
 	return h
 }
 
@@ -267,7 +285,10 @@ func (m *Metrics) Value(name string) int64 {
 	if m == nil {
 		return 0
 	}
-	return m.counters[name].Value()
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	return c.Value()
 }
 
 // ProcValue returns the per-process counter's value without creating it.
@@ -282,11 +303,13 @@ func (m *Metrics) SumPrefix(prefix string) int64 {
 		return 0
 	}
 	var total int64
+	m.mu.RLock()
 	for name, c := range m.counters {
 		if strings.HasPrefix(name, prefix) {
 			total += c.n.Load()
 		}
 	}
+	m.mu.RUnlock()
 	return total
 }
 
@@ -298,6 +321,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	if m == nil {
 		return nil
 	}
+	m.mu.RLock()
 	out := make(map[string]int64, len(m.counters)+3*len(m.hists))
 	for name, c := range m.counters {
 		out[name] = c.n.Load()
@@ -307,6 +331,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		out[name+"_sum_ns"] = h.sum.Load()
 		out[name+"_max_ns"] = h.max.Load()
 	}
+	m.mu.RUnlock()
 	return out
 }
 
@@ -320,12 +345,39 @@ func (m *Metrics) Merge(other *Metrics) {
 	if m == nil || other == nil {
 		return
 	}
-	for name, c := range other.counters {
-		m.Counter(name).Add(c.n.Load())
+	other.mu.RLock()
+	counters, hists := collect(other)
+	other.mu.RUnlock()
+	for _, e := range counters {
+		m.Counter(e.name).Add(e.c.n.Load())
 	}
-	for name, h := range other.hists {
-		m.Histogram(name).Merge(h)
+	for _, e := range hists {
+		m.Histogram(e.name).Merge(e.h)
 	}
+}
+
+type counterEntry struct {
+	name string
+	c    *Counter
+}
+
+type histEntry struct {
+	name string
+	h    *Histogram
+}
+
+// collect snapshots the registry's entries (caller holds the lock) so
+// merges never hold two registry locks at once.
+func collect(m *Metrics) ([]counterEntry, []histEntry) {
+	cs := make([]counterEntry, 0, len(m.counters))
+	for name, c := range m.counters {
+		cs = append(cs, counterEntry{name, c})
+	}
+	hs := make([]histEntry, 0, len(m.hists))
+	for name, h := range m.hists {
+		hs = append(hs, histEntry{name, h})
+	}
+	return cs, hs
 }
 
 // MergePrefixed folds other into m like Merge, but files every
@@ -339,11 +391,14 @@ func (m *Metrics) MergePrefixed(prefix string, other *Metrics) {
 	if m == nil || other == nil {
 		return
 	}
-	for name, c := range other.counters {
-		m.Counter(prefix + "/" + name).Add(c.n.Load())
+	other.mu.RLock()
+	counters, hists := collect(other)
+	other.mu.RUnlock()
+	for _, e := range counters {
+		m.Counter(prefix + "/" + e.name).Add(e.c.n.Load())
 	}
-	for name, h := range other.hists {
-		m.Histogram(prefix + "/" + name).Merge(h)
+	for _, e := range hists {
+		m.Histogram(prefix + "/" + e.name).Merge(e.h)
 	}
 }
 
@@ -353,6 +408,8 @@ func (m *Metrics) Names() []string {
 	if m == nil {
 		return nil
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	names := make([]string, 0, len(m.counters)+len(m.hists))
 	for n := range m.counters {
 		names = append(names, n)

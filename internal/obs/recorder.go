@@ -78,7 +78,12 @@ func (r *Recorder) WantDetail() bool {
 	if !r.Active() {
 		return false
 	}
-	if r.env != nil && r.env.Sequencing() {
+	if r.env != nil && (r.env.Sequencing() || r.env.ParallelRunning()) {
+		// Sequencing: this recorder's own env is a shard mid-window.
+		// ParallelRunning: the recorder holds the partitioned ROOT env
+		// (kernel recorders do) while shard contexts call in — consulting
+		// the hinters from concurrent shards would both mispredict and
+		// data-race, so parallel runs always pay full Detail cost.
 		return true
 	}
 	for _, s := range r.sinks {

@@ -53,8 +53,10 @@
 //
 // Everything that touches shared state mid-run is either deferred into
 // those logs (traces, obs events via Env.Sequenced), made commutative
-// (obs counters/histograms are atomic), or forbidden and enforced by
-// panics (mid-run Spawn on a shard, mid-run link creation).
+// (obs counters/histograms are atomic), made shard-local (mid-run Spawn
+// on a shard env lands on that home shard, with pids drawn from the
+// shard's strided allocator), or forbidden and enforced by panics
+// (Spawn and timers on the partitioned root env).
 package sim
 
 import (
@@ -128,6 +130,52 @@ func (e *Env) EnterParallel(opt ParallelOptions) []*Env {
 	return envs
 }
 
+// GrowPartition appends n fresh shard envs to an existing partition —
+// the repartition hook: when topology changes between runs (a launched
+// group that belongs to no existing component, a regrouping decided by
+// the run-time layer), the caller grows the partition instead of
+// tearing it down. It must be called on the partitioned root env,
+// between runs. New shards draw their rng seeds from the root stream in
+// index order (just like EnterParallel), and every shard's strided pid
+// allocator is re-based over the new shard count so pids stay unique
+// and deterministic. Returns the new shard envs.
+func (e *Env) GrowPartition(n int) []*Env {
+	co := e.par
+	if co == nil {
+		panic("sim: GrowPartition on an env that is not a partitioned root")
+	}
+	if n < 1 {
+		panic("sim: GrowPartition needs at least one new group")
+	}
+	if co.running || e.running {
+		panic("sim: GrowPartition during a run")
+	}
+	envs := make([]*Env, n)
+	for i := range envs {
+		sh := NewEnv(e.rng.Uint64())
+		sh.tracer = e.tracer
+		sh.sh = &shardState{co: co, idx: len(co.shards)}
+		co.shards = append(co.shards, sh)
+		envs[i] = sh
+	}
+	if co.started {
+		// Re-base the strides: all future pids start above everything
+		// allocated so far, shard i offset by i with the new stride.
+		base := e.nextPID + 1
+		for _, sh := range co.shards {
+			if sh.sh.pidNext > base {
+				base = sh.sh.pidNext
+			}
+		}
+		k := len(co.shards)
+		for i, sh := range co.shards {
+			sh.sh.pidNext = base + i
+			sh.sh.pidStride = k
+		}
+	}
+	return envs
+}
+
 // Partitioned reports whether EnterParallel has been called on e.
 func (e *Env) Partitioned() bool { return e.par != nil }
 
@@ -196,6 +244,10 @@ type parCoord struct {
 	observed   bool
 	observedFn func() bool
 	running    bool
+	// started flips sticky-true at the partition's first run; from then
+	// on every spawn (mid-run or between runs) draws from its shard's
+	// strided pid allocator instead of the root counter.
+	started bool
 
 	// bootQueue records, during setup, the shard index of every push
 	// onto a shard's initial ready FIFO (Spawns and pre-run wakes), in
@@ -216,6 +268,13 @@ type parCoord struct {
 type shardState struct {
 	co  *parCoord
 	idx int
+
+	// pidNext/pidStride implement the shard's strided pid allocator,
+	// frozen at the partition's first run (and re-based by
+	// GrowPartition): pids for mid-run spawns depend only on this
+	// shard's own spawn order.
+	pidNext   int
+	pidStride int
 
 	// logging is true when this run must replay in serial order
 	// (refreshed at the start of each run).
@@ -360,6 +419,19 @@ func (co *parCoord) runRoot(limit Time) error {
 	}
 	root.running = true
 	defer func() { root.running = false }()
+
+	if !co.started {
+		// Freeze the strided pid bases: every pid handed out so far came
+		// from the root counter; from here on shard i allocates
+		// nextPID+1+i, +stride, +2·stride, … — unique across shards and
+		// independent of worker interleaving.
+		co.started = true
+		k := len(co.shards)
+		for i, sh := range co.shards {
+			sh.sh.pidNext = root.nextPID + 1 + i
+			sh.sh.pidStride = k
+		}
+	}
 
 	logging := co.observed || root.tracer != nil || (co.observedFn != nil && co.observedFn())
 	for _, sh := range co.shards {

@@ -292,14 +292,18 @@ func TestSendGroupRejectsZeroLookahead(t *testing.T) {
 }
 
 // TestParallelSpawnRestrictions pins the pid-determinism guards: no
-// spawning on the partitioned root, no mid-run spawning on shards.
+// spawning or timers on the partitioned root (the panic names the
+// shard count and points at home-shard placement), while mid-run
+// spawning on a shard env is legal and lands on that home shard.
 func TestParallelSpawnRestrictions(t *testing.T) {
 	root := NewEnv(1)
 	shards := root.EnterParallel(ParallelOptions{Groups: 2, Workers: 2})
 
 	func() {
 		defer func() {
-			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "partitioned env") {
+			r := recover()
+			if r == nil || !strings.Contains(fmt.Sprint(r), "partitioned root env (2 shards)") ||
+				!strings.Contains(fmt.Sprint(r), "home shard") {
 				t.Fatalf("Spawn on partitioned root: recover = %v", r)
 			}
 		}()
@@ -307,21 +311,117 @@ func TestParallelSpawnRestrictions(t *testing.T) {
 	}()
 	func() {
 		defer func() {
-			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "partitioned env") {
+			r := recover()
+			if r == nil || !strings.Contains(fmt.Sprint(r), "partitioned root env (2 shards)") ||
+				!strings.Contains(fmt.Sprint(r), "home shard") {
 				t.Fatalf("After on partitioned root: recover = %v", r)
 			}
 		}()
 		root.After(Microsecond, func() {})
 	}()
 
+	// A mid-run spawn on a shard env is a home-shard launch: it runs on
+	// the shard that issued it.
+	ran := false
 	shards[0].Spawn("late-spawner", func(p *Proc) {
 		p.Delay(Microsecond)
-		shards[0].Spawn("too-late", func(p *Proc) {})
+		shards[0].Spawn("late-child", func(p *Proc) { ran = true })
 	})
-	err := root.Run()
-	if err == nil || !strings.Contains(err.Error(), "during a parallel run") {
-		t.Fatalf("mid-run shard Spawn: err = %v", err)
+	if err := root.Run(); err != nil {
+		t.Fatalf("run with mid-run shard Spawn: %v", err)
 	}
+	if !ran {
+		t.Fatalf("mid-run spawned proc never ran")
+	}
+}
+
+// TestParallelMidRunPIDsDeterministic pins the strided mid-run pid
+// allocator: pids depend only on each shard's own spawn order, so the
+// assignment is identical at any worker count.
+func TestParallelMidRunPIDsDeterministic(t *testing.T) {
+	run := func(workers int) []int {
+		root := NewEnv(7)
+		shards := root.EnterParallel(ParallelOptions{Groups: 3, Workers: workers})
+		ids := make([]int, 2*len(shards))
+		for g, env := range shards {
+			g, env := g, env
+			env.Spawn(fmt.Sprintf("parent%d", g), func(p *Proc) {
+				p.Delay(Duration(g+1) * Microsecond)
+				c1 := env.Spawn("c1", func(p *Proc) {})
+				p.Delay(Microsecond)
+				c2 := env.Spawn("c2", func(p *Proc) {})
+				ids[2*g], ids[2*g+1] = c1.ID(), c2.ID()
+			})
+		}
+		if err := root.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return ids
+	}
+	want := run(1)
+	seen := map[int]bool{}
+	for _, id := range want {
+		if id == 0 || seen[id] {
+			t.Fatalf("mid-run pids not unique: %v", want)
+		}
+		seen[id] = true
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d mid-run pids %v, want %v", workers, got, want)
+		}
+	}
+}
+
+// TestGrowPartition pins the repartition hook: new shards join between
+// runs, run their procs, and pid strides are re-based without
+// collisions.
+func TestGrowPartition(t *testing.T) {
+	root := NewEnv(9)
+	shards := root.EnterParallel(ParallelOptions{Groups: 2, Workers: 2})
+	pids := make([]int, 6)
+	spawnPair := func(env *Env, slot int, tag string) {
+		env.Spawn("p"+tag, func(p *Proc) {
+			p.Delay(Microsecond)
+			c := env.Spawn("c"+tag, func(p *Proc) {})
+			pids[slot] = c.ID()
+		})
+	}
+	for i, env := range shards {
+		spawnPair(env, i, fmt.Sprintf("a%d", i))
+	}
+	if err := root.Run(); err != nil {
+		t.Fatal(err)
+	}
+	grown := root.GrowPartition(2)
+	if len(grown) != 2 {
+		t.Fatalf("GrowPartition returned %d envs", len(grown))
+	}
+	for i, env := range grown {
+		spawnPair(env, 2+i, fmt.Sprintf("b%d", i))
+	}
+	for i, env := range shards {
+		spawnPair(env, 4+i, fmt.Sprintf("c%d", i))
+	}
+	if err := root.Run(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, id := range pids {
+		if id == 0 || seen[id] {
+			t.Fatalf("pids not unique after GrowPartition: %v", pids)
+		}
+		seen[id] = true
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "not a partitioned root") {
+				t.Fatalf("GrowPartition on unpartitioned env: recover = %v", r)
+			}
+		}()
+		NewEnv(1).GrowPartition(1)
+	}()
 }
 
 // TestParallelShardPIDsMatchSerial pins that pids are assigned in

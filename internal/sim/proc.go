@@ -72,7 +72,16 @@ func (p *Proc) run() {
 		p.done = true
 		p.env.finish()
 	}()
-	// The first dispatch granted the token directly; run immediately.
+	// The first dispatch granted the token directly; run immediately —
+	// unless the proc was killed before it ever ran (spawned and killed
+	// within the same scheduling step, e.g. a helper whose owner exits at
+	// spawn time). Kill's ready-queue branch relies on the next
+	// resume-from-park to observe the flag, but a never-run proc has no
+	// park to resume from: without this check its body would start and
+	// could block forever on state its (dead) owner will never advance.
+	if p.killed {
+		panic(killedPanic{p})
+	}
 	p.fn(p)
 }
 

@@ -154,7 +154,12 @@ func (e *Env) Trace(source, event string, args ...any) {
 }
 
 // Spawn creates a new simproc running fn and places it at the back of the
-// ready queue. It may be called before Run or from simproc/timer context.
+// ready queue. It may be called before Run, from simproc/timer context,
+// or — on a shard env — during a parallel run: a mid-run spawn lands on
+// the shard it was issued on (its home shard), draws its pid from that
+// shard's strided allocator, and is recorded through the same push
+// bookkeeping as every other ready-queue entry, so the serial replay
+// reproduces it at any worker count.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		env:  e,
@@ -164,24 +169,30 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn:   fn,
 	}
 	e.live++
-	e.ready.push(p)
+	e.wake(p)
 	return p
 }
 
-// allocPID assigns the next proc id. Shard envs draw from the root's
-// counter during setup (so pid assignment matches the serial run that
-// would have spawned the same procs in the same program order on one
-// env) and refuse mid-run spawns, which would make pids depend on the
-// nondeterministic interleaving of concurrently executing groups.
+// allocPID assigns the next proc id. Before the partition's first run,
+// shard envs draw from the root's counter (so pid assignment matches
+// the serial run that would have spawned the same procs in the same
+// program order on one env). From the first run on, each shard owns a
+// strided pid sequence (base + idx, step = shard count): a shard's pids
+// are then a pure function of its own spawn order, never of how
+// concurrently executing groups interleave, which keeps mid-run
+// launches deterministic at any worker count.
 func (e *Env) allocPID() int {
 	if e.par != nil {
-		panic("sim: Spawn on a partitioned env (spawn on one of its shard envs)")
+		panic(fmt.Sprintf(
+			"sim: Spawn on the partitioned root env (%d shards); a mid-run launch lives on its creator's home shard — Spawn on that shard env (see Env.EnterParallel / Env.GrowPartition)",
+			len(e.par.shards)))
 	}
 	if sh := e.sh; sh != nil {
-		if sh.co.running {
-			panic("sim: Spawn on a shard env during a parallel run")
+		if sh.co.started {
+			pid := sh.pidNext
+			sh.pidNext += sh.pidStride
+			return pid
 		}
-		sh.co.bootQueue = append(sh.co.bootQueue, sh.idx)
 		sh.co.root.nextPID++
 		return sh.co.root.nextPID
 	}
@@ -212,7 +223,9 @@ func (e *Env) At(t Time, fn func()) {
 // schedFunc schedules a callback timer.
 func (e *Env) schedFunc(t Time, fn func()) {
 	if e.par != nil {
-		panic("sim: timer on a partitioned env (schedule on one of its shard envs)")
+		panic(fmt.Sprintf(
+			"sim: timer on the partitioned root env (%d shards); schedule on the home shard env that owns the affected procs — root timers would race the shard windows (see Env.EnterParallel / Env.GrowPartition)",
+			len(e.par.shards)))
 	}
 	tm := e.allocTimer()
 	tm.at = t
@@ -297,8 +310,8 @@ func (e *Env) RunUntil(limit Time) error {
 	if e.par != nil {
 		return e.par.runRoot(limit)
 	}
-	if e.sh != nil {
-		return errors.New("sim: Run on a shard env (run the partitioned root env)")
+	if sh := e.sh; sh != nil {
+		return fmt.Errorf("sim: Run on shard env %d (run the partitioned root env)", sh.idx)
 	}
 	if e.running {
 		return errors.New("sim: Run re-entered")

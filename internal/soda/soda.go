@@ -27,6 +27,7 @@ package soda
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/calib"
 	"repro/internal/netsim"
@@ -217,29 +218,110 @@ type Stats struct {
 }
 
 // Kernel is the SODA network: the set of kernel processors and the bus.
+//
+// For conservative parallel runs the kernel is split into groups
+// (Partition): each group owns a shard env, a bus segment, strided id
+// allocators, and an overlay process map, so processes of different
+// groups share no mutable kernel state mid-run. Processes registered
+// before partitioning stay in the shared boot map, which is read-only
+// from then on. A request addressed across groups fails with
+// NoSuchProc — partition groups are connected components of the boot
+// wiring, so no correct program crosses them.
 type Kernel struct {
-	env      *sim.Env
-	bus      *netsim.CSMABus
-	costs    calib.SODACosts
-	procs    map[ProcID]*Process
-	nextProc ProcID
-	nextName uint64
-	nextReq  ReqID
-	rec      *obs.Recorder
+	env   *sim.Env
+	bus   *netsim.CSMABus
+	costs calib.SODACosts
+
+	procs map[ProcID]*Process // boot map; read-only once partitioned
+
+	def    *kgroup   // the unpartitioned group (boot allocator)
+	groups []*kgroup // non-nil after Partition
+
+	rec *obs.Recorder
 	// PairLimit is the maximum outstanding requests between an ordered
 	// pair of processes (§4.2.1). Zero means unlimited.
 	PairLimit int
 }
 
+// kgroup is one partition group of the kernel: the shard env its
+// processes run on, the bus segment they transmit over, an overlay map
+// for processes registered mid-run, and strided id allocators whose
+// output depends only on this group's own call order.
+type kgroup struct {
+	k   *Kernel
+	idx int // -1 for the default (unpartitioned) group
+	env *sim.Env
+	bus *netsim.CSMABus
+
+	procs    map[ProcID]*Process // == k.procs for the default group
+	nextProc ProcID
+	nextName uint64
+	nextReq  ReqID
+	stride   int
+}
+
+// findProc resolves a process id against the group overlay, then the
+// shared boot map. The caller checks group membership before touching
+// any mutable field of the result.
+func (g *kgroup) findProc(id ProcID) (*Process, bool) {
+	if p, ok := g.procs[id]; ok {
+		return p, true
+	}
+	if g.idx >= 0 {
+		p, ok := g.k.procs[id]
+		return p, ok
+	}
+	return nil, false
+}
+
 // NewKernel creates a SODA kernel over the given bus.
 func NewKernel(env *sim.Env, bus *netsim.CSMABus, costs calib.SODACosts) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		env:       env,
 		bus:       bus,
 		costs:     costs,
 		procs:     make(map[ProcID]*Process),
 		rec:       obs.NewRecorder(env, "soda"),
 		PairLimit: 8,
+	}
+	k.def = &kgroup{k: k, idx: -1, env: env, bus: bus, procs: k.procs, nextProc: 1, nextName: 1, nextReq: 1, stride: 1}
+	// Pre-create every instrument touched mid-run: the metrics registry
+	// is unlocked, so lazily inserting from concurrently executing
+	// groups would race on the name map.
+	for _, name := range []string{
+		obs.MKernelRequests, obs.MKernelAccepts, obs.MKernelInterrupts,
+		obs.MKernelDiscovers, obs.MKernelBroadcasts, obs.MKernelRetries,
+		obs.MKernelBytes,
+	} {
+		k.rec.Counter(name)
+	}
+	return k
+}
+
+// Partition splits the kernel into one group per shard env for a
+// conservative parallel run: group i's processes run on envs[i] and
+// transmit over buses[i] (its per-group medium segment). Ids allocated
+// from here on are strided per group, so mid-run NewName/Request/
+// NewProcessIn stay deterministic at any worker count. Call before the
+// run starts, then AssignGroup every process.
+func (k *Kernel) Partition(envs []*sim.Env, buses []*netsim.CSMABus) {
+	if len(envs) != len(buses) {
+		panic("soda: Partition needs one bus segment per shard env")
+	}
+	if k.groups != nil {
+		panic("soda: Partition called twice")
+	}
+	stride := len(envs)
+	k.groups = make([]*kgroup, stride)
+	for i := range envs {
+		k.groups[i] = &kgroup{
+			k: k, idx: i, env: envs[i], bus: buses[i],
+			procs:    make(map[ProcID]*Process),
+			nextProc: k.def.nextProc + ProcID(i),
+			nextName: k.def.nextName + uint64(i),
+			nextReq:  k.def.nextReq + ReqID(i),
+			stride:   stride,
+		}
 	}
 }
 
@@ -257,24 +339,24 @@ func NewKernel(env *sim.Env, bus *netsim.CSMABus, costs calib.SODACosts) *Kernel
 // copy at delivery; the kernel discards the duplicate (request and
 // completion handling are idempotent), so only bandwidth is lost. With
 // no hook installed the path is byte-identical to SendTime + After.
-func (k *Kernel) transmit(src, dst netsim.NodeID, nbytes int, pre, post sim.Duration, deliver func()) {
-	wire := k.bus.SendTime(k.env.Now(), src, dst, nbytes)
-	if h := k.bus.FaultHook(); h != nil {
-		v := h.Frame(k.env.Now(), src, dst, nbytes, wire, false)
+func (g *kgroup) transmit(src, dst netsim.NodeID, nbytes int, pre, post sim.Duration, deliver func()) {
+	wire := g.bus.SendTime(g.env.Now(), src, dst, nbytes)
+	if h := g.bus.FaultHook(); h != nil {
+		v := h.Frame(g.env.Now(), src, dst, nbytes, wire, false)
 		if v.Drop {
-			k.env.After(pre+k.costs.RetryInterval, func() { k.transmit(src, dst, nbytes, 0, post, deliver) })
+			g.env.After(pre+g.k.costs.RetryInterval, func() { g.transmit(src, dst, nbytes, 0, post, deliver) })
 			return
 		}
 		wire += v.Extra
 		if v.Dup {
-			k.env.After(pre+wire+post, func() {
-				k.bus.SendTime(k.env.Now(), src, dst, nbytes) // ghost copy occupies the bus
+			g.env.After(pre+wire+post, func() {
+				g.bus.SendTime(g.env.Now(), src, dst, nbytes) // ghost copy occupies the bus
 				deliver()
 			})
 			return
 		}
 	}
-	k.env.After(pre+wire+post, deliver)
+	g.env.After(pre+wire+post, deliver)
 }
 
 // Env returns the simulation environment.
@@ -323,14 +405,37 @@ func (k *Kernel) DataDelay(n int) sim.Duration {
 
 // LiveIDs returns the ids of all live processes in ascending order.
 // SODA "makes it easy to guess their ids"; the freeze protocol needs
-// this.
+// this. On a partitioned kernel use Process.LiveIDs, which scopes the
+// scan to the caller's group.
 func (k *Kernel) LiveIDs() []ProcID {
+	return k.def.liveIDs(nil)
+}
+
+// LiveIDs returns the ids of all live processes in this process's
+// partition group, ascending. Groups are connected components of the
+// boot wiring, so the group is "every process in existence" as far as
+// any protocol of pr's can observe.
+func (pr *Process) LiveIDs() []ProcID {
+	return pr.g.liveIDs(pr.g)
+}
+
+// liveIDs scans the boot map plus the group overlay for live processes
+// of group want (nil: no membership filter), ascending by id.
+func (g *kgroup) liveIDs(want *kgroup) []ProcID {
 	var ids []ProcID
-	for id := ProcID(1); id <= k.nextProc; id++ {
-		if p, ok := k.procs[id]; ok && !p.dead {
+	for id, p := range g.k.procs {
+		if (want == nil || p.g == want) && !p.dead {
 			ids = append(ids, id)
 		}
 	}
+	if g.idx >= 0 {
+		for id, p := range g.procs {
+			if (want == nil || p.g == want) && !p.dead {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -351,6 +456,7 @@ type request struct {
 // Process is one SODA node: client processor + kernel processor.
 type Process struct {
 	k          *Kernel
+	g          *kgroup
 	id         ProcID
 	node       netsim.NodeID
 	advertised map[Name]bool
@@ -367,19 +473,39 @@ type Process struct {
 // NewProcess registers a process on the given node with its interrupt
 // handler initially open.
 func (k *Kernel) NewProcess(node netsim.NodeID) *Process {
-	k.nextProc++
+	return newProcessIn(k.def, node)
+}
+
+// NewProcessIn registers a process directly in partition group g: the
+// home-group placement for processes launched after the run has
+// started. Its id comes from the group's strided allocator.
+func (k *Kernel) NewProcessIn(g int, node netsim.NodeID) *Process {
+	return newProcessIn(k.groups[g], node)
+}
+
+func newProcessIn(g *kgroup, node netsim.NodeID) *Process {
 	pr := &Process{
-		k:          k,
-		id:         k.nextProc,
+		k:          g.k,
+		g:          g,
+		id:         g.nextProc,
 		node:       node,
 		advertised: make(map[Name]bool),
 		open:       true,
 		inbound:    make(map[ReqID]*request),
 		outbound:   make(map[ReqID]*request),
 	}
-	k.procs[pr.id] = pr
+	g.nextProc += ProcID(g.stride)
+	g.procs[pr.id] = pr
 	return pr
 }
+
+// AssignGroup moves a boot-registered process into partition group g.
+// Call after Kernel.Partition, before the run starts.
+func (pr *Process) AssignGroup(g int) { pr.g = pr.k.groups[g] }
+
+// Group returns the index of the process's partition group (-1 when
+// unpartitioned).
+func (pr *Process) Group() int { return pr.g.idx }
 
 // ID returns the process id.
 func (pr *Process) ID() ProcID { return pr.id }
@@ -389,9 +515,10 @@ func (pr *Process) Node() netsim.NodeID { return pr.node }
 
 // NewName generates a name unique over space and time.
 func (pr *Process) NewName(p *sim.Proc) Name {
-	pr.k.nextName++
+	n := pr.g.nextName
+	pr.g.nextName += uint64(pr.g.stride)
 	charge(p, pr.k.costs.ClientCall) // cheap local kernel call
-	return Name(pr.k.nextName)
+	return Name(n)
 }
 
 // Advertise begins responding to a name. Requests that were delayed
@@ -400,7 +527,7 @@ func (pr *Process) Advertise(p *sim.Proc, n Name) {
 	charge(p, pr.k.costs.ClientCall)
 	pr.advertised[n] = true
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindMark, Proc: int(pr.id),
 			Detail: fmt.Sprintf("advertise %d", n),
 		})
@@ -420,17 +547,29 @@ func (pr *Process) Unadvertise(p *sim.Proc, n Name) {
 // Advertises reports whether the process currently advertises n.
 func (pr *Process) Advertises(n Name) bool { return pr.advertised[n] }
 
-// pendingFor returns undelivered inbound requests naming n, oldest first.
+// pendingFor returns undelivered inbound requests naming n, oldest
+// first (ascending request id; ids order by posting time within a
+// group, and all of a process's inbound traffic is one group's).
 func (pr *Process) pendingFor(n Name) []*request {
 	var rs []*request
-	for id := ReqID(1); id <= pr.k.nextReq; id++ {
+	for _, id := range pr.inboundIDs() {
 		// Only frames that have physically arrived: an Advertise must not
 		// deliver a request still serializing onto the bus.
-		if r, ok := pr.inbound[id]; ok && r.arrived && !r.delivered && !r.accepted && r.name == n {
+		if r := pr.inbound[id]; r.arrived && !r.delivered && !r.accepted && r.name == n {
 			rs = append(rs, r)
 		}
 	}
 	return rs
+}
+
+// inboundIDs returns the keys of pr.inbound in ascending order.
+func (pr *Process) inboundIDs() []ReqID {
+	ids := make([]ReqID, 0, len(pr.inbound))
+	for id := range pr.inbound {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // SetHandler installs the single software-interrupt handler.
@@ -478,8 +617,12 @@ func (pr *Process) raise(ir Interrupt) {
 func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []byte, recvBytes int) (ReqID, Status) {
 	charge(p, pr.k.costs.ClientCall)
 	pr.k.rec.Counter(obs.MKernelRequests).Inc()
-	target, ok := pr.k.procs[to]
-	if !ok {
+	target, ok := pr.g.findProc(to)
+	if !ok || target.g != pr.g {
+		// A target outside the partition group is unreachable: groups are
+		// connected components of the boot wiring, and its state belongs
+		// to a concurrently executing shard. (Membership is checked before
+		// any mutable field of target is read.)
 		return 0, NoSuchProc
 	}
 	if target.dead {
@@ -496,11 +639,12 @@ func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []by
 			return 0, TooManyRequests
 		}
 	}
-	pr.k.nextReq++
+	rid := pr.g.nextReq
+	pr.g.nextReq += ReqID(pr.g.stride)
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	r := &request{
-		id: pr.k.nextReq, from: pr.id, to: to, name: name,
+		id: rid, from: pr.id, to: to, name: name,
 		oob: oob, data: buf, recvBytes: recvBytes,
 	}
 	pr.outbound[r.id] = r
@@ -508,7 +652,7 @@ func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []by
 
 	// The request descriptor crosses the bus (a small frame).
 	k := pr.k
-	k.transmit(pr.node, target.node, 32, k.costs.RequestPath, k.costs.InterruptDelivery, func() {
+	pr.g.transmit(pr.node, target.node, 32, k.costs.RequestPath, k.costs.InterruptDelivery, func() {
 		if r.withdrawn || r.accepted || target.dead {
 			return
 		}
@@ -520,7 +664,7 @@ func (pr *Process) Request(p *sim.Proc, to ProcID, name Name, oob OOB, data []by
 		// periodic retry, modeled without the bus traffic).
 	})
 	if k.rec.Active() {
-		k.rec.Emit(obs.Event{
+		k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: eventKind(KindOf(len(data), recvBytes)),
 			Proc: int(pr.id), Peer: int(to), Seq: uint64(r.id), Bytes: len(buf),
 			Detail: fmt.Sprintf("name=%d recv=%d", name, recvBytes),
@@ -551,7 +695,7 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 	if !ok || r.accepted {
 		return nil, NoSuchRequest
 	}
-	requester, ok := pr.k.procs[r.from]
+	requester, ok := pr.g.findProc(r.from)
 	if !ok || requester.dead {
 		delete(pr.inbound, id)
 		return nil, DeadProc
@@ -583,14 +727,14 @@ func (pr *Process) Accept(p *sim.Proc, id ReqID, oob OOB, data []byte, recvBytes
 	sent := len(toAccepter)
 	k := pr.k
 	fromID := pr.id
-	k.transmit(pr.node, requester.node, n+32, k.costs.RequestPath, copyCost+k.costs.InterruptDelivery, func() {
+	pr.g.transmit(pr.node, requester.node, n+32, k.costs.RequestPath, copyCost+k.costs.InterruptDelivery, func() {
 		requester.raise(Interrupt{
 			IKind: IntCompletion, Req: id, From: fromID, OOB: oob,
 			Data: reply, Sent: sent,
 		})
 	})
 	if k.rec.Active() {
-		k.rec.Emit(obs.Event{
+		k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindAccept, Proc: int(pr.id), Peer: int(r.from),
 			Seq: uint64(id), Bytes: n,
 			Detail: fmt.Sprintf("%dB back, %dB taken", len(reply), sent),
@@ -606,22 +750,26 @@ func (pr *Process) Discover(p *sim.Proc, n Name) (ProcID, Status) {
 	pr.k.rec.Counter(obs.MKernelDiscovers).Inc()
 	pr.k.rec.Counter(obs.MKernelBroadcasts).Inc()
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{
 			Kind: obs.KindDiscover, Proc: int(pr.id),
 			Detail: fmt.Sprintf("name=%d", n),
 		})
 	}
 	charge(p, pr.k.costs.ClientCall)
-	wire := pr.k.bus.BroadcastTime(pr.k.env.Now(), pr.node, 16)
+	g := pr.g
+	wire := g.bus.BroadcastTime(g.env.Now(), pr.node, 16)
 	p.Delay(wire)
-	var found ProcID
-	for id := ProcID(1); id <= pr.k.nextProc; id++ {
-		q, ok := pr.k.procs[id]
-		if !ok || q.dead || q.id == pr.id || !q.advertised[n] {
+	// Candidate advertisers, ascending by id, scoped to the caller's
+	// partition group: a broadcast never leaves its bus segment, and the
+	// rng draw per candidate must follow the group's own stream.
+	var found, foundNode = ProcID(0), netsim.NodeID(0)
+	for _, id := range g.liveIDs(liveWant(g)) {
+		q, _ := g.findProc(id)
+		if q.id == pr.id || !q.advertised[n] {
 			continue
 		}
-		if pr.k.bus.BroadcastDelivers(q.node) {
-			found = q.id
+		if g.bus.BroadcastDelivers(q.node) {
+			found, foundNode = q.id, q.node
 			break
 		}
 	}
@@ -631,9 +779,18 @@ func (pr *Process) Discover(p *sim.Proc, n Name) (ProcID, Status) {
 		return 0, NotFound
 	}
 	// The answer frame returns over the bus.
-	back := pr.k.bus.SendTime(pr.k.env.Now(), pr.k.procs[found].node, pr.node, 16)
+	back := g.bus.SendTime(g.env.Now(), foundNode, pr.node, 16)
 	p.Delay(back)
 	return found, OK
+}
+
+// liveWant is the membership filter for group-scoped scans: none for
+// the default group (everything is one group), g itself otherwise.
+func liveWant(g *kgroup) *kgroup {
+	if g.idx < 0 {
+		return nil
+	}
+	return g
 }
 
 // ReqState is the requester-visible lifecycle of an outstanding request.
@@ -695,7 +852,7 @@ func (pr *Process) Withdraw(p *sim.Proc, id ReqID) Status {
 	}
 	r.withdrawn = true
 	delete(pr.outbound, id)
-	if target, tok := pr.k.procs[r.to]; tok {
+	if target, tok := pr.g.findProc(r.to); tok {
 		delete(target.inbound, id)
 	}
 	return OK
@@ -717,8 +874,8 @@ func (pr *Process) OutstandingTo(to ProcID) int {
 // in arrival order (for tests and the freeze protocol).
 func (pr *Process) InboundRequests() []ReqID {
 	var ids []ReqID
-	for id := ReqID(1); id <= pr.k.nextReq; id++ {
-		if r, ok := pr.inbound[id]; ok && r.delivered && !r.accepted {
+	for _, id := range pr.inboundIDs() {
+		if r := pr.inbound[id]; r.delivered && !r.accepted {
 			ids = append(ids, id)
 		}
 	}
@@ -734,23 +891,21 @@ func (pr *Process) Terminate() {
 	}
 	pr.dead = true
 	if pr.k.rec.Active() {
-		pr.k.rec.Emit(obs.Event{Kind: obs.KindMark, Proc: int(pr.id), Detail: "terminate"})
+		pr.k.rec.EmitEnv(pr.g.env, obs.Event{Kind: obs.KindMark, Proc: int(pr.id), Detail: "terminate"})
 	}
 	// Walk inbound in request-id order: each entry schedules a timer,
 	// and timer ties break by scheduling sequence, so randomized map
-	// order would make same-seed runs diverge.
-	for id := ReqID(1); id <= pr.k.nextReq; id++ {
-		r, ok := pr.inbound[id]
-		if !ok {
-			continue
-		}
-		requester, live := pr.k.procs[r.from]
+	// order would make same-seed runs diverge. The crash interrupts fire
+	// on the group env — inbound traffic is group-local by construction.
+	for _, id := range pr.inboundIDs() {
+		r := pr.inbound[id]
+		requester, live := pr.g.findProc(r.from)
 		if !live || requester.dead {
 			continue
 		}
 		delete(requester.outbound, id)
 		reqID, from := id, pr.id
-		pr.k.env.After(pr.k.costs.RetryInterval, func() {
+		pr.g.env.After(pr.k.costs.RetryInterval, func() {
 			requester.raise(Interrupt{IKind: IntCrash, Req: reqID, From: from})
 		})
 	}

@@ -16,6 +16,10 @@ const (
 	faultTag    = 0x464c54 // "FLT": root tag for all fault streams
 	frameStream = 0        // frame-fate draws (drop/dup/reorder)
 	stormStream = 1        // per-storm arrival schedules
+	// Per-group frame streams for a partitioned run start here: child i
+	// of Split draws from stream groupStream0+i, disjoint from the serial
+	// frameStream by construction.
+	groupStream0 = 16
 )
 
 // Injector compiles a Plan onto a running simulation. It implements
@@ -29,6 +33,10 @@ type Injector struct {
 	nodes  int
 	rng    *sim.Rand
 	counts map[string]int64
+
+	// children are the per-group injectors of a partitioned run (see
+	// Split); non-nil only on the parent, whose Counts aggregate them.
+	children []*Injector
 }
 
 // NewInjector builds an injector for plan over a system with the given
@@ -52,16 +60,52 @@ func NewInjector(env *sim.Env, plan *Plan, seed uint64, nodes int) *Injector {
 // Plan returns the compiled plan.
 func (in *Injector) Plan() *Plan { return in.plan }
 
+// Split compiles the plan into one child injector per partition group
+// of a parallel run. Child i runs on envs[i], keeps its own counters
+// (each group's medium segment and churn timers touch only that
+// group's child, so no counter is shared across shards), and draws
+// frame fates from its own stateless stream — a function of (seed,
+// group index) alone, so the fault schedule each group observes is
+// identical at every worker count. The parent retains the children
+// and aggregates their counters in Counts; after Split the parent
+// itself must not be installed as a hook.
+func (in *Injector) Split(envs []*sim.Env) []*Injector {
+	if in.children != nil {
+		panic("fault: Split called twice")
+	}
+	kids := make([]*Injector, len(envs))
+	for i, env := range envs {
+		kids[i] = &Injector{
+			env:    env,
+			plan:   in.plan,
+			seed:   in.seed,
+			nodes:  in.nodes,
+			rng:    sim.NewRand(sim.StreamSeed2(in.seed, faultTag, uint64(groupStream0+i))),
+			counts: map[string]int64{},
+		}
+	}
+	in.children = kids
+	return kids
+}
+
 // Note records one occurrence of a named fault effect (the owning
 // system uses it for crash/restart/miss events it fires itself).
 func (in *Injector) Note(event string) { in.counts[event]++ }
 
 // Counts returns a copy of the per-effect occurrence counters
 // (drop, dup, reorder, partition, slow, storm, crash, restart, miss).
+// On the parent of a Split partition it sums the children's counters
+// into its own; call it only from serial context (before the run or
+// after it ends).
 func (in *Injector) Counts() map[string]int64 {
 	out := make(map[string]int64, len(in.counts))
 	for k, v := range in.counts {
 		out[k] = v
+	}
+	for _, kid := range in.children {
+		for k, v := range kid.counts {
+			out[k] += v
+		}
 	}
 	return out
 }
@@ -69,8 +113,9 @@ func (in *Injector) Counts() map[string]int64 {
 // CountKeys returns the recorded effect names in sorted order, for
 // deterministic rendering.
 func (in *Injector) CountKeys() []string {
-	keys := make([]string, 0, len(in.counts))
-	for k := range in.counts {
+	agg := in.Counts()
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -1,9 +1,11 @@
 package lynx_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/lynx"
 )
 
@@ -141,6 +143,109 @@ func TestLaunchGroupWiresSiblings(t *testing.T) {
 		}
 		if got != "ping-pong" {
 			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+// TestLaunchUnderPartition pins the home-shard placement contract on
+// every substrate: a two-component topology partitions, each
+// component's boss then launches workers mid-run (one via Launch, one
+// via LaunchGroup) while the other shard is executing, and the JSONL
+// trace stays byte-identical at SimWorkers 1, 2, and 4 — the launched
+// processes, their kernel ids, node placements, and boot links all
+// allocate from the launcher's group, so the worker count never shows.
+func TestLaunchUnderPartition(t *testing.T) {
+	allSubstrates(t, func(t *testing.T, sub lynx.Substrate) {
+		trace := func(workers int) []byte {
+			sys := lynx.NewSystem(lynx.Config{Substrate: sub, Seed: 5, SimWorkers: workers})
+			var buf bytes.Buffer
+			sys.Obs().Attach(&obs.JSONLExporter{W: &buf})
+
+			// Component 0: boss launches two workers one at a time.
+			boss0 := sys.Spawn("boss-0", func(th *lynx.Thread, boot []*lynx.End) {
+				for i := 0; i < 2; i++ {
+					link, _ := sys.Launch(th, fmt.Sprint("w0-", i), func(wt *lynx.Thread, wboot []*lynx.End) {
+						wt.Serve(wboot[0], func(st *lynx.Thread, req *lynx.Request) {
+							st.Reply(req, lynx.Msg{Data: append(req.Data(), '!')})
+						})
+					})
+					reply, err := th.Connect(link, "work", lynx.Msg{Data: []byte{byte(i)}})
+					if err != nil {
+						t.Errorf("boss-0 call %d: %v", i, err)
+					} else if len(reply.Data) != 2 {
+						t.Errorf("boss-0 reply %d: %v", i, reply.Data)
+					}
+					th.Destroy(link)
+				}
+				th.Destroy(boot[0])
+			})
+			peer0 := sys.Spawn("peer-0", func(th *lynx.Thread, boot []*lynx.End) {
+				th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+					st.Reply(req, lynx.Msg{})
+				})
+			})
+			sys.Join(boss0, peer0)
+
+			// Component 1: boss assembles a head+sink pair with LaunchGroup.
+			boss1 := sys.Spawn("boss-1", func(th *lynx.Thread, boot []*lynx.End) {
+				specs := []lynx.ProcSpec{
+					{Name: "head", Main: func(ht *lynx.Thread, hboot []*lynx.End) {
+						r, err := ht.Connect(hboot[1], "fwd", lynx.Msg{Data: []byte("ping")})
+						ht.Destroy(hboot[1])
+						msg := "error"
+						if err == nil {
+							msg = string(r.Data)
+						}
+						if _, err := ht.Connect(hboot[0], "done", lynx.Msg{Data: []byte(msg)}); err != nil {
+							t.Errorf("done: %v", err)
+						}
+						ht.Destroy(hboot[0])
+					}},
+					{Name: "sink", Main: func(kt *lynx.Thread, kboot []*lynx.End) {
+						kt.Serve(kboot[0], func(st *lynx.Thread, req *lynx.Request) {
+							st.Reply(req, lynx.Msg{Data: append(req.Data(), []byte("-pong")...)})
+						})
+					}},
+				}
+				head, _ := sys.LaunchGroup(th, specs, [][2]int{{0, 1}})
+				req, err := th.Receive(head)
+				if err != nil {
+					t.Errorf("receive done: %v", err)
+					return
+				}
+				if got := string(req.Data()); got != "ping-pong" {
+					t.Errorf("group result %q", got)
+				}
+				th.Reply(req, lynx.Msg{})
+				th.Destroy(boot[0])
+			})
+			peer1 := sys.Spawn("peer-1", func(th *lynx.Thread, boot []*lynx.End) {
+				th.Serve(boot[0], func(st *lynx.Thread, req *lynx.Request) {
+					st.Reply(req, lynx.Msg{})
+				})
+			})
+			sys.Join(boss1, peer1)
+
+			if err := sys.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !sys.Partitioned() {
+				t.Fatalf("Partitioned() = false at SimWorkers=%d, want true", workers)
+			}
+			if wantPar := workers > 1; sys.Parallel() != wantPar {
+				t.Fatalf("Parallel() = %v at SimWorkers=%d, want %v", sys.Parallel(), workers, wantPar)
+			}
+			return buf.Bytes()
+		}
+		base := trace(1)
+		if len(base) == 0 {
+			t.Fatal("no events emitted")
+		}
+		for _, workers := range []int{2, 4} {
+			if got := trace(workers); !bytes.Equal(got, base) {
+				t.Errorf("launch trace differs at SimWorkers=%d: got %d bytes, want %d",
+					workers, len(got), len(base))
+			}
 		}
 	})
 }

@@ -33,6 +33,7 @@ package load
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -82,12 +83,28 @@ type Options struct {
 	// lynx default.
 	Nodes int
 	// SimWorkers is lynx.Config.SimWorkers: the in-System parallel
-	// worker cap. It never changes results — a load run's boot graph is
-	// the single loadgen process (work units arrive via LaunchGroup), so
-	// today it always collapses to the serial loop — but the knob is
-	// plumbed end to end so cache keys and job specs treat it as what it
-	// is: an execution hint, not a parameter. 0 = serial.
+	// worker cap. It never changes results — with Gens <= 1 the boot
+	// graph is the single loadgen process (nothing to partition); with
+	// Gens >= 2 the run partitions into one shard per generator and
+	// SimWorkers only sets how many execute concurrently, with
+	// byte-identical tables at every value. Either way it is an
+	// execution hint, not a parameter, and is excluded from sweep cache
+	// keys. 0 = serial.
 	SimWorkers int
+	// Gens is the number of independent load-generator processes.
+	// Each generator is its own boot-join component with its own
+	// arrival and mix streams, offering Rate/Gens arrivals per virtual
+	// second (total offered load stays Rate) and launching work units
+	// onto its own shard of a partitioned run. Gens >= 2 therefore
+	// turns the engine into an end-to-end exercise of per-shard media
+	// and mid-run LaunchGroup under SimWorkers > 1. Unlike SimWorkers,
+	// Gens changes the arrival schedule and so the results: it is a
+	// workload parameter and part of sweep keys. Default (and any
+	// value <= 1): the classic single-loadgen run, stream-for-stream
+	// identical to previous releases. With Gens >= 2 and a Deadline,
+	// which breach fires the (trace-only) anomaly dump first is
+	// execution-order dependent; results are unaffected.
+	Gens int
 	// MaxUnits caps the number of arrivals as a runaway guard when
 	// Rate×Window is enormous. Default 100000.
 	MaxUnits int
@@ -208,7 +225,17 @@ func Run(o Options) (*Result, error) {
 	AttachTrace(sys, o.Trace)
 	fr := sys.Flight()
 	m := sys.Metrics()
+	gens := o.Gens
+	if gens < 1 {
+		gens = 1
+	}
+	// The accumulators are shared by every generator's completion
+	// callbacks; with Gens >= 2 those run on concurrent shards, so the
+	// mutex is load-bearing. Order inside never matters for results:
+	// sojourn percentiles are sorted in Summarize, counts are counts,
+	// and lastDone is a max.
 	var (
+		mu         sync.Mutex
 		sojournsMS []float64
 		byKindMS   = map[string][]float64{}
 		arrivals   int
@@ -216,44 +243,70 @@ func Run(o Options) (*Result, error) {
 		lastDone   lynx.Duration
 		breached   bool
 	)
-	sys.Spawn("loadgen", func(t *lynx.Thread, _ []*lynx.End) {
-		arr := sim.NewArrivalStream(sim.StreamSeed(o.Seed, 1), o.Rate)
-		kindRnd := sim.NewRand(sim.StreamSeed(o.Seed, 2))
-		for seq := 0; seq < o.MaxUnits; seq++ {
-			at := arr.Next()
-			if lynx.Duration(at) > o.Window {
-				return
-			}
-			if err := t.SleepUntil(at); err != nil {
-				return
-			}
-			kind := mix.Pick(kindRnd)
-			specs, wires := unitSpecs(kind, seq)
-			head, _ := sys.LaunchGroup(t, specs, wires)
-			arrivals++
-			m.Counter(MArrivals).Inc()
-			m.Counter(KindKey(MArrivals, kind)).Inc()
-			t.Serve(head, func(st *lynx.Thread, req *lynx.Request) {
-				sojourn := lynx.Duration(st.Now() - at)
-				if o.Deadline > 0 && sojourn > o.Deadline && !breached {
-					// First breach only: one dump shows the lead-up, and
-					// an overloaded run would otherwise dump per unit.
-					breached = true
-					fr.Anomaly(fmt.Sprintf("deadline breach: unit sojourn %v > %v",
-						sojourn, o.Deadline))
-				}
-				lastDone = lynx.Duration(st.Now())
-				completed++
-				m.Counter(MCompleted).Inc()
-				m.Histogram(MSojournNs).Observe(sojourn)
-				m.Histogram(KindKey(MSojournNs, kind)).Observe(sojourn)
-				ms := float64(sojourn) / 1e6
-				sojournsMS = append(sojournsMS, ms)
-				byKindMS[kind] = append(byKindMS[kind], ms)
-				st.Reply(req, lynx.Msg{})
-			})
+	for gi := 0; gi < gens; gi++ {
+		gi := gi
+		// Gens <= 1 must stay stream-for-stream identical to the classic
+		// single-generator run: same process name, same stream seeds,
+		// same rate, seq 0,1,2,... Gens >= 2 gives each generator its
+		// own split of the arrival and mix streams and a 1/Gens share of
+		// the offered rate, with unit sequence numbers strided so names
+		// ("u<seq>.<role>") stay globally unique.
+		name := "loadgen"
+		arrSeed := sim.StreamSeed(o.Seed, 1)
+		kindSeed := sim.StreamSeed(o.Seed, 2)
+		rate := o.Rate
+		if gens > 1 {
+			name = fmt.Sprintf("loadgen-%d", gi)
+			arrSeed = sim.StreamSeed2(o.Seed, 1, uint64(gi))
+			kindSeed = sim.StreamSeed2(o.Seed, 2, uint64(gi))
+			rate = o.Rate / float64(gens)
 		}
-	})
+		sys.Spawn(name, func(t *lynx.Thread, _ []*lynx.End) {
+			arr := sim.NewArrivalStream(arrSeed, rate)
+			kindRnd := sim.NewRand(kindSeed)
+			for seq := gi; seq < o.MaxUnits; seq += gens {
+				at := arr.Next()
+				if lynx.Duration(at) > o.Window {
+					return
+				}
+				if err := t.SleepUntil(at); err != nil {
+					return
+				}
+				kind := mix.Pick(kindRnd)
+				specs, wires := unitSpecs(kind, seq)
+				head, _ := sys.LaunchGroup(t, specs, wires)
+				mu.Lock()
+				arrivals++
+				mu.Unlock()
+				m.Counter(MArrivals).Inc()
+				m.Counter(KindKey(MArrivals, kind)).Inc()
+				t.Serve(head, func(st *lynx.Thread, req *lynx.Request) {
+					sojourn := lynx.Duration(st.Now() - at)
+					done := lynx.Duration(st.Now())
+					ms := float64(sojourn) / 1e6
+					mu.Lock()
+					if o.Deadline > 0 && sojourn > o.Deadline && !breached {
+						// First breach only: one dump shows the lead-up, and
+						// an overloaded run would otherwise dump per unit.
+						breached = true
+						fr.Anomaly(fmt.Sprintf("deadline breach: unit sojourn %v > %v",
+							sojourn, o.Deadline))
+					}
+					if done > lastDone {
+						lastDone = done
+					}
+					completed++
+					sojournsMS = append(sojournsMS, ms)
+					byKindMS[kind] = append(byKindMS[kind], ms)
+					mu.Unlock()
+					m.Counter(MCompleted).Inc()
+					m.Histogram(MSojournNs).Observe(sojourn)
+					m.Histogram(KindKey(MSojournNs, kind)).Observe(sojourn)
+					st.Reply(req, lynx.Msg{})
+				})
+			}
+		})
+	}
 	if err := runGuarded(sys, fr); err != nil {
 		return nil, fmt.Errorf("load: %v run failed: %w", o.Substrate, err)
 	}

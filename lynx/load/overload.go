@@ -44,6 +44,11 @@ type SweepOptions struct {
 	// SimWorkers must hit the same cache entries and match the same
 	// gates as the serial sweep.
 	SimWorkers int
+	// Gens is the per-cell generator count (load.Options.Gens). Unlike
+	// SimWorkers it is a workload parameter — Gens >= 2 changes every
+	// cell's arrival schedule — so it IS part of Key(), but only when
+	// set above 1: the default keys exactly as before the knob existed.
+	Gens int
 	// Trace is the flight-recorder configuration handed to every cell's
 	// run (load.Options.Trace). Recording never changes results, so —
 	// exactly like SimWorkers — Trace is EXCLUDED from Key(): a sampled
@@ -122,6 +127,9 @@ func (o SweepOptions) Key() string {
 		}
 		key += " faults=" + strings.Join(fs, "/")
 	}
+	if o.Gens > 1 {
+		key += fmt.Sprintf(" gens=%d", o.Gens)
+	}
 	return key
 }
 
@@ -160,6 +168,7 @@ func SweepSpec(o SweepOptions) (grid.Spec, error) {
 				Mix:        o.Mix,
 				Seed:       r.Seed,
 				SimWorkers: o.SimWorkers,
+				Gens:       o.Gens,
 				Trace:      r.Trace,
 			}
 			if cell.Has("scenario") {

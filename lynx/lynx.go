@@ -55,26 +55,46 @@
 //
 // # Parallel execution inside one System
 //
-// Config.SimWorkers > 1 additionally parallelizes the event loop WITHIN
-// a single System, when that is provably safe: on the Ideal substrate,
-// without a fault plan, when the boot-join graph splits into two or more
-// connected components. Each component becomes one shard of a
-// conservative parallel discrete-event engine (sim.EnterParallel) and
-// components execute concurrently on up to SimWorkers OS threads. The
-// determinism contract is absolute: a run at any SimWorkers value
-// produces byte-identical traces, metrics, and results to SimWorkers=1
-// with the same seed — observers replay in the exact serial interleave.
-// When the preconditions do not hold (kernel substrates share one
-// network medium and one rng; faulted runs share the injector; a
-// single-component topology has nothing to split) the engine collapses
-// to the ordinary serial loop, which is trivially byte-identical.
-// Dynamic process creation (Launch/LaunchGroup) is incompatible with an
-// engaged parallel run and panics; use SimWorkers=1 for such workloads.
+// When the boot-join graph splits into two or more connected
+// components, the System partitions the run: each component becomes one
+// shard of a conservative parallel discrete-event engine
+// (sim.EnterParallel), with its own event loop, its own segment of the
+// network medium, and its own slice of the kernel's state. What
+// licenses the split on the kernel substrates is finite lookahead: the
+// medium's MinLatency (token-ring serialization, CSMA sense delay,
+// backplane setup cost) lower-bounds every cross-node interaction, and
+// since boot components never share a link, groups can only couple
+// through medium state — which the per-group segments privatize
+// (occupancy, counters, forked rng streams). The Ideal fabric, having
+// no shared medium, is trivially partitionable.
+//
+// Partitioning happens whenever the topology is eligible, at every
+// SimWorkers value; Config.SimWorkers only caps how many shards execute
+// concurrently (<= 1 runs the shards sequentially on one OS thread).
+// Decoupling the partition decision from the worker count is what makes
+// the determinism contract absolute: per-group id allocators, rng
+// streams, and fault schedules are fixed by the topology alone, so a
+// run at any SimWorkers value produces byte-identical traces, metrics,
+// and results to SimWorkers=1 with the same seed — observers replay in
+// the exact serial interleave. A single-component (or single-process)
+// topology has nothing to split and runs the ordinary serial loop.
+//
+// Fault plans compile onto a partitioned run as per-shard schedules:
+// each group's medium segment gets its own injector child (frame fates
+// from a per-group stream, storms replicated per segment) and churn
+// timers fire on each shard against that shard's processes, so faulted
+// runs parallelize like unfaulted ones. Dynamic process creation
+// (Launch/LaunchGroup) places the new group on the launcher's home
+// shard — kernel processes, transports, and boot links all allocate
+// from that group's strided id space — so mid-run launches need no
+// cross-shard coordination and keep the byte-identity guarantee.
 package lynx
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	chbind "repro/internal/bind/charlotte"
 	chrbind "repro/internal/bind/chrysalis"
@@ -204,13 +224,15 @@ type Config struct {
 	// whose own BufCap is unset. Default 4096.
 	BufCap int
 	// SimWorkers caps how many event-loop shards execute concurrently
-	// inside this System. Default (and any value <= 1) is the serial
-	// loop. Values > 1 engage the conservative parallel engine when the
-	// run is provably partitionable — Ideal substrate, no fault plan,
-	// boot-join graph with >= 2 connected components — and collapse to
-	// serial otherwise. SimWorkers never changes results: same seed ⇒
-	// byte-identical traces and metrics at every worker count, so it is
-	// excluded from sweep cache keys.
+	// inside this System. The run is partitioned into shards whenever
+	// the boot-join graph has >= 2 connected components and the medium
+	// has finite lookahead (netsim.MinLatency > 0, true of every
+	// substrate under default calibration) — independent of this value;
+	// SimWorkers <= 1 (the default) then runs the shards sequentially
+	// on one OS thread while > 1 runs up to that many concurrently.
+	// SimWorkers never changes results: same seed ⇒ byte-identical
+	// traces and metrics at every worker count, so it is excluded from
+	// sweep cache keys.
 	SimWorkers int
 
 	// Trace configures the flight recorder (internal/obs/flight): a
@@ -224,11 +246,12 @@ type Config struct {
 	// Faults is an optional declarative fault plan (crash/restart
 	// schedules, frame drop/duplication/reorder, partitions, slow
 	// nodes, link storms — see lynx/fault). The plan compiles onto the
-	// network's fault hook and virtual-time timers at NewSystem; a
-	// faulted run is still a pure function of (Config, Seed). Nil or
-	// empty injects nothing, leaving the run byte-identical to an
-	// unfaulted one. An invalid plan panics at NewSystem (it is a
-	// configuration error; validate plans with fault.Parse).
+	// network's fault hook and virtual-time timers when Run starts —
+	// per shard, on a partitioned run — and a faulted run is still a
+	// pure function of (Config, Seed). Nil or empty injects nothing,
+	// leaving the run byte-identical to an unfaulted one. An invalid
+	// plan panics at NewSystem (it is a configuration error; validate
+	// plans with fault.Parse).
 	Faults *fault.Plan
 
 	// Charlotte, SODA, and Chrysalis hold the substrate-specific knobs.
@@ -266,11 +289,34 @@ type System struct {
 	nextNode int
 	ran      bool
 
+	// mu guards specs/byProc and the node-placement cursors once the run
+	// has started: under a partitioned run, Launch appends from
+	// concurrently executing shards.
+	mu sync.Mutex
+
 	// joins records boot-time Join edges as spec-index pairs; materialize
 	// runs union-find over them to find independent components.
 	joins [][2]int
-	// parallel is set when materialize engaged the parallel engine.
-	parallel bool
+	// partitioned is set when materialize split the run into shards
+	// (at any SimWorkers value); parallel additionally requires
+	// SimWorkers > 1, i.e. shards actually executing concurrently.
+	partitioned bool
+	parallel    bool
+	// shards are the per-group envs of a partitioned run; segs the
+	// per-group medium segments (nil on Ideal, which has no medium).
+	shards []*sim.Env
+	segs   []netsim.Network
+	// groupNode are per-group node-placement cursors for mid-run
+	// launches, each starting from the boot cursor frozen at partition
+	// time so placement is a group-local (worker-count-invariant)
+	// sequence.
+	groupNode []int
+	// injKids are the per-group fault injectors of a partitioned faulted
+	// run; churnHits counts, per churn event, how many processes it hit
+	// across all groups (shared atomics — misses are derived at
+	// FaultStats time).
+	injKids   []*fault.Injector
+	churnHits []int64
 }
 
 // ProcRef names a spawned process before and after Run.
@@ -278,6 +324,7 @@ type ProcRef struct {
 	sys   *System
 	name  string
 	idx   int // position in sys.specs (component lookup)
+	group int // partition group (home shard), -1 when unpartitioned
 	main  func(*Thread, []*End)
 	tr    core.Transport
 	boots []core.TransEnd
@@ -331,14 +378,41 @@ func NewSystem(cfg Config) *System {
 		s.Obs().Attach(s.fr)
 	}
 	if !cfg.Faults.Empty() {
+		// The plan is validated (and the injector built) here, but it
+		// compiles onto hooks and timers at materialize — after the
+		// partition decision — so a partitioned run can install
+		// per-group children instead of one shared schedule.
 		s.inj = fault.NewInjector(env, cfg.Faults, cfg.Seed, cfg.Nodes)
+	}
+	return s
+}
+
+// installFaults compiles the fault plan onto the (possibly partitioned)
+// run: fault hooks on the medium, storm timer chains, churn timers.
+// Called from materialize, after planParallel has decided the shape of
+// the run.
+func (s *System) installFaults() {
+	if s.inj == nil {
+		return
+	}
+	if !s.partitioned {
 		if s.net != nil {
 			s.net.SetFaultHook(s.inj)
 			s.inj.StartStorms(s.net)
 		}
 		s.scheduleChurn()
+		return
 	}
-	return s
+	s.injKids = s.inj.Split(s.shards)
+	for g, seg := range s.segs {
+		// Each group's segment gets its own injector child: frame fates
+		// draw from a per-group stream, and each segment runs a full
+		// replica of every storm's arrival schedule (a storm models
+		// medium load, which each segment now carries independently).
+		seg.SetFaultHook(s.injKids[g])
+		s.injKids[g].StartStorms(seg)
+	}
+	s.scheduleChurnPartitioned()
 }
 
 // scheduleChurn registers the plan's process-level events as
@@ -352,14 +426,14 @@ func (s *System) scheduleChurn() {
 		case fault.Crash:
 			proc := e.Proc
 			s.env.At(sim.Time(e.At), func() {
-				if s.crashMatching(proc) == 0 {
+				if s.crashMatching(proc, -1, s.inj) == 0 {
 					s.inj.Note("miss")
 				}
 			})
 		case fault.Restart:
 			proc := e.Proc
 			s.env.At(sim.Time(e.At), func() {
-				if s.restartNamed(proc) {
+				if s.restartNamed(proc, -1) {
 					s.inj.Note("restart")
 				} else {
 					s.inj.Note("miss")
@@ -369,17 +443,79 @@ func (s *System) scheduleChurn() {
 	}
 }
 
+// scheduleChurnPartitioned is scheduleChurn for a partitioned run: each
+// churn event is scheduled on EVERY shard env and acts only on that
+// shard's processes, through that shard's injector child — so a crash
+// pattern spanning groups kills each group's matches at that group's
+// virtual time with no cross-shard access. Per-event hit counters are
+// shared atomics; an event no shard matched surfaces as a miss in
+// FaultStats.
+func (s *System) scheduleChurnPartitioned() {
+	nChurn := 0
+	for _, ev := range s.cfg.Faults.Events {
+		switch ev.(type) {
+		case fault.Crash, fault.Restart:
+			nChurn++
+		}
+	}
+	s.churnHits = make([]int64, nChurn)
+	j := 0
+	for _, ev := range s.cfg.Faults.Events {
+		switch e := ev.(type) {
+		case fault.Crash:
+			proc := e.Proc
+			hit := &s.churnHits[j]
+			j++
+			for g := range s.shards {
+				g := g
+				s.shards[g].At(sim.Time(e.At), func() {
+					if n := s.crashMatching(proc, g, s.injKids[g]); n > 0 {
+						atomic.AddInt64(hit, int64(n))
+					}
+				})
+			}
+		case fault.Restart:
+			proc := e.Proc
+			hit := &s.churnHits[j]
+			j++
+			for g := range s.shards {
+				g := g
+				s.shards[g].At(sim.Time(e.At), func() {
+					if s.restartNamed(proc, g) {
+						s.injKids[g].Note("restart")
+						atomic.AddInt64(hit, 1)
+					}
+				})
+			}
+		}
+	}
+}
+
+// snapshotSpecs copies the spec list under the lock; shards launching
+// mid-run append concurrently.
+func (s *System) snapshotSpecs() []*ProcRef {
+	s.mu.Lock()
+	out := append([]*ProcRef(nil), s.specs...)
+	s.mu.Unlock()
+	return out
+}
+
 // crashMatching kills every live process whose name matches pattern
 // (exact, or a trailing-* prefix like "u1.*") and returns how many it
-// killed.
-func (s *System) crashMatching(pattern string) int {
+// killed. With g >= 0 only processes homed on group g are touched (the
+// group filter reads only the immutable group field of foreign specs,
+// never their procs).
+func (s *System) crashMatching(pattern string, g int, inj *fault.Injector) int {
 	n := 0
-	for _, pr := range s.specs {
+	for _, pr := range s.snapshotSpecs() {
+		if g >= 0 && pr.group != g {
+			continue
+		}
 		if pr.proc == nil || pr.proc.Dead() || !nameMatches(pattern, pr.name) {
 			continue
 		}
 		pr.proc.Crash()
-		s.inj.Note("crash")
+		inj.Note("crash")
 		n++
 	}
 	return n
@@ -397,11 +533,13 @@ func nameMatches(pattern, name string) bool {
 // like any launch, with an empty boot slice — a restarted process
 // re-acquires capabilities through the substrate (Discover, Launch);
 // it inherits nothing from the dead incarnation. Returns false when no
-// spec carries the name.
-func (s *System) restartNamed(name string) bool {
+// spec carries the name. With g >= 0 (a partitioned run's per-shard
+// churn timer) only a spec homed on group g qualifies, and the new
+// incarnation is born on that same shard.
+func (s *System) restartNamed(name string, g int) bool {
 	var src *ProcRef
-	for _, pr := range s.specs {
-		if pr.name == name {
+	for _, pr := range s.snapshotSpecs() {
+		if pr.name == name && (g < 0 || pr.group == g) {
 			src = pr
 			break
 		}
@@ -409,25 +547,38 @@ func (s *System) restartNamed(name string) bool {
 	if src == nil {
 		return false
 	}
-	child := &ProcRef{sys: s, name: src.name, idx: len(s.specs), main: src.main}
-	s.attachTransport(child)
-	s.specs = append(s.specs, child)
+	child := s.newProcRef(src.name, src.main, g)
+	env := s.env
+	if g >= 0 {
+		env = s.shards[g]
+	}
 	costs := s.runtimeCosts()
-	child.proc = core.NewProcess(s.env, child.name, child.tr, costs, func(t *Thread) {
+	child.proc = core.NewProcess(env, child.name, child.tr, costs, func(t *Thread) {
 		child.main(t, nil)
 	})
+	s.mu.Lock()
 	s.byProc[child.proc] = child
+	s.mu.Unlock()
 	return true
 }
 
 // FaultStats returns the fault injector's per-effect occurrence
 // counters (drop, dup, reorder, partition, slow, storm, crash,
 // restart, miss), or nil when the system runs without a fault plan.
+// On a partitioned run it aggregates the per-group injector children
+// and derives misses from the shared per-event hit counters; read it
+// from serial context (before the run or after it ends).
 func (s *System) FaultStats() map[string]int64 {
 	if s.inj == nil {
 		return nil
 	}
-	return s.inj.Counts()
+	out := s.inj.Counts()
+	for i := range s.churnHits {
+		if atomic.LoadInt64(&s.churnHits[i]) == 0 {
+			out["miss"]++
+		}
+	}
+	return out
 }
 
 // Env exposes the simulation environment (tracing, custom events).
@@ -443,31 +594,67 @@ func (s *System) Spawn(name string, main func(t *Thread, boot []*End)) *ProcRef 
 	if s.ran {
 		panic("lynx: Spawn after Run")
 	}
-	pr := &ProcRef{sys: s, name: name, idx: len(s.specs), main: main}
-	s.attachTransport(pr)
-	s.specs = append(s.specs, pr)
-	return pr
+	return s.newProcRef(name, main, -1)
 }
 
-// attachTransport places the process on the next node round-robin and
-// creates its substrate transport (shared by Spawn and Launch).
-func (s *System) attachTransport(pr *ProcRef) {
-	node := netsim.NodeID(s.nextNode % s.cfg.Nodes)
-	s.nextNode++
+// newProcRef allocates a spec and its substrate transport (shared by
+// Spawn, Launch, and restart). g >= 0 homes the process on that
+// partition group: kernel process and transport allocate from the
+// group's strided id space, node placement advances the group's own
+// cursor, and the transport is born on the group's shard env.
+func (s *System) newProcRef(name string, main func(*Thread, []*End), g int) *ProcRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pr := &ProcRef{sys: s, name: name, idx: len(s.specs), group: g, main: main}
+	env := s.env
+	var node netsim.NodeID
+	if g >= 0 {
+		node = netsim.NodeID(s.groupNode[g] % s.cfg.Nodes)
+		s.groupNode[g]++
+		env = s.shards[g]
+	} else {
+		node = netsim.NodeID(s.nextNode % s.cfg.Nodes)
+		s.nextNode++
+	}
 	switch s.cfg.Substrate {
 	case Charlotte:
-		pr.chTr = chbind.New(s.env, s.charK.NewProcess(node), s.cfg.Charlotte.BufCap)
+		var kp *charlotte.Process
+		if g >= 0 {
+			kp = s.charK.NewProcessIn(g, node)
+		} else {
+			kp = s.charK.NewProcess(node)
+		}
+		pr.chTr = chbind.New(env, kp, s.cfg.Charlotte.BufCap)
 		pr.tr = pr.chTr
 	case SODA:
-		pr.sodaTr = sodabind.New(s.env, s.sodaK, s.sodaK.NewProcess(node), s.sodaCfg)
+		var kp *soda.Process
+		if g >= 0 {
+			kp = s.sodaK.NewProcessIn(g, node)
+		} else {
+			kp = s.sodaK.NewProcess(node)
+		}
+		pr.sodaTr = sodabind.New(env, s.sodaK, kp, s.sodaCfg)
 		pr.tr = pr.sodaTr
 	case Chrysalis:
-		pr.chrTr = chrbind.New(s.env, s.chrK, s.chrK.NewProcess(node), s.cfg.Chrysalis.BufCap)
+		var kp *chrysalis.Process
+		if g >= 0 {
+			kp = s.chrK.NewProcessIn(g, node)
+		} else {
+			kp = s.chrK.NewProcess(node)
+		}
+		pr.chrTr = chrbind.New(env, s.chrK, kp, s.cfg.Chrysalis.BufCap)
 		pr.tr = pr.chrTr
 	case Ideal:
-		pr.idTr = s.fab.NewTransport(pr.name)
+		if g >= 0 {
+			pr.idTr = s.fab.NewTransportIn(g, pr.name)
+			pr.idTr.SetEnv(env)
+		} else {
+			pr.idTr = s.fab.NewTransport(pr.name)
+		}
 		pr.tr = pr.idTr
 	}
+	s.specs = append(s.specs, pr)
+	return pr
 }
 
 // Join wires a boot-time link between two processes (the loader handing
@@ -523,19 +710,27 @@ func (s *System) runtimeCosts() calib.LynxRuntimeCosts {
 	}
 }
 
-// planParallel decides whether this run may execute in parallel. When
-// eligible — SimWorkers > 1, Ideal substrate, no fault injector, and a
-// boot-join graph with at least two connected components — it partitions
-// the env into one shard per component and returns the spec → shard
-// mapping; otherwise it returns the identity mapping onto the serial
-// env. Eligibility is deliberately conservative: the kernel substrates
-// funnel every process through one netsim medium (shared busyUntil and
-// rng — see internal/netsim's parallel-coupling note), and the fault
-// injector is a single mutable schedule, so only Ideal multi-component
-// unfaulted topologies are provably partitionable.
+// planParallel decides whether this run is partitionable and, when it
+// is, splits it. Eligibility is topology-and-medium only: at least two
+// boot-join connected components, over a medium with finite lookahead
+// (netsim.MinLatency > 0 certifies that groups can only couple through
+// the state the per-group segments privatize; the Ideal fabric has no
+// medium and is trivially eligible). SimWorkers does NOT gate the
+// split — a partitioned run at Workers=1 executes its shards
+// sequentially — because the partition fixes id allocators, rng
+// streams, and fault schedules, and those must be identical at every
+// worker count for the byte-identity contract to hold.
+//
+// When eligible it partitions the env into one shard per component,
+// splits the medium into per-group segments, partitions the kernel's
+// state, and returns the spec → shard mapping; otherwise it returns
+// the identity mapping onto the serial env.
 func (s *System) planParallel() func(*ProcRef) *sim.Env {
 	serial := func(*ProcRef) *sim.Env { return s.env }
-	if s.cfg.SimWorkers <= 1 || s.cfg.Substrate != Ideal || s.inj != nil || len(s.specs) < 2 {
+	if len(s.specs) < 2 {
+		return serial
+	}
+	if s.cfg.Substrate != Ideal && netsim.MinLatency(s.net) <= 0 {
 		return serial
 	}
 	// Union-find over the boot-join edges.
@@ -568,27 +763,97 @@ func (s *System) planParallel() func(*ProcRef) *sim.Env {
 		}
 		comp[i] = g
 	}
-	if len(groupOf) < 2 {
+	k := len(groupOf)
+	if k < 2 {
 		return serial
 	}
+	workers := s.cfg.SimWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	rec := s.Obs()
 	shards := s.env.EnterParallel(sim.ParallelOptions{
-		Groups:  len(groupOf),
-		Workers: s.cfg.SimWorkers,
+		Groups:  k,
+		Workers: workers,
 		// Lookahead 0: components never interact, windows are unbounded.
 		Lookahead: 0,
 		// Observers (obs sinks, exporters) attach between NewSystem and
 		// Run; consult the recorder at run time so they still replay in
 		// serial order.
-		ObservedFn: func() bool { return s.fab.Obs().Active() },
+		ObservedFn: func() bool { return rec.Active() },
 	})
-	s.parallel = true
-	return func(pr *ProcRef) *sim.Env { return shards[comp[pr.idx]] }
+	s.shards = shards
+	s.partitioned = true
+	s.parallel = workers > 1
+	for i, pr := range s.specs {
+		pr.group = comp[i]
+	}
+	// Mid-run launches place round-robin per group, each cursor starting
+	// from the boot cursor frozen here.
+	s.groupNode = make([]int, k)
+	for g := range s.groupNode {
+		s.groupNode[g] = s.nextNode
+	}
+	// Split the medium into per-group segments and shard the kernel.
+	switch s.cfg.Substrate {
+	case Charlotte:
+		rings := s.net.(*netsim.TokenRing).Partition(k)
+		s.segs = make([]netsim.Network, k)
+		for i, r := range rings {
+			s.segs[i] = r
+		}
+		s.charK.Partition(shards, s.segs)
+	case SODA:
+		buses := s.net.(*netsim.CSMABus).Partition(k)
+		s.segs = make([]netsim.Network, k)
+		for i, b := range buses {
+			s.segs[i] = b
+		}
+		s.sodaK.Partition(shards, buses)
+	case Chrysalis:
+		bps := s.net.(*netsim.Backplane).Partition(k)
+		s.segs = make([]netsim.Network, k)
+		for i, bp := range bps {
+			s.segs[i] = bp
+		}
+		s.chrK.Partition(shards, bps)
+	case Ideal:
+		s.fab.Partition(k)
+	}
+	return func(pr *ProcRef) *sim.Env { return shards[pr.group] }
 }
 
-// Parallel reports whether the parallel engine engaged for this run
-// (false until Run, and false whenever eligibility collapsed the run to
-// the serial loop).
+// Parallel reports whether shards actually execute concurrently this
+// run: the topology partitioned AND SimWorkers > 1. False until Run,
+// and false for partitioned runs driven serially (SimWorkers <= 1),
+// which are byte-identical to the concurrent ones. Partitioned reports
+// the split itself.
 func (s *System) Parallel() bool { return s.parallel }
+
+// Partitioned reports whether materialize split this run into
+// shard-per-component (at any SimWorkers value).
+func (s *System) Partitioned() bool { return s.partitioned }
+
+// assignGroup moves a boot spec onto its partition group: the kernel
+// process (or ideal transport) joins the group's strided id space and
+// the binding's timers/emissions move to the shard env — before any
+// simproc exists, so nothing is in flight.
+func (pr *ProcRef) assignGroup(g int, env *sim.Env) {
+	switch {
+	case pr.chTr != nil:
+		pr.chTr.KernelProcess().AssignGroup(g)
+		pr.chTr.SetEnv(env)
+	case pr.sodaTr != nil:
+		pr.sodaTr.KernelProcess().AssignGroup(g)
+		pr.sodaTr.SetEnv(env)
+	case pr.chrTr != nil:
+		pr.chrTr.KernelProcess().AssignGroup(g)
+		pr.chrTr.SetEnv(env)
+	case pr.idTr != nil:
+		pr.idTr.AssignGroup(g)
+		pr.idTr.SetEnv(env)
+	}
+}
 
 // materialize creates the core processes (idempotent).
 func (s *System) materialize() {
@@ -597,15 +862,15 @@ func (s *System) materialize() {
 	}
 	s.ran = true
 	envFor := s.planParallel()
+	s.installFaults()
 	costs := s.runtimeCosts()
 	for _, pr := range s.specs {
 		spec := pr
 		env := envFor(pr)
-		if pr.idTr != nil {
-			// Move the transport's timers/emissions onto the process's
-			// shard env; both ends of every link live in one component,
-			// so a link's traffic always runs on one shard.
-			pr.idTr.SetEnv(env)
+		if s.partitioned {
+			// Both ends of every link live in one component, so a
+			// link's traffic always runs on one shard.
+			pr.assignGroup(pr.group, env)
 		}
 		pr.proc = core.NewProcess(env, spec.name, spec.tr, costs, func(t *Thread) {
 			boot := make([]*End, len(spec.boots))
@@ -659,19 +924,26 @@ func (s *System) LaunchGroup(t *Thread, specs []ProcSpec, wires [][2]int) (*End,
 	if len(specs) == 0 {
 		panic("lynx: LaunchGroup with no specs")
 	}
-	if s.parallel {
-		panic("lynx: LaunchGroup during a parallel run (SimWorkers > 1); dynamic process creation needs SimWorkers=1")
-	}
+	s.mu.Lock()
 	parent := s.byProc[t.Process()]
+	s.mu.Unlock()
 	if parent == nil {
 		panic("lynx: LaunchGroup from a thread of an unknown process")
 	}
+	// Home-shard placement: on a partitioned run the whole group is born
+	// on the launcher's shard — kernel processes, transports, and boot
+	// links all allocate from that group's strided id space — so the
+	// launch touches no other shard's state and the engine stays
+	// parallel. Unpartitioned runs (g = -1) keep the classic global
+	// sequences.
+	g := parent.group
+	env := s.env
+	if g >= 0 {
+		env = s.shards[g]
+	}
 	refs := make([]*ProcRef, len(specs))
 	for i, spec := range specs {
-		child := &ProcRef{sys: s, name: spec.Name, idx: len(s.specs), main: spec.Main}
-		s.attachTransport(child)
-		s.specs = append(s.specs, child)
-		refs[i] = child
+		refs[i] = s.newProcRef(spec.Name, spec.Main, g)
 	}
 	s.join(parent, refs[0]) // kernel-level boot wiring works mid-run
 	parentTE := parent.boots[len(parent.boots)-1]
@@ -684,14 +956,16 @@ func (s *System) LaunchGroup(t *Thread, specs []ProcSpec, wires [][2]int) (*End,
 	costs := s.runtimeCosts()
 	for _, child := range refs {
 		childSpec := child
-		child.proc = core.NewProcess(s.env, childSpec.name, child.tr, costs, func(ct *Thread) {
+		child.proc = core.NewProcess(env, childSpec.name, child.tr, costs, func(ct *Thread) {
 			boot := make([]*End, len(childSpec.boots))
 			for i, te := range childSpec.boots {
 				boot[i] = ct.AdoptBootEnd(te)
 			}
 			childSpec.main(ct, boot)
 		})
+		s.mu.Lock()
 		s.byProc[child.proc] = child
+		s.mu.Unlock()
 	}
 	return t.AdoptBootEnd(parentTE), refs
 }

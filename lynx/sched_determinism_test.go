@@ -51,10 +51,9 @@ func compareGolden(t *testing.T, name string, got []byte) {
 // (PR 2) and before the parallel engine existed; any scheduling-order
 // or virtual-time drift in the discrete-event engine shows up here as a
 // byte-level diff, and so would any worker-count dependence (figure 1
-// is a single connected component, so every worker count must collapse
-// to the identical serial run — on kernel substrates because they are
-// never partitionable, on Ideal because one component is nothing to
-// split). Regenerate deliberately with -update-golden.
+// is a single connected component — nothing to split on any substrate —
+// so every worker count must collapse to the identical serial run).
+// Regenerate deliberately with -update-golden.
 func TestSchedulerGoldenTraces(t *testing.T) {
 	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis, lynx.Ideal} {
 		for _, workers := range []int{1, 2, 4} {
@@ -73,11 +72,12 @@ func TestSchedulerGoldenTraces(t *testing.T) {
 
 // runEchoTrio runs the parallel-engine acceptance workload: three
 // independent client/server echo pairs — a boot-join graph with three
-// connected components, the shape SimWorkers > 1 partitions on the
-// Ideal substrate. Each client ships a few round trips with
-// virtual-time pauses so shard clocks interleave nontrivially. Returns
-// the JSONL trace and whether the parallel engine engaged.
-func runEchoTrio(t *testing.T, cfg lynx.Config) ([]byte, bool) {
+// connected components, the shape every substrate partitions (Ideal
+// trivially; the kernels via their media's finite MinLatency). Each
+// client ships a few round trips with virtual-time pauses so shard
+// clocks interleave nontrivially. Returns the JSONL trace and the
+// finished system for Partitioned/Parallel assertions.
+func runEchoTrio(t *testing.T, cfg lynx.Config) ([]byte, *lynx.System) {
 	t.Helper()
 	sys := lynx.NewSystem(cfg)
 	var buf bytes.Buffer
@@ -108,52 +108,76 @@ func runEchoTrio(t *testing.T, cfg lynx.Config) ([]byte, bool) {
 	if err := sys.Run(); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	return buf.Bytes(), sys.Parallel()
+	return buf.Bytes(), sys
 }
 
-// TestParallelWorkerGoldenTraces: a genuinely partitionable Ideal
-// workload must produce byte-identical JSONL traces at every SimWorkers
-// value, pinned against a golden recorded at SimWorkers=1 (i.e. by the
-// plain serial engine). This is the tentpole determinism contract: the
-// parallel engine's replay reconstructs the exact serial interleave.
+// checkPartition asserts the partition/parallel state the new contract
+// prescribes: a multi-component topology partitions at EVERY worker
+// count, and shards execute concurrently exactly when SimWorkers > 1.
+func checkPartition(t *testing.T, sys *lynx.System, workers int) {
+	t.Helper()
+	if !sys.Partitioned() {
+		t.Fatalf("Partitioned() = false at SimWorkers=%d, want true (multi-component topology)", workers)
+	}
+	if wantPar := workers > 1; sys.Parallel() != wantPar {
+		t.Fatalf("Parallel() = %v at SimWorkers=%d, want %v", sys.Parallel(), workers, wantPar)
+	}
+}
+
+// TestParallelWorkerGoldenTraces: a genuinely partitionable workload
+// must produce byte-identical JSONL traces at every SimWorkers value,
+// pinned against a golden recorded at SimWorkers=1 (shards driven
+// sequentially). This is the tentpole determinism contract on all four
+// substrates: the kernel substrates partition their shared media into
+// per-group segments bounded by MinLatency (token-ring serialization,
+// CSMA sense delay, backplane setup cost), and the parallel engine's
+// replay reconstructs the exact serial interleave.
 func TestParallelWorkerGoldenTraces(t *testing.T) {
-	for _, workers := range []int{1, 2, 4} {
-		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
-			cfg := lynx.Config{Substrate: lynx.Ideal, Seed: 7, SimWorkers: workers}
-			got, parallel := runEchoTrio(t, cfg)
-			if wantPar := workers > 1; parallel != wantPar {
-				t.Fatalf("Parallel() = %v at SimWorkers=%d, want %v", parallel, workers, wantPar)
-			}
-			if *updateGolden && workers != 1 {
-				t.Skip("goldens are recorded at SimWorkers=1")
-			}
-			compareGolden(t, "golden_trace_parallel_ideal.jsonl", got)
-		})
+	for _, sub := range []lynx.Substrate{lynx.Charlotte, lynx.SODA, lynx.Chrysalis, lynx.Ideal} {
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", sub, workers), func(t *testing.T) {
+				cfg := lynx.Config{Substrate: sub, Seed: 7, SimWorkers: workers}
+				got, sys := runEchoTrio(t, cfg)
+				checkPartition(t, sys, workers)
+				if *updateGolden && workers != 1 {
+					t.Skip("goldens are recorded at SimWorkers=1")
+				}
+				compareGolden(t, "golden_trace_parallel_"+sub.String()+".jsonl", got)
+			})
+		}
 	}
 }
 
-// TestFaultedWorkerInvariance: a faulted run is never partitionable
-// (the injector is one mutable schedule), so every SimWorkers value
-// must collapse to the identical serial run — byte for byte, without
-// the parallel engine engaging.
-func TestFaultedWorkerInvariance(t *testing.T) {
+// TestFaultedWorkerGoldenTraces: fault plans no longer force a serial
+// collapse — the injector splits into per-shard children (per-group
+// frame-fate streams, churn timers on each shard, storms replicated per
+// segment), so a faulted multi-component run partitions like an
+// unfaulted one and must stay byte-identical at every worker count.
+// Pinned as a golden (recorded at SimWorkers=1) on a medium-bearing
+// substrate and on Ideal, plus a fault-counter cross-check.
+func TestFaultedWorkerGoldenTraces(t *testing.T) {
 	plan := &fault.Plan{Events: []fault.Event{fault.Crash{Proc: "server-1", At: 300 * lynx.Microsecond}}}
-	trace := func(workers int) []byte {
-		cfg := lynx.Config{Substrate: lynx.Ideal, Seed: 7, SimWorkers: workers, Faults: plan}
-		got, parallel := runFaultedTrio(t, cfg)
-		if parallel {
-			t.Fatalf("parallel engine engaged on a faulted run (SimWorkers=%d)", workers)
-		}
-		return got
-	}
-	base := trace(1)
-	if len(base) == 0 {
-		t.Fatal("no events emitted")
-	}
-	for _, workers := range []int{2, 4} {
-		if got := trace(workers); !bytes.Equal(got, base) {
-			t.Errorf("faulted trace differs at SimWorkers=%d: got %d bytes, want %d",
-				workers, len(got), len(base))
+	for _, sub := range []lynx.Substrate{lynx.SODA, lynx.Ideal} {
+		var baseFaults map[string]int64
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/w%d", sub, workers), func(t *testing.T) {
+				cfg := lynx.Config{Substrate: sub, Seed: 7, SimWorkers: workers, Faults: plan}
+				got, sys := runFaultedTrio(t, cfg)
+				checkPartition(t, sys, workers)
+				fs := sys.FaultStats()
+				if fs["crash"] != 1 {
+					t.Errorf("crash count = %d, want 1 (stats: %v)", fs["crash"], fs)
+				}
+				if baseFaults == nil {
+					baseFaults = fs
+				} else if fmt.Sprint(fs) != fmt.Sprint(baseFaults) {
+					t.Errorf("fault stats differ at SimWorkers=%d: got %v, want %v", workers, fs, baseFaults)
+				}
+				if *updateGolden && workers != 1 {
+					t.Skip("goldens are recorded at SimWorkers=1")
+				}
+				compareGolden(t, "golden_trace_faulted_"+sub.String()+".jsonl", got)
+			})
 		}
 	}
 }
@@ -161,7 +185,7 @@ func TestFaultedWorkerInvariance(t *testing.T) {
 // runFaultedTrio is runEchoTrio's crash-tolerant twin: clients swallow
 // link errors (the fault plan kills server-1 mid-run) and the run is
 // bounded in virtual time so the orphaned client cannot hang the test.
-func runFaultedTrio(t *testing.T, cfg lynx.Config) ([]byte, bool) {
+func runFaultedTrio(t *testing.T, cfg lynx.Config) ([]byte, *lynx.System) {
 	t.Helper()
 	sys := lynx.NewSystem(cfg)
 	var buf bytes.Buffer
@@ -187,5 +211,5 @@ func runFaultedTrio(t *testing.T, cfg lynx.Config) ([]byte, bool) {
 	if err := sys.RunFor(20 * lynx.Millisecond); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	return buf.Bytes(), sys.Parallel()
+	return buf.Bytes(), sys
 }
